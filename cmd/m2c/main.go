@@ -1,0 +1,169 @@
+// Command m2c is the concurrent Modula-2+ compiler driver.
+//
+// Usage:
+//
+//	m2c [flags] Module
+//
+// The module's implementation is read from Module.mod in the include
+// path; imported interfaces from <Name>.def.  By default the module is
+// compiled concurrently and its object listing written to stdout.
+//
+//	m2c -run Main              # compile Main + imported impls, link, execute
+//	m2c -workers 8 -dky optimistic -stats Sort
+//	m2c -seq Sort              # the sequential baseline compiler
+//	m2c -compare Sort          # compile both ways and diff the outputs
+//	m2c -watch Sort            # WatchTool-style activity view (simulated P=workers)
+//	m2c -ast Sort              # canonical source render of the parse tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"m2cc"
+	"m2cc/internal/ast"
+	"m2cc/internal/bench"
+	"m2cc/internal/ctrace"
+	"m2cc/internal/diag"
+	"m2cc/internal/lexer"
+	"m2cc/internal/parser"
+	"m2cc/internal/source"
+)
+
+func main() {
+	var (
+		include = flag.String("I", ".", "colon-separated include path for .def/.mod files")
+		workers = flag.Int("workers", 8, "worker slots (one per simulated processor)")
+		dky     = flag.String("dky", "skeptical", "DKY strategy: avoidance|pessimistic|skeptical|optimistic")
+		headers = flag.Bool("reprocess-headers", false, "use §2.4 alternative 3 (child streams re-process headings)")
+		seqMode = flag.Bool("seq", false, "use the sequential baseline compiler")
+		compare = flag.Bool("compare", false, "compile both ways and verify identical output")
+		run     = flag.Bool("run", false, "compile, link and execute the program")
+		listing = flag.Bool("S", false, "print the object listing")
+		stats   = flag.Bool("stats", false, "print identifier lookup statistics (Table 2)")
+		watch   = flag.Bool("watch", false, "render a WatchTool-style processor activity view")
+		astMode = flag.Bool("ast", false, "print the canonical source render of the parse tree")
+		quiet   = flag.Bool("q", false, "suppress the success message")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: m2c [flags] Module")
+		flag.Usage()
+		os.Exit(2)
+	}
+	module := flag.Arg(0)
+	loader := &m2cc.DirLoader{Dirs: strings.Split(*include, ":")}
+
+	strategy, err := m2cc.ParseStrategy(*dky)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	opts := m2cc.Options{
+		Workers:      *workers,
+		Strategy:     strategy,
+		CollectStats: *stats,
+	}
+	if *headers {
+		opts.Headers = m2cc.HeaderReprocess
+	}
+
+	switch {
+	case *astMode:
+		text, err := loader.Load(module, m2cc.Impl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		files := source.NewSet()
+		f := files.Add(module, source.Impl, text)
+		diags := diag.NewBag(0)
+		ctx := &ctrace.TaskCtx{}
+		toks := lexer.ScanAll(f, ctx, diags)
+		m := parser.New(parser.NewSliceSource(toks), f.Label(), ctx, diags).ParseUnit()
+		os.Stderr.WriteString(diags.String())
+		fmt.Print(ast.Print(m))
+		if diags.HasErrors() {
+			os.Exit(1)
+		}
+		return
+
+	case *watch:
+		res := m2cc.Compile(module, loader, m2cc.Options{Workers: 1, Strategy: strategy, Trace: true})
+		os.Stderr.WriteString(res.Diags.String())
+		if res.Failed() {
+			os.Exit(1)
+		}
+		r := m2cc.Simulate(res.Trace, m2cc.SimOptions{
+			Processors: *workers, Strategy: strategy,
+			LongBeforeShort: true, BoostResolver: true, CollectTimeline: true,
+		})
+		fmt.Print(bench.RenderTimeline(r.Timeline, *workers, r.Makespan, 110))
+		fmt.Println("legend: L lexical  S splitter  I importer  P parser/decl  G stmt/codegen  M merge  . idle")
+		base := m2cc.Simulate(res.Trace, m2cc.SimOptions{
+			Processors: 1, Strategy: strategy, LongBeforeShort: true, BoostResolver: true,
+		})
+		fmt.Printf("simulated speedup on %d processors: %.2f (utilization %.0f%%)\n",
+			*workers, base.Makespan/r.Makespan, 100*r.Utilization(*workers))
+		return
+
+	case *run:
+		prog, err := m2cc.BuildProgram(module, loader, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := m2cc.Execute(prog, os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+
+	case *compare:
+		conc := m2cc.Compile(module, loader, opts)
+		seqr := m2cc.CompileSequential(module, loader)
+		if conc.Diags.String() != seqr.Diags.String() {
+			fmt.Fprintf(os.Stderr, "DIAGNOSTICS DIFFER\nconcurrent:\n%s\nsequential:\n%s\n",
+				conc.Diags, seqr.Diags)
+			os.Exit(1)
+		}
+		if !conc.Failed() && conc.Object.Listing() != seqr.Object.Listing() {
+			fmt.Fprintln(os.Stderr, "LISTINGS DIFFER")
+			os.Exit(1)
+		}
+		fmt.Printf("%s: concurrent (workers=%d, %s) and sequential outputs identical\n",
+			module, *workers, strategy)
+		return
+
+	case *seqMode:
+		res := m2cc.CompileSequential(module, loader)
+		os.Stderr.WriteString(res.Diags.String())
+		if res.Failed() {
+			os.Exit(1)
+		}
+		if *listing {
+			fmt.Print(res.Object.Listing())
+		} else if !*quiet {
+			fmt.Printf("%s: ok (sequential, %.0f work units)\n", module, res.Units)
+		}
+		return
+
+	default:
+		res := m2cc.Compile(module, loader, opts)
+		os.Stderr.WriteString(res.Diags.String())
+		if res.Failed() {
+			os.Exit(1)
+		}
+		if *listing {
+			fmt.Print(res.Object.Listing())
+		} else if !*quiet {
+			fmt.Printf("%s: ok (%d streams, workers=%d, %s)\n",
+				module, res.Streams, *workers, strategy)
+		}
+		if *stats && res.Stats != nil {
+			fmt.Print(res.Stats)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+// Activity view: reproduce the paper's WatchTool pictures (Figures 4
+// and 7) for one compilation — per-processor activity over time, with
+// the task kinds distinguished: L lexing, S splitting, I importing,
+// P parsing/declaration analysis, G statement analysis/code generation,
+// M merging.
+//
+//	go run ./examples/activityview
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"m2cc"
+	"m2cc/internal/bench"
+	"m2cc/internal/workload"
+)
+
+func main() {
+	suite := workload.GenerateSuite(1992, 0.3)
+	prog := suite.Programs[30] // a large program: long right-hand G phase
+	fmt.Printf("compiling %s (%d bytes, %d procedures, %d interfaces) on 8 simulated processors\n\n",
+		prog.Name, prog.Bytes, prog.Procedures, prog.Imports)
+
+	res := m2cc.Compile(prog.Name, suite.Loader, m2cc.Options{Workers: 1, Trace: true})
+	if res.Failed() {
+		log.Fatalf("compile failed:\n%s", res.Diags)
+	}
+
+	r := m2cc.Simulate(res.Trace, m2cc.SimOptions{
+		Processors: 8, Strategy: m2cc.Skeptical,
+		LongBeforeShort: true, BoostResolver: true,
+		CollectTimeline: true,
+	})
+	fmt.Print(bench.RenderTimeline(r.Timeline, 8, r.Makespan, 110))
+	fmt.Println("\nlegend: L lexical  S splitter  I importer  P parser/decl-analysis  G stmt-analysis/codegen  M merge  . idle")
+	fmt.Printf("\nmakespan %.0f work units, utilization %.0f%%, DKY blockages %d\n",
+		r.Makespan, 100*r.Utilization(8), r.Blocks)
+	fmt.Println("\nnote the paper's shape: lexing and interface parsing on the left, the")
+	fmt.Println("activity lull while procedure headings are processed in the main module")
+	fmt.Println("(§2.4), then the wide statement-analysis/code-generation phase.")
+}

@@ -1,0 +1,57 @@
+// DKY strategies: compile an import-heavy generated program under all
+// four Doesn't-Know-Yet strategies (§2.2 of the paper), verify every
+// strategy yields identical output, and compare their simulated
+// 8-processor compile times and blockage counts.
+//
+//	go run ./examples/dkystrategies
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"m2cc"
+	"m2cc/internal/workload"
+)
+
+func main() {
+	// A mid-sized program from the generated test suite: 40 procedures,
+	// a few dozen imported interfaces — plenty of cross-stream lookups.
+	suite := workload.GenerateSuite(7, 0.3)
+	prog := suite.Programs[24]
+	fmt.Printf("program %s: %d bytes, %d procedures, %d imported interfaces\n\n",
+		prog.Name, prog.Bytes, prog.Procedures, prog.Imports)
+
+	// Reference output (sequential).
+	want := m2cc.CompileSequential(prog.Name, suite.Loader).Object.Listing()
+
+	// One deterministic trace drives the simulated comparison.
+	tres := m2cc.Compile(prog.Name, suite.Loader, m2cc.Options{Workers: 1, Trace: true})
+	if tres.Failed() {
+		log.Fatalf("trace compile failed:\n%s", tres.Diags)
+	}
+
+	fmt.Printf("%-12s %10s %9s %8s   %s\n", "strategy", "makespan", "speedup", "blocks", "output")
+	base := m2cc.Simulate(tres.Trace, m2cc.SimOptions{
+		Processors: 1, Strategy: m2cc.Skeptical, LongBeforeShort: true, BoostResolver: true,
+	}).Makespan
+	for _, s := range []m2cc.Strategy{m2cc.Avoidance, m2cc.Pessimistic, m2cc.Skeptical, m2cc.Optimistic} {
+		// Real concurrent compilation under this strategy must match
+		// the sequential output exactly: DKY handling changes timing,
+		// never results.
+		res := m2cc.Compile(prog.Name, suite.Loader, m2cc.Options{Workers: 8, Strategy: s})
+		verdict := "identical"
+		if res.Failed() || res.Object.Listing() != want {
+			verdict = "DIFFERS (bug!)"
+		}
+
+		r := m2cc.Simulate(tres.Trace, m2cc.SimOptions{
+			Processors: 8, Strategy: s, LongBeforeShort: true, BoostResolver: true,
+		})
+		fmt.Printf("%-12s %10.0f %9.2f %8d   %s\n",
+			s, r.Makespan, base/r.Makespan, r.Blocks, verdict)
+	}
+	fmt.Println("\nthe paper's finding: Skeptical handling is the best compromise —")
+	fmt.Println("it searches incomplete tables before blocking, so most lookups that")
+	fmt.Println("would stall under Pessimistic handling succeed immediately (§2.2).")
+}

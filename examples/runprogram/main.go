@@ -1,0 +1,114 @@
+// Run a realistic Modula-2+ program — Eratosthenes' sieve plus the
+// eight-queens counter, written with records, sets, open arrays, nested
+// procedures and an exception — compiled concurrently on 8 workers and
+// executed on the package's abstract machine.
+//
+//	go run ./examples/runprogram
+package main
+
+import (
+	"log"
+	"os"
+
+	"m2cc"
+)
+
+const program = `
+MODULE Puzzles;
+
+CONST Limit = 100;
+
+EXCEPTION BadInput;
+
+TYPE
+  Flags = ARRAY [2..Limit] OF BOOLEAN;
+  Board = RECORD
+    cols, diag1, diag2: BITSET;
+    placed: INTEGER
+  END;
+
+VAR
+  sieve: Flags;
+  count, i: INTEGER;
+  solutions: INTEGER;
+
+PROCEDURE Primes(VAR f: Flags): INTEGER;
+VAR i, j, n: INTEGER;
+BEGIN
+  FOR i := 2 TO Limit DO f[i] := TRUE END;
+  n := 0;
+  FOR i := 2 TO Limit DO
+    IF f[i] THEN
+      INC(n);
+      j := i + i;
+      WHILE j <= Limit DO
+        f[j] := FALSE;
+        j := j + i
+      END
+    END
+  END;
+  RETURN n
+END Primes;
+
+PROCEDURE Queens(n: INTEGER): INTEGER;
+VAR b: Board; total: INTEGER;
+
+  PROCEDURE Place(row: INTEGER);
+  VAR c: INTEGER;
+  BEGIN
+    IF row = n THEN
+      INC(total);
+      RETURN
+    END;
+    FOR c := 0 TO n - 1 DO
+      IF NOT (c IN b.cols) AND NOT ((row + c) IN b.diag1) AND
+         NOT ((row - c + n - 1) IN b.diag2) THEN
+        INCL(b.cols, c); INCL(b.diag1, row + c); INCL(b.diag2, row - c + n - 1);
+        Place(row + 1);
+        EXCL(b.cols, c); EXCL(b.diag1, row + c); EXCL(b.diag2, row - c + n - 1)
+      END
+    END
+  END Place;
+
+BEGIN
+  IF (n < 1) OR (n > 10) THEN RAISE BadInput END;
+  total := 0;
+  b.cols := {}; b.diag1 := {}; b.diag2 := {};
+  Place(0);
+  RETURN total
+END Queens;
+
+BEGIN
+  count := Primes(sieve);
+  WriteString("primes below "); WriteInt(Limit, 0);
+  WriteString(": "); WriteInt(count, 0); WriteLn;
+  WriteString("first few:");
+  FOR i := 2 TO 30 DO
+    IF sieve[i] THEN WriteInt(i, 3) END
+  END;
+  WriteLn;
+  FOR i := 4 TO 8 DO
+    solutions := Queens(i);
+    WriteInt(i, 0); WriteString("-queens solutions: ");
+    WriteInt(solutions, 0); WriteLn
+  END;
+  TRY
+    solutions := Queens(99)
+  EXCEPT
+    BadInput: WriteString("Queens(99) rejected, as it should be"); WriteLn
+  END
+END Puzzles.
+`
+
+func main() {
+	loader := m2cc.NewMapLoader()
+	loader.Add("Puzzles", m2cc.Impl, program)
+
+	prog, err := m2cc.BuildProgram("Puzzles", loader, m2cc.Options{Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m2cc.Execute(prog, nil, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

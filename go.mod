@@ -1,0 +1,3 @@
+module m2cc
+
+go 1.22

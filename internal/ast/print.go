@@ -1,0 +1,437 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"m2cc/internal/token"
+)
+
+// Print renders a module back to compilable Modula-2+ source text.
+// The output is canonically formatted (two-space indentation, one
+// statement per line), so Print(parse(Print(parse(src)))) is a fixed
+// point — the property the parser round-trip tests rely on.
+//
+// Procedure declarations whose bodies were diverted to another stream
+// (HeadingOnly with a BodyStream) render as heading-only declarations
+// with a comment, since the body tokens live elsewhere.
+func Print(m *Module) string {
+	p := &printer{}
+	p.module(m)
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("  ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) module(m *Module) {
+	p.line("%s %s;", m.Kind, m.Name.Text)
+	for _, imp := range m.Imports {
+		if imp.From.Text != "" {
+			p.line("FROM %s IMPORT %s;", imp.From.Text, nameList(imp.Names))
+		} else {
+			p.line("IMPORT %s;", nameList(imp.Names))
+		}
+	}
+	p.decls(m.Decls)
+	if m.Body != nil {
+		p.line("BEGIN")
+		p.stmts(m.Body)
+	}
+	p.line("END %s.", m.Name.Text)
+}
+
+func nameList(names []Name) string {
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n.Text
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (p *printer) decls(decls []Decl) {
+	// Consecutive declarations of one kind share a section keyword,
+	// like idiomatic Modula-2.
+	var section string
+	open := func(kw string) {
+		if section != kw {
+			p.line("%s", kw)
+			section = kw
+		}
+	}
+	for _, d := range decls {
+		switch d := d.(type) {
+		case *ConstDecl:
+			open("CONST")
+			p.indent++
+			p.line("%s = %s;", d.Name.Text, ExprString(d.Expr))
+			p.indent--
+		case *TypeDecl:
+			open("TYPE")
+			p.indent++
+			if d.Type == nil {
+				p.line("%s;", d.Name.Text)
+			} else {
+				p.line("%s = %s;", d.Name.Text, p.typeString(d.Type))
+			}
+			p.indent--
+		case *VarDecl:
+			open("VAR")
+			p.indent++
+			p.line("%s: %s;", nameList(d.Names), p.typeString(d.Type))
+			p.indent--
+		case *ExceptionDecl:
+			section = ""
+			p.line("EXCEPTION %s;", nameList(d.Names))
+		case *ProcDecl:
+			section = ""
+			p.procDecl(d)
+		}
+	}
+}
+
+func (p *printer) procDecl(d *ProcDecl) {
+	p.line("%s;", headingString(d.Head))
+	switch {
+	case d.BodyStream != 0:
+		p.indent++
+		p.line("(* body compiled by stream %d *)", d.BodyStream)
+		p.indent--
+	case d.HeadingOnly:
+		// Definition-module heading: nothing more.
+	default:
+		p.indent++
+		p.decls(d.Decls)
+		p.indent--
+		if d.Body != nil {
+			p.line("BEGIN")
+			p.stmts(d.Body)
+		}
+		p.line("END %s;", d.Head.Name.Text)
+	}
+}
+
+func headingString(h *ProcHead) string {
+	var b strings.Builder
+	b.WriteString("PROCEDURE " + h.Name.Text)
+	if len(h.Params) > 0 {
+		b.WriteByte('(')
+		for i, sec := range h.Params {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			if sec.VarMode {
+				b.WriteString("VAR ")
+			}
+			b.WriteString(nameList(sec.Names) + ": ")
+			if sec.Open {
+				b.WriteString("ARRAY OF ")
+			}
+			b.WriteString(sec.Type.String())
+		}
+		b.WriteByte(')')
+	}
+	if h.Ret != nil {
+		b.WriteString(": " + h.Ret.String())
+	}
+	return b.String()
+}
+
+func (p *printer) typeString(t Type) string {
+	switch t := t.(type) {
+	case *NamedType:
+		return t.Name.String()
+	case *EnumType:
+		return "(" + nameList(t.Names) + ")"
+	case *SubrangeType:
+		base := ""
+		if t.Base != nil {
+			base = t.Base.String()
+		}
+		return fmt.Sprintf("%s[%s .. %s]", base, ExprString(t.Lo), ExprString(t.Hi))
+	case *ArrayType:
+		parts := make([]string, len(t.Indexes))
+		for i, ix := range t.Indexes {
+			parts[i] = p.typeString(ix)
+		}
+		return fmt.Sprintf("ARRAY %s OF %s", strings.Join(parts, ", "), p.typeString(t.Elem))
+	case *RecordType:
+		var b strings.Builder
+		b.WriteString("RECORD ")
+		b.WriteString(p.fieldsString(t.Fields))
+		b.WriteString(" END")
+		return b.String()
+	case *SetType:
+		return "SET OF " + p.typeString(t.Base)
+	case *PointerType:
+		return "POINTER TO " + p.typeString(t.Base)
+	case *RefType:
+		return "REF " + p.typeString(t.Base)
+	case *ProcType:
+		var b strings.Builder
+		b.WriteString("PROCEDURE")
+		if len(t.Params) > 0 {
+			b.WriteString(" (")
+			for i, prm := range t.Params {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				if prm.VarMode {
+					b.WriteString("VAR ")
+				}
+				if prm.Open {
+					b.WriteString("ARRAY OF ")
+				}
+				b.WriteString(prm.Type.String())
+			}
+			b.WriteByte(')')
+		}
+		if t.Ret != nil {
+			b.WriteString(": " + t.Ret.String())
+		}
+		return b.String()
+	default:
+		return "<?type>"
+	}
+}
+
+func (p *printer) fieldsString(fields []*FieldList) string {
+	parts := make([]string, 0, len(fields))
+	for _, fl := range fields {
+		if fl.Variant != nil {
+			parts = append(parts, p.variantString(fl.Variant))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s: %s", nameList(fl.Names), p.typeString(fl.Type)))
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (p *printer) variantString(v *VariantPart) string {
+	var b strings.Builder
+	b.WriteString("CASE ")
+	if v.TagName.Text != "" {
+		b.WriteString(v.TagName.Text + ": ")
+	}
+	b.WriteString(v.TagType.String() + " OF ")
+	for i, c := range v.Cases {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteString(labelsString(c.Labels) + ": " + p.fieldsString(c.Fields))
+	}
+	if v.Else != nil {
+		b.WriteString(" ELSE " + p.fieldsString(v.Else))
+	}
+	b.WriteString(" END")
+	return b.String()
+}
+
+func labelsString(labels []*CaseLabel) string {
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		if l.Hi != nil {
+			parts[i] = ExprString(l.Lo) + " .. " + ExprString(l.Hi)
+		} else {
+			parts[i] = ExprString(l.Lo)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (p *printer) stmts(sl *StmtList) {
+	p.indent++
+	for i, s := range sl.Stmts {
+		p.stmt(s, i == len(sl.Stmts)-1)
+	}
+	p.indent--
+}
+
+func (p *printer) stmt(s Stmt, last bool) {
+	semi := ";"
+	if last {
+		semi = ""
+	}
+	switch s := s.(type) {
+	case *AssignStmt:
+		p.line("%s := %s%s", DesignatorString(s.LHS), ExprString(s.RHS), semi)
+	case *CallStmt:
+		if s.HasArgs {
+			p.line("%s(%s)%s", DesignatorString(s.Proc), exprList(s.Args), semi)
+		} else {
+			p.line("%s%s", DesignatorString(s.Proc), semi)
+		}
+	case *IfStmt:
+		p.line("IF %s THEN", ExprString(s.Cond))
+		p.stmts(s.Then)
+		for _, arm := range s.Elsifs {
+			p.line("ELSIF %s THEN", ExprString(arm.Cond))
+			p.stmts(arm.Then)
+		}
+		if s.Else != nil {
+			p.line("ELSE")
+			p.stmts(s.Else)
+		}
+		p.line("END%s", semi)
+	case *CaseStmt:
+		p.line("CASE %s OF", ExprString(s.Expr))
+		for i, arm := range s.Arms {
+			bar := "  "
+			if i > 0 {
+				bar = "| "
+			}
+			p.line("%s%s:", bar, labelsString(arm.Labels))
+			p.stmts(arm.Body)
+		}
+		if s.Else != nil {
+			p.line("ELSE")
+			p.stmts(s.Else)
+		}
+		p.line("END%s", semi)
+	case *WhileStmt:
+		p.line("WHILE %s DO", ExprString(s.Cond))
+		p.stmts(s.Body)
+		p.line("END%s", semi)
+	case *RepeatStmt:
+		p.line("REPEAT")
+		p.stmts(s.Body)
+		p.line("UNTIL %s%s", ExprString(s.Cond), semi)
+	case *LoopStmt:
+		p.line("LOOP")
+		p.stmts(s.Body)
+		p.line("END%s", semi)
+	case *ExitStmt:
+		p.line("EXIT%s", semi)
+	case *ForStmt:
+		by := ""
+		if s.By != nil {
+			by = " BY " + ExprString(s.By)
+		}
+		p.line("FOR %s := %s TO %s%s DO", s.Var.Text, ExprString(s.From), ExprString(s.To), by)
+		p.stmts(s.Body)
+		p.line("END%s", semi)
+	case *WithStmt:
+		p.line("WITH %s DO", DesignatorString(s.Rec))
+		p.stmts(s.Body)
+		p.line("END%s", semi)
+	case *ReturnStmt:
+		if s.Expr != nil {
+			p.line("RETURN %s%s", ExprString(s.Expr), semi)
+		} else {
+			p.line("RETURN%s", semi)
+		}
+	case *RaiseStmt:
+		p.line("RAISE %s%s", s.Exc, semi)
+	case *TryStmt:
+		p.line("TRY")
+		p.stmts(s.Body)
+		if len(s.Handlers) > 0 || s.Else != nil {
+			p.line("EXCEPT")
+			for i, h := range s.Handlers {
+				bar := "  "
+				if i > 0 {
+					bar = "| "
+				}
+				excs := make([]string, len(h.Excs))
+				for j, q := range h.Excs {
+					excs[j] = q.String()
+				}
+				p.line("%s%s:", bar, strings.Join(excs, ", "))
+				p.stmts(h.Body)
+			}
+			if s.Else != nil {
+				p.line("ELSE")
+				p.stmts(s.Else)
+			}
+		}
+		if s.Finally != nil {
+			p.line("FINALLY")
+			p.stmts(s.Finally)
+		}
+		p.line("END%s", semi)
+	case *LockStmt:
+		p.line("LOCK %s DO", ExprString(s.Mutex))
+		p.stmts(s.Body)
+		p.line("END%s", semi)
+	}
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// DesignatorString renders a designator.
+func DesignatorString(d *Designator) string {
+	var b strings.Builder
+	b.WriteString(d.Head.Text)
+	for _, sel := range d.Sels {
+		switch sel := sel.(type) {
+		case *FieldSel:
+			b.WriteString("." + sel.Name.Text)
+		case *IndexSel:
+			b.WriteString("[" + exprList(sel.Indexes) + "]")
+		case *DerefSel:
+			b.WriteByte('^')
+		}
+	}
+	return b.String()
+}
+
+// ExprString renders an expression with explicit parentheses around
+// every binary operation, so the output re-parses to the same tree
+// regardless of precedence subtleties.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Text
+	case *RealLit:
+		return e.Text
+	case *CharLit:
+		return e.Text
+	case *StringLit:
+		return token.Token{Kind: token.StringLit, Text: e.Value}.String()
+	case *UnaryExpr:
+		op := e.Op.String()
+		if e.Op == token.NOT {
+			op = "NOT "
+		}
+		return "(" + op + ExprString(e.X) + ")"
+	case *BinaryExpr:
+		return "(" + ExprString(e.X) + " " + e.Op.String() + " " + ExprString(e.Y) + ")"
+	case *SetExpr:
+		var b strings.Builder
+		if e.Type != nil {
+			b.WriteString(e.Type.String())
+		}
+		b.WriteByte('{')
+		for i, el := range e.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ExprString(el.Lo))
+			if el.Hi != nil {
+				b.WriteString(" .. " + ExprString(el.Hi))
+			}
+		}
+		b.WriteByte('}')
+		return b.String()
+	case *Designator:
+		return DesignatorString(e)
+	case *CallExpr:
+		return DesignatorString(e.Fun) + "(" + exprList(e.Args) + ")"
+	default:
+		return "<?expr>"
+	}
+}

@@ -1,0 +1,128 @@
+// Package codegen implements the Statement-Analyzer/Code-Generator task
+// of the concurrent compiler.
+//
+// Per §3 of the paper, statement semantic analysis is deliberately
+// combined with code generation in a single task: by the time statement
+// work is ready to run there are almost always more parallel tasks than
+// processors, so splitting further would buy nothing — while deferring
+// statement work lets declaration tables complete early, resolving DKY
+// blockages sooner.  Accordingly this package type-checks statements
+// and expressions as it emits stack-machine code, one independent code
+// segment per stream, merged later by simple concatenation (§2.1).
+package codegen
+
+import (
+	"m2cc/internal/ast"
+	"m2cc/internal/ctrace"
+	"m2cc/internal/sema"
+	"m2cc/internal/symtab"
+	"m2cc/internal/token"
+	"m2cc/internal/types"
+	"m2cc/internal/vm"
+)
+
+// Gen compiles the statements of one stream into its code segment.
+type Gen struct {
+	env   *sema.Env
+	scope *symtab.Scope
+	meta  *vm.ProcMeta
+	sig   *types.Type // procedure signature; nil for module bodies
+
+	code     []vm.Instr
+	withs    []withInfo
+	tempTop  int32
+	maxFrame int32
+	loops    []*loopCtx
+}
+
+type withInfo struct {
+	binding symtab.WithBinding
+	temp    int32
+}
+
+type loopCtx struct {
+	exits []int32 // Jmp indexes to patch to the loop end
+}
+
+// Compile type-checks and generates code for body (and, for functions,
+// verifies a value-return path), storing the segment and the final
+// frame size into meta.  frameBase is the first free frame slot after
+// parameters and locals.
+func Compile(env *sema.Env, scope *symtab.Scope, meta *vm.ProcMeta, sig *types.Type, frameBase int32, body *ast.StmtList) {
+	g := &Gen{env: env, scope: scope, meta: meta, sig: sig,
+		tempTop: frameBase, maxFrame: frameBase}
+	g.stmtList(body)
+	if sig != nil && sig.Ret != nil {
+		g.emit(vm.Instr{Op: vm.NoRet, A: int32(meta.Pos.Line)})
+	} else {
+		g.emit(vm.Instr{Op: vm.RetP})
+	}
+	meta.Frame = g.maxFrame
+	meta.Code = g.code
+}
+
+func (g *Gen) errorf(pos token.Pos, format string, args ...any) {
+	g.env.Errorf(pos, format, args...)
+}
+
+// ---------------------------------------------------------------------
+// Emission helpers
+
+func (g *Gen) emit(i vm.Instr) int32 {
+	g.env.Ctx.Add(ctrace.CostEmit)
+	g.code = append(g.code, i)
+	return int32(len(g.code) - 1)
+}
+
+func (g *Gen) here() int32 { return int32(len(g.code)) }
+
+// patch sets the jump target of instruction i to the current position.
+func (g *Gen) patch(i int32) { g.code[i].A = g.here() }
+
+// allocTemp reserves n temporary frame slots; the caller releases them
+// with releaseTemp (stack discipline within one statement nest).
+func (g *Gen) allocTemp(n int32) int32 {
+	off := g.tempTop
+	g.tempTop += n
+	if g.tempTop > g.maxFrame {
+		g.maxFrame = g.tempTop
+	}
+	return off
+}
+
+func (g *Gen) releaseTemp(mark int32) { g.tempTop = mark }
+
+// hops returns the number of static-link hops from the current
+// procedure to a symbol declared at the given level.
+func (g *Gen) hops(symLevel int32) int32 { return g.meta.Level - symLevel }
+
+// emitConst pushes a constant value.
+func (g *Gen) emitConst(v types.Const, pos token.Pos) *types.Type {
+	switch v.Kind {
+	case types.CInt:
+		g.emit(vm.Instr{Op: vm.PushInt, Imm: v.I})
+	case types.CReal:
+		g.emit(vm.Instr{Op: vm.PushReal, F: v.F})
+	case types.CString:
+		g.emit(vm.Instr{Op: vm.PushStr, S: v.S})
+	case types.CSet:
+		g.emit(vm.Instr{Op: vm.PushInt, Imm: int64(v.Set)})
+	case types.CNil:
+		g.emit(vm.Instr{Op: vm.PushNil})
+	default:
+		g.emit(vm.Instr{Op: vm.PushInt})
+		return types.Bad
+	}
+	if v.Type == nil {
+		return types.Bad
+	}
+	return v.Type
+}
+
+// rangeCheck emits a ChkRange when dst is a subrange (or CHR target).
+func (g *Gen) rangeCheck(dst *types.Type, pos token.Pos) {
+	d := dst.Deref()
+	if d.Kind == types.SubrangeK {
+		g.emit(vm.Instr{Op: vm.ChkRange, Imm: d.Lo, Imm2: d.Hi, A: int32(pos.Line)})
+	}
+}

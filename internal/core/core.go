@@ -1,0 +1,548 @@
+// Package core is the concurrent Modula-2+ compiler: the paper's
+// primary contribution, wiring streams and tasks exactly as Figure 5
+// describes.
+//
+// A compilation of module M begins with the lexical analysis of M.mod;
+// the compiler "optimistically anticipates the existence of a file
+// M.def and tries to start processing this file as soon as possible"
+// (§3).  The main token stream feeds the Splitter and Importer tasks;
+// the Importer starts a stream per directly or indirectly imported
+// definition module (a once-only table deduplicates); the Splitter
+// starts a stream per procedure.  Each stream runs 2–5 tasks — Lexor,
+// Importer, Splitter, Parser/Declarations-Analyzer, Statement-Analyzer/
+// Code-Generator — under the Supervisor, and a final Merge task
+// concatenates the per-stream code segments into the object.
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"m2cc/internal/ast"
+	"m2cc/internal/codegen"
+	"m2cc/internal/ctrace"
+	"m2cc/internal/diag"
+	"m2cc/internal/event"
+	"m2cc/internal/impscan"
+	"m2cc/internal/lexer"
+	"m2cc/internal/parser"
+	"m2cc/internal/sched"
+	"m2cc/internal/sema"
+	"m2cc/internal/source"
+	"m2cc/internal/splitter"
+	"m2cc/internal/symtab"
+	"m2cc/internal/token"
+	"m2cc/internal/tokq"
+	"m2cc/internal/vm"
+)
+
+// HeaderMode selects how procedure headings are shared between parent
+// and child scopes (§2.4).
+type HeaderMode uint8
+
+const (
+	// HeaderShared is alternative 1 (the paper's choice): the parent
+	// processes the heading and copies the entries into the child scope;
+	// the child stream starts only once its heading is processed.
+	HeaderShared HeaderMode = iota
+	// HeaderReprocess is alternative 3: parent and child each process
+	// the heading, trading ~3% redundant work for no sharing.
+	HeaderReprocess
+)
+
+// LongProcTokens is the stream size (in tokens) from which a
+// procedure's statement-analysis/code-generation task is classed as
+// "long" and therefore scheduled before short ones (§2.3.4).
+const LongProcTokens = 300
+
+// Options configure one concurrent compilation.
+type Options struct {
+	// Workers is the number of worker slots — "one compiler process for
+	// each real hardware processor" (§2.3.2).
+	Workers int
+	// Strategy selects DKY handling (default Skeptical).
+	Strategy symtab.Strategy
+	// Headers selects §2.4 heading sharing (default HeaderShared).
+	Headers HeaderMode
+	// CollectStats enables the Table 2 lookup statistics.
+	CollectStats bool
+	// Trace attaches a schedule-independent trace recorder; collect
+	// traces with Workers=1 for deterministic replays.
+	Trace bool
+	// BlockSize overrides the token-queue block size (tests).
+	BlockSize int
+}
+
+// Result is the outcome of one concurrent compilation.
+type Result struct {
+	Object  *vm.Object
+	Diags   *diag.Bag
+	Files   *source.Set
+	Stats   *symtab.Stats
+	Trace   *ctrace.Trace
+	Streams int // main module + procedures + imported interfaces (Table 1)
+}
+
+// Failed reports whether the compilation produced errors.
+func (r *Result) Failed() bool { return r.Diags.HasErrors() }
+
+// driver owns the shared state of one concurrent compilation.
+type driver struct {
+	opts   Options
+	loader source.Loader
+	module string
+
+	files *source.Set
+	diags *diag.Bag
+	tab   *symtab.Table
+	reg   *vm.Registry
+	rec   *ctrace.Recorder
+	sup   *sched.Supervisor
+
+	mu       sync.Mutex
+	ifaces   map[string]*ifaceEntry // the once-only table (§3)
+	procs    map[int32]*procStream
+	nstream  int32
+	allTasks []*sched.Task
+	mainKind ast.ModKind
+}
+
+// ifaceEntry is one once-only table entry for a definition module.
+// optional/failed are guarded by the driver mutex; load failures are
+// reported after the compilation settles so the diagnostics do not
+// depend on which import path found the module first.
+type ifaceEntry struct {
+	name     string
+	scope    *symtab.Scope
+	optional bool // own-def prefetch: absence is not an error
+	failed   bool // load failed (set by the Lexor task before queue close)
+}
+
+// procStream is a procedure stream created by the Splitter.
+type procStream struct {
+	id     int32
+	name   string
+	q      *tokq.Queue
+	parent int32
+
+	// headingReady is the avoided event fired by the parent's
+	// declarations analyzer once the heading is processed (§2.4 alt 1)
+	// or as soon as the heading entries exist (alt 3).
+	headingReady *event.Event
+	child        *sema.ChildProc // set before headingReady fires
+}
+
+// Compile runs the concurrent compiler on the named module.
+func Compile(module string, loader source.Loader, opts Options) *Result {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	d := &driver{
+		opts: opts, loader: loader, module: module,
+		files:  source.NewSet(),
+		diags:  diag.NewBag(200),
+		reg:    vm.NewRegistry(module),
+		ifaces: make(map[string]*ifaceEntry),
+		procs:  make(map[int32]*procStream),
+	}
+	var stats *symtab.Stats
+	if opts.CollectStats {
+		stats = symtab.NewStats()
+	}
+	if opts.Trace {
+		d.rec = ctrace.NewRecorder()
+	}
+	d.tab = symtab.NewTable(opts.Strategy, stats, d.rec)
+	d.sup = sched.New(opts.Workers, d.rec)
+	d.sup.OnDeadlock = func(msg string) {
+		d.diags.Errorf(module+".mod", token.Pos{}, "%s", msg)
+	}
+
+	d.startMainStream()
+	// Optimistic prefetch of the module's own interface (§3).
+	d.iface(module, true)
+	d.sup.Wait()
+	d.reportLoadFailures()
+	d.runMerge()
+	d.sup.Wait()
+
+	res := &Result{
+		Object: d.reg.Object(),
+		Diags:  d.diags,
+		Files:  d.files,
+		Stats:  stats,
+	}
+	d.mu.Lock()
+	res.Streams = int(d.nstream) + 1
+	d.mu.Unlock()
+	if d.rec != nil {
+		res.Trace = d.rec.Trace()
+	}
+	return res
+}
+
+// spawn registers a task with the Supervisor and tracks it for the
+// final merge gate.
+func (d *driver) spawn(kind ctrace.TaskKind, stream int32, label string,
+	priority int64, gates []*event.Event, parent *ctrace.TaskCtx, run func(*sched.Task)) *sched.Task {
+	t := d.sup.Spawn(kind, stream, label, priority, gates, parent, run)
+	d.mu.Lock()
+	d.allTasks = append(d.allTasks, t)
+	d.mu.Unlock()
+	return t
+}
+
+// env builds a per-task analysis environment.
+func (d *driver) env(t *sched.Task, file string) *sema.Env {
+	return &sema.Env{
+		Tab:    d.tab,
+		Search: &symtab.Searcher{Tab: d.tab, Ctx: t.Ctx, Wait: t.HandledWait},
+		Ctx:    t.Ctx,
+		Diags:  d.diags,
+		File:   file,
+		Reg:    d.reg,
+	}
+}
+
+// newStream allocates the next stream number.
+func (d *driver) newStream() int32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nstream++
+	return d.nstream
+}
+
+// ---------------------------------------------------------------------
+// Main module stream
+
+func (d *driver) startMainStream() {
+	rawQ := tokq.New(d.opts.BlockSize)
+	mainQ := tokq.New(d.opts.BlockSize)
+	lexStarted := event.New()
+	splitStarted := event.New()
+
+	label := d.module + ".mod"
+
+	// Lexor: never blocks; fires lexStarted as its first action so that
+	// barrier waits downstream always have a live producer (§2.3.3).
+	d.spawn(ctrace.KindLexor, 0, "Lexor "+label,
+		sched.Priority(ctrace.KindLexor, 0), nil, nil, func(t *sched.Task) {
+			t.Ctx.FireEvent(lexStarted)
+			rawQ.SetFireHook(t.Ctx.FireEvent)
+			text, err := d.loader.Load(d.module, source.Impl)
+			if err != nil {
+				d.diags.Errorf(label, token.Pos{}, "cannot load module: %v", err)
+				rawQ.Append(token.Token{Kind: token.EOF})
+				rawQ.Close()
+				return
+			}
+			f := d.files.Add(d.module, source.Impl, text)
+			lexer.Run(f, t.Ctx, d.diags, rawQ)
+		})
+
+	// Importer: scans the raw token stream for imports (§3).
+	d.spawn(ctrace.KindImporter, 0, "Importer "+label,
+		sched.Priority(ctrace.KindImporter, 0), []*event.Event{lexStarted}, nil,
+		func(t *sched.Task) {
+			r := rawQ.NewReader(t.BarrierWait)
+			impscan.Run(t.Ctx, r, func(name string, pos token.Pos) {
+				d.iface(name, false)
+			})
+		})
+
+	// Splitter: divides the stream into procedure streams (§2.1).
+	d.spawn(ctrace.KindSplitter, 0, "Splitter "+label,
+		sched.Priority(ctrace.KindSplitter, 0), []*event.Event{lexStarted}, nil,
+		func(t *sched.Task) {
+			t.Ctx.FireEvent(splitStarted)
+			r := rawQ.NewReader(t.BarrierWait)
+			splitter.Run(t.Ctx, r, mainQ, d.startProcStream(t),
+				d.opts.Headers == HeaderReprocess)
+		})
+
+	// Module Parser / Declarations Analyzer (priority class 5).
+	d.spawn(ctrace.KindModParseDecl, 0, "ModParse "+label,
+		sched.Priority(ctrace.KindModParseDecl, 0), []*event.Event{splitStarted}, nil,
+		func(t *sched.Task) {
+			d.runModParse(t, mainQ, label)
+		})
+}
+
+// startProcStream is the splitter's StartProc callback: it creates the
+// stream bookkeeping and spawns the stream's Parser/Decl-Analyzer task,
+// gated on the heading event.
+func (d *driver) startProcStream(splitterTask *sched.Task) splitter.StartProc {
+	return func(name string, pos token.Pos, parent int32) (int32, *tokq.Queue) {
+		id := d.newStream()
+		ps := &procStream{
+			id: id, name: name, parent: parent,
+			q:            tokq.New(d.opts.BlockSize),
+			headingReady: event.New(),
+		}
+		d.mu.Lock()
+		d.procs[id] = ps
+		d.mu.Unlock()
+
+		d.spawn(ctrace.KindProcParseDecl, id, "ProcParse "+name,
+			sched.Priority(ctrace.KindProcParseDecl, 0),
+			[]*event.Event{ps.headingReady}, splitterTask.Ctx,
+			func(t *sched.Task) { d.runProcParse(t, ps) })
+		return id, ps.q
+	}
+}
+
+// bindChildren wires a declaration analyzer to the stream map: as each
+// procedure heading is processed, the matching stream learns its
+// ChildProc and its avoided heading event fires.
+func (d *driver) bindChildren(t *sched.Task, a *sema.DeclAnalyzer) {
+	a.OnChild = func(cp *sema.ChildProc) {
+		if cp.Decl.BodyStream == 0 {
+			// Inline body (should not happen in concurrent mode); the
+			// sequential walker would handle it.  Ignore defensively.
+			return
+		}
+		d.mu.Lock()
+		ps := d.procs[cp.Decl.BodyStream]
+		d.mu.Unlock()
+		if ps == nil {
+			d.diags.Errorf(t.Label, cp.Sym.Pos, "internal: unknown stream %d", cp.Decl.BodyStream)
+			return
+		}
+		ps.child = cp
+		t.Ctx.FireEvent(ps.headingReady)
+	}
+}
+
+// runModParse is the main module's Parser/Declarations-Analyzer task.
+func (d *driver) runModParse(t *sched.Task, mainQ *tokq.Queue, label string) {
+	env := d.env(t, label)
+	p := parser.New(mainQ.NewReader(t.BarrierWait), label, t.Ctx, d.diags)
+	m := p.ParsePrologue()
+
+	var parent *symtab.Scope
+	entry := d.iface(d.module, true)
+	switch m.Kind {
+	case ast.ImplMod:
+		parent = entry.scope
+		d.setMainKind(ast.ImplMod)
+	case ast.DefMod:
+		d.diags.Errorf(label, m.Pos, "%s.mod must be an IMPLEMENTATION or program MODULE", d.module)
+	}
+	if m.Name.Text != d.module {
+		d.diags.Errorf(label, m.Name.Pos, "module name %s does not match file %s", m.Name.Text, label)
+	}
+
+	scope := d.tab.NewScope(symtab.ModuleScope, d.module, parent, 0)
+	d.sup.SetProducer(scope.CompletionEvent(), t)
+	if d.rec != nil && parent != nil {
+		d.rec.NoteScopeGate(t.Ctx.ID, parent.CompletionEvent())
+	}
+	a := sema.NewModuleAnalyzer(env, scope, d.module+".mod", d.module, d.module+".mod", false)
+	a.ShareHeadings = d.opts.Headers == HeaderShared
+	d.bindChildren(t, a)
+	a.AnalyzeImports(m.Imports, func(name string) *symtab.Scope {
+		return d.iface(name, false).scope
+	})
+	a.Analyze(p.ParseDeclarations())
+	a.ResolveForwardRefs()
+	d.reg.SetAreaSlots(a.Area, a.NextOff)
+	// §3: the symbol table is marked complete before the statement
+	// parse tree is built, so DKY blockages resolve as early as possible.
+	scope.Complete(t.Ctx)
+	p.ParseBody(m)
+
+	if m.Body != nil {
+		size := int64(mainQ.Len())
+		kind := ctrace.KindShortStmtCG
+		if size >= LongProcTokens {
+			kind = ctrace.KindLongStmtCG
+		}
+		bodyMeta := sema.NewBodyMeta(env)
+		d.spawn(kind, 0, "StmtCG "+label+" body",
+			sched.Priority(kind, size), nil, t.Ctx, func(t2 *sched.Task) {
+				env2 := d.env(t2, label)
+				codegen.Compile(env2, scope, bodyMeta, nil, 0, m.Body)
+			})
+	}
+}
+
+// runProcParse is a procedure stream's Parser/Declarations-Analyzer
+// task (§3, right column of Figure 5).
+func (d *driver) runProcParse(t *sched.Task, ps *procStream) {
+	cp := ps.child
+	label := cp.Meta.Module + ".mod"
+	env := d.env(t, label)
+	d.sup.SetProducer(cp.Scope.CompletionEvent(), t)
+	if d.rec != nil && cp.Scope.Parent != nil {
+		d.rec.NoteScopeGate(t.Ctx.ID, cp.Scope.Parent.CompletionEvent())
+	}
+
+	p := parser.New(ps.q.NewReader(t.BarrierWait), label, t.Ctx, d.diags)
+	frameBase := cp.FrameBase
+	if d.opts.Headers == HeaderReprocess {
+		// Alternative 3: this stream re-processes its own heading (the
+		// splitter copied the heading tokens into this queue).
+		head := p.ParseProcHead()
+		p.AcceptSemicolon()
+		frameBase = sema.AnalyzeOwnHeading(env, cp, head)
+	}
+
+	a := sema.NewProcAnalyzer(env, cp)
+	a.NextOff = frameBase
+	a.ShareHeadings = d.opts.Headers == HeaderShared
+	d.bindChildren(t, a)
+	a.Analyze(p.ParseDeclarations())
+	a.ResolveForwardRefs()
+	cp.Scope.Complete(t.Ctx)
+	tail := p.ParseProcTail(ps.name)
+
+	size := int64(ps.q.Len())
+	kind := ctrace.KindShortStmtCG
+	if size >= LongProcTokens {
+		kind = ctrace.KindLongStmtCG
+	}
+	frameAfterDecls := a.NextOff
+	d.spawn(kind, ps.id, "StmtCG "+cp.Meta.FullName(),
+		sched.Priority(kind, size), nil, t.Ctx, func(t2 *sched.Task) {
+			env2 := d.env(t2, label)
+			codegen.Compile(env2, cp.Scope, cp.Meta, cp.Sym.Type, frameAfterDecls, tail.Body)
+		})
+}
+
+// ---------------------------------------------------------------------
+// Definition module streams
+
+// iface returns the once-only table entry for a definition module,
+// starting its stream (Lexor, Importer, Parser/Decl-Analyzer) on first
+// reference.
+func (d *driver) iface(name string, optional bool) *ifaceEntry {
+	d.mu.Lock()
+	if e, ok := d.ifaces[name]; ok {
+		if !optional && e.optional {
+			e.optional = false
+		}
+		d.mu.Unlock()
+		return e
+	}
+	scope := d.tab.NewScope(symtab.DefScope, name, nil, 0)
+	e := &ifaceEntry{name: name, scope: scope, optional: optional}
+	d.ifaces[name] = e
+	d.nstream++
+	stream := d.nstream
+	d.mu.Unlock()
+
+	label := name + ".def"
+	q := tokq.New(d.opts.BlockSize)
+	lexStarted := event.New()
+
+	d.spawn(ctrace.KindLexor, stream, "Lexor "+label,
+		sched.Priority(ctrace.KindLexor, 0), nil, nil, func(t *sched.Task) {
+			t.Ctx.FireEvent(lexStarted)
+			q.SetFireHook(t.Ctx.FireEvent)
+			text, err := d.loader.Load(name, source.Def)
+			if err != nil {
+				d.mu.Lock()
+				e.failed = true
+				d.mu.Unlock()
+				q.Append(token.Token{Kind: token.EOF})
+				q.Close()
+				return
+			}
+			f := d.files.Add(name, source.Def, text)
+			lexer.Run(f, t.Ctx, d.diags, q)
+		})
+
+	d.spawn(ctrace.KindImporter, stream, "Importer "+label,
+		sched.Priority(ctrace.KindImporter, 0), []*event.Event{lexStarted}, nil,
+		func(t *sched.Task) {
+			r := q.NewReader(t.BarrierWait)
+			impscan.Run(t.Ctx, r, func(imp string, pos token.Pos) {
+				d.iface(imp, false)
+			})
+		})
+
+	parseTask := d.spawn(ctrace.KindDefParseDecl, stream, "DefParse "+label,
+		sched.Priority(ctrace.KindDefParseDecl, 0), []*event.Event{lexStarted}, nil,
+		func(t *sched.Task) {
+			defer func() {
+				if !scope.Completed() {
+					scope.Complete(t.Ctx)
+				}
+			}()
+			r := q.NewReader(t.BarrierWait)
+			if r.Peek().Kind == token.EOF {
+				// Load failed (or empty file): nothing to analyze; the
+				// failure is reported once the compilation settles.
+				return
+			}
+			env := d.env(t, label)
+			p := parser.New(r, label, t.Ctx, d.diags)
+			m := p.ParsePrologue()
+			if m.Kind != ast.DefMod {
+				d.diags.Errorf(label, m.Pos, "%s is not a DEFINITION MODULE", label)
+			}
+			a := sema.NewModuleAnalyzer(env, scope, name+".def", name, name+".def", true)
+			a.AnalyzeImports(m.Imports, func(imp string) *symtab.Scope {
+				return d.iface(imp, false).scope
+			})
+			a.Analyze(p.ParseDeclarations())
+			a.ResolveForwardRefs()
+			d.reg.SetAreaSlots(a.Area, a.NextOff)
+			scope.Complete(t.Ctx)
+			p.ParseBody(m)
+		})
+	d.sup.SetProducer(scope.CompletionEvent(), parseTask)
+	return e
+}
+
+// setMainKind records the compilation unit's kind for the settled
+// load-failure check.
+func (d *driver) setMainKind(k ast.ModKind) {
+	d.mu.Lock()
+	d.mainKind = k
+	d.mu.Unlock()
+}
+
+// reportLoadFailures emits deterministic diagnostics for interface
+// files that could not be loaded, in name order, once all tasks have
+// settled (so the result does not depend on which importer found a
+// module first).
+func (d *driver) reportLoadFailures() {
+	d.mu.Lock()
+	var failed []*ifaceEntry
+	for _, e := range d.ifaces {
+		if e.failed {
+			failed = append(failed, e)
+		}
+	}
+	mainKind := d.mainKind
+	d.mu.Unlock()
+	sort.Slice(failed, func(i, j int) bool { return failed[i].name < failed[j].name })
+	for _, e := range failed {
+		if e.optional {
+			if e.name == d.module && mainKind == ast.ImplMod {
+				d.diags.Errorf(d.module+".mod", token.Pos{},
+					"IMPLEMENTATION MODULE %s requires %s.def", d.module, d.module)
+			}
+			continue
+		}
+		d.diags.Errorf(e.name+".def", token.Pos{}, "cannot load module: interface not found")
+	}
+}
+
+// runMerge spawns the Merge task (§2.1): per-procedure code segments
+// concatenate in any order, so it simply freezes the registry, charging
+// the concatenation cost.
+func (d *driver) runMerge() {
+	d.mu.Lock()
+	gates := make([]*event.Event, len(d.allTasks))
+	for i, t := range d.allTasks {
+		gates[i] = t.Done()
+	}
+	d.mu.Unlock()
+	d.spawn(ctrace.KindMerge, 0, "Merge "+d.module,
+		sched.Priority(ctrace.KindMerge, 0), gates, nil, func(t *sched.Task) {
+			obj := d.reg.Object()
+			t.Ctx.Add(float64(len(obj.Procs)) * ctrace.CostMergeSegment)
+		})
+}

@@ -1,0 +1,202 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"m2cc/internal/core"
+	"m2cc/internal/seq"
+	"m2cc/internal/source"
+	"m2cc/internal/symtab"
+	"m2cc/internal/vm"
+	"m2cc/internal/workload"
+)
+
+// TestRandomProgramsDifferential is the repository's central
+// correctness property: for randomly generated valid programs, the
+// concurrent compiler — under random worker counts and DKY strategies —
+// produces byte-identical diagnostics and listings to the sequential
+// compiler, and (for self-contained programs) the compiled code
+// executes to the same output.
+func TestRandomProgramsDifferential(t *testing.T) {
+	loader := source.NewMapLoader()
+	lib := workload.GenerateLibrary(99, loader)
+
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		selfContained := r.Intn(2) == 0
+		spec := workload.RandomSpec(r, fmt.Sprintf("Rnd%d", seed&0xffff), selfContained)
+		uselib := lib
+		if spec.TargetImports == 0 {
+			uselib = nil
+		}
+		workload.GenerateProgram(spec, uselib, loader)
+
+		want := seq.Compile(spec.Name, loader)
+		workers := 1 + r.Intn(8)
+		strat := symtab.Strategy(r.Intn(int(symtab.NumStrategies)))
+		hdr := core.HeaderShared
+		if r.Intn(4) == 0 {
+			hdr = core.HeaderReprocess
+		}
+		got := core.Compile(spec.Name, loader, core.Options{
+			Workers: workers, Strategy: strat, Headers: hdr,
+		})
+
+		if want.Diags.String() != got.Diags.String() {
+			t.Logf("seed %d (w=%d %s): diagnostics differ\nseq:\n%s\nconc:\n%s",
+				seed, workers, strat, want.Diags, got.Diags)
+			return false
+		}
+		if want.Failed() {
+			t.Logf("seed %d: generator produced an invalid program:\n%s", seed, want.Diags)
+			return false
+		}
+		if want.Object.Listing() != got.Object.Listing() {
+			t.Logf("seed %d (w=%d %s): listings differ", seed, workers, strat)
+			return false
+		}
+
+		if selfContained {
+			prog, err := vm.Link([]*vm.Object{got.Object}, spec.Name)
+			if err != nil {
+				t.Logf("seed %d: link: %v", seed, err)
+				return false
+			}
+			var out1, out2 strings.Builder
+			m := vm.NewMachine(prog, nil, &out1)
+			m.MaxSteps = 50_000_000
+			if err := m.Run(); err != nil {
+				t.Logf("seed %d: run: %v", seed, err)
+				return false
+			}
+			prog2, _ := vm.Link([]*vm.Object{want.Object}, spec.Name)
+			m2 := vm.NewMachine(prog2, nil, &out2)
+			m2.MaxSteps = 50_000_000
+			if err := m2.Run(); err != nil {
+				t.Logf("seed %d: seq-run: %v", seed, err)
+				return false
+			}
+			if out1.String() != out2.String() {
+				t.Logf("seed %d: outputs differ: %q vs %q", seed, out1.String(), out2.String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceConsistency checks structural invariants of recorded traces:
+// every task referenced by spawns/fires/waits exists, every task is
+// spawned exactly once, and costs are positive.
+func TestTraceConsistency(t *testing.T) {
+	suite := workload.GenerateSuite(5, 0.05)
+	res := core.Compile(suite.Programs[15].Name, suite.Loader, core.Options{Workers: 1, Trace: true})
+	if res.Failed() {
+		t.Fatalf("compile failed:\n%s", res.Diags)
+	}
+	tr := res.Trace
+	known := map[int32]bool{}
+	for _, ti := range tr.Tasks {
+		known[int32(ti.ID)] = true
+		if ti.Cost <= 0 {
+			t.Errorf("task %s has cost %f", ti.Label, ti.Cost)
+		}
+	}
+	spawned := map[int32]int{}
+	for _, sp := range tr.Spawns {
+		spawned[int32(sp.Child)]++
+		if sp.Parent != 0 && !known[int32(sp.Parent)] {
+			t.Errorf("spawn parent %d unknown", sp.Parent)
+		}
+	}
+	for id := range known {
+		if spawned[id] != 1 {
+			t.Errorf("task %d spawned %d times", id, spawned[id])
+		}
+	}
+	for _, f := range tr.Fires {
+		if f.At.Task != 0 && !known[int32(f.At.Task)] {
+			t.Errorf("fire from unknown task %d", f.At.Task)
+		}
+	}
+	for _, w := range tr.Waits {
+		if !known[int32(w.At.Task)] {
+			t.Errorf("wait from unknown task %d", w.At.Task)
+		}
+	}
+	for _, l := range tr.Lookups {
+		if !known[int32(l.At.Task)] {
+			t.Errorf("lookup from unknown task %d", l.At.Task)
+		}
+	}
+	if len(tr.Lookups) == 0 || len(tr.Fires) == 0 || len(tr.Waits) == 0 {
+		t.Error("trace suspiciously empty")
+	}
+}
+
+// TestRealTable2Stats collects live (non-simulated) lookup statistics
+// from a real 8-worker skeptical compilation — the measurement the
+// paper's Table 2 reports.
+func TestRealTable2Stats(t *testing.T) {
+	suite := workload.GenerateSuite(11, 0.1)
+	agg := symtab.NewStats()
+	for _, p := range suite.Programs[:8] {
+		res := core.Compile(p.Name, suite.Loader, core.Options{
+			Workers: 8, Strategy: symtab.Skeptical, CollectStats: true,
+		})
+		if res.Failed() {
+			t.Fatalf("%s failed:\n%s", p.Name, res.Diags)
+		}
+		agg.Add(res.Stats)
+	}
+	if agg.Lookups == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	// The paper's headline: the dominant row is First-try/self, and DKY
+	// blockages are relatively rare.
+	rows := agg.Rows()
+	var selfFirst, total int64
+	for _, r := range rows {
+		total += r.Count
+		if !r.Key.Qualified && r.Key.When == symtab.FirstTry && r.Key.Rel == 0 /* self */ {
+			selfFirst += r.Count
+		}
+	}
+	if float64(selfFirst) < 0.3*float64(total) {
+		t.Errorf("First try/self = %d of %d — suspiciously low\n%s", selfFirst, total, agg)
+	}
+	if float64(agg.Blocks) > 0.05*float64(total) {
+		t.Errorf("DKY blockages = %d of %d lookups — the paper found them rare\n%s",
+			agg.Blocks, total, agg)
+	}
+}
+
+// TestConcurrentCompileIsRaceFreeUnderLoad compiles several programs in
+// parallel (shared library loader) — run with -race in CI.
+func TestConcurrentCompileIsRaceFreeUnderLoad(t *testing.T) {
+	suite := workload.GenerateSuite(13, 0.05)
+	done := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			p := suite.Programs[i*4]
+			res := core.Compile(p.Name, suite.Loader, core.Options{Workers: 4})
+			if res.Failed() {
+				done <- p.Name + " failed"
+				return
+			}
+			done <- ""
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if msg := <-done; msg != "" {
+			t.Error(msg)
+		}
+	}
+}

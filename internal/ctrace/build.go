@@ -1,0 +1,53 @@
+package ctrace
+
+// Trace-construction API.
+//
+// The instrumented compiler records through live *event.Event objects;
+// these ID-based variants allow building traces directly — synthetic
+// workloads for the simulator, scheduler what-if experiments, and the
+// simulator's own unit tests.
+
+// NewEventID allocates a fresh event identity not tied to any live
+// event object.
+func (r *Recorder) NewEventID() EventID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextEv++
+	return r.nextEv
+}
+
+// FireIDs records that task fires a new event at the given offset and
+// returns the event's ID.
+func (r *Recorder) FireIDs(task TaskID, offset float64) EventID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextEv++
+	r.fires = append(r.fires, FireRecord{Event: r.nextEv, At: Stamp{Task: task, Offset: offset}})
+	return r.nextEv
+}
+
+// NoteWaitIDs records a wait on an event by ID.
+func (r *Recorder) NoteWaitIDs(task TaskID, offset float64, ev EventID, barrier bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.waits = append(r.waits, WaitRecord{Event: ev, At: Stamp{Task: task, Offset: offset}, Barrier: barrier})
+}
+
+// NoteSpawnIDs records a task creation with gate events given by ID.
+func (r *Recorder) NoteSpawnIDs(parent TaskID, at Stamp, child TaskID, gates []EventID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spawns = append(r.spawns, SpawnRecord{
+		Parent: parent, At: at, Child: child, Gates: append([]EventID(nil), gates...),
+	})
+}
+
+// NoteScopeGateID records an Avoidance-strategy scope dependency by ID.
+func (r *Recorder) NoteScopeGateID(task TaskID, ev EventID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.scopeGates == nil {
+		r.scopeGates = make(map[TaskID][]EventID)
+	}
+	r.scopeGates[task] = append(r.scopeGates[task], ev)
+}

@@ -1,0 +1,51 @@
+package ctrace
+
+// Deterministic work-unit weights.
+//
+// The trace-driven simulator needs task durations that do not depend on
+// host load, so each compiler phase accumulates abstract work units from
+// the counters below instead of reading a clock.  One unit corresponds
+// very roughly to one microsecond of late-1980s CVax time; only ratios
+// matter for speedup figures.
+//
+// The weights were chosen so that phase proportions in a typical
+// compilation match the qualitative profile of the paper's Figure 7:
+// lexical analysis is a small early fraction (a few percent — 1992
+// back ends did far more work per token than scanners did), parsing/
+// declaration analysis the middle, and statement analysis + code
+// generation the dominant tail.  Lexing is the one inherently serial
+// phase per file, so its fraction bounds the attainable speedup; the
+// calibration here reproduces the paper's near-linear best case
+// (Figure 2).  They are compiled-in constants so traces are exactly
+// reproducible.
+const (
+	// CostLexChar is charged per source character scanned.
+	CostLexChar = 0.006
+	// CostLexToken is charged per token produced.
+	CostLexToken = 0.12
+	// CostScanToken is charged per token inspected by the import scanner
+	// (a shallow reserved-word scan).
+	CostScanToken = 0.06
+	// CostSplitToken is charged per token routed by the splitter's
+	// finite-state recognizer.
+	CostSplitToken = 0.12
+	// CostParseToken is charged per token consumed by a parser.
+	CostParseToken = 2.4
+	// CostInsert is charged per symbol-table insertion.
+	CostInsert = 4.0
+	// CostLookupHop is charged per scope visited during a lookup.
+	CostLookupHop = 2.2
+	// CostTypeNode is charged per type constructor analyzed.
+	CostTypeNode = 3.0
+	// CostStmtNode is charged per AST node visited by the statement
+	// analyzer.
+	CostStmtNode = 5.5
+	// CostEmit is charged per instruction emitted by the code generator.
+	CostEmit = 3.0
+	// CostMergeSegment is charged per code segment concatenated by the
+	// merge task.
+	CostMergeSegment = 8.0
+	// CostTaskStart is the fixed scheduling overhead charged once per
+	// task ("the scheduling cost", §2.3.3).
+	CostTaskStart = 5.0
+)

@@ -1,0 +1,56 @@
+package ctrace
+
+// Relation classifies the scope a lookup hop searched, relative to the
+// search's origin.  These are the row categories of the paper's Table 2.
+type Relation uint8
+
+const (
+	// RelSelf is the scope of the stream that initiated the search.
+	RelSelf Relation = iota
+	// RelOther is an explicitly designated initial search scope: the
+	// interface scope behind a qualified name M.x or a FROM-import alias.
+	RelOther
+	// RelOuter is a scope reached by chaining outward through the scope
+	// parentage path.
+	RelOuter
+	// RelWith is the field scope of a WITH statement.
+	RelWith
+	// RelBuiltin is the pervasive scope of compiler-predefined names.
+	RelBuiltin
+
+	// NumRelations is the number of relation categories.
+	NumRelations
+)
+
+var relationNames = [NumRelations]string{"self", "other", "outer", "WITH", "Builtin"}
+
+func (r Relation) String() string {
+	if r < NumRelations {
+		return relationNames[r]
+	}
+	return "?"
+}
+
+// Hop is one scope visited during a lookup.
+type Hop struct {
+	Scope      int32 // scope ID (symtab numbering)
+	Rel        Relation
+	Completion EventID // the scope's completion event (0 for always-complete scopes)
+	Found      bool    // whether the identifier is declared in this scope
+	// Insert is where the winning entry was inserted (valid when Found).
+	// A zero Stamp means the entry pre-exists any task (builtins).
+	Insert Stamp
+}
+
+// LookupRecord captures one symbol-table lookup: who searched, from
+// where, which scopes were visited in order, and where the search ends.
+// The record holds program facts only — whether the search *blocked* in
+// a given run depends on the schedule and the DKY strategy, and is
+// re-derived by the simulator (and tallied live by symtab for the real
+// concurrent runs).
+type LookupRecord struct {
+	At        Stamp // searching task and its offset at the search
+	Qualified bool  // qualified identifier (M.x) vs simple identifier
+	Hops      []Hop // scopes in search order; the last hop is the hit, if any
+	Found     bool  // false = the "Never" row of Table 2
+}

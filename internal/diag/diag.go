@@ -1,0 +1,132 @@
+// Package diag collects compiler diagnostics.
+//
+// In a concurrent compilation, errors are produced by many tasks in a
+// nondeterministic order.  Each stream appends to a shared Bag; at the
+// end of compilation the bag is sorted by source position so the user
+// (and the differential tests against the sequential compiler) see a
+// stable report regardless of schedule.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"m2cc/internal/token"
+)
+
+// Severity of a diagnostic.
+type Severity uint8
+
+const (
+	// Error marks a diagnostic that makes the compilation fail.
+	Error Severity = iota
+	// Warning marks a diagnostic that does not fail the compilation.
+	Warning
+)
+
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is one message anchored at a source position.  File carries
+// the human-readable file label (e.g. "Sort.mod") so messages are
+// self-contained after streams are merged.
+type Diagnostic struct {
+	Sev  Severity
+	Pos  token.Pos
+	File string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	if d.File == "" {
+		return fmt.Sprintf("%s: %s: %s", d.Pos, d.Sev, d.Msg)
+	}
+	return fmt.Sprintf("%s:%s: %s: %s", d.File, d.Pos, d.Sev, d.Msg)
+}
+
+// Bag accumulates diagnostics from concurrent tasks.  The zero value is
+// ready to use.
+type Bag struct {
+	mu     sync.Mutex
+	diags  []Diagnostic
+	errors int
+	limit  int // 0 = unlimited
+}
+
+// NewBag returns a Bag that stops recording after limit errors
+// (0 = unlimited).  The error count keeps increasing past the limit so
+// HasErrors stays accurate.
+func NewBag(limit int) *Bag { return &Bag{limit: limit} }
+
+// Errorf records an error at pos in the given file.
+func (b *Bag) Errorf(file string, pos token.Pos, format string, args ...any) {
+	b.add(Diagnostic{Sev: Error, Pos: pos, File: file, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Warnf records a warning at pos in the given file.
+func (b *Bag) Warnf(file string, pos token.Pos, format string, args ...any) {
+	b.add(Diagnostic{Sev: Warning, Pos: pos, File: file, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (b *Bag) add(d Diagnostic) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if d.Sev == Error {
+		b.errors++
+		if b.limit > 0 && b.errors > b.limit {
+			return
+		}
+	}
+	b.diags = append(b.diags, d)
+}
+
+// HasErrors reports whether at least one error has been recorded.
+func (b *Bag) HasErrors() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.errors > 0
+}
+
+// ErrorCount returns the number of errors recorded (including any past
+// the recording limit).
+func (b *Bag) ErrorCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.errors
+}
+
+// Sorted returns all diagnostics ordered by (file, position, message).
+// The ordering is total, so concurrent and sequential compilations of
+// the same program produce identical reports.
+func (b *Bag) Sorted() []Diagnostic {
+	b.mu.Lock()
+	out := make([]Diagnostic, len(b.diags))
+	copy(out, b.diags)
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos.Before(out[j].Pos)
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	return out
+}
+
+// String renders the sorted diagnostics one per line.
+func (b *Bag) String() string {
+	var sb strings.Builder
+	for _, d := range b.Sorted() {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package diag_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"m2cc/internal/diag"
+	"m2cc/internal/token"
+)
+
+func TestSortedStableOrder(t *testing.T) {
+	b := diag.NewBag(0)
+	b.Errorf("b.mod", token.Pos{Line: 5, Col: 1}, "later")
+	b.Errorf("a.mod", token.Pos{Line: 9, Col: 9}, "other file")
+	b.Errorf("b.mod", token.Pos{Line: 2, Col: 4}, "earlier")
+	b.Errorf("b.mod", token.Pos{Line: 2, Col: 4}, "alpha") // same pos: by message
+	got := b.String()
+	want := "a.mod:9:9: error: other file\n" +
+		"b.mod:2:4: error: alpha\n" +
+		"b.mod:2:4: error: earlier\n" +
+		"b.mod:5:1: error: later\n"
+	if got != want {
+		t.Errorf("got:\n%swant:\n%s", got, want)
+	}
+}
+
+func TestErrorLimitKeepsCounting(t *testing.T) {
+	b := diag.NewBag(3)
+	for i := 0; i < 10; i++ {
+		b.Errorf("x", token.Pos{Line: int32(i + 1)}, "e%d", i)
+	}
+	if got := b.ErrorCount(); got != 10 {
+		t.Errorf("ErrorCount = %d, want 10", got)
+	}
+	if got := len(b.Sorted()); got != 3 {
+		t.Errorf("recorded %d, want 3 (the limit)", got)
+	}
+	if !b.HasErrors() {
+		t.Error("HasErrors must be true")
+	}
+}
+
+func TestWarningsDoNotFail(t *testing.T) {
+	b := diag.NewBag(0)
+	b.Warnf("x", token.Pos{Line: 1}, "heads up")
+	if b.HasErrors() {
+		t.Error("warnings must not count as errors")
+	}
+	if !strings.Contains(b.String(), "warning: heads up") {
+		t.Errorf("missing warning in %q", b.String())
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	b := diag.NewBag(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Errorf("f", token.Pos{Line: int32(g*1000 + i)}, "m")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := b.ErrorCount(); got != 800 {
+		t.Errorf("ErrorCount = %d, want 800", got)
+	}
+}
+
+func TestDiagnosticWithoutFile(t *testing.T) {
+	d := diag.Diagnostic{Sev: diag.Error, Pos: token.Pos{Line: 1, Col: 2}, Msg: "boom"}
+	if got := d.String(); got != "1:2: error: boom" {
+		t.Errorf("got %q", got)
+	}
+}

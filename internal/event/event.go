@@ -1,0 +1,92 @@
+// Package event implements the concurrency mechanism of the concurrent
+// compiler: the event.
+//
+// Per Wortman & Junkin §2.3.1: "An event is simply something that either
+// has or has not occurred.  A task waits on an event if and only if it
+// hasn't occurred."  Producer tasks fire events to indicate that a
+// portion of a shared data structure (a token block, a completed symbol
+// table, a processed procedure heading) is ready for its consumers.
+//
+// How an event is *waited on* — avoided, handled, or barrier — is a
+// property of the waiting task, not the event, and is implemented by the
+// scheduler (internal/sched).  This package supplies only the primitive.
+package event
+
+import "sync"
+
+// Event is a one-shot occurrence flag.  The zero value is an unfired
+// event ready for use.  Fire is idempotent; all methods are safe for
+// concurrent use.
+type Event struct {
+	mu    sync.Mutex
+	done  chan struct{}
+	fired bool
+	subs  []func()
+}
+
+// New returns a fresh, unfired event.
+func New() *Event { return &Event{} }
+
+// Fire marks the event as occurred, wakes all waiters, and runs all
+// subscribed callbacks.  Firing an already-fired event is a no-op.
+func (e *Event) Fire() {
+	e.mu.Lock()
+	if e.fired {
+		e.mu.Unlock()
+		return
+	}
+	e.fired = true
+	if e.done != nil {
+		close(e.done)
+	}
+	subs := e.subs
+	e.subs = nil
+	e.mu.Unlock()
+	for _, f := range subs {
+		f()
+	}
+}
+
+// Fired reports whether the event has occurred.
+func (e *Event) Fired() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fired
+}
+
+// Done returns a channel that is closed when the event fires.  The same
+// channel is returned on every call.
+func (e *Event) Done() <-chan struct{} {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done == nil {
+		e.done = make(chan struct{})
+		if e.fired {
+			close(e.done)
+		}
+	}
+	return e.done
+}
+
+// Subscribe arranges for f to run once when the event fires.  If the
+// event has already fired, f runs immediately in the caller's goroutine.
+// The scheduler uses this to move tasks gated on avoided events into the
+// ready queue the moment their last gate fires.
+func (e *Event) Subscribe(f func()) {
+	e.mu.Lock()
+	if e.fired {
+		e.mu.Unlock()
+		f()
+		return
+	}
+	e.subs = append(e.subs, f)
+	e.mu.Unlock()
+}
+
+// Wait blocks the calling goroutine until the event fires.  Tasks under
+// the Supervisor must not call Wait directly for handled events — they go
+// through the scheduler so their worker slot can be released; Wait is the
+// barrier-style wait used by token-queue consumers (§2.3.3).
+func (e *Event) Wait() {
+	<-e.Done()
+}

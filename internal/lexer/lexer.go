@@ -1,0 +1,423 @@
+// Package lexer implements lexical analysis for Modula-2+.
+//
+// Lexor tasks are the highest-priority tasks in the Supervisor's ready
+// queue (§2.3.4): splitting and importing cannot proceed past the tokens
+// the lexer has produced, so getting token blocks flowing early maximizes
+// the parallel work available to the rest of the compilation.  A Lexor
+// task never blocks (§2.3.3), which is what makes barrier waits on token
+// queues deadlock-free.
+package lexer
+
+import (
+	"strings"
+
+	"m2cc/internal/ctrace"
+	"m2cc/internal/diag"
+	"m2cc/internal/source"
+	"m2cc/internal/token"
+	"m2cc/internal/tokq"
+)
+
+// Lexer scans one source file.  Create with New; call Scan until it
+// returns an EOF token (further calls keep returning EOF).
+type Lexer struct {
+	file  *source.File
+	src   string
+	off   int // byte offset of next unread character
+	line  int32
+	col   int32
+	ctx   *ctrace.TaskCtx
+	diags *diag.Bag
+
+	lastCosted int // source offset already charged to the cost meter
+}
+
+// New returns a lexer over f.  ctx supplies the work-unit meter (it must
+// be non-nil; use a throwaway TaskCtx when instrumentation is not
+// wanted).  Lexical errors are reported to diags.
+func New(f *source.File, ctx *ctrace.TaskCtx, diags *diag.Bag) *Lexer {
+	return &Lexer{file: f, src: f.Text, line: 1, col: 1, ctx: ctx, diags: diags}
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file.ID, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...any) {
+	l.diags.Errorf(l.file.Label(), p, format, args...)
+}
+
+// peek returns the next unread byte, or 0 at end of input.
+func (l *Lexer) peek() byte {
+	if l.off < len(l.src) {
+		return l.src[l.off]
+	}
+	return 0
+}
+
+// peek2 returns the byte after next, or 0.
+func (l *Lexer) peek2() byte {
+	if l.off+1 < len(l.src) {
+		return l.src[l.off+1]
+	}
+	return 0
+}
+
+// advance consumes one byte, maintaining line/column bookkeeping.
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'A' && c <= 'F'
+}
+
+// skipBlanksAndComments consumes whitespace, (* ... *) comments (which
+// nest, per the Modula-2 report) and <* ... *> pragmas.
+func (l *Lexer) skipBlanksAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f':
+			l.advance()
+		case c == '(' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			depth := 1
+			for depth > 0 {
+				if l.off >= len(l.src) {
+					l.errorf(start, "unterminated comment")
+					return
+				}
+				switch {
+				case l.peek() == '(' && l.peek2() == '*':
+					l.advance()
+					l.advance()
+					depth++
+				case l.peek() == '*' && l.peek2() == ')':
+					l.advance()
+					l.advance()
+					depth--
+				default:
+					l.advance()
+				}
+			}
+		case c == '<' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					l.errorf(start, "unterminated pragma")
+					return
+				}
+				if l.peek() == '*' && l.peek2() == '>' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// charge adds the cost of everything scanned since the last charge plus
+// one token's worth of work.
+func (l *Lexer) charge() {
+	l.ctx.Add(float64(l.off-l.lastCosted)*ctrace.CostLexChar + ctrace.CostLexToken)
+	l.lastCosted = l.off
+}
+
+// Scan returns the next token.  At end of input it returns (and keeps
+// returning) a token of kind EOF positioned after the last character.
+func (l *Lexer) Scan() token.Token {
+	l.skipBlanksAndComments()
+	p := l.pos()
+	if l.off >= len(l.src) {
+		l.charge()
+		return token.Token{Kind: token.EOF, Pos: p}
+	}
+	c := l.peek()
+	var t token.Token
+	switch {
+	case isLetter(c):
+		t = l.scanIdent(p)
+	case isDigit(c):
+		t = l.scanNumber(p)
+	case c == '"' || c == '\'':
+		t = l.scanString(p)
+	default:
+		t = l.scanOperator(p)
+	}
+	l.charge()
+	return t
+}
+
+func (l *Lexer) scanIdent(p token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	if k := token.Lookup(text); k != token.Ident {
+		return token.Token{Kind: k, Pos: p}
+	}
+	return token.Token{Kind: token.Ident, Pos: p, Text: text}
+}
+
+// scanNumber handles the Modula-2 numeric forms:
+//
+//	decimal      123
+//	hexadecimal  0FFH   (must start with a digit)
+//	octal        17B
+//	char code    15C    (octal, yields a character literal)
+//	real         3.14   1.0E6   2.5E-3
+func (l *Lexer) scanNumber(p token.Pos) token.Token {
+	start := l.off
+	for l.off < len(l.src) && isHexDigit(l.peek()) {
+		l.advance()
+	}
+	digits := l.src[start:l.off]
+	// Real literal: digits '.' (but not '..') — only if the digit run was
+	// purely decimal.
+	if l.peek() == '.' && l.peek2() != '.' && isDecimal(digits) {
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == 'E' {
+			l.advance()
+			if l.peek() == '+' || l.peek() == '-' {
+				l.advance()
+			}
+			if !isDigit(l.peek()) {
+				l.errorf(l.pos(), "malformed real literal: missing exponent digits")
+			}
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		return token.Token{Kind: token.RealLit, Pos: p, Text: l.src[start:l.off]}
+	}
+	switch l.peek() {
+	case 'H':
+		l.advance()
+		return token.Token{Kind: token.IntLit, Pos: p, Text: l.src[start:l.off]}
+	case 'B', 'C':
+		// The final B/C may already have been consumed into the hex-digit
+		// run (B and C are hex digits); handle the trailing-letter form.
+		l.advance()
+		text := l.src[start:l.off]
+		if !isOctal(text[:len(text)-1]) {
+			l.errorf(p, "malformed octal literal %q", text)
+		}
+		kind := token.IntLit
+		if text[len(text)-1] == 'C' {
+			kind = token.CharLit
+		}
+		return token.Token{Kind: kind, Pos: p, Text: text}
+	}
+	// The run may end in B/C/hex letters without an H suffix.
+	if isDecimal(digits) {
+		return token.Token{Kind: token.IntLit, Pos: p, Text: digits}
+	}
+	if last := digits[len(digits)-1]; (last == 'B' || last == 'C') && isOctal(digits[:len(digits)-1]) {
+		kind := token.IntLit
+		if last == 'C' {
+			kind = token.CharLit
+		}
+		return token.Token{Kind: kind, Pos: p, Text: digits}
+	}
+	l.errorf(p, "malformed number %q (hexadecimal needs an H suffix)", digits)
+	return token.Token{Kind: token.IntLit, Pos: p, Text: "0"}
+}
+
+func isDecimal(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isDigit(s[i]) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isOctal(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '7' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// scanString scans a single- or double-quoted string.  Modula-2 strings
+// have no escape sequences and may not span lines.  A one-character
+// string is char-compatible; that classification happens in the
+// semantic analyzer, so the lexer always emits StringLit here.
+func (l *Lexer) scanString(p token.Pos) token.Token {
+	quote := l.advance()
+	start := l.off
+	for {
+		if l.off >= len(l.src) || l.peek() == '\n' {
+			l.errorf(p, "unterminated string")
+			return token.Token{Kind: token.StringLit, Pos: p, Text: l.src[start:l.off]}
+		}
+		if l.peek() == quote {
+			text := l.src[start:l.off]
+			l.advance()
+			return token.Token{Kind: token.StringLit, Pos: p, Text: text}
+		}
+		l.advance()
+	}
+}
+
+func (l *Lexer) scanOperator(p token.Pos) token.Token {
+	c := l.advance()
+	kind := token.EOF
+	switch c {
+	case '+':
+		kind = token.Plus
+	case '-':
+		kind = token.Minus
+	case '*':
+		kind = token.Star
+	case '/':
+		kind = token.Slash
+	case '&':
+		kind = token.Amp
+	case '.':
+		if l.peek() == '.' {
+			l.advance()
+			kind = token.DotDot
+		} else {
+			kind = token.Dot
+		}
+	case ',':
+		kind = token.Comma
+	case ';':
+		kind = token.Semicolon
+	case '(':
+		kind = token.LParen
+	case '[':
+		kind = token.LBrack
+	case '{':
+		kind = token.LBrace
+	case '^', '@':
+		kind = token.Caret
+	case '=':
+		kind = token.Equal
+	case '#':
+		kind = token.NotEqual
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			kind = token.LessEq
+		case '>':
+			l.advance()
+			kind = token.NotEqual
+		default:
+			kind = token.Less
+		}
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			kind = token.GreaterEq
+		} else {
+			kind = token.Greater
+		}
+	case ':':
+		if l.peek() == '=' {
+			l.advance()
+			kind = token.Assign
+		} else {
+			kind = token.Colon
+		}
+	case ')':
+		kind = token.RParen
+	case ']':
+		kind = token.RBrack
+	case '}':
+		kind = token.RBrace
+	case '|':
+		kind = token.Bar
+	case '~':
+		kind = token.Tilde
+	default:
+		l.errorf(p, "illegal character %q", string(rune(c)))
+		return l.Scan()
+	}
+	return token.Token{Kind: kind, Pos: p}
+}
+
+// Run scans the whole file into q, appending a final EOF token and
+// closing the queue.  This is the body of a Lexor task.
+func Run(f *source.File, ctx *ctrace.TaskCtx, diags *diag.Bag, q *tokq.Queue) {
+	l := New(f, ctx, diags)
+	for {
+		t := l.Scan()
+		q.Append(t)
+		if t.Kind == token.EOF {
+			break
+		}
+	}
+	q.Close()
+}
+
+// ScanAll scans the whole file into a slice ending with the EOF token.
+// The sequential compiler and several tests use this form.
+func ScanAll(f *source.File, ctx *ctrace.TaskCtx, diags *diag.Bag) []token.Token {
+	l := New(f, ctx, diags)
+	// Preallocate using a crude tokens-per-byte estimate.
+	toks := make([]token.Token, 0, len(f.Text)/5+8)
+	for {
+		t := l.Scan()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+// Print renders tokens back to compilable source text.  It is the
+// inverse used by the lexer round-trip property test and by the
+// workload generator's self-checks.
+func Print(toks []token.Token) string {
+	var sb strings.Builder
+	col := 0
+	for _, t := range toks {
+		if t.Kind == token.EOF {
+			break
+		}
+		s := t.String()
+		if col+len(s) > 76 {
+			sb.WriteByte('\n')
+			col = 0
+		} else if col > 0 {
+			sb.WriteByte(' ')
+			col++
+		}
+		sb.WriteString(s)
+		col += len(s)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

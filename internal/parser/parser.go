@@ -1,0 +1,987 @@
+// Package parser implements recursive-descent syntax analysis for
+// Modula-2+.
+//
+// The concurrent compiler uses the parser in *staged* form, matching the
+// unorthodox task division of §3: the Parser/Declarations-Analyzer task
+// of a stream parses the prologue and declarations (ParsePrologue,
+// ParseDeclarations), runs declaration analysis, marks the stream's
+// symbol table complete, and only then builds the statement parse tree
+// (ParseBody) — "the symbol table for the declarations is marked
+// complete before the statement parse tree is built", so tables complete
+// early and DKY blockages resolve sooner.  The sequential compiler uses
+// ParseUnit, which performs the same stages back to back.
+package parser
+
+import (
+	"strconv"
+
+	"m2cc/internal/ast"
+	"m2cc/internal/ctrace"
+	"m2cc/internal/diag"
+	"m2cc/internal/token"
+)
+
+// TokenSource supplies tokens.  Both tokq.Reader (concurrent streams)
+// and SliceSource (sequential compilation, tests) satisfy it.
+type TokenSource interface {
+	Next() token.Token
+	PeekN(n int) token.Token
+}
+
+// SliceSource is a TokenSource over a pre-lexed token slice ending in an
+// EOF token.
+type SliceSource struct {
+	Toks []token.Token
+	i    int
+}
+
+// NewSliceSource returns a source over toks, which must end with EOF.
+func NewSliceSource(toks []token.Token) *SliceSource { return &SliceSource{Toks: toks} }
+
+// Next implements TokenSource.
+func (s *SliceSource) Next() token.Token {
+	if s.i >= len(s.Toks) {
+		return s.Toks[len(s.Toks)-1] // the EOF token
+	}
+	t := s.Toks[s.i]
+	s.i++
+	return t
+}
+
+// PeekN implements TokenSource.
+func (s *SliceSource) PeekN(n int) token.Token {
+	j := s.i + n - 1
+	if j >= len(s.Toks) {
+		return s.Toks[len(s.Toks)-1]
+	}
+	return s.Toks[j]
+}
+
+// Parser holds the state of one syntax analysis.
+type Parser struct {
+	src   TokenSource
+	tok   token.Token
+	file  string
+	ctx   *ctrace.TaskCtx
+	diags *diag.Bag
+
+	inDef    bool // parsing a DEFINITION MODULE: procedures are headings only
+	errCount int  // parser-local error count, bounds cascading recovery
+}
+
+// New returns a parser over src.  file is the human-readable file label
+// for diagnostics; ctx accumulates parse cost (must be non-nil).
+func New(src TokenSource, file string, ctx *ctrace.TaskCtx, diags *diag.Bag) *Parser {
+	p := &Parser{src: src, file: file, ctx: ctx, diags: diags}
+	p.next()
+	return p
+}
+
+func (p *Parser) next() {
+	p.ctx.Add(ctrace.CostParseToken)
+	p.tok = p.src.Next()
+}
+
+func (p *Parser) peek() token.Token { return p.src.PeekN(1) }
+
+func (p *Parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errCount++
+	if p.errCount <= 40 {
+		p.diags.Errorf(p.file, pos, format, args...)
+	}
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.tok.Kind == k }
+
+// expect consumes a token of kind k, reporting an error (without
+// consuming) on mismatch.  It returns the matched token's position.
+func (p *Parser) expect(k token.Kind) token.Pos {
+	pos := p.tok.Pos
+	if p.tok.Kind != k {
+		p.errorf(pos, "expected %s, found %s", k, p.tok)
+		return pos
+	}
+	p.next()
+	return pos
+}
+
+// accept consumes a token of kind k if present and reports whether it
+// did.
+func (p *Parser) accept(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) name() ast.Name {
+	if p.tok.Kind != token.Ident {
+		p.errorf(p.tok.Pos, "expected identifier, found %s", p.tok)
+		return ast.Name{Text: "?", Pos: p.tok.Pos}
+	}
+	n := ast.Name{Text: p.tok.Text, Pos: p.tok.Pos}
+	p.next()
+	return n
+}
+
+func (p *Parser) nameList() []ast.Name {
+	names := []ast.Name{p.name()}
+	for p.accept(token.Comma) {
+		names = append(names, p.name())
+	}
+	return names
+}
+
+func (p *Parser) qualident() *ast.Qualident {
+	q := &ast.Qualident{Parts: []ast.Name{p.name()}}
+	for p.at(token.Dot) && p.peek().Kind == token.Ident {
+		p.next()
+		q.Parts = append(q.Parts, p.name())
+	}
+	return q
+}
+
+// ---------------------------------------------------------------------
+// Compilation units
+
+// ParsePrologue parses the module header and import list, returning a
+// Module with Kind, Name and Imports set.  Declarations and body are
+// parsed by the later stages.
+func (p *Parser) ParsePrologue() *ast.Module {
+	m := &ast.Module{Pos: p.tok.Pos}
+	switch p.tok.Kind {
+	case token.DEFINITION:
+		p.next()
+		p.expect(token.MODULE)
+		m.Kind = ast.DefMod
+		p.inDef = true
+	case token.IMPLEMENTATION:
+		p.next()
+		p.expect(token.MODULE)
+		m.Kind = ast.ImplMod
+	case token.MODULE:
+		p.next()
+		m.Kind = ast.ProgMod
+	default:
+		p.errorf(p.tok.Pos, "expected DEFINITION, IMPLEMENTATION or MODULE, found %s", p.tok)
+		m.Kind = ast.ProgMod
+	}
+	m.Name = p.name()
+	// Optional module priority "[const]" (parsed and ignored).
+	if p.accept(token.LBrack) {
+		p.parseExpr()
+		p.expect(token.RBrack)
+	}
+	p.expect(token.Semicolon)
+	m.Imports = p.parseImports()
+	// Old-style definition modules may carry EXPORT QUALIFIED lists;
+	// definition modules export everything, so the list is parsed and
+	// ignored.
+	if m.Kind == ast.DefMod && p.accept(token.EXPORT) {
+		p.accept(token.QUALIFIED)
+		p.nameList()
+		p.expect(token.Semicolon)
+	}
+	return m
+}
+
+func (p *Parser) parseImports() []*ast.Import {
+	var imps []*ast.Import
+	for {
+		switch p.tok.Kind {
+		case token.FROM:
+			pos := p.tok.Pos
+			p.next()
+			from := p.name()
+			p.expect(token.IMPORT)
+			imps = append(imps, &ast.Import{From: from, Names: p.nameList(), Pos: pos})
+			p.expect(token.Semicolon)
+		case token.IMPORT:
+			pos := p.tok.Pos
+			p.next()
+			imps = append(imps, &ast.Import{Names: p.nameList(), Pos: pos})
+			p.expect(token.Semicolon)
+		default:
+			return imps
+		}
+	}
+}
+
+// ParseDeclarations parses declaration sections until BEGIN, END or end
+// of stream.
+func (p *Parser) ParseDeclarations() []ast.Decl {
+	var decls []ast.Decl
+	for {
+		switch p.tok.Kind {
+		case token.CONST:
+			p.next()
+			for p.at(token.Ident) {
+				d := &ast.ConstDecl{Name: p.name()}
+				p.expect(token.Equal)
+				d.Expr = p.parseExpr()
+				p.expect(token.Semicolon)
+				decls = append(decls, d)
+			}
+		case token.TYPE:
+			p.next()
+			for p.at(token.Ident) {
+				d := &ast.TypeDecl{Name: p.name()}
+				if p.accept(token.Equal) {
+					d.Type = p.parseType()
+				}
+				p.expect(token.Semicolon)
+				decls = append(decls, d)
+			}
+		case token.VAR:
+			p.next()
+			for p.at(token.Ident) {
+				d := &ast.VarDecl{Names: p.nameList()}
+				p.expect(token.Colon)
+				d.Type = p.parseType()
+				p.expect(token.Semicolon)
+				decls = append(decls, d)
+			}
+		case token.EXCEPTION:
+			pos := p.tok.Pos
+			p.next()
+			decls = append(decls, &ast.ExceptionDecl{Names: p.nameList(), Pos: pos})
+			p.expect(token.Semicolon)
+		case token.PROCEDURE:
+			decls = append(decls, p.parseProcDecl())
+		case token.MODULE:
+			p.errorf(p.tok.Pos, "local modules are not supported by this compiler")
+			p.skipLocalModule()
+		case token.BEGIN, token.END, token.EOF:
+			return decls
+		default:
+			p.errorf(p.tok.Pos, "expected a declaration, found %s", p.tok)
+			p.next() // guarantee progress
+		}
+	}
+}
+
+// skipLocalModule consumes a local module declaration using END-depth
+// matching so parsing can continue after the unsupported construct.
+func (p *Parser) skipLocalModule() {
+	depth := 0
+	for {
+		switch {
+		case p.tok.Kind == token.EOF:
+			return
+		case p.tok.Kind == token.MODULE,
+			p.tok.Kind.OpensEnd() && p.tok.Kind != token.MODULE,
+			p.tok.Kind == token.PROCEDURE && p.peek().Kind == token.Ident:
+			depth++
+			p.next()
+		case p.tok.Kind == token.END:
+			depth--
+			p.next()
+			if depth <= 0 {
+				p.accept(token.Ident)
+				p.accept(token.Semicolon)
+				return
+			}
+		default:
+			p.next()
+		}
+	}
+}
+
+// ParseProcHead parses "PROCEDURE name [params] [: ret]".  The caller
+// has verified that the current token is PROCEDURE.
+func (p *Parser) ParseProcHead() *ast.ProcHead {
+	pos := p.expect(token.PROCEDURE)
+	h := &ast.ProcHead{Pos: pos, Name: p.name()}
+	if p.accept(token.LParen) {
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			sec := &ast.FPSection{}
+			if p.accept(token.VAR) {
+				sec.VarMode = true
+			}
+			sec.Names = p.nameList()
+			p.expect(token.Colon)
+			if p.accept(token.ARRAY) {
+				p.expect(token.OF)
+				sec.Open = true
+			}
+			sec.Type = p.qualident()
+			h.Params = append(h.Params, sec)
+			if !p.accept(token.Semicolon) {
+				break
+			}
+		}
+		p.expect(token.RParen)
+	}
+	if p.accept(token.Colon) {
+		h.Ret = p.qualident()
+	}
+	return h
+}
+
+func (p *Parser) parseProcDecl() *ast.ProcDecl {
+	head := p.ParseProcHead()
+	d := &ast.ProcDecl{Head: head}
+	p.expect(token.Semicolon)
+	switch p.tok.Kind {
+	case token.BodyRef:
+		// Concurrent mode: the splitter diverted the body to another
+		// stream and left its number behind.
+		n, err := strconv.Atoi(p.tok.Text)
+		if err != nil {
+			p.errorf(p.tok.Pos, "corrupt stream reference %q", p.tok.Text)
+		}
+		d.HeadingOnly = true
+		d.BodyStream = int32(n)
+		p.next()
+		p.expect(token.Semicolon)
+	case token.CONST, token.TYPE, token.VAR, token.EXCEPTION, token.PROCEDURE,
+		token.BEGIN, token.END, token.MODULE:
+		if p.inDef {
+			// Definition module: headings never have bodies.
+			d.HeadingOnly = true
+			return d
+		}
+		// Sequential mode: the body follows inline.
+		d.Decls = p.ParseDeclarations()
+		if p.accept(token.BEGIN) {
+			d.Body = p.parseStmtList()
+		}
+		p.expect(token.END)
+		d.EndName = p.name()
+		if d.EndName.Text != head.Name.Text {
+			p.errorf(d.EndName.Pos, "procedure %s ends with name %s", head.Name.Text, d.EndName.Text)
+		}
+		p.expect(token.Semicolon)
+	default:
+		// Definition module: heading only.
+		d.HeadingOnly = true
+	}
+	return d
+}
+
+// ParseBody parses the optional module body "BEGIN seq" plus the
+// closing "END name .".
+func (p *Parser) ParseBody(m *ast.Module) {
+	if m.Kind == ast.DefMod {
+		p.expect(token.END)
+		end := p.name()
+		if end.Text != m.Name.Text {
+			p.errorf(end.Pos, "module %s ends with name %s", m.Name.Text, end.Text)
+		}
+		p.expect(token.Dot)
+		return
+	}
+	if p.accept(token.BEGIN) {
+		m.Body = p.parseStmtList()
+	}
+	p.expect(token.END)
+	end := p.name()
+	if end.Text != m.Name.Text {
+		p.errorf(end.Pos, "module %s ends with name %s", m.Name.Text, end.Text)
+	}
+	p.expect(token.Dot)
+}
+
+// ParseUnit parses a complete compilation unit (sequential compiler and
+// definition-module streams).
+func (p *Parser) ParseUnit() *ast.Module {
+	m := p.ParsePrologue()
+	m.Decls = p.ParseDeclarations()
+	p.ParseBody(m)
+	return m
+}
+
+// ProcStream is the parse result of a procedure stream: the procedure's
+// local declarations, its body and the END name.
+type ProcStream struct {
+	Decls   []ast.Decl
+	Body    *ast.StmtList
+	EndName ast.Name
+}
+
+// ParseProcDeclsOnly parses a procedure stream's declaration part and
+// stops before BEGIN/END, for the staged Parser/Decl-Analyzer task.
+func (p *Parser) ParseProcDeclsOnly() []ast.Decl { return p.ParseDeclarations() }
+
+// ParseProcTail parses the remainder of a procedure stream after its
+// declarations: "[BEGIN seq] END name".  procName is the expected END
+// name.
+func (p *Parser) ParseProcTail(procName string) *ProcStream {
+	ps := &ProcStream{}
+	if p.accept(token.BEGIN) {
+		ps.Body = p.parseStmtList()
+	}
+	p.expect(token.END)
+	ps.EndName = p.name()
+	if ps.EndName.Text != procName {
+		p.errorf(ps.EndName.Pos, "procedure %s ends with name %s", procName, ps.EndName.Text)
+	}
+	if !p.at(token.EOF) {
+		p.errorf(p.tok.Pos, "unexpected %s after procedure body", p.tok)
+	}
+	return ps
+}
+
+// AtEOF reports whether the parser has consumed its entire stream.
+func (p *Parser) AtEOF() bool { return p.at(token.EOF) }
+
+// AcceptSemicolon consumes a ";" if present (used after a re-processed
+// procedure heading in header-sharing alternative 3).
+func (p *Parser) AcceptSemicolon() bool { return p.accept(token.Semicolon) }
+
+// ---------------------------------------------------------------------
+// Types
+
+func (p *Parser) parseType() ast.Type {
+	switch p.tok.Kind {
+	case token.Ident:
+		q := p.qualident()
+		if p.at(token.LBrack) {
+			// Base-qualified subrange: T[lo..hi].
+			return p.parseSubrange(q)
+		}
+		return &ast.NamedType{Name: q}
+	case token.LParen:
+		pos := p.tok.Pos
+		p.next()
+		e := &ast.EnumType{Pos: pos, Names: p.nameList()}
+		p.expect(token.RParen)
+		return e
+	case token.LBrack:
+		return p.parseSubrange(nil)
+	case token.ARRAY:
+		pos := p.tok.Pos
+		p.next()
+		a := &ast.ArrayType{Pos: pos}
+		a.Indexes = append(a.Indexes, p.parseType())
+		for p.accept(token.Comma) {
+			a.Indexes = append(a.Indexes, p.parseType())
+		}
+		p.expect(token.OF)
+		a.Elem = p.parseType()
+		return a
+	case token.RECORD:
+		pos := p.tok.Pos
+		p.next()
+		r := &ast.RecordType{Pos: pos, Fields: p.parseFieldLists()}
+		p.expect(token.END)
+		return r
+	case token.SET:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.OF)
+		return &ast.SetType{Pos: pos, Base: p.parseType()}
+	case token.POINTER:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(token.TO)
+		return &ast.PointerType{Pos: pos, Base: p.parseType()}
+	case token.REF:
+		pos := p.tok.Pos
+		p.next()
+		return &ast.RefType{Pos: pos, Base: p.parseType()}
+	case token.PROCEDURE:
+		return p.parseProcType()
+	default:
+		p.errorf(p.tok.Pos, "expected a type, found %s", p.tok)
+		p.next()
+		return &ast.NamedType{Name: &ast.Qualident{Parts: []ast.Name{{Text: "INTEGER", Pos: p.tok.Pos}}}}
+	}
+}
+
+func (p *Parser) parseSubrange(base *ast.Qualident) ast.Type {
+	pos := p.expect(token.LBrack)
+	s := &ast.SubrangeType{Base: base, Pos: pos}
+	s.Lo = p.parseExpr()
+	p.expect(token.DotDot)
+	s.Hi = p.parseExpr()
+	p.expect(token.RBrack)
+	return s
+}
+
+func (p *Parser) parseFieldLists() []*ast.FieldList {
+	var fields []*ast.FieldList
+	for {
+		switch p.tok.Kind {
+		case token.Ident:
+			fl := &ast.FieldList{Names: p.nameList()}
+			p.expect(token.Colon)
+			fl.Type = p.parseType()
+			fields = append(fields, fl)
+		case token.CASE:
+			fields = append(fields, &ast.FieldList{Variant: p.parseVariantPart()})
+		}
+		if !p.accept(token.Semicolon) {
+			return fields
+		}
+	}
+}
+
+func (p *Parser) parseVariantPart() *ast.VariantPart {
+	pos := p.expect(token.CASE)
+	v := &ast.VariantPart{Pos: pos}
+	// "CASE tag : Type OF" or "CASE Type OF" (anonymous tag, old-style
+	// "CASE : Type OF" also accepted).
+	if p.at(token.Ident) && p.peek().Kind == token.Colon {
+		v.TagName = p.name()
+		p.next() // ':'
+		v.TagType = p.qualident()
+	} else {
+		p.accept(token.Colon)
+		v.TagType = p.qualident()
+	}
+	p.expect(token.OF)
+	for {
+		if p.at(token.Bar) {
+			p.next()
+			continue
+		}
+		if p.at(token.ELSE) || p.at(token.END) || p.at(token.EOF) {
+			break
+		}
+		c := &ast.VariantCase{Labels: p.parseCaseLabels()}
+		p.expect(token.Colon)
+		c.Fields = p.parseFieldLists()
+		v.Cases = append(v.Cases, c)
+		if !p.accept(token.Bar) {
+			break
+		}
+	}
+	if p.accept(token.ELSE) {
+		v.Else = p.parseFieldLists()
+	}
+	p.expect(token.END)
+	return v
+}
+
+func (p *Parser) parseCaseLabels() []*ast.CaseLabel {
+	var labels []*ast.CaseLabel
+	for {
+		l := &ast.CaseLabel{Lo: p.parseExpr()}
+		if p.accept(token.DotDot) {
+			l.Hi = p.parseExpr()
+		}
+		labels = append(labels, l)
+		if !p.accept(token.Comma) {
+			return labels
+		}
+	}
+}
+
+func (p *Parser) parseProcType() ast.Type {
+	pos := p.expect(token.PROCEDURE)
+	t := &ast.ProcType{Pos: pos}
+	if p.accept(token.LParen) {
+		for !p.at(token.RParen) && !p.at(token.EOF) {
+			param := &ast.ProcTypeParam{}
+			if p.accept(token.VAR) {
+				param.VarMode = true
+			}
+			if p.accept(token.ARRAY) {
+				p.expect(token.OF)
+				param.Open = true
+			}
+			param.Type = p.qualident()
+			t.Params = append(t.Params, param)
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.RParen)
+	}
+	if p.accept(token.Colon) {
+		t.Ret = p.qualident()
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------
+// Statements
+
+// stmtListStop reports whether the current token terminates a statement
+// sequence.
+func (p *Parser) stmtListStop() bool {
+	switch p.tok.Kind {
+	case token.END, token.ELSE, token.ELSIF, token.UNTIL, token.Bar,
+		token.EXCEPT, token.FINALLY, token.EOF:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseStmtList() *ast.StmtList {
+	sl := &ast.StmtList{}
+	for {
+		for p.accept(token.Semicolon) {
+		}
+		if p.stmtListStop() {
+			return sl
+		}
+		s := p.parseStmt()
+		if s != nil {
+			sl.Stmts = append(sl.Stmts, s)
+		}
+		if !p.at(token.Semicolon) && !p.stmtListStop() {
+			p.errorf(p.tok.Pos, "expected ; between statements, found %s", p.tok)
+			p.next() // guarantee progress
+		}
+	}
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.Ident:
+		d := p.parseDesignator()
+		switch p.tok.Kind {
+		case token.Assign:
+			p.next()
+			return &ast.AssignStmt{LHS: d, RHS: p.parseExpr(), Pos: pos}
+		case token.LParen:
+			p.next()
+			var args []ast.Expr
+			if !p.at(token.RParen) {
+				args = append(args, p.parseExpr())
+				for p.accept(token.Comma) {
+					args = append(args, p.parseExpr())
+				}
+			}
+			p.expect(token.RParen)
+			return &ast.CallStmt{Proc: d, Args: args, HasArgs: true, Pos: pos}
+		default:
+			return &ast.CallStmt{Proc: d, Pos: pos}
+		}
+	case token.IF:
+		p.next()
+		s := &ast.IfStmt{Pos: pos, Cond: p.parseExpr()}
+		p.expect(token.THEN)
+		s.Then = p.parseStmtList()
+		for p.at(token.ELSIF) {
+			p.next()
+			arm := ast.ElsifArm{Cond: p.parseExpr()}
+			p.expect(token.THEN)
+			arm.Then = p.parseStmtList()
+			s.Elsifs = append(s.Elsifs, arm)
+		}
+		if p.accept(token.ELSE) {
+			s.Else = p.parseStmtList()
+		}
+		p.expect(token.END)
+		return s
+	case token.CASE:
+		p.next()
+		s := &ast.CaseStmt{Pos: pos, Expr: p.parseExpr()}
+		p.expect(token.OF)
+		for {
+			if p.at(token.Bar) {
+				p.next()
+				continue
+			}
+			if p.at(token.ELSE) || p.at(token.END) || p.at(token.EOF) {
+				break
+			}
+			arm := &ast.CaseArm{Labels: p.parseCaseLabels()}
+			p.expect(token.Colon)
+			arm.Body = p.parseStmtList()
+			s.Arms = append(s.Arms, arm)
+			if !p.accept(token.Bar) {
+				break
+			}
+		}
+		if p.accept(token.ELSE) {
+			s.Else = p.parseStmtList()
+		}
+		p.expect(token.END)
+		return s
+	case token.WHILE:
+		p.next()
+		s := &ast.WhileStmt{Pos: pos, Cond: p.parseExpr()}
+		p.expect(token.DO)
+		s.Body = p.parseStmtList()
+		p.expect(token.END)
+		return s
+	case token.REPEAT:
+		p.next()
+		s := &ast.RepeatStmt{Pos: pos, Body: p.parseStmtList()}
+		p.expect(token.UNTIL)
+		s.Cond = p.parseExpr()
+		return s
+	case token.LOOP:
+		p.next()
+		s := &ast.LoopStmt{Pos: pos, Body: p.parseStmtList()}
+		p.expect(token.END)
+		return s
+	case token.EXIT:
+		p.next()
+		return &ast.ExitStmt{Pos: pos}
+	case token.FOR:
+		p.next()
+		s := &ast.ForStmt{Pos: pos, Var: p.name()}
+		p.expect(token.Assign)
+		s.From = p.parseExpr()
+		p.expect(token.TO)
+		s.To = p.parseExpr()
+		if p.accept(token.BY) {
+			s.By = p.parseExpr()
+		}
+		p.expect(token.DO)
+		s.Body = p.parseStmtList()
+		p.expect(token.END)
+		return s
+	case token.WITH:
+		p.next()
+		s := &ast.WithStmt{Pos: pos, Rec: p.parseDesignator()}
+		p.expect(token.DO)
+		s.Body = p.parseStmtList()
+		p.expect(token.END)
+		return s
+	case token.RETURN:
+		p.next()
+		s := &ast.ReturnStmt{Pos: pos}
+		if !p.stmtListStop() && !p.at(token.Semicolon) {
+			s.Expr = p.parseExpr()
+		}
+		return s
+	case token.RAISE:
+		p.next()
+		return &ast.RaiseStmt{Pos: pos, Exc: p.qualident()}
+	case token.TRY:
+		p.next()
+		s := &ast.TryStmt{Pos: pos, Body: p.parseStmtList()}
+		if p.accept(token.EXCEPT) {
+			for p.at(token.Ident) {
+				h := &ast.Handler{Excs: []*ast.Qualident{p.qualident()}}
+				for p.accept(token.Comma) {
+					h.Excs = append(h.Excs, p.qualident())
+				}
+				p.expect(token.Colon)
+				h.Body = p.parseStmtList()
+				s.Handlers = append(s.Handlers, h)
+				p.accept(token.Bar)
+			}
+			if p.accept(token.ELSE) {
+				s.Else = p.parseStmtList()
+			}
+		}
+		if p.accept(token.FINALLY) {
+			s.Finally = p.parseStmtList()
+		}
+		p.expect(token.END)
+		return s
+	case token.LOCK:
+		p.next()
+		s := &ast.LockStmt{Pos: pos, Mutex: p.parseExpr()}
+		p.expect(token.DO)
+		s.Body = p.parseStmtList()
+		p.expect(token.END)
+		return s
+	default:
+		p.errorf(pos, "expected a statement, found %s", p.tok)
+		p.next()
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------
+// Expressions
+
+func (p *Parser) parseExpr() ast.Expr {
+	x := p.parseSimpleExpr()
+	switch p.tok.Kind {
+	case token.Equal, token.NotEqual, token.Less, token.LessEq,
+		token.Greater, token.GreaterEq, token.IN:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		return &ast.BinaryExpr{Op: op, X: x, Y: p.parseSimpleExpr(), Pos: pos}
+	}
+	return x
+}
+
+func (p *Parser) parseSimpleExpr() ast.Expr {
+	var lead *ast.UnaryExpr
+	if p.at(token.Plus) || p.at(token.Minus) {
+		lead = &ast.UnaryExpr{Op: p.tok.Kind, Pos: p.tok.Pos}
+		p.next()
+	}
+	x := p.parseTerm()
+	if lead != nil {
+		lead.X = x
+		x = lead
+	}
+	for p.at(token.Plus) || p.at(token.Minus) || p.at(token.OR) {
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		x = &ast.BinaryExpr{Op: op, X: x, Y: p.parseTerm(), Pos: pos}
+	}
+	return x
+}
+
+func (p *Parser) parseTerm() ast.Expr {
+	x := p.parseFactor()
+	for {
+		switch p.tok.Kind {
+		case token.Star, token.Slash, token.DIV, token.MOD, token.AND, token.Amp:
+			op := p.tok.Kind
+			if op == token.Amp {
+				op = token.AND
+			}
+			pos := p.tok.Pos
+			p.next()
+			x = &ast.BinaryExpr{Op: op, X: x, Y: p.parseFactor(), Pos: pos}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseFactor() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.IntLit:
+		v := decodeInt(p.tok.Text)
+		e := &ast.IntLit{Value: v, Text: p.tok.Text, Pos: pos}
+		p.next()
+		return e
+	case token.RealLit:
+		v, _ := strconv.ParseFloat(p.tok.Text, 64)
+		e := &ast.RealLit{Value: v, Text: p.tok.Text, Pos: pos}
+		p.next()
+		return e
+	case token.CharLit:
+		// Octal form nnC.
+		v, _ := strconv.ParseUint(p.tok.Text[:len(p.tok.Text)-1], 8, 16)
+		e := &ast.CharLit{Value: byte(v), Text: p.tok.Text, Pos: pos}
+		p.next()
+		return e
+	case token.StringLit:
+		e := &ast.StringLit{Value: p.tok.Text, Pos: pos}
+		p.next()
+		return e
+	case token.LBrace:
+		return p.parseSetExpr(nil, pos)
+	case token.Ident:
+		return p.parseDesignatorOrCall()
+	case token.LParen:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RParen)
+		return e
+	case token.NOT, token.Tilde:
+		p.next()
+		return &ast.UnaryExpr{Op: token.NOT, X: p.parseFactor(), Pos: pos}
+	default:
+		p.errorf(pos, "expected an expression, found %s", p.tok)
+		p.next()
+		return &ast.IntLit{Value: 0, Text: "0", Pos: pos}
+	}
+}
+
+func (p *Parser) parseSetExpr(qual *ast.Qualident, pos token.Pos) ast.Expr {
+	p.expect(token.LBrace)
+	s := &ast.SetExpr{Type: qual, Pos: pos}
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		el := ast.SetElem{Lo: p.parseExpr()}
+		if p.accept(token.DotDot) {
+			el.Hi = p.parseExpr()
+		}
+		s.Elems = append(s.Elems, el)
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	p.expect(token.RBrace)
+	return s
+}
+
+// parseDesignatorOrCall parses a factor beginning with an identifier:
+// a designator, a set constructor qualified by a type name, or a
+// function call.
+func (p *Parser) parseDesignatorOrCall() ast.Expr {
+	pos := p.tok.Pos
+	d := &ast.Designator{Head: p.name()}
+	// While the selector chain is still purely dotted it could turn out
+	// to be the type qualifier of a set constructor.
+	for {
+		if p.at(token.Dot) && p.peek().Kind == token.Ident {
+			p.next()
+			d.Sels = append(d.Sels, &ast.FieldSel{Name: p.name()})
+			continue
+		}
+		break
+	}
+	if p.at(token.LBrace) {
+		q := &ast.Qualident{Parts: []ast.Name{d.Head}}
+		for _, s := range d.Sels {
+			q.Parts = append(q.Parts, s.(*ast.FieldSel).Name)
+		}
+		return p.parseSetExpr(q, pos)
+	}
+	p.parseSelectors(d)
+	if p.at(token.LParen) {
+		p.next()
+		c := &ast.CallExpr{Fun: d, Pos: pos}
+		if !p.at(token.RParen) {
+			c.Args = append(c.Args, p.parseExpr())
+			for p.accept(token.Comma) {
+				c.Args = append(c.Args, p.parseExpr())
+			}
+		}
+		p.expect(token.RParen)
+		return c
+	}
+	return d
+}
+
+// parseDesignator parses a designator (no call suffix).
+func (p *Parser) parseDesignator() *ast.Designator {
+	d := &ast.Designator{Head: p.name()}
+	p.parseSelectors(d)
+	return d
+}
+
+func (p *Parser) parseSelectors(d *ast.Designator) {
+	for {
+		switch {
+		case p.at(token.Dot) && p.peek().Kind == token.Ident:
+			p.next()
+			d.Sels = append(d.Sels, &ast.FieldSel{Name: p.name()})
+		case p.at(token.LBrack):
+			pos := p.tok.Pos
+			p.next()
+			sel := &ast.IndexSel{Pos: pos}
+			sel.Indexes = append(sel.Indexes, p.parseExpr())
+			for p.accept(token.Comma) {
+				sel.Indexes = append(sel.Indexes, p.parseExpr())
+			}
+			p.expect(token.RBrack)
+			d.Sels = append(d.Sels, sel)
+		case p.at(token.Caret):
+			d.Sels = append(d.Sels, &ast.DerefSel{Pos: p.tok.Pos})
+			p.next()
+		default:
+			return
+		}
+	}
+}
+
+// decodeInt decodes the Modula-2 integer literal forms: decimal, nnnH
+// (hex) and nnnB (octal).
+func decodeInt(text string) int64 {
+	if text == "" {
+		return 0
+	}
+	switch text[len(text)-1] {
+	case 'H':
+		v, _ := strconv.ParseUint(text[:len(text)-1], 16, 64)
+		return int64(v)
+	case 'B':
+		v, _ := strconv.ParseUint(text[:len(text)-1], 8, 64)
+		return int64(v)
+	default:
+		v, _ := strconv.ParseInt(text, 10, 64)
+		return v
+	}
+}

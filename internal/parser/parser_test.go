@@ -1,0 +1,513 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"m2cc/internal/ast"
+	"m2cc/internal/ctrace"
+	"m2cc/internal/diag"
+	"m2cc/internal/lexer"
+	"m2cc/internal/parser"
+	"m2cc/internal/source"
+	"m2cc/internal/token"
+)
+
+// parse parses a whole compilation unit.
+func parse(t *testing.T, src string) (*ast.Module, *diag.Bag) {
+	t.Helper()
+	files := source.NewSet()
+	f := files.Add("T", source.Impl, src)
+	diags := diag.NewBag(0)
+	toks := lexer.ScanAll(f, &ctrace.TaskCtx{}, diags)
+	p := parser.New(parser.NewSliceSource(toks), "T.mod", &ctrace.TaskCtx{}, diags)
+	return p.ParseUnit(), diags
+}
+
+// mustParse fails the test on any diagnostic.
+func mustParse(t *testing.T, src string) *ast.Module {
+	t.Helper()
+	m, diags := parse(t, src)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors:\n%s", diags)
+	}
+	return m
+}
+
+func TestModuleKinds(t *testing.T) {
+	if m := mustParse(t, "MODULE P; END P."); m.Kind != ast.ProgMod {
+		t.Error("program module")
+	}
+	if m := mustParse(t, "IMPLEMENTATION MODULE I; END I."); m.Kind != ast.ImplMod {
+		t.Error("implementation module")
+	}
+	if m := mustParse(t, "DEFINITION MODULE D; END D."); m.Kind != ast.DefMod {
+		t.Error("definition module")
+	}
+}
+
+func TestModulePriorityIgnored(t *testing.T) {
+	m := mustParse(t, "MODULE P [4]; END P.")
+	if m.Name.Text != "P" {
+		t.Fatal("priority clause broke the header")
+	}
+}
+
+func TestImports(t *testing.T) {
+	m := mustParse(t, `
+MODULE P;
+IMPORT A, B;
+FROM C IMPORT x, y;
+END P.`)
+	if len(m.Imports) != 2 {
+		t.Fatalf("got %d import clauses", len(m.Imports))
+	}
+	if m.Imports[0].From.Text != "" || len(m.Imports[0].Names) != 2 {
+		t.Error("plain import wrong")
+	}
+	if m.Imports[1].From.Text != "C" || len(m.Imports[1].Names) != 2 {
+		t.Error("FROM import wrong")
+	}
+}
+
+func TestExportListAccepted(t *testing.T) {
+	mustParse(t, "DEFINITION MODULE D;\nEXPORT QUALIFIED a, b;\nCONST a = 1; b = 2;\nEND D.")
+}
+
+func TestConstTypeVarSections(t *testing.T) {
+	m := mustParse(t, `
+MODULE P;
+CONST a = 1; b = a + 2;
+TYPE T = INTEGER; U = ARRAY [0..9] OF CHAR;
+VAR x, y: T; z: U;
+END P.`)
+	if len(m.Decls) != 6 {
+		t.Fatalf("got %d declarations, want 6 (x, y share one VarDecl)", len(m.Decls))
+	}
+	if _, ok := m.Decls[0].(*ast.ConstDecl); !ok {
+		t.Error("first not a const")
+	}
+	vd, ok := m.Decls[4].(*ast.VarDecl)
+	if !ok || len(vd.Names) != 2 {
+		t.Error("var x, y wrong")
+	}
+}
+
+func TestTypeForms(t *testing.T) {
+	m := mustParse(t, `
+MODULE P;
+TYPE
+  E = (red, green, blue);
+  S = [1..10];
+  CS = ["a".."z"];
+  A = ARRAY [0..3], [0..4] OF INTEGER;
+  R = RECORD x: INTEGER; CASE tag: INTEGER OF 0: a: CHAR | 1: b: REAL ELSE c: INTEGER END END;
+  Set = SET OF [0..31];
+  Ptr = POINTER TO R;
+  Rf = REF INTEGER;
+  F = PROCEDURE (INTEGER, VAR CHAR): INTEGER;
+  Op = PROCEDURE;
+END P.`)
+	wantTypes := []any{
+		&ast.EnumType{}, &ast.SubrangeType{}, &ast.SubrangeType{}, &ast.ArrayType{},
+		&ast.RecordType{}, &ast.SetType{}, &ast.PointerType{}, &ast.RefType{},
+		&ast.ProcType{}, &ast.ProcType{},
+	}
+	if len(m.Decls) != len(wantTypes) {
+		t.Fatalf("got %d type decls", len(m.Decls))
+	}
+	for i, d := range m.Decls {
+		td := d.(*ast.TypeDecl)
+		if td.Type == nil {
+			t.Fatalf("decl %d has no type", i)
+		}
+		got, want := typeName(td.Type), typeName(wantTypes[i].(ast.Type))
+		if got != want {
+			t.Errorf("type %d is %s, want %s", i, got, want)
+		}
+	}
+	// The multi-index array keeps both index types.
+	arr := m.Decls[3].(*ast.TypeDecl).Type.(*ast.ArrayType)
+	if len(arr.Indexes) != 2 {
+		t.Error("ARRAY a, b OF must keep two indexes")
+	}
+	// The variant record has a tagged case with an ELSE part.
+	rec := m.Decls[4].(*ast.TypeDecl).Type.(*ast.RecordType)
+	var variant *ast.VariantPart
+	for _, fl := range rec.Fields {
+		if fl.Variant != nil {
+			variant = fl.Variant
+		}
+	}
+	if variant == nil || variant.TagName.Text != "tag" || len(variant.Cases) != 2 || variant.Else == nil {
+		t.Error("variant part parsed wrong")
+	}
+}
+
+func typeName(t ast.Type) string {
+	switch t.(type) {
+	case *ast.EnumType:
+		return "enum"
+	case *ast.SubrangeType:
+		return "subrange"
+	case *ast.ArrayType:
+		return "array"
+	case *ast.RecordType:
+		return "record"
+	case *ast.SetType:
+		return "set"
+	case *ast.PointerType:
+		return "pointer"
+	case *ast.RefType:
+		return "ref"
+	case *ast.ProcType:
+		return "proc"
+	case *ast.NamedType:
+		return "named"
+	}
+	return "?"
+}
+
+func TestOpaqueTypeInDefinition(t *testing.T) {
+	files := source.NewSet()
+	f := files.Add("D", source.Def, "DEFINITION MODULE D;\nTYPE T;\nEND D.")
+	diags := diag.NewBag(0)
+	toks := lexer.ScanAll(f, &ctrace.TaskCtx{}, diags)
+	p := parser.New(parser.NewSliceSource(toks), "D.def", &ctrace.TaskCtx{}, diags)
+	m := p.ParseUnit()
+	if diags.HasErrors() {
+		t.Fatalf("%s", diags)
+	}
+	td := m.Decls[0].(*ast.TypeDecl)
+	if td.Type != nil {
+		t.Fatal("opaque type must have nil Type")
+	}
+}
+
+func TestProcedureForms(t *testing.T) {
+	m := mustParse(t, `
+MODULE P;
+PROCEDURE NoParams;
+BEGIN
+END NoParams;
+
+PROCEDURE Full(a, b: INTEGER; VAR c: CHAR; d: ARRAY OF REAL): INTEGER;
+BEGIN
+  RETURN a
+END Full;
+END P.`)
+	p1 := m.Decls[0].(*ast.ProcDecl)
+	if p1.Head.Name.Text != "NoParams" || len(p1.Head.Params) != 0 || p1.Head.Ret != nil {
+		t.Error("NoParams heading wrong")
+	}
+	p2 := m.Decls[1].(*ast.ProcDecl)
+	if len(p2.Head.Params) != 3 {
+		t.Fatalf("Full has %d sections, want 3", len(p2.Head.Params))
+	}
+	if !p2.Head.Params[1].VarMode || p2.Head.Params[1].Names[0].Text != "c" {
+		t.Error("VAR section wrong")
+	}
+	if !p2.Head.Params[2].Open {
+		t.Error("open array section wrong")
+	}
+	if p2.Head.Ret == nil || p2.Head.Ret.String() != "INTEGER" {
+		t.Error("return type wrong")
+	}
+}
+
+func TestEndNameMismatch(t *testing.T) {
+	_, diags := parse(t, "MODULE P;\nPROCEDURE F;\nBEGIN\nEND G;\nEND P.")
+	if !strings.Contains(diags.String(), "procedure F ends with name G") {
+		t.Fatalf("missing mismatch error:\n%s", diags)
+	}
+	_, diags = parse(t, "MODULE P;\nEND Q.")
+	if !strings.Contains(diags.String(), "module P ends with name Q") {
+		t.Fatalf("missing module mismatch error:\n%s", diags)
+	}
+}
+
+func TestStatementForms(t *testing.T) {
+	m := mustParse(t, `
+MODULE P;
+VAR i, n: INTEGER; ok: BOOLEAN;
+BEGIN
+  i := 1;
+  n := i;
+  IF ok THEN i := 2 ELSIF i > 1 THEN i := 3 ELSE i := 4 END;
+  CASE i OF 1: n := 1 | 2, 3: n := 2 | 4..6: n := 3 ELSE n := 0 END;
+  WHILE i < 10 DO INC(i) END;
+  REPEAT DEC(i) UNTIL i = 0;
+  LOOP EXIT END;
+  FOR i := 1 TO 10 BY 2 DO n := n + i END;
+  RETURN
+END P.`)
+	kinds := []string{"assign", "assign", "if", "case", "while", "repeat", "loop", "for", "return"}
+	if len(m.Body.Stmts) != len(kinds) {
+		t.Fatalf("got %d statements", len(m.Body.Stmts))
+	}
+	for i, s := range m.Body.Stmts {
+		got := stmtName(s)
+		if got != kinds[i] {
+			t.Errorf("stmt %d is %s, want %s", i, got, kinds[i])
+		}
+	}
+	cs := m.Body.Stmts[3].(*ast.CaseStmt)
+	if len(cs.Arms) != 3 || cs.Else == nil {
+		t.Error("case arms wrong")
+	}
+	if cs.Arms[2].Labels[0].Hi == nil {
+		t.Error("case range label wrong")
+	}
+	fs := m.Body.Stmts[7].(*ast.ForStmt)
+	if fs.By == nil {
+		t.Error("FOR BY missing")
+	}
+}
+
+func stmtName(s ast.Stmt) string {
+	switch s.(type) {
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.CallStmt:
+		return "call"
+	case *ast.IfStmt:
+		return "if"
+	case *ast.CaseStmt:
+		return "case"
+	case *ast.WhileStmt:
+		return "while"
+	case *ast.RepeatStmt:
+		return "repeat"
+	case *ast.LoopStmt:
+		return "loop"
+	case *ast.ForStmt:
+		return "for"
+	case *ast.WithStmt:
+		return "with"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.RaiseStmt:
+		return "raise"
+	case *ast.TryStmt:
+		return "try"
+	case *ast.LockStmt:
+		return "lock"
+	case *ast.ExitStmt:
+		return "exit"
+	}
+	return "?"
+}
+
+func TestModulaPlusStatements(t *testing.T) {
+	m := mustParse(t, `
+MODULE P;
+EXCEPTION Bad, Worse;
+VAR m: MUTEX;
+BEGIN
+  TRY
+    RAISE Bad
+  EXCEPT
+    Bad: m := m
+  | Worse, Bad: m := m
+  ELSE m := m
+  END;
+  LOCK m DO m := m END
+END P.`)
+	ts := m.Body.Stmts[0].(*ast.TryStmt)
+	if len(ts.Handlers) != 2 || ts.Else == nil {
+		t.Fatalf("try parsed wrong: %d handlers", len(ts.Handlers))
+	}
+	if len(ts.Handlers[1].Excs) != 2 {
+		t.Error("multi-exception handler wrong")
+	}
+	if _, ok := m.Body.Stmts[1].(*ast.LockStmt); !ok {
+		t.Error("LOCK missing")
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	m := mustParse(t, "MODULE P;\nVAR x: INTEGER;\nBEGIN\n  x := 1 + 2 * 3 - 4 DIV 2\nEND P.")
+	rhs := m.Body.Stmts[0].(*ast.AssignStmt).RHS.(*ast.BinaryExpr)
+	// ((1 + (2*3)) - (4 DIV 2))
+	if rhs.Op != token.Minus {
+		t.Fatalf("top op %v, want -", rhs.Op)
+	}
+	left := rhs.X.(*ast.BinaryExpr)
+	if left.Op != token.Plus || left.Y.(*ast.BinaryExpr).Op != token.Star {
+		t.Error("left associativity / precedence wrong")
+	}
+	if rhs.Y.(*ast.BinaryExpr).Op != token.DIV {
+		t.Error("DIV binding wrong")
+	}
+}
+
+func TestRelationIsNonAssociative(t *testing.T) {
+	// "a < b < c" must parse the relation once; the second < is an error.
+	_, diags := parse(t, "MODULE P;\nVAR a: INTEGER;\nBEGIN\n  a := 1 < 2 < 3\nEND P.")
+	if !diags.HasErrors() {
+		t.Fatal("chained relations must not parse silently")
+	}
+}
+
+func TestDesignatorsAndCalls(t *testing.T) {
+	m := mustParse(t, `
+MODULE P;
+VAR x: INTEGER;
+BEGIN
+  a.b[1, 2]^.c := f(x, g());
+  p;
+  q()
+END P.`)
+	as := m.Body.Stmts[0].(*ast.AssignStmt)
+	if len(as.LHS.Sels) != 4 {
+		t.Fatalf("LHS has %d selectors, want 4 (field, index, deref, field)", len(as.LHS.Sels))
+	}
+	if _, ok := as.LHS.Sels[2].(*ast.DerefSel); !ok {
+		t.Error("deref selector wrong")
+	}
+	call := as.RHS.(*ast.CallExpr)
+	if len(call.Args) != 2 {
+		t.Error("call args wrong")
+	}
+	bare := m.Body.Stmts[1].(*ast.CallStmt)
+	if bare.HasArgs {
+		t.Error("bare call must have HasArgs=false")
+	}
+	empty := m.Body.Stmts[2].(*ast.CallStmt)
+	if !empty.HasArgs || len(empty.Args) != 0 {
+		t.Error("q() must have HasArgs=true and no args")
+	}
+}
+
+func TestSetConstructors(t *testing.T) {
+	m := mustParse(t, `
+MODULE P;
+VAR s: BITSET;
+BEGIN
+  s := {};
+  s := {1, 3..5};
+  s := BITSET{0} + Days{Mon..Fri}
+END P.`)
+	s1 := m.Body.Stmts[1].(*ast.AssignStmt).RHS.(*ast.SetExpr)
+	if s1.Type != nil || len(s1.Elems) != 2 || s1.Elems[1].Hi == nil {
+		t.Error("bare set constructor wrong")
+	}
+	bin := m.Body.Stmts[2].(*ast.AssignStmt).RHS.(*ast.BinaryExpr)
+	l := bin.X.(*ast.SetExpr)
+	r := bin.Y.(*ast.SetExpr)
+	if l.Type == nil || l.Type.String() != "BITSET" {
+		t.Error("qualified set constructor wrong")
+	}
+	if r.Type == nil || r.Type.String() != "Days" {
+		t.Error("named set constructor wrong")
+	}
+}
+
+func TestWithStatement(t *testing.T) {
+	m := mustParse(t, "MODULE P;\nVAR r: T;\nBEGIN\n  WITH r.inner DO x := 1 END\nEND P.")
+	ws := m.Body.Stmts[0].(*ast.WithStmt)
+	if ws.Rec.Head.Text != "r" || len(ws.Rec.Sels) != 1 {
+		t.Error("WITH designator wrong")
+	}
+}
+
+func TestBodyRefToken(t *testing.T) {
+	// Simulate the splitter's output: heading, BodyRef, ";".
+	toks := []token.Token{
+		{Kind: token.MODULE}, {Kind: token.Ident, Text: "M"}, {Kind: token.Semicolon},
+		{Kind: token.PROCEDURE}, {Kind: token.Ident, Text: "F"}, {Kind: token.Semicolon},
+		{Kind: token.BodyRef, Text: "7"}, {Kind: token.Semicolon},
+		{Kind: token.END}, {Kind: token.Ident, Text: "M"}, {Kind: token.Dot},
+		{Kind: token.EOF},
+	}
+	diags := diag.NewBag(0)
+	p := parser.New(parser.NewSliceSource(toks), "M.mod", &ctrace.TaskCtx{}, diags)
+	m := p.ParseUnit()
+	if diags.HasErrors() {
+		t.Fatalf("%s", diags)
+	}
+	pd := m.Decls[0].(*ast.ProcDecl)
+	if !pd.HeadingOnly || pd.BodyStream != 7 {
+		t.Fatalf("BodyRef not parsed: %+v", pd)
+	}
+}
+
+func TestLocalModuleRejectedButRecovered(t *testing.T) {
+	_, diags := parse(t, `
+MODULE P;
+MODULE Inner;
+VAR x: INTEGER;
+BEGIN
+  x := 1
+END Inner;
+VAR y: INTEGER;
+BEGIN
+  y := 2
+END P.`)
+	text := diags.String()
+	if !strings.Contains(text, "local modules are not supported") {
+		t.Fatalf("missing local-module error:\n%s", text)
+	}
+	// Recovery must not cascade into the following VAR section.
+	if strings.Count(text, "error") != 1 {
+		t.Fatalf("recovery produced cascading errors:\n%s", text)
+	}
+}
+
+func TestErrorRecoveryProgress(t *testing.T) {
+	// Garbage must produce errors but never hang the parser.
+	_, diags := parse(t, "MODULE P;\nVAR : ;\nBEGIN\n  := ;\nEND P.")
+	if !diags.HasErrors() {
+		t.Fatal("garbage must error")
+	}
+}
+
+func TestLiteralDecoding(t *testing.T) {
+	m := mustParse(t, `
+MODULE P;
+CONST h = 0FFH; o = 17B; d = 42; r = 1.5E2; c = 101C; s = "ab";
+END P.`)
+	vals := map[string]int64{"h": 255, "o": 15, "d": 42}
+	for _, d := range m.Decls[:3] {
+		cd := d.(*ast.ConstDecl)
+		if got := cd.Expr.(*ast.IntLit).Value; got != vals[cd.Name.Text] {
+			t.Errorf("%s = %d, want %d", cd.Name.Text, got, vals[cd.Name.Text])
+		}
+	}
+	if got := m.Decls[3].(*ast.ConstDecl).Expr.(*ast.RealLit).Value; got != 150 {
+		t.Errorf("real = %v", got)
+	}
+	if got := m.Decls[4].(*ast.ConstDecl).Expr.(*ast.CharLit).Value; got != 'A' {
+		t.Errorf("char = %c", got)
+	}
+}
+
+func TestStagedParsing(t *testing.T) {
+	// The concurrent driver's staging: prologue → declarations → body.
+	files := source.NewSet()
+	f := files.Add("T", source.Impl, `
+MODULE T;
+IMPORT A;
+CONST c = 1;
+BEGIN
+  WriteInt(c, 0)
+END T.`)
+	diags := diag.NewBag(0)
+	toks := lexer.ScanAll(f, &ctrace.TaskCtx{}, diags)
+	p := parser.New(parser.NewSliceSource(toks), "T.mod", &ctrace.TaskCtx{}, diags)
+	m := p.ParsePrologue()
+	if m.Name.Text != "T" || len(m.Imports) != 1 {
+		t.Fatal("prologue wrong")
+	}
+	decls := p.ParseDeclarations()
+	if len(decls) != 1 {
+		t.Fatal("declarations wrong")
+	}
+	p.ParseBody(m)
+	if diags.HasErrors() {
+		t.Fatalf("%s", diags)
+	}
+	if m.Body == nil || len(m.Body.Stmts) != 1 {
+		t.Fatal("body wrong")
+	}
+}

@@ -1,0 +1,343 @@
+// Package sched implements the Supervisors approach of §2.3.2: one
+// worker slot per (virtual) processor, a priority-ordered ready queue
+// searched in the paper's task-class order, and the three event wait
+// disciplines of §2.3.3:
+//
+//   - avoided events gate a task out of the ready queue entirely until
+//     they fire;
+//   - handled events release the task's worker slot while it waits, and
+//     the Supervisor preferentially boosts the task that will fire the
+//     event (§2.3.4);
+//   - barrier events hold the slot (token-queue consumers only; their
+//     producers never block, so progress is guaranteed).
+//
+// The paper's constraint that a task begun by a worker had to be
+// finished by that worker was an artifact of Topaz thread affinity; here
+// each task is a goroutine and worker slots are a prioritized counting
+// semaphore, which removes that deadlock case without changing the
+// scheduling policy (see DESIGN.md).
+package sched
+
+import (
+	"container/heap"
+	"sync"
+
+	"m2cc/internal/ctrace"
+	"m2cc/internal/event"
+)
+
+// Priority computes a task's ready-queue priority: class-major (the
+// §2.3.4 queue order), then larger sizes first within a class (code is
+// generated for long procedures before short ones "to avoid a long
+// sequential tail"), then spawn order.  Lower values run first.
+func Priority(class ctrace.TaskKind, size int64) int64 {
+	const classShift = 44
+	if size < 0 {
+		size = 0
+	}
+	if size >= 1<<classShift {
+		size = 1<<classShift - 1
+	}
+	return int64(class)<<classShift - size
+}
+
+// Task is one schedulable unit of compilation work.
+type Task struct {
+	Ctx   *ctrace.TaskCtx
+	Label string
+
+	sup      *Supervisor
+	kind     ctrace.TaskKind
+	priority int64
+	seq      int64
+	run      func(*Task)
+	done     *event.Event
+
+	gatesLeft int
+	started   bool
+	resume    chan struct{}
+	heapIdx   int // index in the runnable heap, -1 when absent
+}
+
+// Done returns the event fired when the task finishes.  Other tasks
+// gate on it to sequence the stages of one stream.
+func (t *Task) Done() *event.Event { return t.done }
+
+// BarrierWait performs a barrier-event wait: the worker slot is held
+// (§2.3.3).  It is the WaitFunc handed to token-queue readers.  The
+// wait is noted unconditionally — token-block acquisitions are
+// schedule-independent facts the simulator replays, whether or not this
+// particular run had to block on them.
+func (t *Task) BarrierWait(e *event.Event) {
+	t.Ctx.NoteBarrier(e)
+	if e.Fired() {
+		return
+	}
+	e.Wait()
+}
+
+// HandledWait performs a handled-event wait: the slot is released so
+// another task (preferentially the event's producer) can run, and
+// re-acquired once the event fires.  It is the wait the symbol-table
+// searcher uses for DKY blockages.
+func (t *Task) HandledWait(e *event.Event) {
+	if e.Fired() {
+		return
+	}
+	t.sup.releaseForWait(t, e)
+	e.Wait()
+	t.sup.reacquire(t)
+}
+
+// Supervisor owns the worker slots and the ready queue.
+type Supervisor struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	slots    int
+	free     int
+	runnable taskHeap
+	seq      int64
+
+	producers map[*event.Event]*Task
+	blocked   map[*Task]*event.Event
+	parked    map[*Task][]*event.Event
+
+	total    int
+	finished int
+
+	rec *ctrace.Recorder
+
+	// OnDeadlock is invoked (outside the lock) with a description when
+	// the watchdog breaks a stall; the driver reports it as an error.
+	OnDeadlock func(msg string)
+}
+
+// New returns a Supervisor with the given number of worker slots
+// (§2.3.2: one per processor).  rec may be nil.
+func New(workers int, rec *ctrace.Recorder) *Supervisor {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Supervisor{
+		slots: workers, free: workers, rec: rec,
+		producers: make(map[*event.Event]*Task),
+		blocked:   make(map[*Task]*event.Event),
+		parked:    make(map[*Task][]*event.Event),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// SetProducer declares that task t is the one that will fire e; the
+// Supervisor uses this to run the DKY-resolving task preferentially
+// when someone blocks on e (§2.3.4).
+func (s *Supervisor) SetProducer(e *event.Event, t *Task) {
+	s.mu.Lock()
+	s.producers[e] = t
+	s.mu.Unlock()
+}
+
+// Spawn registers a task.  parent supplies the creation stamp for the
+// trace (nil for the initial tasks).  gates are the task's avoided
+// events: it enters the ready queue only once all have fired.
+func (s *Supervisor) Spawn(kind ctrace.TaskKind, stream int32, label string,
+	priority int64, gates []*event.Event, parent *ctrace.TaskCtx, run func(*Task)) *Task {
+
+	ctx := &ctrace.TaskCtx{Kind: kind, Rec: s.rec}
+	if s.rec != nil {
+		ctx.ID = s.rec.RegisterTask(kind, stream, label)
+		var pid ctrace.TaskID
+		var at ctrace.Stamp
+		if parent != nil {
+			pid = parent.ID
+			at = parent.Stamp()
+		}
+		s.rec.NoteSpawn(pid, at, ctx.ID, gates)
+	}
+	t := &Task{
+		Ctx: ctx, Label: label, sup: s, kind: kind, priority: priority,
+		run: run, done: event.New(), resume: make(chan struct{}, 1), heapIdx: -1,
+	}
+
+	s.mu.Lock()
+	s.total++
+	t.seq = s.seq
+	s.seq++
+	// Each gate's Subscribe callback runs exactly once (immediately if
+	// the event already fired), so counting len(gates) and decrementing
+	// per callback is race-free.
+	t.gatesLeft = len(gates)
+	if t.gatesLeft == 0 {
+		s.makeRunnableLocked(t)
+		s.dispatchLocked()
+		s.mu.Unlock()
+		return t
+	}
+	s.parked[t] = gates
+	s.mu.Unlock()
+
+	for _, g := range gates {
+		g.Subscribe(func() { s.gateFired(t) })
+	}
+	return t
+}
+
+func (s *Supervisor) gateFired(t *Task) {
+	s.mu.Lock()
+	t.gatesLeft--
+	if t.gatesLeft == 0 {
+		delete(s.parked, t)
+		s.makeRunnableLocked(t)
+		s.dispatchLocked()
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Supervisor) makeRunnableLocked(t *Task) {
+	heap.Push(&s.runnable, t)
+}
+
+// dispatchLocked hands free slots to the highest-priority runnable
+// tasks.
+func (s *Supervisor) dispatchLocked() {
+	for s.free > 0 && s.runnable.Len() > 0 {
+		t := heap.Pop(&s.runnable).(*Task)
+		s.free--
+		if !t.started {
+			t.started = true
+			go s.body(t)
+		} else {
+			t.resume <- struct{}{}
+		}
+	}
+}
+
+func (s *Supervisor) body(t *Task) {
+	t.Ctx.Add(ctrace.CostTaskStart)
+	t.run(t)
+	t.Ctx.FireEvent(t.done)
+	if s.rec != nil {
+		s.rec.FinishTask(t.Ctx.ID, t.Ctx.Units)
+	}
+	s.mu.Lock()
+	s.free++
+	s.finished++
+	s.dispatchLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// releaseForWait gives up t's slot because it is about to block on e.
+func (s *Supervisor) releaseForWait(t *Task, e *event.Event) {
+	s.mu.Lock()
+	s.free++
+	s.blocked[t] = e
+	// Run the task that resolves the blockage next, if it is ready.
+	if p, ok := s.producers[e]; ok && p.heapIdx >= 0 {
+		p.priority = -1 << 62
+		heap.Fix(&s.runnable, p.heapIdx)
+	}
+	s.dispatchLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// reacquire returns t to the runnable queue after its event fired and
+// blocks until a slot is granted.
+func (s *Supervisor) reacquire(t *Task) {
+	s.mu.Lock()
+	delete(s.blocked, t)
+	s.makeRunnableLocked(t)
+	s.dispatchLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-t.resume
+}
+
+// Wait blocks until every spawned task has finished.  It breaks DKY
+// deadlocks (possible only for erroneous programs, e.g. cyclic imports)
+// by force-firing the events stalled tasks wait on, so compilation
+// always terminates with diagnostics instead of hanging.
+func (s *Supervisor) Wait() {
+	s.mu.Lock()
+	for s.finished < s.total {
+		if s.free == s.slots && s.runnable.Len() == 0 {
+			// Nothing is running or runnable, yet tasks remain: a stall.
+			var fires []*event.Event
+			inTransit := false
+			for _, e := range s.blocked {
+				if e.Fired() {
+					// A woken waiter is between its event firing and
+					// re-acquiring a slot; it may fire the events the
+					// others wait on.  Not a deadlock — let it land.
+					inTransit = true
+				} else {
+					fires = append(fires, e)
+				}
+			}
+			if inTransit {
+				fires = nil
+			}
+			if len(fires) == 0 && !inTransit {
+				for _, gates := range s.parked {
+					for _, g := range gates {
+						if !g.Fired() {
+							fires = append(fires, g)
+						}
+					}
+				}
+			}
+			if len(fires) > 0 {
+				cb := s.OnDeadlock
+				s.mu.Unlock()
+				if cb != nil {
+					cb("DKY deadlock broken: compilation cannot make progress (cyclic imports or missing declarations)")
+				}
+				for _, e := range fires {
+					e.Fire()
+				}
+				s.mu.Lock()
+				continue
+			}
+			if !inTransit {
+				// No one to wake: tasks vanished without finishing —
+				// this would be a scheduler bug; bail out rather than
+				// hang.
+				break
+			}
+		}
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// taskHeap orders runnable tasks by (priority, seq).
+type taskHeap []*Task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority < h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *taskHeap) Push(x any) {
+	t := x.(*Task)
+	t.heapIdx = len(*h)
+	*h = append(*h, t)
+}
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.heapIdx = -1
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,302 @@
+package sched_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"m2cc/internal/ctrace"
+	"m2cc/internal/event"
+	"m2cc/internal/sched"
+)
+
+func TestPriorityOrderOnOneWorker(t *testing.T) {
+	// With one worker and all tasks spawned up front, execution follows
+	// the §2.3.4 class order regardless of spawn order.
+	s := sched.New(1, nil)
+	var mu sync.Mutex
+	var order []string
+	add := func(kind ctrace.TaskKind, name string) {
+		s.Spawn(kind, 0, name, sched.Priority(kind, 0), nil, nil, func(*sched.Task) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		})
+	}
+	// Occupy the single worker slot while the tasks are spawned in
+	// reverse class order, so the ready queue decides who runs first.
+	release := make(chan struct{})
+	s.Spawn(ctrace.KindLexor, 0, "hold", sched.Priority(ctrace.KindLexor, 0),
+		nil, nil, func(*sched.Task) { <-release })
+	add(ctrace.KindShortStmtCG, "short")
+	add(ctrace.KindLongStmtCG, "long")
+	add(ctrace.KindDefParseDecl, "defparse")
+	add(ctrace.KindSplitter, "split")
+	add(ctrace.KindLexor, "lex")
+	close(release)
+	s.Wait()
+	want := []string{"lex", "split", "defparse", "long", "short"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("ran %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestLongerTasksFirstWithinClass(t *testing.T) {
+	s := sched.New(1, nil)
+	var mu sync.Mutex
+	var order []string
+	release := make(chan struct{})
+	s.Spawn(ctrace.KindLexor, 0, "hold", sched.Priority(ctrace.KindLexor, 0),
+		nil, nil, func(*sched.Task) { <-release })
+	for _, c := range []struct {
+		name string
+		size int64
+	}{{"small", 10}, {"big", 1000}, {"mid", 100}} {
+		name := c.name
+		s.Spawn(ctrace.KindLongStmtCG, 0, name, sched.Priority(ctrace.KindLongStmtCG, c.size),
+			nil, nil, func(*sched.Task) {
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+			})
+	}
+	close(release)
+	s.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if order[0] != "big" || order[1] != "mid" || order[2] != "small" {
+		t.Fatalf("order %v, want big mid small (§2.3.4: long before short)", order)
+	}
+}
+
+func TestAvoidedEventsGateTasks(t *testing.T) {
+	s := sched.New(4, nil)
+	g1, g2 := event.New(), event.New()
+	var ran atomic.Bool
+	s.Spawn(ctrace.KindLexor, 0, "gated", 0, []*event.Event{g1, g2}, nil,
+		func(*sched.Task) { ran.Store(true) })
+	time.Sleep(5 * time.Millisecond)
+	if ran.Load() {
+		t.Fatal("task ran before its gates fired")
+	}
+	g1.Fire()
+	time.Sleep(5 * time.Millisecond)
+	if ran.Load() {
+		t.Fatal("task ran with one gate still unfired")
+	}
+	g2.Fire()
+	s.Wait()
+	if !ran.Load() {
+		t.Fatal("task never ran")
+	}
+}
+
+func TestHandledWaitReleasesSlot(t *testing.T) {
+	// One worker: task A blocks on an event fired by task B.  B can only
+	// run if A's handled wait released the worker slot.
+	s := sched.New(1, nil)
+	e := event.New()
+	var sequence []string
+	var mu sync.Mutex
+	log := func(m string) { mu.Lock(); sequence = append(sequence, m); mu.Unlock() }
+
+	s.Spawn(ctrace.KindLexor, 0, "A", 0, nil, nil, func(t *sched.Task) {
+		log("A-start")
+		t.HandledWait(e)
+		log("A-resume")
+	})
+	s.Spawn(ctrace.KindSplitter, 0, "B", 1, nil, nil, func(t *sched.Task) {
+		log("B")
+		t.Ctx.FireEvent(e)
+	})
+	s.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"A-start", "B", "A-resume"}
+	for i := range want {
+		if i >= len(sequence) || sequence[i] != want[i] {
+			t.Fatalf("sequence %v, want %v", sequence, want)
+		}
+	}
+}
+
+func TestHandledWaitOnFiredEventIsFree(t *testing.T) {
+	s := sched.New(1, nil)
+	e := event.New()
+	e.Fire()
+	done := false
+	s.Spawn(ctrace.KindLexor, 0, "A", 0, nil, nil, func(t *sched.Task) {
+		t.HandledWait(e) // must return immediately
+		done = true
+	})
+	s.Wait()
+	if !done {
+		t.Fatal("task did not finish")
+	}
+}
+
+func TestProducerBoost(t *testing.T) {
+	// When A blocks on an event produced by P, the supervisor runs P
+	// before other ready tasks even if P has a worse class priority.
+	s := sched.New(1, nil)
+	e := event.New()
+	var mu sync.Mutex
+	var order []string
+	log := func(m string) { mu.Lock(); order = append(order, m); mu.Unlock() }
+
+	s.Spawn(ctrace.KindLexor, 0, "A", 0, nil, nil, func(t *sched.Task) {
+		log("A")
+		t.HandledWait(e)
+		log("A2")
+	})
+	// "other" has better class priority than producer, but producer
+	// must be preferred once A blocks on e.
+	producer := s.Spawn(ctrace.KindMerge, 0, "producer",
+		sched.Priority(ctrace.KindMerge, 0), nil, nil, func(t *sched.Task) {
+			log("producer")
+			t.Ctx.FireEvent(e)
+		})
+	s.SetProducer(e, producer)
+	s.Spawn(ctrace.KindSplitter, 0, "other",
+		sched.Priority(ctrace.KindSplitter, 0), nil, nil, func(*sched.Task) { log("other") })
+	s.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) < 2 || order[0] != "A" || order[1] != "producer" {
+		t.Fatalf("order %v: the DKY-resolving task must run first (§2.3.4)", order)
+	}
+}
+
+func TestTaskDoneEventFires(t *testing.T) {
+	s := sched.New(2, nil)
+	a := s.Spawn(ctrace.KindLexor, 0, "A", 0, nil, nil, func(*sched.Task) {})
+	ran := false
+	s.Spawn(ctrace.KindSplitter, 0, "B", 1, []*event.Event{a.Done()}, nil,
+		func(*sched.Task) { ran = true })
+	s.Wait()
+	if !ran {
+		t.Fatal("task gated on Done never ran")
+	}
+}
+
+func TestDeadlockWatchdogBreaksCycles(t *testing.T) {
+	// Two tasks each waiting on an event only the other would fire: the
+	// watchdog must fire the events and report, never hang.
+	s := sched.New(2, nil)
+	var msgs []string
+	var mu sync.Mutex
+	s.OnDeadlock = func(m string) { mu.Lock(); msgs = append(msgs, m); mu.Unlock() }
+	e1, e2 := event.New(), event.New()
+	s.Spawn(ctrace.KindLexor, 0, "A", 0, nil, nil, func(t *sched.Task) {
+		t.HandledWait(e1)
+		t.Ctx.FireEvent(e2)
+	})
+	s.Spawn(ctrace.KindLexor, 0, "B", 0, nil, nil, func(t *sched.Task) {
+		t.HandledWait(e2)
+		t.Ctx.FireEvent(e1)
+	})
+	done := make(chan struct{})
+	go func() { s.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock not broken")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(msgs) == 0 {
+		t.Fatal("watchdog must report the broken deadlock")
+	}
+}
+
+func TestManyTasksStress(t *testing.T) {
+	s := sched.New(4, nil)
+	var count atomic.Int64
+	var spawnChild func(depth int) func(*sched.Task)
+	spawnChild = func(depth int) func(*sched.Task) {
+		return func(task *sched.Task) {
+			count.Add(1)
+			if depth < 3 {
+				for i := 0; i < 3; i++ {
+					s.Spawn(ctrace.KindShortStmtCG, 0, "c", 7, nil, task.Ctx, spawnChild(depth+1))
+				}
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		s.Spawn(ctrace.KindLexor, 0, "root", 0, nil, nil, spawnChild(0))
+	}
+	s.Wait()
+	want := int64(5 * (1 + 3 + 9 + 27))
+	if got := count.Load(); got != want {
+		t.Fatalf("ran %d tasks, want %d", got, want)
+	}
+}
+
+func TestSpawnRecordedInTrace(t *testing.T) {
+	rec := ctrace.NewRecorder()
+	s := sched.New(2, rec)
+	g := event.New()
+	parent := s.Spawn(ctrace.KindLexor, 1, "parent", 0, nil, nil, func(t *sched.Task) {
+		s.Spawn(ctrace.KindSplitter, 1, "child", 1, []*event.Event{g}, t.Ctx, func(*sched.Task) {})
+		t.Ctx.FireEvent(g)
+	})
+	_ = parent
+	s.Wait()
+	tr := rec.Trace()
+	if len(tr.Tasks) != 2 {
+		t.Fatalf("trace has %d tasks, want 2", len(tr.Tasks))
+	}
+	var sawChildSpawn bool
+	for _, sp := range tr.Spawns {
+		if sp.Parent != 0 && len(sp.Gates) == 1 {
+			sawChildSpawn = true
+		}
+	}
+	if !sawChildSpawn {
+		t.Fatal("child spawn with gate not recorded")
+	}
+	for _, ti := range tr.Tasks {
+		if ti.Cost <= 0 {
+			t.Fatalf("task %s has no cost", ti.Label)
+		}
+	}
+}
+
+func TestBarrierWaitHoldsSlot(t *testing.T) {
+	// A barrier wait must not release the worker: with one worker and a
+	// barrier whose producer fires from outside the supervisor, a ready
+	// task must NOT sneak in between.
+	s := sched.New(1, nil)
+	e := event.New()
+	var order []string
+	var mu sync.Mutex
+	log := func(m string) { mu.Lock(); order = append(order, m); mu.Unlock() }
+	s.Spawn(ctrace.KindLexor, 0, "A", 0, nil, nil, func(t *sched.Task) {
+		log("A-start")
+		t.BarrierWait(e)
+		log("A-end")
+	})
+	s.Spawn(ctrace.KindSplitter, 0, "B", 1, nil, nil, func(*sched.Task) { log("B") })
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		e.Fire()
+	}()
+	s.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"A-start", "A-end", "B"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order %v, want %v (B must wait for the held slot)", order, want)
+		}
+	}
+}

@@ -1,0 +1,477 @@
+package sema
+
+import (
+	"m2cc/internal/ast"
+	"m2cc/internal/symtab"
+	"m2cc/internal/token"
+	"m2cc/internal/types"
+)
+
+// FloorDiv implements Modula-2 DIV (rounding toward negative infinity).
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// FloorMod implements Modula-2 MOD (result takes the divisor's sign).
+func FloorMod(a, b int64) int64 { return a - FloorDiv(a, b)*b }
+
+// EvalConst evaluates a constant expression in the given scope.  Errors
+// are reported once at their source; an invalid Const propagates
+// silently to avoid cascades.
+func (e *Env) EvalConst(scope *symtab.Scope, x ast.Expr) types.Const {
+	bad := types.Const{}
+	switch x := x.(type) {
+	case *ast.IntLit:
+		return types.MakeInt(types.Whole, x.Value)
+	case *ast.RealLit:
+		return types.MakeReal(types.Real, x.Value)
+	case *ast.CharLit:
+		return types.MakeInt(types.Char, int64(x.Value))
+	case *ast.StringLit:
+		return types.MakeString(x.Value)
+	case *ast.SetExpr:
+		return e.evalConstSet(scope, x)
+	case *ast.UnaryExpr:
+		v := e.EvalConst(scope, x.X)
+		if !v.IsValid() {
+			return bad
+		}
+		return e.constUnary(x, v)
+	case *ast.BinaryExpr:
+		a := e.EvalConst(scope, x.X)
+		b := e.EvalConst(scope, x.Y)
+		if !a.IsValid() || !b.IsValid() {
+			return bad
+		}
+		return e.constBinary(x, a, b)
+	case *ast.Designator:
+		q, ok := designatorAsQualident(x)
+		if !ok {
+			e.Errorf(x.ExprPos(), "constant expression expected")
+			return bad
+		}
+		sym := e.ResolveQualident(scope, q, nil)
+		if sym == nil {
+			return bad
+		}
+		if sym.Kind != symtab.KConst {
+			e.Errorf(x.ExprPos(), "%s is a %s, not a constant", q, sym.Kind)
+			return bad
+		}
+		return sym.Val
+	case *ast.CallExpr:
+		return e.evalConstCall(scope, x)
+	default:
+		e.Errorf(x.ExprPos(), "constant expression expected")
+		return bad
+	}
+}
+
+// designatorAsQualident converts a purely dotted designator to a
+// qualident.
+func designatorAsQualident(d *ast.Designator) (*ast.Qualident, bool) {
+	q := &ast.Qualident{Parts: []ast.Name{d.Head}}
+	for _, s := range d.Sels {
+		f, ok := s.(*ast.FieldSel)
+		if !ok {
+			return nil, false
+		}
+		q.Parts = append(q.Parts, f.Name)
+	}
+	return q, true
+}
+
+func (e *Env) evalConstSet(scope *symtab.Scope, x *ast.SetExpr) types.Const {
+	setType := types.BitSet
+	if x.Type != nil {
+		t := e.ResolveTypeName(scope, x.Type)
+		if t == types.Bad {
+			return types.Const{}
+		}
+		if !t.IsSet() {
+			e.Errorf(x.Pos, "%s is not a set type", t)
+			return types.Const{}
+		}
+		setType = t
+	}
+	var mask uint64
+	for _, el := range x.Elems {
+		lo := e.EvalConst(scope, el.Lo)
+		hi := lo
+		if el.Hi != nil {
+			hi = e.EvalConst(scope, el.Hi)
+		}
+		if !lo.IsValid() || !hi.IsValid() {
+			return types.Const{}
+		}
+		if lo.Kind != types.CInt || hi.Kind != types.CInt {
+			e.Errorf(x.Pos, "set elements must be ordinal constants")
+			return types.Const{}
+		}
+		if lo.I < 0 || hi.I > 63 || lo.I > hi.I {
+			e.Errorf(x.Pos, "set element range %d..%d outside 0..63", lo.I, hi.I)
+			return types.Const{}
+		}
+		for i := lo.I; i <= hi.I; i++ {
+			mask |= 1 << uint(i)
+		}
+	}
+	return types.MakeSet(setType, mask)
+}
+
+func (e *Env) constUnary(x *ast.UnaryExpr, v types.Const) types.Const {
+	switch x.Op {
+	case token.Plus:
+		return v
+	case token.Minus:
+		switch v.Kind {
+		case types.CInt:
+			return types.MakeInt(types.Integer, -v.I)
+		case types.CReal:
+			return types.MakeReal(v.Type, -v.F)
+		}
+	case token.NOT:
+		if v.Type.Under().Kind == types.BooleanK {
+			return types.MakeBool(v.I == 0)
+		}
+	}
+	e.Errorf(x.Pos, "invalid constant operand for %s", x.Op)
+	return types.Const{}
+}
+
+func (e *Env) constBinary(x *ast.BinaryExpr, a, b types.Const) types.Const {
+	bad := types.Const{}
+	fail := func() types.Const {
+		e.Errorf(x.Pos, "invalid constant operands for %s", x.Op)
+		return bad
+	}
+
+	// Relations work across every constant class.
+	switch x.Op {
+	case token.Equal, token.NotEqual, token.Less, token.LessEq, token.Greater, token.GreaterEq:
+		return e.constRelation(x, a, b)
+	case token.IN:
+		if a.Kind != types.CInt || b.Kind != types.CSet {
+			return fail()
+		}
+		return types.MakeBool(a.I >= 0 && a.I < 64 && b.Set&(1<<uint(a.I)) != 0)
+	}
+
+	switch {
+	case a.Kind == types.CInt && b.Kind == types.CInt:
+		if !types.SameClass(a.Type, b.Type) {
+			return fail()
+		}
+		ua := a.Type.Under()
+		if ua.Kind == types.BooleanK {
+			switch x.Op {
+			case token.AND:
+				return types.MakeBool(a.I != 0 && b.I != 0)
+			case token.OR:
+				return types.MakeBool(a.I != 0 || b.I != 0)
+			}
+			return fail()
+		}
+		rt := a.Type
+		if rt.Under().Kind == types.WholeK {
+			rt = b.Type
+		}
+		switch x.Op {
+		case token.Plus:
+			return types.MakeInt(rt, a.I+b.I)
+		case token.Minus:
+			return types.MakeInt(rt, a.I-b.I)
+		case token.Star:
+			return types.MakeInt(rt, a.I*b.I)
+		case token.DIV:
+			if b.I == 0 {
+				e.Errorf(x.Pos, "division by zero in constant expression")
+				return bad
+			}
+			return types.MakeInt(rt, FloorDiv(a.I, b.I))
+		case token.MOD:
+			if b.I == 0 {
+				e.Errorf(x.Pos, "division by zero in constant expression")
+				return bad
+			}
+			return types.MakeInt(rt, FloorMod(a.I, b.I))
+		}
+		return fail()
+	case a.Kind == types.CReal && b.Kind == types.CReal:
+		switch x.Op {
+		case token.Plus:
+			return types.MakeReal(a.Type, a.F+b.F)
+		case token.Minus:
+			return types.MakeReal(a.Type, a.F-b.F)
+		case token.Star:
+			return types.MakeReal(a.Type, a.F*b.F)
+		case token.Slash:
+			if b.F == 0 {
+				e.Errorf(x.Pos, "division by zero in constant expression")
+				return bad
+			}
+			return types.MakeReal(a.Type, a.F/b.F)
+		}
+		return fail()
+	case a.Kind == types.CSet && b.Kind == types.CSet:
+		switch x.Op {
+		case token.Plus:
+			return types.MakeSet(a.Type, a.Set|b.Set)
+		case token.Minus:
+			return types.MakeSet(a.Type, a.Set&^b.Set)
+		case token.Star:
+			return types.MakeSet(a.Type, a.Set&b.Set)
+		case token.Slash:
+			return types.MakeSet(a.Type, a.Set^b.Set)
+		}
+		return fail()
+	}
+	return fail()
+}
+
+func (e *Env) constRelation(x *ast.BinaryExpr, a, b types.Const) types.Const {
+	cmp := func(c int) types.Const {
+		switch x.Op {
+		case token.Equal:
+			return types.MakeBool(c == 0)
+		case token.NotEqual:
+			return types.MakeBool(c != 0)
+		case token.Less:
+			return types.MakeBool(c < 0)
+		case token.LessEq:
+			return types.MakeBool(c <= 0)
+		case token.Greater:
+			return types.MakeBool(c > 0)
+		default:
+			return types.MakeBool(c >= 0)
+		}
+	}
+	switch {
+	case a.Kind == types.CInt && b.Kind == types.CInt:
+		switch {
+		case a.I < b.I:
+			return cmp(-1)
+		case a.I > b.I:
+			return cmp(1)
+		}
+		return cmp(0)
+	case a.Kind == types.CReal && b.Kind == types.CReal:
+		switch {
+		case a.F < b.F:
+			return cmp(-1)
+		case a.F > b.F:
+			return cmp(1)
+		}
+		return cmp(0)
+	case a.Kind == types.CString && b.Kind == types.CString:
+		switch {
+		case a.S < b.S:
+			return cmp(-1)
+		case a.S > b.S:
+			return cmp(1)
+		}
+		return cmp(0)
+	case a.Kind == types.CSet && b.Kind == types.CSet:
+		switch x.Op {
+		case token.Equal:
+			return types.MakeBool(a.Set == b.Set)
+		case token.NotEqual:
+			return types.MakeBool(a.Set != b.Set)
+		case token.LessEq:
+			return types.MakeBool(a.Set&^b.Set == 0)
+		case token.GreaterEq:
+			return types.MakeBool(b.Set&^a.Set == 0)
+		}
+	case a.Kind == types.CNil && b.Kind == types.CNil:
+		return cmp(0)
+	}
+	e.Errorf(x.Pos, "invalid constant comparison")
+	return types.Const{}
+}
+
+// evalConstCall evaluates builtin function applications in constant
+// expressions: ORD, CHR, ABS, ODD, CAP, MIN, MAX, VAL, TRUNC, FLOAT,
+// SIZE and TSIZE.
+func (e *Env) evalConstCall(scope *symtab.Scope, x *ast.CallExpr) types.Const {
+	bad := types.Const{}
+	q, ok := designatorAsQualident(x.Fun)
+	if !ok {
+		e.Errorf(x.Pos, "constant expression expected")
+		return bad
+	}
+	sym := e.ResolveQualident(scope, q, nil)
+	if sym == nil {
+		return bad
+	}
+	if sym.Kind != symtab.KBuiltin {
+		e.Errorf(x.Pos, "%s cannot be applied in a constant expression", q)
+		return bad
+	}
+	argType := func(i int) *types.Type {
+		d, ok := x.Args[i].(*ast.Designator)
+		if !ok {
+			return nil
+		}
+		aq, ok := designatorAsQualident(d)
+		if !ok {
+			return nil
+		}
+		s := e.ResolveQualident(scope, aq, nil)
+		if s == nil || s.Kind != symtab.KType {
+			return nil
+		}
+		return s.Type
+	}
+	need := func(n int) bool {
+		if len(x.Args) != n {
+			e.Errorf(x.Pos, "%s expects %d argument(s)", sym.Name, n)
+			return false
+		}
+		return true
+	}
+	switch sym.BID {
+	case symtab.BOrd:
+		if !need(1) {
+			return bad
+		}
+		v := e.EvalConst(scope, x.Args[0])
+		switch {
+		case v.Kind == types.CInt:
+			return types.MakeInt(types.Cardinal, v.I)
+		case v.Kind == types.CString && len(v.S) == 1:
+			return types.MakeInt(types.Cardinal, int64(v.S[0]))
+		}
+	case symtab.BChr:
+		if !need(1) {
+			return bad
+		}
+		if v := e.EvalConst(scope, x.Args[0]); v.Kind == types.CInt {
+			return types.MakeInt(types.Char, v.I&0xFF)
+		}
+	case symtab.BAbs:
+		if !need(1) {
+			return bad
+		}
+		v := e.EvalConst(scope, x.Args[0])
+		switch v.Kind {
+		case types.CInt:
+			if v.I < 0 {
+				return types.MakeInt(v.Type, -v.I)
+			}
+			return v
+		case types.CReal:
+			if v.F < 0 {
+				return types.MakeReal(v.Type, -v.F)
+			}
+			return v
+		}
+	case symtab.BOdd:
+		if !need(1) {
+			return bad
+		}
+		if v := e.EvalConst(scope, x.Args[0]); v.Kind == types.CInt {
+			return types.MakeBool(v.I&1 != 0)
+		}
+	case symtab.BCap:
+		if !need(1) {
+			return bad
+		}
+		v := e.EvalConst(scope, x.Args[0])
+		if v.Kind == types.CString && len(v.S) == 1 {
+			v = types.MakeInt(types.Char, int64(v.S[0]))
+		}
+		if v.Kind == types.CInt {
+			c := v.I
+			if c >= 'a' && c <= 'z' {
+				c -= 32
+			}
+			return types.MakeInt(types.Char, c)
+		}
+	case symtab.BMin, symtab.BMax:
+		if !need(1) {
+			return bad
+		}
+		t := argType(0)
+		if t == nil {
+			e.Errorf(x.Pos, "%s expects a type argument", sym.Name)
+			return bad
+		}
+		if t.IsReal() {
+			if sym.BID == symtab.BMin {
+				return types.MakeReal(t, -1.7e308)
+			}
+			return types.MakeReal(t, 1.7e308)
+		}
+		lo, hi, ok := t.Bounds()
+		if !ok {
+			e.Errorf(x.Pos, "%s requires an ordinal or real type", sym.Name)
+			return bad
+		}
+		if sym.BID == symtab.BMin {
+			return types.MakeInt(t, lo)
+		}
+		return types.MakeInt(t, hi)
+	case symtab.BVal:
+		if !need(2) {
+			return bad
+		}
+		t := argType(0)
+		if t == nil || !t.IsOrdinal() {
+			e.Errorf(x.Pos, "VAL expects an ordinal type and a value")
+			return bad
+		}
+		if v := e.EvalConst(scope, x.Args[1]); v.Kind == types.CInt {
+			return types.MakeInt(t, v.I)
+		}
+	case symtab.BTrunc:
+		if !need(1) {
+			return bad
+		}
+		if v := e.EvalConst(scope, x.Args[0]); v.Kind == types.CReal {
+			return types.MakeInt(types.Cardinal, int64(v.F))
+		}
+	case symtab.BFloat:
+		if !need(1) {
+			return bad
+		}
+		if v := e.EvalConst(scope, x.Args[0]); v.Kind == types.CInt {
+			return types.MakeReal(types.Real, float64(v.I))
+		}
+	case symtab.BSize, symtab.BTSize:
+		if !need(1) {
+			return bad
+		}
+		t := argType(0)
+		if t == nil {
+			e.Errorf(x.Pos, "%s expects a type argument in constant expressions", sym.Name)
+			return bad
+		}
+		return types.MakeInt(types.Cardinal, int64(t.Slots()*types.WordBytes))
+	default:
+		e.Errorf(x.Pos, "%s cannot be applied in a constant expression", sym.Name)
+		return bad
+	}
+	e.Errorf(x.Pos, "invalid argument for %s in constant expression", sym.Name)
+	return bad
+}
+
+// EvalConstInt evaluates x and coerces to an ordinal constant value.
+func (e *Env) EvalConstInt(scope *symtab.Scope, x ast.Expr) (int64, *types.Type, bool) {
+	v := e.EvalConst(scope, x)
+	switch v.Kind {
+	case types.CInt:
+		return v.I, v.Type, true
+	case types.CString:
+		if len(v.S) == 1 {
+			return int64(v.S[0]), types.Char, true
+		}
+	case types.CInvalid:
+		return 0, types.Bad, false
+	}
+	e.Errorf(x.ExprPos(), "ordinal constant expected")
+	return 0, types.Bad, false
+}

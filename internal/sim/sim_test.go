@@ -1,0 +1,181 @@
+package sim_test
+
+import (
+	"testing"
+
+	"m2cc/internal/core"
+	"m2cc/internal/ctrace"
+	"m2cc/internal/sim"
+	"m2cc/internal/source"
+	"m2cc/internal/symtab"
+	"m2cc/internal/workload"
+)
+
+// collectTrace compiles a program with one worker and tracing on.
+func collectTrace(t *testing.T, name string, loader *source.MapLoader) *ctrace.Trace {
+	t.Helper()
+	res := core.Compile(name, loader, core.Options{Workers: 1, Trace: true})
+	if res.Failed() {
+		t.Fatalf("compile %s failed:\n%s", name, res.Diags)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace collected")
+	}
+	return res.Trace
+}
+
+func synthTrace(t *testing.T, procs, reps int) *ctrace.Trace {
+	loader := source.NewMapLoader()
+	workload.GenerateSynth(loader, procs, reps, nil)
+	return collectTrace(t, "Synth", loader)
+}
+
+func defaultOpts(p int) sim.Options {
+	return sim.Options{
+		Processors: p, Strategy: symtab.Skeptical,
+		LongBeforeShort: true, BoostResolver: true,
+	}
+}
+
+// TestSimSpeedupMonotone checks the headline property: more simulated
+// processors never make the compilation slower, and the synthetic
+// best-case module scales close to linearly (Figure 2).
+func TestSimSpeedupMonotone(t *testing.T) {
+	trace := synthTrace(t, 32, 6)
+	base := sim.New(trace, defaultOpts(1)).Run().Makespan
+	if base <= 0 {
+		t.Fatal("zero makespan")
+	}
+	prev := 0.0
+	for p := 1; p <= 8; p++ {
+		r := sim.New(trace, defaultOpts(p)).Run()
+		speedup := base / r.Makespan
+		t.Logf("P=%d makespan=%.0f speedup=%.2f util=%.2f", p, r.Makespan, speedup, r.Utilization(p))
+		if speedup+0.02 < prev {
+			t.Errorf("speedup decreased at P=%d: %.3f < %.3f", p, speedup, prev)
+		}
+		prev = speedup
+	}
+	r8 := sim.New(trace, defaultOpts(8)).Run()
+	if sp := base / r8.Makespan; sp < 5.5 {
+		t.Errorf("Synth speedup at P=8 = %.2f, want near-linear (> 5.5)", sp)
+	}
+}
+
+// TestSimBusContention checks that the Firefly bus model flattens the
+// high-P tail without affecting P=1.
+func TestSimBusContention(t *testing.T) {
+	trace := synthTrace(t, 32, 6)
+	o1 := defaultOpts(1)
+	o1.Beta = sim.DefaultBeta
+	r1 := sim.New(trace, o1).Run()
+	r1nb := sim.New(trace, defaultOpts(1)).Run()
+	if r1.Makespan != r1nb.Makespan {
+		t.Errorf("beta must not affect one processor: %f vs %f", r1.Makespan, r1nb.Makespan)
+	}
+	o8 := defaultOpts(8)
+	o8.Beta = sim.DefaultBeta
+	r8 := sim.New(trace, o8).Run()
+	r8nb := sim.New(trace, defaultOpts(8)).Run()
+	if r8.Makespan <= r8nb.Makespan {
+		t.Errorf("bus contention must slow P=8: %f <= %f", r8.Makespan, r8nb.Makespan)
+	}
+}
+
+// TestSimDeterministic: same trace + options ⇒ identical results.
+func TestSimDeterministic(t *testing.T) {
+	trace := synthTrace(t, 16, 3)
+	a := sim.New(trace, defaultOpts(5)).Run()
+	b := sim.New(trace, defaultOpts(5)).Run()
+	if a.Makespan != b.Makespan || a.BusyTime != b.BusyTime || a.Blocks != b.Blocks {
+		t.Fatalf("nondeterministic simulation: %+v vs %+v", a, b)
+	}
+}
+
+// TestSimStrategies runs a real import-heavy program under all four
+// strategies; every strategy must terminate and Skeptical should not
+// be slower than Pessimistic (it strictly reduces waiting).
+func TestSimStrategies(t *testing.T) {
+	s := workload.GenerateSuite(3, 0.05)
+	trace := collectTrace(t, s.Programs[20].Name, s.Loader)
+	make2 := map[symtab.Strategy]float64{}
+	for strat := symtab.Avoidance; strat < symtab.NumStrategies; strat++ {
+		o := defaultOpts(8)
+		o.Strategy = strat
+		r := sim.New(trace, o).Run()
+		make2[strat] = r.Makespan
+		t.Logf("%s: makespan=%.0f blocks=%d", strat, r.Makespan, r.Blocks)
+		if r.Makespan <= 0 {
+			t.Errorf("%s: empty makespan", strat)
+		}
+	}
+	if make2[symtab.Skeptical] > make2[symtab.Pessimistic]*1.02 {
+		t.Errorf("skeptical (%f) should not be slower than pessimistic (%f)",
+			make2[symtab.Skeptical], make2[symtab.Pessimistic])
+	}
+}
+
+// TestSimTable2Stats: the simulated lookup statistics must cover the
+// same row families as the paper's Table 2 and sum to the lookup count.
+func TestSimTable2Stats(t *testing.T) {
+	s := workload.GenerateSuite(3, 0.05)
+	trace := collectTrace(t, s.Programs[25].Name, s.Loader)
+	o := defaultOpts(8)
+	o.CollectStats = true
+	r := sim.New(trace, o).Run()
+	if r.Stats == nil {
+		t.Fatal("no stats")
+	}
+	rows := r.Stats.Rows()
+	if len(rows) == 0 {
+		t.Fatal("empty Table 2")
+	}
+	var total int64
+	seenSelf, seenQual := false, false
+	for _, row := range rows {
+		total += row.Count
+		if !row.Key.Qualified && row.Key.Rel == ctrace.RelSelf {
+			seenSelf = true
+		}
+		if row.Key.Qualified {
+			seenQual = true
+		}
+	}
+	if !seenSelf || !seenQual {
+		t.Errorf("missing expected row families (self=%v qualified=%v):\n%s",
+			seenSelf, seenQual, r.Stats)
+	}
+	t.Logf("simulated Table 2 at P=8:\n%s", r.Stats)
+}
+
+// TestSimTimeline: the timeline must cover every processor's busy time
+// and contain the task-kind mix of Figure 7.
+func TestSimTimeline(t *testing.T) {
+	trace := synthTrace(t, 16, 4)
+	o := defaultOpts(4)
+	o.CollectTimeline = true
+	r := sim.New(trace, o).Run()
+	if len(r.Timeline) == 0 {
+		t.Fatal("no timeline")
+	}
+	var sum float64
+	kinds := map[ctrace.TaskKind]bool{}
+	for _, iv := range r.Timeline {
+		if iv.End <= iv.Start {
+			t.Fatalf("bad interval %+v", iv)
+		}
+		if iv.Proc < 0 || iv.Proc >= 4 {
+			t.Fatalf("bad processor %d", iv.Proc)
+		}
+		sum += iv.End - iv.Start
+		kinds[iv.Kind] = true
+	}
+	if diff := sum - r.BusyTime; diff > 1 || diff < -1 {
+		t.Errorf("timeline sum %.1f != busy time %.1f", sum, r.BusyTime)
+	}
+	for _, k := range []ctrace.TaskKind{ctrace.KindLexor, ctrace.KindSplitter, ctrace.KindModParseDecl} {
+		if !kinds[k] {
+			t.Errorf("timeline missing %s activity", k)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package source manages the source text of a compilation: the
+// implementation module (M.mod) plus every definition module (X.def)
+// reachable through imports.
+//
+// The compiler never touches the file system directly; it asks a Loader
+// for module text.  This keeps the whole compiler usable in-memory (the
+// workload generator and the test suite depend on that) while cmd/m2c
+// supplies a disk-backed Loader.
+package source
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FileKind distinguishes the two halves of a Modula-2+ module.
+type FileKind uint8
+
+const (
+	// Def is a definition module file (M.def).
+	Def FileKind = iota
+	// Impl is an implementation module file (M.mod).
+	Impl
+)
+
+func (k FileKind) String() string {
+	if k == Def {
+		return "def"
+	}
+	return "mod"
+}
+
+// Ext returns the conventional file extension for the kind.
+func (k FileKind) Ext() string {
+	if k == Def {
+		return ".def"
+	}
+	return ".mod"
+}
+
+// A Loader resolves module names to source text.  Load is called
+// concurrently from importer tasks and must be safe for concurrent use.
+type Loader interface {
+	// Load returns the text of the named module file.  It returns an
+	// error if the module is unknown.
+	Load(name string, kind FileKind) (string, error)
+}
+
+// MapLoader is an in-memory Loader keyed by "Name.def" / "Name.mod".
+// The zero value is empty and ready to use after the first Add.
+type MapLoader struct {
+	mu    sync.RWMutex
+	files map[string]string
+}
+
+// NewMapLoader returns an empty in-memory loader.
+func NewMapLoader() *MapLoader {
+	return &MapLoader{files: make(map[string]string)}
+}
+
+// Add registers module text under the given name and kind, replacing any
+// previous text.
+func (l *MapLoader) Add(name string, kind FileKind, text string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.files == nil {
+		l.files = make(map[string]string)
+	}
+	l.files[name+kind.Ext()] = text
+}
+
+// Load implements Loader.
+func (l *MapLoader) Load(name string, kind FileKind) (string, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	text, ok := l.files[name+kind.Ext()]
+	if !ok {
+		return "", fmt.Errorf("module %s%s not found", name, kind.Ext())
+	}
+	return text, nil
+}
+
+// Names returns the registered file names in sorted order (for listings
+// and tests).
+func (l *MapLoader) Names() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	names := make([]string, 0, len(l.files))
+	for n := range l.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DirLoader loads module files from one or more directories, first match
+// wins.  It is safe for concurrent use.
+type DirLoader struct {
+	Dirs []string
+}
+
+// Load implements Loader by searching each directory for Name.def or
+// Name.mod.
+func (l *DirLoader) Load(name string, kind FileKind) (string, error) {
+	base := name + kind.Ext()
+	for _, dir := range l.Dirs {
+		data, err := os.ReadFile(filepath.Join(dir, base))
+		if err == nil {
+			return string(data), nil
+		}
+		if !os.IsNotExist(err) {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("module %s not found in %v", base, l.Dirs)
+}
+
+// File describes one source file participating in a compilation.  The
+// Set assigns each file a small integer ID used in token positions.
+type File struct {
+	ID   int32
+	Name string // module name, without extension
+	Kind FileKind
+	Text string
+}
+
+// Label returns "Name.def" or "Name.mod".
+func (f *File) Label() string { return f.Name + f.Kind.Ext() }
+
+// Set is the collection of files seen by one compilation.  Importer
+// tasks register files concurrently; token positions refer to files by
+// ID.  A Set must not be shared between compilations.
+type Set struct {
+	mu    sync.RWMutex
+	files []*File // index = ID-1
+}
+
+// NewSet returns an empty file set.
+func NewSet() *Set { return &Set{} }
+
+// Add registers a file and returns it with its assigned ID.
+func (s *Set) Add(name string, kind FileKind, text string) *File {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := &File{ID: int32(len(s.files) + 1), Name: name, Kind: kind, Text: text}
+	s.files = append(s.files, f)
+	return f
+}
+
+// ByID returns the file with the given ID, or nil for ID 0 / unknown.
+func (s *Set) ByID(id int32) *File {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 1 || int(id) > len(s.files) {
+		return nil
+	}
+	return s.files[id-1]
+}
+
+// Len returns the number of registered files.
+func (s *Set) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.files)
+}

@@ -1,0 +1,97 @@
+package source_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"m2cc/internal/source"
+)
+
+func TestMapLoaderAddLoad(t *testing.T) {
+	l := source.NewMapLoader()
+	l.Add("M", source.Def, "def text")
+	l.Add("M", source.Impl, "impl text")
+	if got, err := l.Load("M", source.Def); err != nil || got != "def text" {
+		t.Fatalf("Load def = %q, %v", got, err)
+	}
+	if got, err := l.Load("M", source.Impl); err != nil || got != "impl text" {
+		t.Fatalf("Load impl = %q, %v", got, err)
+	}
+	if _, err := l.Load("N", source.Def); err == nil {
+		t.Fatal("missing module must error")
+	}
+}
+
+func TestMapLoaderNamesSorted(t *testing.T) {
+	l := source.NewMapLoader()
+	l.Add("B", source.Impl, "")
+	l.Add("A", source.Def, "")
+	l.Add("A", source.Impl, "")
+	want := []string{"A.def", "A.mod", "B.mod"}
+	if got := l.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+}
+
+func TestMapLoaderConcurrent(t *testing.T) {
+	l := source.NewMapLoader()
+	l.Add("M", source.Def, "x")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if _, err := l.Load("M", source.Def); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDirLoader(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "X.def"), []byte("DEF"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := &source.DirLoader{Dirs: []string{t.TempDir(), dir}}
+	if got, err := l.Load("X", source.Def); err != nil || got != "DEF" {
+		t.Fatalf("Load = %q, %v", got, err)
+	}
+	if _, err := l.Load("X", source.Impl); err == nil {
+		t.Fatal("missing .mod must error")
+	}
+}
+
+func TestFileSetIDs(t *testing.T) {
+	s := source.NewSet()
+	a := s.Add("A", source.Def, "aaa")
+	b := s.Add("B", source.Impl, "bbb")
+	if a.ID != 1 || b.ID != 2 {
+		t.Fatalf("IDs = %d, %d; want 1, 2", a.ID, b.ID)
+	}
+	if got := s.ByID(2); got == nil || got.Label() != "B.mod" {
+		t.Fatalf("ByID(2) = %v", got)
+	}
+	if s.ByID(0) != nil || s.ByID(3) != nil {
+		t.Fatal("out-of-range IDs must return nil")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestFileKindExt(t *testing.T) {
+	if source.Def.Ext() != ".def" || source.Impl.Ext() != ".mod" {
+		t.Fatal("wrong extensions")
+	}
+	if source.Def.String() != "def" || source.Impl.String() != "mod" {
+		t.Fatal("wrong kind names")
+	}
+}

@@ -1,0 +1,141 @@
+// Package splitter implements the Splitter task: the finite-state
+// recognizer of §2.1 that divides the implementation module's token
+// stream into separately compilable procedure streams.
+//
+// Because Modula-2+ fixes program structure with reserved words, the
+// splitter needs no parsing: it watches for PROCEDURE followed by an
+// identifier (one token of lookahead distinguishes procedure
+// declarations from procedure types), routes the heading to the parent
+// stream, diverts the body tokens — tracking END-matching depth — to a
+// freshly started child stream, and leaves a BodyRef marker where the
+// body used to be.  Procedure nesting works by keeping a stack of
+// output streams.
+package splitter
+
+import (
+	"strconv"
+
+	"m2cc/internal/ctrace"
+	"m2cc/internal/token"
+	"m2cc/internal/tokq"
+)
+
+// StartProc is the driver callback invoked when the splitter detects a
+// procedure declaration.  parent is the stream the declaration appears
+// in (0 = the main module stream).  It returns the new stream's number
+// and its token queue.
+type StartProc func(name string, pos token.Pos, parent int32) (int32, *tokq.Queue)
+
+// output is one entry of the splitter's stream stack.
+type output struct {
+	stream int32
+	q      *tokq.Queue
+	depth  int // outstanding ENDs within this procedure body
+}
+
+// Run splits the token stream arriving on in.  Tokens outside procedure
+// bodies flow to mainOut; each procedure body flows to its own stream.
+// copyHeadings selects §2.4 alternative 3: the heading tokens are
+// duplicated into the child stream so the child can process its own
+// heading (the default, alternative 1, gives the heading only to the
+// parent, which copies the resulting symbol table entries).
+//
+// Run fires all queue events with the splitter task's context and is
+// careful to close every stream even for malformed input, so no
+// consumer can wait forever.
+func Run(ctx *ctrace.TaskCtx, in *tokq.Reader, mainOut *tokq.Queue, start StartProc, copyHeadings bool) {
+	mainOut.SetFireHook(ctx.FireEvent)
+	stack := []*output{{stream: 0, q: mainOut}}
+	top := func() *output { return stack[len(stack)-1] }
+
+	// closeAll closes every open stream (defensively appending EOF) so
+	// consumers always terminate.
+	closeAll := func(eof token.Token) {
+		for i := len(stack) - 1; i >= 0; i-- {
+			stack[i].q.Append(eof)
+			stack[i].q.Close()
+		}
+	}
+
+	for {
+		t := in.Next()
+		ctx.Add(ctrace.CostSplitToken)
+		switch {
+		case t.Kind == token.EOF:
+			closeAll(t)
+			return
+
+		case t.Kind == token.PROCEDURE && in.Peek().Kind == token.Ident:
+			// A procedure declaration: stream off the body.
+			parent := top()
+			name := in.Peek().Text
+			heading := collectHeading(ctx, t, in)
+			for _, h := range heading {
+				parent.q.Append(h)
+			}
+			stream, q := start(name, t.Pos, parent.stream)
+			q.SetFireHook(ctx.FireEvent)
+			parent.q.Append(token.Token{
+				Kind: token.BodyRef, Pos: t.Pos, Text: strconv.Itoa(int(stream)),
+			})
+			// Let the parent's parser see the heading (and fire the
+			// child's heading event) without waiting for a full block.
+			parent.q.Flush()
+			child := &output{stream: stream, q: q, depth: 1}
+			if copyHeadings {
+				for _, h := range heading {
+					q.Append(h)
+				}
+			}
+			stack = append(stack, child)
+
+		case t.Kind == token.END && len(stack) > 1:
+			cur := top()
+			cur.depth--
+			cur.q.Append(t)
+			if cur.depth == 0 {
+				// "END name" closes this procedure; the name goes to the
+				// child, the following ";" flows to the parent normally.
+				if in.Peek().Kind == token.Ident {
+					name := in.Next()
+					ctx.Add(ctrace.CostSplitToken)
+					cur.q.Append(name)
+				}
+				cur.q.Append(token.Token{Kind: token.EOF, Pos: t.Pos})
+				cur.q.Close()
+				stack = stack[:len(stack)-1]
+			}
+
+		default:
+			if t.Kind.OpensEnd() && len(stack) > 1 {
+				top().depth++
+			}
+			top().q.Append(t)
+		}
+	}
+}
+
+// collectHeading consumes and returns the tokens of a procedure heading
+// "PROCEDURE name [ ( params ) ] [ : qualident ] ;", starting from the
+// already-consumed PROCEDURE token.
+func collectHeading(ctx *ctrace.TaskCtx, proc token.Token, in *tokq.Reader) []token.Token {
+	heading := []token.Token{proc}
+	parens := 0
+	for {
+		t := in.Next()
+		ctx.Add(ctrace.CostSplitToken)
+		heading = append(heading, t)
+		switch t.Kind {
+		case token.LParen:
+			parens++
+		case token.RParen:
+			parens--
+		case token.Semicolon:
+			if parens <= 0 {
+				return heading
+			}
+		case token.EOF:
+			return heading
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package splitter_test
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"m2cc/internal/ctrace"
+	"m2cc/internal/diag"
+	"m2cc/internal/lexer"
+	"m2cc/internal/source"
+	"m2cc/internal/splitter"
+	"m2cc/internal/token"
+	"m2cc/internal/tokq"
+)
+
+// split lexes src and runs the splitter, returning the main-stream
+// tokens and each procedure stream's (name, tokens).
+func split(t *testing.T, src string, copyHeadings bool) ([]token.Token, map[int32][]token.Token, map[int32]string, map[int32]int32) {
+	t.Helper()
+	files := source.NewSet()
+	f := files.Add("T", source.Impl, src)
+	in := tokq.New(8)
+	lexer.Run(f, &ctrace.TaskCtx{}, diag.NewBag(0), in)
+
+	mainQ := tokq.New(8)
+	streams := make(map[int32]*tokq.Queue)
+	names := make(map[int32]string)
+	parents := make(map[int32]int32)
+	next := int32(0)
+	start := func(name string, pos token.Pos, parent int32) (int32, *tokq.Queue) {
+		next++
+		q := tokq.New(8)
+		streams[next] = q
+		names[next] = name
+		parents[next] = parent
+		return next, q
+	}
+	splitter.Run(&ctrace.TaskCtx{}, in.NewReader(nil), mainQ, start, copyHeadings)
+
+	drain := func(q *tokq.Queue) []token.Token {
+		r := q.NewReader(nil)
+		var out []token.Token
+		for {
+			tok := r.Next()
+			if tok.Kind == token.EOF {
+				return out
+			}
+			out = append(out, tok)
+		}
+	}
+	main := drain(mainQ)
+	got := make(map[int32][]token.Token)
+	for id, q := range streams {
+		got[id] = drain(q)
+	}
+	return main, got, names, parents
+}
+
+const sample = `
+MODULE M;
+VAR g: INTEGER;
+
+PROCEDURE Outer(a: INTEGER): INTEGER;
+VAR t: INTEGER;
+
+  PROCEDURE Inner(b: INTEGER): INTEGER;
+  BEGIN
+    IF b > 0 THEN RETURN b END;
+    RETURN -b
+  END Inner;
+
+BEGIN
+  t := Inner(a);
+  WHILE t > 10 DO t := t DIV 2 END;
+  RETURN t
+END Outer;
+
+PROCEDURE Simple;
+BEGIN
+  g := Outer(g)
+END Simple;
+
+BEGIN
+  g := 1
+END M.
+`
+
+func TestStreamsAndNesting(t *testing.T) {
+	_, streams, names, parents := split(t, sample, false)
+	if len(streams) != 3 {
+		t.Fatalf("want 3 procedure streams, got %d", len(streams))
+	}
+	byName := map[string]int32{}
+	for id, n := range names {
+		byName[n] = id
+	}
+	if parents[byName["Outer"]] != 0 {
+		t.Error("Outer's parent must be the main stream")
+	}
+	if parents[byName["Inner"]] != byName["Outer"] {
+		t.Error("Inner's parent must be Outer's stream")
+	}
+	if parents[byName["Simple"]] != 0 {
+		t.Error("Simple's parent must be the main stream")
+	}
+}
+
+func TestMainStreamHasHeadingsAndBodyRefs(t *testing.T) {
+	main, _, _, _ := split(t, sample, false)
+	text := lexer.Print(main)
+	for _, want := range []string{"PROCEDURE Outer ( a : INTEGER ) : INTEGER ;",
+		"PROCEDURE Simple ;", "MODULE M ;", "BEGIN g := 1 END M ."} {
+		flat := strings.Join(strings.Fields(want), " ")
+		if !strings.Contains(strings.Join(strings.Fields(text), " "), flat) {
+			t.Errorf("main stream missing %q in:\n%s", want, text)
+		}
+	}
+	refs := 0
+	for _, tok := range main {
+		if tok.Kind == token.BodyRef {
+			refs++
+		}
+	}
+	if refs != 2 {
+		t.Errorf("main stream must carry 2 BodyRefs (Outer, Simple), got %d", refs)
+	}
+}
+
+func TestChildStreamContainsBody(t *testing.T) {
+	_, streams, names, _ := split(t, sample, false)
+	for id, name := range names {
+		if name != "Inner" {
+			continue
+		}
+		text := lexer.Print(streams[id])
+		if !strings.Contains(text, "RETURN") || !strings.Contains(text, "Inner") {
+			t.Errorf("Inner stream looks wrong:\n%s", text)
+		}
+		if strings.Contains(text, "PROCEDURE") {
+			t.Error("alternative 1 must not copy the heading into the child stream")
+		}
+	}
+}
+
+func TestCopyHeadingsMode(t *testing.T) {
+	_, streams, names, _ := split(t, sample, true)
+	for id, name := range names {
+		text := lexer.Print(streams[id])
+		if !strings.Contains(text, "PROCEDURE "+name) {
+			t.Errorf("alternative 3 must copy %s's heading into its stream:\n%s", name, text)
+		}
+	}
+}
+
+func TestProcedureTypesNotSplit(t *testing.T) {
+	src := `
+MODULE M;
+TYPE F = PROCEDURE (INTEGER): INTEGER;
+VAR f: F;
+     g: PROCEDURE;
+BEGIN
+END M.
+`
+	_, streams, _, _ := split(t, src, false)
+	if len(streams) != 0 {
+		t.Fatalf("procedure types must not create streams, got %d", len(streams))
+	}
+}
+
+func TestEndMatchingThroughRecordsAndCase(t *testing.T) {
+	src := `
+MODULE M;
+PROCEDURE P;
+TYPE R = RECORD
+  CASE k: INTEGER OF
+    0: a: INTEGER
+  | 1: b: CHAR
+  END
+END;
+VAR v: R;
+BEGIN
+  CASE v.k OF
+    0: v.a := 1
+  ELSE v.b := "x"
+  END;
+  LOOP EXIT END;
+  WITH v DO a := 2 END
+END P;
+BEGIN
+END M.
+`
+	main, streams, _, _ := split(t, src, false)
+	if len(streams) != 1 {
+		t.Fatalf("want 1 stream, got %d", len(streams))
+	}
+	// Everything after P's END must flow back to the main stream.
+	text := lexer.Print(main)
+	if !strings.HasSuffix(strings.TrimSpace(text), "END M .") {
+		t.Errorf("main stream must end with END M .:\n%s", text)
+	}
+}
+
+// reassemble reconstructs the original token sequence from the split
+// streams by substituting each BodyRef with its stream's tokens plus
+// the END name.
+func reassemble(toks []token.Token, streams map[int32][]token.Token) []token.Token {
+	var out []token.Token
+	for _, tk := range toks {
+		if tk.Kind == token.BodyRef {
+			id, _ := strconv.Atoi(tk.Text)
+			out = append(out, reassemble(streams[int32(id)], streams)...)
+			continue
+		}
+		out = append(out, tk)
+	}
+	return out
+}
+
+// TestTokenConservation is the splitter's central invariant: splitting
+// loses and invents nothing — substituting every BodyRef by its stream
+// reproduces the original token sequence exactly.
+func TestTokenConservation(t *testing.T) {
+	check := func(seed int64) bool {
+		src := randomModule(rand.New(rand.NewSource(seed)))
+		files := source.NewSet()
+		f := files.Add("T", source.Impl, src)
+		orig := lexer.ScanAll(f, &ctrace.TaskCtx{}, diag.NewBag(0))
+		orig = orig[:len(orig)-1]
+
+		main, streams, _, _ := split(t, src, false)
+		got := reassemble(main, streams)
+		if len(got) != len(orig) {
+			t.Logf("length %d != %d\nsource:\n%s", len(got), len(orig), src)
+			return false
+		}
+		for i := range orig {
+			if got[i].Kind != orig[i].Kind || got[i].Text != orig[i].Text {
+				t.Logf("token %d differs: %v vs %v", i, got[i], orig[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomModule builds a random but structurally valid module with
+// nested procedures and END-bearing statements.
+func randomModule(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("MODULE R;\nVAR g: INTEGER;\n")
+	var proc func(name string, depth int)
+	proc = func(name string, depth int) {
+		b.WriteString("PROCEDURE " + name)
+		if r.Intn(2) == 0 {
+			b.WriteString("(x: INTEGER)")
+		}
+		b.WriteString(";\n")
+		if depth < 2 && r.Intn(3) == 0 {
+			proc(name+"n", depth+1)
+		}
+		b.WriteString("BEGIN\n")
+		for i := 0; i < r.Intn(4); i++ {
+			switch r.Intn(4) {
+			case 0:
+				b.WriteString("  IF g > 0 THEN g := g - 1 END;\n")
+			case 1:
+				b.WriteString("  WHILE g > 0 DO g := g DIV 2 END;\n")
+			case 2:
+				b.WriteString("  LOOP EXIT END;\n")
+			case 3:
+				b.WriteString("  CASE g OF 0: g := 1 ELSE g := 2 END;\n")
+			}
+		}
+		b.WriteString("END " + name + ";\n")
+	}
+	for i := 0; i < 1+r.Intn(4); i++ {
+		proc("p"+strconv.Itoa(i), 0)
+	}
+	b.WriteString("BEGIN\n  g := 0\nEND R.\n")
+	return b.String()
+}
+
+func TestUnterminatedProcedureStillCloses(t *testing.T) {
+	// Malformed input: the module ends inside a procedure.  The splitter
+	// must still close every stream so no consumer can hang.
+	src := "MODULE M;\nPROCEDURE P;\nBEGIN\n  g := 1\n"
+	main, streams, _, _ := split(t, src, false)
+	_ = main
+	if len(streams) != 1 {
+		t.Fatalf("want 1 stream, got %d", len(streams))
+	}
+}

@@ -1,0 +1,512 @@
+package symtab
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"m2cc/internal/ctrace"
+	"m2cc/internal/event"
+	"m2cc/internal/types"
+)
+
+// Strategy selects how symbol search deals with the Doesn't Know Yet
+// condition (§2.2).  The constants are ordered as in the paper: by
+// decreasing DKY delay, increasing concurrency potential and increasing
+// implementation effort.
+type Strategy uint8
+
+// DKY strategies.
+const (
+	// Avoidance delays the start of semantic analysis for a scope until
+	// the declaration analysis of its parent scope is complete, so
+	// searches never meet an incomplete outer table.  (The gating is
+	// done by the driver; if a search still meets an incomplete table —
+	// e.g. an indirectly imported interface — it degrades to a
+	// Pessimistic wait.)
+	Avoidance Strategy = iota
+	// Pessimistic blocks on any incomplete table before searching it.
+	Pessimistic
+	// Skeptical searches the incomplete table first and blocks only if
+	// the identifier is not found (Figure 6 — the paper's recommended
+	// compromise).
+	Skeptical
+	// Optimistic blocks on a per-symbol event, waking as soon as the
+	// individual entry appears (or the table completes without it).
+	Optimistic
+
+	// NumStrategies is the number of DKY strategies.
+	NumStrategies
+)
+
+var strategyNames = [NumStrategies]string{"avoidance", "pessimistic", "skeptical", "optimistic"}
+
+func (s Strategy) String() string {
+	if s < NumStrategies {
+		return strategyNames[s]
+	}
+	return "?"
+}
+
+// ParseStrategy converts a name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for i, n := range strategyNames {
+		if n == name {
+			return Strategy(i), nil
+		}
+	}
+	return Skeptical, fmt.Errorf("unknown DKY strategy %q (want avoidance, pessimistic, skeptical or optimistic)", name)
+}
+
+// FoundWhen is the "Found when" column of Table 2.
+type FoundWhen uint8
+
+// FoundWhen values.
+const (
+	// FirstTry: found in the first scope searched.
+	FirstTry FoundWhen = iota
+	// SearchOut: found while chaining outward through the parentage path.
+	SearchOut
+	// AfterDKY: found in a scope that was completed after a DKY blockage.
+	AfterDKY
+	// Never: the identifier was not found anywhere (an error).
+	Never
+)
+
+func (w FoundWhen) String() string {
+	switch w {
+	case FirstTry:
+		return "First try"
+	case SearchOut:
+		return "Search"
+	case AfterDKY:
+		return "After DKY"
+	default:
+		return "Never"
+	}
+}
+
+// StatKey is one row coordinate of Table 2.
+type StatKey struct {
+	Qualified  bool
+	When       FoundWhen
+	Rel        ctrace.Relation
+	Incomplete bool // table state at the successful probe (or first probe for Never)
+}
+
+// Stats tallies identifier lookups for Table 2 plus aggregate DKY
+// blockage counts.  Safe for concurrent use.
+type Stats struct {
+	mu     sync.Mutex
+	counts map[StatKey]int64
+
+	Blocks  int64 // DKY blockages (waits actually taken)
+	Lookups int64
+}
+
+// NewStats returns an empty collector.
+func NewStats() *Stats { return &Stats{counts: make(map[StatKey]int64)} }
+
+func (st *Stats) bump(k StatKey) {
+	if st == nil {
+		return
+	}
+	// The origin scope, WITH field scopes and the builtin table are
+	// never DKY-relevant; Table 2 reports them as complete.
+	if k.Rel == ctrace.RelSelf || k.Rel == ctrace.RelWith || k.Rel == ctrace.RelBuiltin {
+		k.Incomplete = false
+	}
+	st.mu.Lock()
+	st.counts[k]++
+	st.Lookups++
+	st.mu.Unlock()
+}
+
+// Bump adds one lookup outcome (exported for the trace-driven
+// simulator, which re-derives Table 2 under any strategy).
+func (st *Stats) Bump(k StatKey) { st.bump(k) }
+
+func (st *Stats) block() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.Blocks++
+	st.mu.Unlock()
+}
+
+// BumpBlock counts one DKY blockage (exported for the simulator).
+func (st *Stats) BumpBlock() { st.block() }
+
+// Add merges other into st (used to aggregate a whole test suite).
+func (st *Stats) Add(other *Stats) {
+	if st == nil || other == nil {
+		return
+	}
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for k, v := range other.counts {
+		st.counts[k] += v
+	}
+	st.Blocks += other.Blocks
+	st.Lookups += other.Lookups
+}
+
+// Rows returns the nonzero rows sorted in Table 2's layout order.
+func (st *Stats) Rows() []StatRow {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rows := make([]StatRow, 0, len(st.counts))
+	var total int64
+	for k, v := range st.counts {
+		rows = append(rows, StatRow{Key: k, Count: v})
+		total += v
+	}
+	for i := range rows {
+		rows[i].Percent = 100 * float64(rows[i].Count) / float64(max64(total, 1))
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i].Key, rows[j].Key
+		if a.Qualified != b.Qualified {
+			return !a.Qualified
+		}
+		if a.When != b.When {
+			return a.When < b.When
+		}
+		if a.Rel != b.Rel {
+			return a.Rel < b.Rel
+		}
+		return !a.Incomplete && b.Incomplete
+	})
+	return rows
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StatRow is one rendered row of Table 2.
+type StatRow struct {
+	Key     StatKey
+	Count   int64
+	Percent float64
+}
+
+func (r StatRow) String() string {
+	comp := "complete"
+	if r.Key.Incomplete {
+		comp = "incomplete"
+	}
+	cls := "simple"
+	if r.Key.Qualified {
+		cls = "qualified"
+	}
+	if r.Key.When == Never {
+		return fmt.Sprintf("%-9s  %-9s  %-7s  %-10s  %8d  %6.2f%%", cls, "Never", "-", "-", r.Count, r.Percent)
+	}
+	return fmt.Sprintf("%-9s  %-9s  %-7s  %-10s  %8d  %6.2f%%",
+		cls, r.Key.When, r.Key.Rel, comp, r.Count, r.Percent)
+}
+
+// String renders the whole table.
+func (st *Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-9s  %-9s  %-7s  %-10s  %8s  %7s\n", "class", "found", "scope", "state", "number", "%")
+	for _, r := range st.Rows() {
+		sb.WriteString(r.String())
+		sb.WriteByte('\n')
+	}
+	st.mu.Lock()
+	fmt.Fprintf(&sb, "lookups: %d   DKY blockages: %d\n", st.Lookups, st.Blocks)
+	st.mu.Unlock()
+	return sb.String()
+}
+
+// WithBinding is one active WITH statement: lookups check the record's
+// field scope before the ordinary scope chain.
+type WithBinding struct {
+	Rec *types.Type
+}
+
+// Result is a lookup outcome: either a symbol, or a record field bound
+// by an enclosing WITH (WithIndex tells which binding matched).
+type Result struct {
+	Sym       *Symbol
+	Field     *types.Field
+	WithIndex int
+}
+
+// Found reports whether the lookup succeeded.
+func (r Result) Found() bool { return r.Sym != nil || r.Field != nil }
+
+// Searcher performs symbol lookups on behalf of one task.  Wait is the
+// handled-event wait supplied by the scheduler (releasing the worker
+// slot and preferring the resolving task, §2.3.4); nil waits inline.
+type Searcher struct {
+	Tab  *Table
+	Ctx  *ctrace.TaskCtx
+	Wait func(*event.Event)
+}
+
+func (s *Searcher) wait(e *event.Event) bool {
+	if e.Fired() {
+		// The producer got there first; no blockage is taken (and none
+		// is counted — Table 2's DKY numbers are real waits only).
+		return false
+	}
+	s.Ctx.NoteWait(e)
+	s.Tab.Stats.block()
+	if s.Wait != nil {
+		s.Wait(e)
+	} else {
+		e.Wait()
+	}
+	return true
+}
+
+// probeResult is the outcome of searching one scope under the current
+// strategy.
+type probeResult struct {
+	sym        *Symbol
+	incomplete bool // table state at the successful (or final) probe
+	blocked    bool // a DKY wait was taken on this scope
+}
+
+// searchScope searches one scope under the table's strategy.  self
+// marks the origin scope (owner view, never blocks).  Each strategy
+// waits at most once per scope: the completion (or per-symbol) event
+// firing is the contract that a re-probe is final, which also lets the
+// scheduler's deadlock watchdog force-fire events for erroneous
+// programs (cyclic imports) without livelocking searchers.
+func (s *Searcher) searchScope(sc *Scope, name string, self bool) probeResult {
+	s.Ctx.Add(ctrace.CostLookupHop)
+	if self {
+		sym, complete := sc.probeOwner(name)
+		return probeResult{sym: sym, incomplete: !complete}
+	}
+	switch s.Tab.Strategy {
+	case Skeptical:
+		// Figure 6: record the completion state, search, succeed on a
+		// hit; otherwise wait for completion if the table was initially
+		// incomplete and search once more.
+		sym, complete := sc.probe(name)
+		if sym != nil || complete {
+			return probeResult{sym: sym, incomplete: !complete}
+		}
+		blocked := s.wait(sc.completion)
+		s.Ctx.Add(ctrace.CostLookupHop)
+		sym, complete = sc.probe(name)
+		return probeResult{sym: sym, incomplete: !complete, blocked: blocked}
+	case Optimistic:
+		sym, complete, ev := sc.probeOrPlaceholder(name)
+		if sym != nil || ev == nil {
+			return probeResult{sym: sym, incomplete: !complete}
+		}
+		blocked := s.wait(ev)
+		s.Ctx.Add(ctrace.CostLookupHop)
+		sym, complete = sc.probe(name)
+		return probeResult{sym: sym, incomplete: !complete, blocked: blocked}
+	default:
+		// Pessimistic blocks before searching an incomplete table;
+		// Avoidance expects completeness by construction and degrades
+		// to the same wait when an indirectly imported table is still
+		// incomplete.
+		blocked := false
+		if !sc.Completed() {
+			blocked = s.wait(sc.completion)
+		}
+		sym, complete := sc.probe(name)
+		return probeResult{sym: sym, incomplete: !complete, blocked: blocked}
+	}
+}
+
+// classify derives the FoundWhen bucket.
+func classify(first bool, blocked bool) FoundWhen {
+	switch {
+	case blocked:
+		return AfterDKY
+	case first:
+		return FirstTry
+	default:
+		return SearchOut
+	}
+}
+
+// record sends the lookup's hop chain to the trace recorder.
+func (s *Searcher) record(qualified bool, at ctrace.Stamp, hops []ctrace.Hop, found bool) {
+	if rec := s.Tab.Rec; rec != nil {
+		rec.NoteLookup(ctrace.LookupRecord{At: at, Qualified: qualified, Hops: hops, Found: found})
+	}
+}
+
+// hop builds a trace hop for a scope probe outcome.
+func (s *Searcher) hop(sc *Scope, rel ctrace.Relation, pr probeResult) ctrace.Hop {
+	h := ctrace.Hop{Scope: sc.ID, Rel: rel, Found: pr.sym != nil}
+	if rel != ctrace.RelSelf && rel != ctrace.RelBuiltin {
+		if rec := s.Tab.Rec; rec != nil {
+			h.Completion = sc.completionID(rec)
+		}
+	}
+	if pr.sym != nil {
+		h.Insert = pr.sym.Insert
+	}
+	return h
+}
+
+// Lookup resolves a simple identifier starting at origin: active WITH
+// field scopes innermost-first, then the origin scope itself (with
+// pervasive builtins acting as if declared locally, §2.2), then outward
+// along the parentage chain, following FROM-import aliases into their
+// interface scopes.  A zero Result means not found; the caller reports
+// the error.
+func (s *Searcher) Lookup(origin *Scope, name string, withs []WithBinding) Result {
+	at := s.Ctx.Stamp()
+	var hops []ctrace.Hop
+	tracing := s.Tab.Rec != nil
+
+	// WITH scopes, innermost first.  Record field maps are built before
+	// their types publish, so these probes never block.
+	for i := len(withs) - 1; i >= 0; i-- {
+		s.Ctx.Add(ctrace.CostLookupHop)
+		if f := withs[i].Rec.FieldNamed(name); f != nil {
+			s.Tab.Stats.bump(StatKey{When: FirstTry, Rel: ctrace.RelWith})
+			if tracing {
+				hops = append(hops, ctrace.Hop{Rel: ctrace.RelWith, Found: true})
+				s.record(false, at, hops, true)
+			}
+			return Result{Field: f, WithIndex: i}
+		}
+	}
+
+	first := true
+	for sc := origin; sc != nil; sc = sc.Parent {
+		self := sc == origin
+		rel := ctrace.RelOuter
+		if self {
+			rel = ctrace.RelSelf
+		}
+		pr := s.searchScope(sc, name, self)
+		if tracing {
+			hops = append(hops, s.hop(sc, rel, pr))
+		}
+		if pr.sym != nil {
+			if pr.sym.Kind == KAlias {
+				return s.followAlias(pr.sym, name, at, hops)
+			}
+			s.Tab.Stats.bump(StatKey{When: classify(first, pr.blocked), Rel: rel, Incomplete: pr.incomplete})
+			s.record(false, at, hops, true)
+			return Result{Sym: pr.sym}
+		}
+		if self {
+			// Builtin names behave as if declared local to every scope.
+			s.Ctx.Add(ctrace.CostLookupHop)
+			if b := lookupBuiltin(name); b != nil {
+				s.Tab.Stats.bump(StatKey{When: FirstTry, Rel: ctrace.RelBuiltin})
+				if tracing {
+					hops = append(hops, ctrace.Hop{Rel: ctrace.RelBuiltin, Found: true})
+					s.record(false, at, hops, true)
+				}
+				return Result{Sym: b}
+			}
+		}
+		first = false
+	}
+	s.Tab.Stats.bump(StatKey{When: Never})
+	s.record(false, at, hops, false)
+	return Result{}
+}
+
+// followAlias continues a search through a FROM-import alias into its
+// interface scope — "some other explicitly designated initial search
+// scope" in Table 2's terms.
+func (s *Searcher) followAlias(alias *Symbol, name string, at ctrace.Stamp, hops []ctrace.Hop) Result {
+	tracing := s.Tab.Rec != nil
+	for depth := 0; depth < 8; depth++ {
+		// The alias hop itself is not a hit for the trace: mark the
+		// previous hop not-found so the simulator keeps searching.
+		if tracing && len(hops) > 0 {
+			hops[len(hops)-1].Found = false
+		}
+		pr := s.searchScope(alias.AliasScope, alias.AliasName, false)
+		if tracing {
+			hops = append(hops, s.hop(alias.AliasScope, ctrace.RelOther, pr))
+		}
+		if pr.sym == nil {
+			s.Tab.Stats.bump(StatKey{When: Never})
+			s.record(false, at, hops, false)
+			return Result{}
+		}
+		if pr.sym.Kind != KAlias {
+			s.Tab.Stats.bump(StatKey{
+				When: classify(true, pr.blocked), Rel: ctrace.RelOther, Incomplete: pr.incomplete,
+			})
+			s.record(false, at, hops, true)
+			return Result{Sym: pr.sym}
+		}
+		alias = pr.sym
+	}
+	s.Tab.Stats.bump(StatKey{When: Never})
+	s.record(false, at, hops, false)
+	return Result{}
+}
+
+// QualifiedLookup resolves the member of a qualified identifier M.x in
+// the interface scope designated by M.  There is no outward chaining
+// and no builtin fallback: qualified names live in exactly one table.
+func (s *Searcher) QualifiedLookup(iface *Scope, name string) Result {
+	at := s.Ctx.Stamp()
+	tracing := s.Tab.Rec != nil
+	var hops []ctrace.Hop
+	pr := s.searchScope(iface, name, false)
+	if tracing {
+		hops = append(hops, s.hop(iface, ctrace.RelOther, pr))
+	}
+	if pr.sym != nil && pr.sym.Kind == KAlias {
+		return s.followAliasQualified(pr.sym, at, hops)
+	}
+	if pr.sym != nil {
+		s.Tab.Stats.bump(StatKey{
+			Qualified: true, When: classify(true, pr.blocked),
+			Rel: ctrace.RelOther, Incomplete: pr.incomplete,
+		})
+		s.record(true, at, hops, true)
+		return Result{Sym: pr.sym}
+	}
+	s.Tab.Stats.bump(StatKey{Qualified: true, When: Never})
+	s.record(true, at, hops, false)
+	return Result{}
+}
+
+func (s *Searcher) followAliasQualified(alias *Symbol, at ctrace.Stamp, hops []ctrace.Hop) Result {
+	tracing := s.Tab.Rec != nil
+	for depth := 0; depth < 8; depth++ {
+		if tracing && len(hops) > 0 {
+			hops[len(hops)-1].Found = false
+		}
+		pr := s.searchScope(alias.AliasScope, alias.AliasName, false)
+		if tracing {
+			hops = append(hops, s.hop(alias.AliasScope, ctrace.RelOther, pr))
+		}
+		if pr.sym == nil {
+			break
+		}
+		if pr.sym.Kind != KAlias {
+			s.Tab.Stats.bump(StatKey{
+				Qualified: true, When: classify(true, pr.blocked),
+				Rel: ctrace.RelOther, Incomplete: pr.incomplete,
+			})
+			s.record(true, at, hops, true)
+			return Result{Sym: pr.sym}
+		}
+		alias = pr.sym
+	}
+	s.Tab.Stats.bump(StatKey{Qualified: true, When: Never})
+	s.record(true, at, hops, false)
+	return Result{}
+}

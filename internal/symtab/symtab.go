@@ -1,0 +1,395 @@
+// Package symtab implements the concurrent compiler's symbol tables.
+//
+// Following §2.2 of the paper, the units of compilation correspond to
+// major scopes of declaration, and each scope (definition module, main
+// module, procedure) has its own symbol table; tables are linked through
+// the scope ancestry path.  Because tables are built concurrently with
+// the searches that consult them, a search has three possible outcomes —
+// found, not found, and *Doesn't Know Yet* — and the package implements
+// all four strategies the paper evaluates for the third outcome:
+// Avoidance, Pessimistic, Skeptical (Figure 6, the paper's
+// recommendation) and Optimistic.
+//
+// Creation of symbol table entries is atomic with respect to search
+// (footnote 1 of the paper): the declaration analyzer constructs each
+// symbol completely before publishing it, and symbols whose types are
+// still awaiting forward-reference fixups are queued unpublished until
+// the fixups drain, so no task ever observes a half-built entry.
+package symtab
+
+import (
+	"sync"
+
+	"m2cc/internal/ctrace"
+	"m2cc/internal/event"
+	"m2cc/internal/token"
+	"m2cc/internal/types"
+)
+
+// SymKind classifies symbol table entries.
+type SymKind uint8
+
+// Symbol kinds.
+const (
+	KConst SymKind = iota
+	KType
+	KVar
+	KParam
+	KProc
+	KModule    // an imported module name, designating its interface scope
+	KAlias     // a FROM-import: resolves lazily in another scope
+	KException // a Modula-2+ exception
+	KBuiltin   // a pervasive procedure or function
+)
+
+var symKindNames = [...]string{
+	"constant", "type", "variable", "parameter", "procedure",
+	"module", "import", "exception", "builtin",
+}
+
+func (k SymKind) String() string {
+	if int(k) < len(symKindNames) {
+		return symKindNames[k]
+	}
+	return "?"
+}
+
+// Symbol is one symbol table entry.  All fields are set before the
+// symbol is published to its scope and never mutated afterwards.
+type Symbol struct {
+	Name string
+	Kind SymKind
+	Pos  token.Pos
+	Type *types.Type
+
+	Val types.Const // KConst: the constant's value
+	BID BuiltinID   // KBuiltin: which pervasive routine
+
+	// Storage assignment for KVar / KParam.
+	Global bool  // module-level variable
+	Module int32 // globals area of the module declaring it
+	Level  int32 // static nesting level for locals/params
+	Offset int32 // slot offset within globals area or frame
+	ByRef  bool  // VAR parameter
+	Open   bool  // open-array parameter (base+length slot pair)
+
+	ProcIdx int32 // KProc: object-local procedure code index (-1 = external)
+	ExcIdx  int32 // KException: object-local exception index
+
+	// ExtName is the symbolic link name ("Module.Proc") for procedures
+	// declared in an imported definition module; code references to
+	// them stay symbolic until link time.  Empty for local procedures.
+	ExtName string
+
+	IfaceScope *Scope // KModule: the designated interface scope
+
+	AliasScope *Scope // KAlias: scope to continue the search in
+	AliasName  string // KAlias: name to search for there
+
+	// Insert is the trace stamp of the publication moment.
+	Insert ctrace.Stamp
+
+	placeholder bool         // Optimistic-handling placeholder entry
+	ready       *event.Event // per-symbol DKY event (Optimistic handling)
+}
+
+// ScopeKind classifies scopes.
+type ScopeKind uint8
+
+// Scope kinds.
+const (
+	BuiltinScope ScopeKind = iota
+	DefScope               // a definition module's interface
+	ModuleScope            // the implementation/main module body
+	ProcScope              // a procedure
+)
+
+func (k ScopeKind) String() string {
+	switch k {
+	case BuiltinScope:
+		return "builtin"
+	case DefScope:
+		return "interface"
+	case ModuleScope:
+		return "module"
+	default:
+		return "procedure"
+	}
+}
+
+// Scope is one symbol table with its completion state.
+type Scope struct {
+	ID     int32
+	Kind   ScopeKind
+	Name   string
+	Parent *Scope
+	Level  int32 // static nesting level of entities declared here
+	tab    *Table
+
+	mu       sync.Mutex
+	syms     map[string]*Symbol
+	order    []*Symbol // publication order (deterministic listings)
+	complete bool
+
+	// Owner-task bookkeeping for the atomic-publication rule: while
+	// fixups > 0, newly inserted symbols wait in queue.
+	fixups int
+	queue  []*Symbol
+
+	completion *event.Event
+	complID    ctrace.EventID // assigned lazily when first traced
+}
+
+// Table is the per-compilation symbol table registry: it numbers scopes,
+// carries the selected DKY strategy, the Table 2 statistics collector
+// and the optional trace recorder.
+type Table struct {
+	mu     sync.Mutex
+	nextID int32
+
+	Builtins *Scope
+	Strategy Strategy
+	Stats    *Stats
+	Rec      *ctrace.Recorder
+}
+
+// NewTable returns a table using the given DKY strategy.  stats and rec
+// may be nil.
+func NewTable(strategy Strategy, stats *Stats, rec *ctrace.Recorder) *Table {
+	t := &Table{Strategy: strategy, Stats: stats, Rec: rec}
+	t.Builtins = builtinScope
+	return t
+}
+
+// NewScope creates a scope with the given parentage.  The scope starts
+// incomplete; the declaring task must call Complete exactly once.
+func (t *Table) NewScope(kind ScopeKind, name string, parent *Scope, level int32) *Scope {
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Scope{
+		ID: id, Kind: kind, Name: name, Parent: parent, Level: level,
+		tab: t, syms: make(map[string]*Symbol), completion: event.New(),
+	}
+}
+
+// CompletionEvent returns the event fired when the scope's table is
+// complete.
+func (s *Scope) CompletionEvent() *event.Event { return s.completion }
+
+// Complete marks the scope's symbol table complete and fires its
+// completion event, waking every DKY-blocked searcher.  Any symbols
+// still queued behind fixups are published first (the owner must have
+// resolved all fixups).  ctx stamps the completion for the trace.
+func (s *Scope) Complete(ctx *ctrace.TaskCtx) {
+	s.mu.Lock()
+	if s.fixups != 0 {
+		// Defensive: never leave symbols unpublished — erroneous
+		// programs must still complete every scope or DKY waiters hang.
+		s.fixups = 0
+	}
+	s.publishQueueLocked(ctx)
+	s.complete = true
+	var waiters []*event.Event
+	for name, sym := range s.syms {
+		if sym.placeholder {
+			waiters = append(waiters, sym.ready)
+			delete(s.syms, name)
+		}
+	}
+	s.mu.Unlock()
+	// Optimistic handling: traverse the completed table and signal all
+	// unsignaled per-symbol events (§2.3.3).
+	for _, w := range waiters {
+		w.Fire()
+	}
+	ctx.FireEvent(s.completion)
+}
+
+// Completed reports whether the scope's table is complete.
+func (s *Scope) Completed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.complete
+}
+
+// completionID returns (allocating if needed) the trace event ID of the
+// scope's completion event.
+func (s *Scope) completionID(rec *ctrace.Recorder) ctrace.EventID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.complID == 0 {
+		s.complID = rec.EventIDOf(s.completion)
+	}
+	return s.complID
+}
+
+// Insert publishes sym in s, or queues it while forward-reference
+// fixups are outstanding.  It reports a diagnostic and returns false on
+// redeclaration (including redeclaration of a pervasive builtin name,
+// which Modula-2+ forbids — the property §2.2's builtin-search shortcut
+// relies on).  Only the scope's owning task may call Insert.
+func (s *Scope) Insert(ctx *ctrace.TaskCtx, report func(pos token.Pos, format string, args ...any), sym *Symbol) bool {
+	if s.Kind != BuiltinScope {
+		if b := lookupBuiltin(sym.Name); b != nil {
+			report(sym.Pos, "cannot redeclare builtin %s", sym.Name)
+			return false
+		}
+	}
+	ctx.Add(ctrace.CostInsert)
+	s.mu.Lock()
+	if prev, ok := s.syms[sym.Name]; ok && !prev.placeholder {
+		s.mu.Unlock()
+		report(sym.Pos, "%s redeclared in %s %s", sym.Name, s.Kind, s.Name)
+		return false
+	}
+	for _, q := range s.queue {
+		if q.Name == sym.Name {
+			s.mu.Unlock()
+			report(sym.Pos, "%s redeclared in %s %s", sym.Name, s.Kind, s.Name)
+			return false
+		}
+	}
+	if s.fixups > 0 {
+		s.queue = append(s.queue, sym)
+		s.mu.Unlock()
+		return true
+	}
+	fired := s.publishLocked(ctx, sym)
+	s.mu.Unlock()
+	if fired != nil {
+		fired.Fire()
+	}
+	return true
+}
+
+// publishLocked makes sym visible, returning the placeholder event to
+// fire (outside the lock), if any.
+func (s *Scope) publishLocked(ctx *ctrace.TaskCtx, sym *Symbol) *event.Event {
+	var fire *event.Event
+	if prev, ok := s.syms[sym.Name]; ok && prev.placeholder {
+		fire = prev.ready
+	}
+	sym.Insert = ctx.Stamp()
+	s.syms[sym.Name] = sym
+	s.order = append(s.order, sym)
+	return fire
+}
+
+func (s *Scope) publishQueueLocked(ctx *ctrace.TaskCtx) {
+	var fires []*event.Event
+	for _, sym := range s.queue {
+		if f := s.publishLocked(ctx, sym); f != nil {
+			fires = append(fires, f)
+		}
+	}
+	s.queue = nil
+	for _, f := range fires {
+		f.Fire()
+	}
+}
+
+// DeferFixup notes an outstanding forward-reference fixup (e.g. POINTER
+// TO T with T not yet declared).  While any fixup is outstanding, newly
+// inserted symbols stay unpublished, so other tasks can never observe a
+// type object that is still going to be patched.  Owner task only.
+func (s *Scope) DeferFixup() {
+	s.mu.Lock()
+	s.fixups++
+	s.mu.Unlock()
+}
+
+// ResolveFixup retires one fixup; when the last one drains, queued
+// symbols are published in declaration order.  Owner task only.
+func (s *Scope) ResolveFixup(ctx *ctrace.TaskCtx) {
+	s.mu.Lock()
+	s.fixups--
+	if s.fixups == 0 {
+		s.publishQueueLocked(ctx)
+	}
+	s.mu.Unlock()
+}
+
+// probe searches the scope's published symbols.  It reports the
+// completion state observed atomically with the search.  Placeholders
+// are invisible to probes.
+func (s *Scope) probe(name string) (sym *Symbol, complete bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sym = s.syms[name]
+	if sym != nil && sym.placeholder {
+		sym = nil
+	}
+	return sym, s.complete
+}
+
+// probeOwner additionally sees queued (not yet published) symbols; it
+// serves self-scope searches by the scope's owning task, which must see
+// its own declarations regardless of publication state.
+func (s *Scope) probeOwner(name string) (sym *Symbol, complete bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sym = s.syms[name]
+	if sym != nil && sym.placeholder {
+		sym = nil
+	}
+	if sym == nil {
+		for _, q := range s.queue {
+			if q.Name == name {
+				sym = q
+				break
+			}
+		}
+	}
+	return sym, s.complete
+}
+
+// OwnerProbe returns the named symbol as seen by the scope's owning
+// task (published or still queued behind fixups), or nil.  It never
+// blocks; the declaration analyzer uses it to resolve forward
+// references with self-scope priority.
+func (s *Scope) OwnerProbe(name string) *Symbol {
+	sym, _ := s.probeOwner(name)
+	return sym
+}
+
+// probeOrPlaceholder implements the Optimistic probe: if the name is
+// absent from an incomplete table, a placeholder with a fresh per-symbol
+// event is installed (or an existing one reused) and returned for the
+// caller to wait on.
+func (s *Scope) probeOrPlaceholder(name string) (sym *Symbol, complete bool, wait *event.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.syms[name]
+	switch {
+	case cur == nil:
+		if s.complete {
+			return nil, true, nil
+		}
+		ph := &Symbol{Name: name, placeholder: true, ready: event.New()}
+		s.syms[name] = ph
+		return nil, false, ph.ready
+	case cur.placeholder:
+		return nil, s.complete, cur.ready
+	default:
+		return cur, s.complete, nil
+	}
+}
+
+// Symbols returns the published symbols in publication order.  Intended
+// for listings and tests after the scope completes.
+func (s *Scope) Symbols() []*Symbol {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Symbol, 0, len(s.order))
+	out = append(out, s.order...)
+	return out
+}
+
+// Len returns the number of published symbols.
+func (s *Scope) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}

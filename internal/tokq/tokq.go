@@ -1,0 +1,269 @@
+// Package tokq implements the lexical token queues that connect producer
+// tasks (Lexor, Splitter) to consumer tasks (Splitter, Importer, parsers).
+//
+// Per Wortman & Junkin §2.3.1: "the Splitter task and the Lexor task of a
+// main module stream communicate via a lexical token queue.  The elements
+// in this queue are blocks of tokens.  Each block is associated with one
+// event.  When the Lexor fills a token block, the block's event is
+// signaled, indicating to the Splitter that it now may begin to read the
+// tokens of that block."
+//
+// A Queue is append-only and supports any number of independent Readers
+// (the Importer and the Splitter both scan the main module's queue).
+// Waits on block events are *barrier* events (§2.3.3): the consumer's
+// worker is not rescheduled, it simply waits, which is deadlock-free
+// because token consumers are only started once their producers have
+// begun and producers never block.
+package tokq
+
+import (
+	"sync"
+
+	"m2cc/internal/event"
+	"m2cc/internal/token"
+)
+
+// DefaultBlockSize is the number of tokens per block.  The value trades
+// pipelining latency (smaller blocks let consumers start sooner) against
+// event-signaling overhead; 256 matches the granularity the paper's
+// measurements found cheap enough that barrier delays were "quite small".
+const DefaultBlockSize = 256
+
+// Block is one unit of the queue: a slice of tokens plus the event that
+// its producer fires when the block is complete and readable.
+type Block struct {
+	Toks  []token.Token
+	Ready *event.Event
+}
+
+// Queue is a block-granularity token stream with one producer and many
+// readers.  The zero value is not ready; use New.
+type Queue struct {
+	blockSize int
+	fire      func(*event.Event) // producer-side fire hook (instrumentation)
+
+	mu     sync.Mutex
+	blocks []*Block
+	grown  *event.Event // fired (and replaced) when a block is added or the queue closes
+	closed bool
+}
+
+// New returns an empty queue with the given block size (<= 0 selects
+// DefaultBlockSize).
+func New(blockSize int) *Queue {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	q := &Queue{blockSize: blockSize, grown: event.New()}
+	q.fire = func(e *event.Event) { e.Fire() }
+	return q
+}
+
+// SetFireHook routes every event fire through f, so the producing task
+// can stamp the fire with its current work-unit offset for the trace.
+// Must be set before the first Append and only by the producer.
+func (q *Queue) SetFireHook(f func(*event.Event)) { q.fire = f }
+
+// Append adds one token produced by the lexer or splitter.  When the
+// current block fills, its Ready event fires and a new block opens.
+// Append must be called from a single producer task.
+func (q *Queue) Append(t token.Token) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		panic("tokq: Append after Close")
+	}
+	n := len(q.blocks)
+	if n == 0 || len(q.blocks[n-1].Toks) == q.blockSize {
+		b := &Block{Toks: make([]token.Token, 0, q.blockSize), Ready: event.New()}
+		q.blocks = append(q.blocks, b)
+		grown := q.grown
+		q.grown = event.New()
+		n++
+		q.mu.Unlock()
+		q.fire(grown)
+		q.mu.Lock()
+	}
+	b := q.blocks[n-1]
+	b.Toks = append(b.Toks, t)
+	full := len(b.Toks) == q.blockSize
+	q.mu.Unlock()
+	if full {
+		q.fire(b.Ready)
+	}
+}
+
+// Flush fires the current partial block's event so consumers can read
+// everything appended so far without waiting for the block to fill.
+// The splitter flushes after each procedure heading and body marker,
+// keeping the main module parser (and through it the heading events
+// that release procedure streams, §2.4) flowing at heading granularity
+// rather than block granularity.
+func (q *Queue) Flush() {
+	q.mu.Lock()
+	var last *Block
+	if n := len(q.blocks); n > 0 && len(q.blocks[n-1].Toks) > 0 {
+		last = q.blocks[n-1]
+		// Seal the block: the next Append starts a new one.
+		if len(last.Toks) < q.blockSize {
+			q.blocks = append(q.blocks, &Block{
+				Toks:  make([]token.Token, 0, q.blockSize),
+				Ready: event.New(),
+			})
+			grown := q.grown
+			q.grown = event.New()
+			q.mu.Unlock()
+			q.fire(last.Ready)
+			q.fire(grown)
+			return
+		}
+	}
+	q.mu.Unlock()
+	if last != nil {
+		q.fire(last.Ready)
+	}
+}
+
+// Close marks the end of the token stream.  The final partial block's
+// event fires so waiting readers drain it.  The producer must append a
+// token.EOF token before closing; Readers return that EOF forever after.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	var last *Block
+	if n := len(q.blocks); n > 0 {
+		last = q.blocks[n-1]
+	}
+	grown := q.grown
+	q.mu.Unlock()
+	if last != nil {
+		q.fire(last.Ready)
+	}
+	q.fire(grown)
+}
+
+// Closed reports whether the producer has closed the queue.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Len returns the total number of tokens appended so far.  Intended for
+// statistics once the queue is closed.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, b := range q.blocks {
+		n += len(b.Toks)
+	}
+	return n
+}
+
+// state returns (block i if it exists, whether it exists, growth event,
+// closed) under the lock.
+func (q *Queue) state(i int) (b *Block, ok bool, grown *event.Event, closed bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if i < len(q.blocks) {
+		return q.blocks[i], true, nil, q.closed
+	}
+	return nil, false, q.grown, q.closed
+}
+
+// WaitFunc performs a barrier wait on an event.  The scheduler supplies
+// an instrumented implementation so waits are attributed to the running
+// task; the default simply blocks.
+type WaitFunc func(*event.Event)
+
+// Reader is an independent cursor over a Queue.  Each consumer task owns
+// one Reader; Readers are not safe for concurrent use (but distinct
+// Readers over one Queue are).
+type Reader struct {
+	q    *Queue
+	wait WaitFunc
+
+	blk    int
+	off    int
+	buf    []token.Token // lookahead of already-read tokens
+	sawEOF token.Token
+	atEOF  bool
+}
+
+// NewReader returns a reader positioned at the start of q.  wait may be
+// nil for a plain blocking wait.
+func (q *Queue) NewReader(wait WaitFunc) *Reader {
+	if wait == nil {
+		wait = func(e *event.Event) { e.Wait() }
+	}
+	return &Reader{q: q, wait: wait}
+}
+
+// fetch pulls the next token from the queue, performing barrier waits as
+// needed.  After the stream ends it returns the EOF token indefinitely.
+func (r *Reader) fetch() token.Token {
+	if r.atEOF {
+		return r.sawEOF
+	}
+	for {
+		b, ok, grown, closed := r.q.state(r.blk)
+		if ok {
+			// Acquire the block: the wait function records the
+			// dependency (and blocks only if the block is not ready).
+			if r.off == 0 {
+				r.wait(b.Ready)
+			}
+			if r.off < len(b.Toks) {
+				t := b.Toks[r.off]
+				r.off++
+				if t.Kind == token.EOF {
+					r.atEOF = true
+					r.sawEOF = t
+				}
+				return t
+			}
+			// Block exhausted; move on.  A block is only readable once
+			// Ready fired, and after that its Toks never change.
+			r.blk++
+			r.off = 0
+			continue
+		}
+		if closed {
+			// Producer closed without an explicit EOF token (defensive;
+			// lexers always append one).
+			r.atEOF = true
+			r.sawEOF = token.Token{Kind: token.EOF}
+			return r.sawEOF
+		}
+		r.wait(grown)
+	}
+}
+
+// Next returns the next token, advancing the reader.
+func (r *Reader) Next() token.Token {
+	if len(r.buf) > 0 {
+		t := r.buf[0]
+		copy(r.buf, r.buf[1:])
+		r.buf = r.buf[:len(r.buf)-1]
+		return t
+	}
+	return r.fetch()
+}
+
+// Peek returns the next token without consuming it.
+func (r *Reader) Peek() token.Token { return r.PeekN(1) }
+
+// PeekN returns the n-th upcoming token (1-based) without consuming
+// anything.  This is the "small amount of token stream lookahead"
+// (§2.1) the splitter needs to classify PROCEDURE tokens.
+func (r *Reader) PeekN(n int) token.Token {
+	for len(r.buf) < n {
+		r.buf = append(r.buf, r.fetch())
+	}
+	return r.buf[n-1]
+}

@@ -1,0 +1,152 @@
+package tokq_test
+
+import (
+	"sync"
+	"testing"
+
+	"m2cc/internal/event"
+	"m2cc/internal/token"
+	"m2cc/internal/tokq"
+)
+
+// fill appends n identifier tokens plus an EOF, then closes.
+func fill(q *tokq.Queue, n int) {
+	for i := 0; i < n; i++ {
+		q.Append(token.Token{Kind: token.Ident, Text: "x"})
+	}
+	q.Append(token.Token{Kind: token.EOF})
+	q.Close()
+}
+
+func TestReadBackAcrossBlocks(t *testing.T) {
+	q := tokq.New(4) // tiny blocks force boundary crossings
+	go fill(q, 10)
+	r := q.NewReader(nil)
+	for i := 0; i < 10; i++ {
+		if got := r.Next(); got.Kind != token.Ident {
+			t.Fatalf("token %d: %v", i, got)
+		}
+	}
+	if got := r.Next(); got.Kind != token.EOF {
+		t.Fatalf("want EOF, got %v", got)
+	}
+	// EOF repeats forever.
+	if got := r.Next(); got.Kind != token.EOF {
+		t.Fatalf("EOF must repeat, got %v", got)
+	}
+}
+
+func TestMultipleIndependentReaders(t *testing.T) {
+	q := tokq.New(3)
+	go fill(q, 7)
+	a, b := q.NewReader(nil), q.NewReader(nil)
+	for i := 0; i < 3; i++ {
+		a.Next()
+	}
+	// b starts from the beginning regardless of a's position.
+	count := 0
+	for b.Next().Kind != token.EOF {
+		count++
+	}
+	if count != 7 {
+		t.Fatalf("reader b saw %d tokens, want 7", count)
+	}
+}
+
+func TestPeekNDoesNotConsume(t *testing.T) {
+	q := tokq.New(2)
+	q.Append(token.Token{Kind: token.PROCEDURE})
+	q.Append(token.Token{Kind: token.Ident, Text: "f"})
+	q.Append(token.Token{Kind: token.Semicolon})
+	q.Append(token.Token{Kind: token.EOF})
+	q.Close()
+	r := q.NewReader(nil)
+	if r.PeekN(2).Text != "f" {
+		t.Fatal("PeekN(2) wrong")
+	}
+	if r.Peek().Kind != token.PROCEDURE {
+		t.Fatal("Peek must not consume")
+	}
+	if r.Next().Kind != token.PROCEDURE || r.Next().Text != "f" {
+		t.Fatal("Next order broken after peeks")
+	}
+}
+
+func TestConcurrentProducerConsumer(t *testing.T) {
+	q := tokq.New(8)
+	const n = 10000
+	go fill(q, n)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := q.NewReader(nil)
+			count := 0
+			for r.Next().Kind != token.EOF {
+				count++
+			}
+			if count != n {
+				t.Errorf("saw %d tokens, want %d", count, n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestFlushMakesPartialBlockReadable(t *testing.T) {
+	q := tokq.New(256)
+	q.Append(token.Token{Kind: token.Ident, Text: "a"})
+	q.Append(token.Token{Kind: token.Ident, Text: "b"})
+	q.Flush()
+	r := q.NewReader(nil)
+	// Without the flush these reads would block (block size 256).
+	if r.Next().Text != "a" || r.Next().Text != "b" {
+		t.Fatal("flushed tokens must be readable immediately")
+	}
+	// The queue still accepts appends after a flush.
+	q.Append(token.Token{Kind: token.EOF})
+	q.Close()
+	if r.Next().Kind != token.EOF {
+		t.Fatal("append after flush lost")
+	}
+}
+
+func TestLenCountsAllTokens(t *testing.T) {
+	q := tokq.New(4)
+	fill(q, 9)
+	if got := q.Len(); got != 10 { // 9 idents + EOF
+		t.Fatalf("Len = %d, want 10", got)
+	}
+	if !q.Closed() {
+		t.Fatal("queue must report closed")
+	}
+}
+
+func TestCloseWithoutTokens(t *testing.T) {
+	q := tokq.New(4)
+	q.Close()
+	r := q.NewReader(nil)
+	if got := r.Next(); got.Kind != token.EOF {
+		t.Fatalf("empty closed queue must yield EOF, got %v", got)
+	}
+}
+
+// TestWaitHookSeesEveryBlock checks the schedule-independence property
+// the trace recorder relies on: the reader invokes its wait function
+// once per block acquisition, whether or not the block event had
+// already fired.
+func TestWaitHookSeesEveryBlock(t *testing.T) {
+	q := tokq.New(2)
+	fill(q, 5) // 6 tokens in blocks of 2 → 3 blocks
+	waits := 0
+	r := q.NewReader(func(e *event.Event) {
+		waits++
+		e.Wait()
+	})
+	for r.Next().Kind != token.EOF {
+	}
+	if waits != 3 {
+		t.Fatalf("wait hook invoked %d times, want once per block (3)", waits)
+	}
+}

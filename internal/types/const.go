@@ -1,0 +1,89 @@
+package types
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ConstKind discriminates compile-time constant values.
+type ConstKind uint8
+
+// Constant kinds.
+const (
+	CInvalid ConstKind = iota
+	CInt               // whole numbers, enum ordinals, CHAR codes, BOOLEAN 0/1
+	CReal
+	CString
+	CSet // bit mask over ordinals 0..63
+	CNil
+)
+
+// Const is a compile-time constant value paired with its type.
+type Const struct {
+	Kind ConstKind
+	Type *Type
+	I    int64
+	F    float64
+	S    string
+	Set  uint64
+}
+
+// MakeInt returns an integer-class constant of type t.
+func MakeInt(t *Type, v int64) Const { return Const{Kind: CInt, Type: t, I: v} }
+
+// MakeReal returns a real constant.
+func MakeReal(t *Type, v float64) Const { return Const{Kind: CReal, Type: t, F: v} }
+
+// MakeString returns a string constant.
+func MakeString(s string) Const { return Const{Kind: CString, Type: StringT, S: s} }
+
+// MakeSet returns a set constant of type t with the given bit mask.
+func MakeSet(t *Type, mask uint64) Const { return Const{Kind: CSet, Type: t, Set: mask} }
+
+// MakeNil returns the NIL constant.
+func MakeNil() Const { return Const{Kind: CNil, Type: Nil} }
+
+// MakeBool returns a BOOLEAN constant.
+func MakeBool(b bool) Const {
+	v := int64(0)
+	if b {
+		v = 1
+	}
+	return Const{Kind: CInt, Type: Boolean, I: v}
+}
+
+// IsValid reports whether the constant carries a value (errors produce
+// invalid constants to suppress cascading diagnostics).
+func (c Const) IsValid() bool { return c.Kind != CInvalid }
+
+// Bool reports the truth value of a BOOLEAN constant.
+func (c Const) Bool() bool { return c.I != 0 }
+
+// String renders the constant in Modula-2 syntax where possible.
+func (c Const) String() string {
+	switch c.Kind {
+	case CInt:
+		if c.Type != nil {
+			switch c.Type.Under().Kind {
+			case BooleanK:
+				if c.I != 0 {
+					return "TRUE"
+				}
+				return "FALSE"
+			case CharK:
+				return fmt.Sprintf("%oC", c.I)
+			}
+		}
+		return strconv.FormatInt(c.I, 10)
+	case CReal:
+		return strconv.FormatFloat(c.F, 'G', -1, 64)
+	case CString:
+		return strconv.Quote(c.S)
+	case CSet:
+		return fmt.Sprintf("{%#x}", c.Set)
+	case CNil:
+		return "NIL"
+	default:
+		return "<invalid const>"
+	}
+}

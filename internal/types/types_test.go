@@ -1,0 +1,256 @@
+package types_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"m2cc/internal/types"
+)
+
+func TestBasicSlots(t *testing.T) {
+	for _, tt := range []*types.Type{
+		types.Integer, types.Cardinal, types.Boolean, types.Char,
+		types.Real, types.BitSet, types.Text, types.Proc,
+	} {
+		if tt.Slots() != 1 {
+			t.Errorf("%s occupies %d slots, want 1", tt, tt.Slots())
+		}
+	}
+}
+
+func TestArraySlots(t *testing.T) {
+	a := types.NewArray(types.NewSubrange(types.Integer, 0, 9), types.Integer)
+	if a.Slots() != 10 {
+		t.Fatalf("ARRAY [0..9] OF INTEGER = %d slots", a.Slots())
+	}
+	m := types.NewArray(types.NewSubrange(types.Integer, 1, 3), a)
+	if m.Slots() != 30 {
+		t.Fatalf("nested array = %d slots, want 30", m.Slots())
+	}
+}
+
+func TestRecordLayoutAndSlots(t *testing.T) {
+	rec := types.NewRecord([]*types.Field{
+		{Name: "a", Type: types.Integer, Offset: 0},
+		{Name: "b", Type: types.NewArray(types.NewSubrange(types.Integer, 0, 4), types.Char), Offset: 1},
+		{Name: "c", Type: types.Real, Offset: 6},
+	})
+	if rec.Slots() != 7 {
+		t.Fatalf("record = %d slots, want 7", rec.Slots())
+	}
+	if f := rec.FieldNamed("b"); f == nil || f.Offset != 1 {
+		t.Fatal("FieldNamed broken")
+	}
+	if rec.FieldNamed("nope") != nil {
+		t.Fatal("missing field must be nil")
+	}
+}
+
+func TestVariantRecordOverlaySlots(t *testing.T) {
+	// Variants overlay: size is the max arm extent, not the sum.
+	rec := types.NewRecord([]*types.Field{
+		{Name: "tag", Type: types.Integer, Offset: 0},
+		{Name: "small", Type: types.Char, Offset: 1},
+		{Name: "big", Type: types.NewArray(types.NewSubrange(types.Integer, 0, 7), types.Integer), Offset: 1},
+	})
+	if rec.Slots() != 9 {
+		t.Fatalf("variant record = %d slots, want 9 (tag + max arm)", rec.Slots())
+	}
+}
+
+func TestEmptyRecordHasStorage(t *testing.T) {
+	if types.NewRecord(nil).Slots() != 1 {
+		t.Fatal("empty record must still occupy a slot")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	cases := []struct {
+		t      *types.Type
+		lo, hi int64
+	}{
+		{types.Boolean, 0, 1},
+		{types.Char, 0, 255},
+		{types.NewSubrange(types.Integer, -5, 5), -5, 5},
+		{types.NewEnum("E", 4), 0, 3},
+	}
+	for _, c := range cases {
+		lo, hi, ok := c.t.Bounds()
+		if !ok || lo != c.lo || hi != c.hi {
+			t.Errorf("%s bounds = %d..%d (%v), want %d..%d", c.t, lo, hi, ok, c.lo, c.hi)
+		}
+	}
+	if _, _, ok := types.Real.Bounds(); ok {
+		t.Error("REAL must have no ordinal bounds")
+	}
+}
+
+func TestUnderResolvesSubranges(t *testing.T) {
+	s := types.NewSubrange(types.NewSubrange(types.Integer, 0, 100), 5, 10)
+	if s.Under() != types.Integer {
+		t.Fatalf("Under = %s", s.Under())
+	}
+	if !s.IsInteger() || !s.IsOrdinal() {
+		t.Fatal("subrange classification wrong")
+	}
+}
+
+func TestSameClassIntegers(t *testing.T) {
+	sub := types.NewSubrange(types.Cardinal, 0, 9)
+	for _, pair := range [][2]*types.Type{
+		{types.Integer, types.Cardinal},
+		{types.Integer, types.LongInt},
+		{types.Integer, types.Whole},
+		{sub, types.Integer},
+	} {
+		if !types.SameClass(pair[0], pair[1]) {
+			t.Errorf("%s and %s must mix", pair[0], pair[1])
+		}
+	}
+}
+
+func TestSameClassRejections(t *testing.T) {
+	enumA := types.NewEnum("A", 3)
+	enumB := types.NewEnum("B", 3)
+	for _, pair := range [][2]*types.Type{
+		{types.Integer, types.Real},
+		{types.Integer, types.Boolean},
+		{types.Char, types.Integer},
+		{enumA, enumB},
+		{enumA, types.Integer},
+	} {
+		if types.SameClass(pair[0], pair[1]) {
+			t.Errorf("%s and %s must not mix", pair[0], pair[1])
+		}
+	}
+}
+
+func TestCharAndStringClasses(t *testing.T) {
+	if !types.SameClass(types.Char, types.StringT) {
+		t.Error("CHAR and a string literal may compare (length-one strings)")
+	}
+	if !types.SameClass(types.Text, types.StringT) {
+		t.Error("TEXT and string literals mix")
+	}
+}
+
+func TestAssignable(t *testing.T) {
+	sub := types.NewSubrange(types.Integer, 0, 9)
+	arr := types.NewArray(types.NewSubrange(types.Integer, 0, 3), types.Char)
+	ptr := types.NewPointer(types.Integer)
+	cases := []struct {
+		dst, src *types.Type
+		want     bool
+	}{
+		{types.Integer, types.Cardinal, true},
+		{sub, types.Whole, true},
+		{types.Real, types.Whole, true},
+		{types.Real, types.Integer, false},
+		{types.Char, types.StringT, true},
+		{arr, types.StringT, true},
+		{types.Text, types.StringT, true},
+		{ptr, types.Nil, true},
+		{ptr, types.NewPointer(types.Integer), false}, // distinct pointer types
+		{ptr, ptr, true},
+		{types.RefAny, types.NewRef(types.Char), true},
+		{types.Integer, types.Boolean, false},
+	}
+	for _, c := range cases {
+		if got := types.Assignable(c.dst, c.src); got != c.want {
+			t.Errorf("Assignable(%s, %s) = %v, want %v", c.dst, c.src, got, c.want)
+		}
+	}
+}
+
+func TestProcSignatures(t *testing.T) {
+	sigA := types.NewProcType([]types.Param{{Type: types.Integer}}, types.Integer)
+	sigB := types.NewProcType([]types.Param{{Type: types.Cardinal}}, types.Cardinal)
+	sigC := types.NewProcType([]types.Param{{Type: types.Integer, ByRef: true}}, types.Integer)
+	sigD := types.NewProcType(nil, types.Integer)
+	if !types.SameSignature(sigA, sigB) {
+		t.Error("integer-class signatures must match")
+	}
+	if types.SameSignature(sigA, sigC) {
+		t.Error("VAR mode must distinguish signatures")
+	}
+	if types.SameSignature(sigA, sigD) {
+		t.Error("arity must distinguish signatures")
+	}
+	if !types.Assignable(sigA, sigB) {
+		t.Error("compatible proc values must assign")
+	}
+	parameterless := types.NewProcType(nil, nil)
+	if !types.Assignable(types.Proc, parameterless) {
+		t.Error("PROC accepts parameterless proper procedures")
+	}
+	if types.Assignable(types.Proc, sigA) {
+		t.Error("PROC must reject functions")
+	}
+}
+
+func TestComparableAndOrdered(t *testing.T) {
+	setA := types.NewSet(types.NewSubrange(types.Integer, 0, 15))
+	if !types.Comparable(setA, types.BitSet) {
+		t.Error("sets compare with = and #")
+	}
+	if !types.Comparable(types.NewPointer(types.Char), types.Nil) {
+		t.Error("pointer vs NIL comparable")
+	}
+	if types.Ordered(types.NewPointer(types.Char), types.Nil) {
+		t.Error("pointers are not ordered")
+	}
+	if !types.Ordered(types.Char, types.Char) || !types.Ordered(types.Real, types.Real) {
+		t.Error("chars and reals are ordered")
+	}
+}
+
+func TestOpaqueBehavesAsPointer(t *testing.T) {
+	op := types.NewOpaque("T")
+	if op.Slots() != 1 {
+		t.Error("opaque types are pointer-sized")
+	}
+	if !op.IsPointerLike() {
+		t.Error("opaque values may compare with NIL")
+	}
+}
+
+func TestDerefIdentitySynonyms(t *testing.T) {
+	// TYPE A = INTEGER makes A the same *Type object; identity is
+	// pointer equality.
+	a := types.Integer
+	if a.Deref() != types.Integer {
+		t.Error("Deref must be identity for basic types")
+	}
+}
+
+func TestSlotsAlwaysPositive(t *testing.T) {
+	check := func(n uint8, depth uint8) bool {
+		elem := types.Integer
+		var tt *types.Type = elem
+		for i := uint8(0); i < depth%4; i++ {
+			tt = types.NewArray(types.NewSubrange(types.Integer, 0, int64(n%8)), tt)
+		}
+		return tt.Slots() >= 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstConstructors(t *testing.T) {
+	if c := types.MakeBool(true); !c.Bool() || c.Type != types.Boolean {
+		t.Error("MakeBool")
+	}
+	if c := types.MakeInt(types.Char, 65); c.String() != "101C" {
+		t.Errorf("char const renders %q", c.String())
+	}
+	if c := types.MakeNil(); c.Kind != types.CNil || c.String() != "NIL" {
+		t.Error("MakeNil")
+	}
+	if c := types.MakeString("hi"); c.String() != `"hi"` {
+		t.Errorf("string const renders %q", c.String())
+	}
+	if (types.Const{}).IsValid() {
+		t.Error("zero Const must be invalid")
+	}
+}

@@ -1,0 +1,254 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"m2cc/internal/token"
+)
+
+// ProcMeta describes one compiled procedure: its identity, addressing
+// metadata and code segment.  The Code slice is produced by exactly one
+// statement-analyzer/code-generator task and read only after the merge.
+type ProcMeta struct {
+	Idx      int32  // object-local index
+	Name     string // dotted path within the module, e.g. "Sort" or "Sort.Partition"
+	Module   string // module the procedure belongs to
+	Exported bool   // heading appears in the definition module
+	IsBody   bool   // the module initialization body
+	Level    int32  // static nesting level (module body = 0)
+	ArgSlots int32
+	Frame    int32 // total frame slots (args + locals + temporaries)
+	HasRet   bool
+	Pos      token.Pos
+	Code     []Instr
+}
+
+// FullName returns "Module.Name" (or "Module..body" for bodies).
+func (p *ProcMeta) FullName() string {
+	if p.IsBody {
+		return p.Module + "..body"
+	}
+	return p.Module + "." + p.Name
+}
+
+// Area is one global storage area.  Each declaration scope that owns
+// module-level variables gets its own area ("M.def", "M.mod"), which is
+// what lets definition and implementation declaration tasks assign
+// offsets independently, without cross-stream coordination.
+type Area struct {
+	Name  string
+	Slots int32
+}
+
+// Object is the output of compiling one implementation module: the
+// paper's "complete compiler result" after the merge task concatenates
+// the per-stream code (§2.1).  Cross-module references remain symbolic
+// (CallExt, area and exception names) until Link.
+type Object struct {
+	Module  string
+	Procs   []*ProcMeta
+	Areas   []*Area
+	Excs    []string // object-local exception index → "Module.Name"
+	Imports []string // directly imported modules (for initialization order)
+	Body    int32    // object-local index of the module body proc, -1 if none
+}
+
+// Registry assigns object-local indices during compilation.  Methods
+// are safe for concurrent use by the compiler's tasks; index assignment
+// order is schedule-dependent, which is why everything observable
+// (listings, link resolution) goes through names instead.
+type Registry struct {
+	mu         sync.Mutex
+	module     string
+	procs      []*ProcMeta
+	areas      []*Area
+	areaByName map[string]int32
+	excs       []string
+	excByName  map[string]int32
+	imports    []string
+	importSeen map[string]bool
+	body       int32
+}
+
+// NewRegistry returns a registry for compiling the named module.
+func NewRegistry(module string) *Registry {
+	return &Registry{
+		module:     module,
+		areaByName: make(map[string]int32),
+		excByName:  make(map[string]int32),
+		importSeen: make(map[string]bool),
+		body:       -1,
+	}
+}
+
+// Module returns the name of the module being compiled.
+func (r *Registry) Module() string { return r.module }
+
+// NewProc allocates a procedure index.  Identity fields are fixed here;
+// Frame and Code are filled later by the code generator task that owns
+// the procedure.
+func (r *Registry) NewProc(name string, exported, isBody bool, level, argSlots int32, hasRet bool, pos token.Pos) *ProcMeta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := &ProcMeta{
+		Idx: int32(len(r.procs)), Name: name, Module: r.module,
+		Exported: exported, IsBody: isBody, Level: level,
+		ArgSlots: argSlots, HasRet: hasRet, Pos: pos,
+	}
+	r.procs = append(r.procs, p)
+	if isBody {
+		r.body = p.Idx
+	}
+	return p
+}
+
+// AreaIdx returns (allocating on first use) the object-local index of
+// the named global area.
+func (r *Registry) AreaIdx(name string) int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.areaByName[name]; ok {
+		return i
+	}
+	i := int32(len(r.areas))
+	r.areas = append(r.areas, &Area{Name: name})
+	r.areaByName[name] = i
+	return i
+}
+
+// SetAreaSlots records the final size of an area, once its owning
+// declaration task completes.
+func (r *Registry) SetAreaSlots(idx int32, slots int32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.areas[idx].Slots = slots
+}
+
+// ExcIdx returns (allocating on first use) the object-local index of
+// the exception with the given fully qualified name ("Module.Name").
+func (r *Registry) ExcIdx(fullName string) int32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.excByName[fullName]; ok {
+		return i
+	}
+	i := int32(len(r.excs))
+	r.excs = append(r.excs, fullName)
+	r.excByName[fullName] = i
+	return i
+}
+
+// AddImport records a directly imported module.
+func (r *Registry) AddImport(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.importSeen[name] {
+		r.importSeen[name] = true
+		r.imports = append(r.imports, name)
+	}
+}
+
+// Object freezes the registry into an Object.  Call after compilation
+// completes (the merge task does).
+func (r *Registry) Object() *Object {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	imports := append([]string(nil), r.imports...)
+	sort.Strings(imports)
+	return &Object{
+		Module: r.module, Procs: r.procs, Areas: r.areas,
+		Excs: r.excs, Imports: imports, Body: r.body,
+	}
+}
+
+// Listing renders the object as deterministic symbolic assembly:
+// procedures sorted by source position, every cross-reference shown by
+// name.  Because object-local indices never appear, concurrent and
+// sequential compilations of the same program produce byte-identical
+// listings — the property the differential tests check.
+func (o *Object) Listing() string {
+	procs := append([]*ProcMeta(nil), o.Procs...)
+	sort.Slice(procs, func(i, j int) bool {
+		if procs[i].Module != procs[j].Module {
+			return procs[i].Module < procs[j].Module
+		}
+		if procs[i].Pos != procs[j].Pos {
+			return procs[i].Pos.Before(procs[j].Pos)
+		}
+		return procs[i].Name < procs[j].Name
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "OBJECT %s\n", o.Module)
+	for _, a := range sortedAreas(o.Areas) {
+		fmt.Fprintf(&sb, "AREA %s %d\n", a.Name, a.Slots)
+	}
+	for _, p := range procs {
+		kind := "PROC"
+		if p.IsBody {
+			kind = "BODY"
+		}
+		fmt.Fprintf(&sb, "%s %s (level=%d args=%d frame=%d ret=%v)\n",
+			kind, p.FullName(), p.Level, p.ArgSlots, p.Frame, p.HasRet)
+		for pc, ins := range p.Code {
+			fmt.Fprintf(&sb, "%5d  %s\n", pc, o.format(ins))
+		}
+	}
+	return sb.String()
+}
+
+func sortedAreas(areas []*Area) []*Area {
+	out := append([]*Area(nil), areas...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// format renders one instruction with symbolic operands.
+func (o *Object) format(ins Instr) string {
+	switch ins.Op {
+	case PushInt:
+		return fmt.Sprintf("%-9s %d", ins.Op, ins.Imm)
+	case PushReal:
+		return fmt.Sprintf("%-9s %G", ins.Op, ins.F)
+	case PushStr:
+		return fmt.Sprintf("%-9s %q", ins.Op, ins.S)
+	case PushProc:
+		if ins.S != "" {
+			return fmt.Sprintf("%-9s %s", ins.Op, ins.S)
+		}
+		return fmt.Sprintf("%-9s %s", ins.Op, o.Procs[ins.A].FullName())
+	case LdGlb, StGlb, LdaGlb:
+		return fmt.Sprintf("%-9s %s+%d", ins.Op, o.Areas[ins.A].Name, ins.B)
+	case LdLoc, StLoc, LdaLoc:
+		return fmt.Sprintf("%-9s up%d+%d", ins.Op, ins.A, ins.B)
+	case Call:
+		return fmt.Sprintf("%-9s %s", ins.Op, o.Procs[ins.A].FullName())
+	case CallExt:
+		return fmt.Sprintf("%-9s %s", ins.Op, ins.S)
+	case CallInd:
+		return fmt.Sprintf("%-9s args=%d", ins.Op, ins.B)
+	case Raise, ExcIs:
+		return fmt.Sprintf("%-9s %s", ins.Op, o.Excs[ins.A])
+	case Jmp, Jz, Jnz, EnterTry:
+		return fmt.Sprintf("%-9s ->%d", ins.Op, ins.A)
+	case Index:
+		return fmt.Sprintf("%-9s lo=%d elems=%d size=%d", ins.Op, ins.Imm, ins.B, ins.A)
+	case IndexOp:
+		return fmt.Sprintf("%-9s size=%d", ins.Op, ins.A)
+	case ChkRange:
+		return fmt.Sprintf("%-9s %d..%d", ins.Op, ins.Imm, ins.Imm2)
+	case CmpI, CmpF, CmpS, CmpA, SetCmp:
+		return fmt.Sprintf("%-9s rel=%d", ins.Op, ins.A)
+	case Copy, NewObj:
+		return fmt.Sprintf("%-9s slots=%d", ins.Op, ins.A)
+	case MathOp:
+		return fmt.Sprintf("%-9s fn=%d", ins.Op, ins.A)
+	default:
+		if ins.A != 0 || ins.B != 0 || ins.Imm != 0 {
+			return fmt.Sprintf("%-9s a=%d b=%d imm=%d", ins.Op, ins.A, ins.B, ins.Imm)
+		}
+		return ins.Op.String()
+	}
+}

@@ -1,0 +1,255 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"m2cc/internal/seq"
+	"m2cc/internal/source"
+	"m2cc/internal/token"
+	"m2cc/internal/vm"
+)
+
+// compile builds an object from in-memory sources.
+func compile(t *testing.T, name string, files map[string]string) *vm.Object {
+	t.Helper()
+	loader := source.NewMapLoader()
+	for n, text := range files {
+		if base, ok := strings.CutSuffix(n, ".def"); ok {
+			loader.Add(base, source.Def, text)
+		} else {
+			loader.Add(strings.TrimSuffix(n, ".mod"), source.Impl, text)
+		}
+	}
+	res := seq.Compile(name, loader)
+	if res.Failed() {
+		t.Fatalf("compile %s:\n%s", name, res.Diags)
+	}
+	return res.Object
+}
+
+func TestLinkUndefinedProcedure(t *testing.T) {
+	obj := compile(t, "Main", map[string]string{
+		"Lib.def":  "DEFINITION MODULE Lib;\nPROCEDURE Go;\nEND Lib.",
+		"Main.mod": "MODULE Main;\nIMPORT Lib;\nBEGIN\n  Lib.Go\nEND Main.",
+	})
+	_, err := vm.Link([]*vm.Object{obj}, "Main")
+	if err == nil || !strings.Contains(err.Error(), "undefined procedure Lib.Go") {
+		t.Fatalf("want undefined-procedure error, got %v", err)
+	}
+}
+
+func TestLinkInterfaceOnlyModuleIsFine(t *testing.T) {
+	// A module whose interface carries only constants/types needs no
+	// implementation.
+	obj := compile(t, "Main", map[string]string{
+		"Consts.def": "DEFINITION MODULE Consts;\nCONST K = 41;\nEND Consts.",
+		"Main.mod":   "MODULE Main;\nIMPORT Consts;\nBEGIN\n  WriteInt(Consts.K + 1, 0); WriteLn\nEND Main.",
+	})
+	prog, err := vm.Link([]*vm.Object{obj}, "Main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := vm.NewMachine(prog, nil, &out).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "42\n" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+func TestModuleInitializationOrder(t *testing.T) {
+	// Imported module bodies run before importers' bodies (post-order
+	// over the import DAG), the main body last.
+	files := map[string]string{
+		"A.def":    "DEFINITION MODULE A;\nPROCEDURE Mark;\nEND A.",
+		"A.mod":    "IMPLEMENTATION MODULE A;\nPROCEDURE Mark;\nBEGIN WriteChar(\"a\") END Mark;\nBEGIN\n  WriteChar(\"A\")\nEND A.",
+		"B.def":    "DEFINITION MODULE B;\nIMPORT A;\nEND B.",
+		"B.mod":    "IMPLEMENTATION MODULE B;\nIMPORT A;\nBEGIN\n  A.Mark;\n  WriteChar(\"B\")\nEND B.",
+		"Main.mod": "MODULE Main;\nIMPORT B;\nBEGIN\n  WriteChar(\"M\"); WriteLn\nEND Main.",
+	}
+	var objs []*vm.Object
+	for _, m := range []string{"Main", "A", "B"} {
+		objs = append(objs, compile(t, m, files))
+	}
+	prog, err := vm.Link(objs, "Main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := vm.NewMachine(prog, nil, &out).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "AaBM\n" {
+		t.Fatalf("init order gave %q, want %q", out.String(), "AaBM\n")
+	}
+}
+
+func TestGlobalAreaSharedAcrossObjects(t *testing.T) {
+	// A definition-module variable written by its owner must be visible
+	// to a client: both objects reference the area "Shared.def" and the
+	// linker unifies it.
+	files := map[string]string{
+		"Shared.def": "DEFINITION MODULE Shared;\nVAR counter: INTEGER;\nPROCEDURE Bump;\nEND Shared.",
+		"Shared.mod": "IMPLEMENTATION MODULE Shared;\nPROCEDURE Bump;\nBEGIN INC(counter) END Bump;\nBEGIN counter := 100\nEND Shared.",
+		"Main.mod":   "MODULE Main;\nIMPORT Shared;\nBEGIN\n  Shared.Bump;\n  Shared.counter := Shared.counter + 10;\n  WriteInt(Shared.counter, 0); WriteLn\nEND Main.",
+	}
+	objs := []*vm.Object{compile(t, "Main", files), compile(t, "Shared", files)}
+	prog, err := vm.Link(objs, "Main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := vm.NewMachine(prog, nil, &out).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "111\n" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+func TestExceptionIdentityAcrossModules(t *testing.T) {
+	files := map[string]string{
+		"Errs.def": "DEFINITION MODULE Errs;\nEXCEPTION Fail;\nPROCEDURE Boom;\nEND Errs.",
+		"Errs.mod": "IMPLEMENTATION MODULE Errs;\nPROCEDURE Boom;\nBEGIN RAISE Fail END Boom;\nEND Errs.",
+		"Main.mod": `MODULE Main;
+FROM Errs IMPORT Fail, Boom;
+BEGIN
+  TRY
+    Boom
+  EXCEPT
+    Fail: WriteString("caught across modules")
+  END;
+  WriteLn
+END Main.`,
+	}
+	objs := []*vm.Object{compile(t, "Main", files), compile(t, "Errs", files)}
+	prog, err := vm.Link(objs, "Main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := vm.NewMachine(prog, nil, &out).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "caught across modules\n" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+func TestLinkMissingMain(t *testing.T) {
+	obj := compile(t, "A", map[string]string{"A.mod": "MODULE A;\nEND A."})
+	if _, err := vm.Link([]*vm.Object{obj}, "Nope"); err == nil {
+		t.Fatal("missing main must fail")
+	}
+}
+
+func TestListingIsSymbolicAndStable(t *testing.T) {
+	files := map[string]string{
+		"Main.mod": `MODULE Main;
+VAR g: INTEGER;
+PROCEDURE Inc2;
+BEGIN
+  INC(g, 2)
+END Inc2;
+BEGIN
+  Inc2
+END Main.`,
+	}
+	a := compile(t, "Main", files).Listing()
+	b := compile(t, "Main", files).Listing()
+	if a != b {
+		t.Fatal("listing not reproducible")
+	}
+	for _, want := range []string{"PROC Main.Inc2", "BODY Main..body",
+		"AREA Main.mod 1", "CALL      Main.Inc2", "LDAGLB    Main.mod+0"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("listing missing %q:\n%s", want, a)
+		}
+	}
+}
+
+func TestExecutionBudget(t *testing.T) {
+	obj := compile(t, "Spin", map[string]string{
+		"Spin.mod": "MODULE Spin;\nBEGIN\n  LOOP END\nEND Spin.",
+	})
+	prog, err := vm.Link([]*vm.Object{obj}, "Spin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.NewMachine(prog, nil, &strings.Builder{})
+	m.MaxSteps = 10000
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("infinite loop must hit the budget, got %v", err)
+	}
+}
+
+func TestRuntimeErrorIdentifiesProcedure(t *testing.T) {
+	obj := compile(t, "Trap", map[string]string{
+		"Trap.mod": `MODULE Trap;
+PROCEDURE Div(a, b: INTEGER): INTEGER;
+BEGIN
+  RETURN a DIV b
+END Div;
+BEGIN
+  WriteInt(Div(1, 0), 0)
+END Trap.`,
+	})
+	prog, _ := vm.Link([]*vm.Object{obj}, "Trap")
+	err := vm.NewMachine(prog, nil, &strings.Builder{}).Run()
+	rte, ok := err.(*vm.RuntimeError)
+	if !ok {
+		t.Fatalf("want *RuntimeError, got %T: %v", err, err)
+	}
+	if rte.Proc != "Trap.Div" || rte.Line == 0 {
+		t.Fatalf("trap context wrong: %+v", rte)
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	// Every opcode must have a mnemonic (catches forgotten table rows).
+	for op := vm.Op(0); ; op++ {
+		s := op.String()
+		if strings.HasPrefix(s, "OP(") {
+			break
+		}
+		if s == "" {
+			t.Fatalf("opcode %d has an empty name", op)
+		}
+	}
+}
+
+func TestRegistryExcAndAreaIdempotence(t *testing.T) {
+	reg := vm.NewRegistry("M")
+	a1 := reg.AreaIdx("M.def")
+	a2 := reg.AreaIdx("M.def")
+	b := reg.AreaIdx("M.mod")
+	if a1 != a2 || a1 == b {
+		t.Fatal("area indices wrong")
+	}
+	e1 := reg.ExcIdx("M.mod:E")
+	e2 := reg.ExcIdx("M.mod:E")
+	f := reg.ExcIdx("M.mod:F")
+	if e1 != e2 || e1 == f {
+		t.Fatal("exception indices wrong")
+	}
+	reg.AddImport("A")
+	reg.AddImport("A")
+	obj := reg.Object()
+	if len(obj.Imports) != 1 {
+		t.Fatal("duplicate import recorded")
+	}
+}
+
+func TestProcMetaFullName(t *testing.T) {
+	p := &vm.ProcMeta{Name: "Outer.Inner", Module: "M"}
+	if p.FullName() != "M.Outer.Inner" {
+		t.Fatal(p.FullName())
+	}
+	b := &vm.ProcMeta{Module: "M", IsBody: true}
+	if b.FullName() != "M..body" {
+		t.Fatal(b.FullName())
+	}
+	_ = token.Pos{}
+}

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"m2cc/internal/source"
+)
+
+// ProgramSpec parameterizes one generated implementation module.
+type ProgramSpec struct {
+	Name          string
+	Seed          int64
+	Procs         int  // number of top-level procedures
+	StmtReps      int  // body size: repetitions of the statement template
+	TargetImports int  // transitive interface count to aim for (0 = none)
+	TargetDepth   int  // import nesting depth to aim for (0 = none)
+	NestedEvery   int  // every n-th procedure gets a nested procedure (0 = never)
+	CallsForward  bool // allow calls to procedures declared later (compile-only programs)
+}
+
+// ProgramInfo describes a generated program (the Table 1 attributes).
+type ProgramInfo struct {
+	Name        string
+	Bytes       int
+	Procedures  int // procedures incl. nested ones
+	Imports     int // transitively imported interfaces
+	ImportDepth int
+	Streams     int // 1 + procedures + imports (the paper's stream count)
+}
+
+// GenerateProgram renders the spec into loader and returns its info.
+// lib may be nil when the spec imports nothing.
+func GenerateProgram(spec ProgramSpec, lib *Library, loader *source.MapLoader) ProgramInfo {
+	r := rand.New(rand.NewSource(spec.Seed))
+	g := &progGen{spec: spec, lib: lib, r: r}
+	text := g.generate()
+	loader.Add(spec.Name, source.Impl, text)
+	nested := 0
+	if spec.NestedEvery > 0 {
+		// Procedures k with k % NestedEvery == NestedEvery-1 get a
+		// nested helper: that is floor(Procs / NestedEvery) of them.
+		nested = spec.Procs / spec.NestedEvery
+	}
+	info := ProgramInfo{
+		Name:       spec.Name,
+		Bytes:      len(text),
+		Procedures: spec.Procs + nested,
+	}
+	if lib != nil && len(g.direct) > 0 {
+		info.Imports, info.ImportDepth = lib.Closure(g.direct)
+	}
+	info.Streams = 1 + info.Procedures + info.Imports
+	return info
+}
+
+type progGen struct {
+	spec   ProgramSpec
+	lib    *Library
+	r      *rand.Rand
+	b      strings.Builder
+	direct []string // direct imports
+	froms  []string // modules imported via FROM (subset of direct)
+}
+
+// pickImports selects direct imports to reach the target depth and
+// transitive interface count.
+func (g *progGen) pickImports() {
+	spec := g.spec
+	if g.lib == nil || spec.TargetImports <= 0 {
+		return
+	}
+	depth := spec.TargetDepth
+	// Reaching the transitive-import target needs enough layers to draw
+	// from: layer k adds at most LibPerLayer interfaces.
+	if need := (spec.TargetImports + LibPerLayer - 1) / LibPerLayer; depth < need {
+		depth = need
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > LibLayers {
+		depth = LibLayers
+	}
+	add := func(name string) {
+		if !contains(g.direct, name) {
+			g.direct = append(g.direct, name)
+		}
+	}
+	// One interface from the layer that realizes the target depth.
+	add(fmt.Sprintf("Lib%d", (depth-1)*LibPerLayer+g.r.Intn(LibPerLayer)))
+	for tries := 0; tries < 400; tries++ {
+		count, _ := g.lib.Closure(g.direct)
+		if count >= spec.TargetImports {
+			break
+		}
+		layer := g.r.Intn(depth)
+		add(fmt.Sprintf("Lib%d", layer*LibPerLayer+g.r.Intn(LibPerLayer)))
+	}
+	sort.Strings(g.direct)
+	// A third of the direct imports also get FROM-imported names, which
+	// populate Table 2's "other" rows for simple identifiers.
+	for i, name := range g.direct {
+		if i%3 == 1 {
+			g.froms = append(g.froms, name)
+		}
+	}
+}
+
+func (g *progGen) generate() string {
+	spec := g.spec
+	g.pickImports()
+	w := func(format string, args ...any) { fmt.Fprintf(&g.b, format, args...) }
+
+	w("MODULE %s;\n", spec.Name)
+	for _, name := range g.direct {
+		w("IMPORT %s;\n", name)
+	}
+	for _, name := range g.froms {
+		m := g.lib.Def(name)
+		w("FROM %s IMPORT %s, %s;\n", name, m.Consts[0], m.Procs[0])
+	}
+
+	// Module-level declarations.
+	w("CONST\n  mc0 = %d;\n  mc1 = %d;\n", 3+g.r.Intn(20), 2+g.r.Intn(9))
+	if len(g.direct) > 0 {
+		m := g.lib.Def(g.direct[g.r.Intn(len(g.direct))])
+		w("  mc2 = %s.%s + 1;\n", m.Name, m.Consts[0])
+	} else {
+		w("  mc2 = mc0 * 2;\n")
+	}
+	w("TYPE\n")
+	w("  MRec = RECORD a, b, c: INTEGER END;\n")
+	w("  MArr = ARRAY [0..31] OF INTEGER;\n")
+	w("  Hue = (HueRed, HueGreen, HueBlue);\n")
+	w("VAR\n  mv0, mv1: INTEGER;\n  mrec: MRec;\n  marr: MArr;\n  mhue: Hue;\n")
+
+	for k := 0; k < spec.Procs; k++ {
+		g.procedure(k)
+	}
+
+	// Module body.
+	w("BEGIN\n")
+	w("  mv0 := mc0; mv1 := mc2;\n  mhue := HueGreen;\n")
+	if spec.Procs > 0 {
+		w("  mv1 := proc0(mv0, mc1);\n")
+	}
+	w("  WriteInt(mv1, 6); WriteLn\nEND %s.\n", spec.Name)
+	return g.b.String()
+}
+
+// procedure emits one top-level procedure with spec.StmtReps copies of
+// the statement template.
+func (g *progGen) procedure(k int) {
+	spec := g.spec
+	w := func(format string, args ...any) { fmt.Fprintf(&g.b, format, args...) }
+	nested := spec.NestedEvery > 0 && k%spec.NestedEvery == spec.NestedEvery-1
+
+	w("\nPROCEDURE proc%d(x, y: INTEGER): INTEGER;\n", k)
+	w("VAR i, acc: INTEGER; r: MRec; a: MArr;\n")
+	if nested {
+		w("  PROCEDURE inner%d(z: INTEGER): INTEGER;\n", k)
+		w("  BEGIN\n    RETURN z * 2 + mv0 + mc1\n  END inner%d;\n\n", k)
+	}
+	w("BEGIN\n  acc := x + mc0;\n")
+	// Real modules mix short helpers with a few long workhorses; the
+	// size spread is what makes the §2.3.4 long-before-short scheduling
+	// rule matter (one worker grinding through a big procedure at the
+	// end while the others sit idle).
+	reps := spec.StmtReps
+	switch {
+	case k%7 == 3:
+		reps *= 5
+	case k%3 == 1:
+		reps *= 2
+	}
+	for rep := 0; rep < reps; rep++ {
+		g.stmtGroup(k, rep)
+	}
+	if nested {
+		w("  acc := acc + inner%d(x);\n", k)
+	}
+	// Call another procedure: earlier-only for runnable programs, any
+	// index for compile-only ones (resolved after the table completes —
+	// the concurrent compiler's deferred statement analysis allows it).
+	if k > 0 || spec.CallsForward {
+		j := g.r.Intn(spec.Procs)
+		if !spec.CallsForward && j >= k {
+			j = g.r.Intn(k)
+		}
+		if j != k {
+			w("  IF x > y THEN acc := acc + proc%d(y, x MOD 7) END;\n", j)
+		}
+	}
+	w("  mv1 := mv1 + 1;\n")
+	w("  RETURN acc\nEND proc%d;\n", k)
+}
+
+// stmtGroup emits one copy of the statement template, varying the
+// details with the generator's random stream.
+func (g *progGen) stmtGroup(k, rep int) {
+	w := func(format string, args ...any) { fmt.Fprintf(&g.b, format, args...) }
+	r := g.r
+
+	// A FOR loop accumulating through locals and module constants.
+	w("  FOR i := 0 TO (y MOD %d) + %d DO\n", 5+r.Intn(9), 1+r.Intn(3))
+	w("    acc := acc + i * mc%d;\n", r.Intn(3))
+	w("    a[i MOD 32] := acc MOD %d\n  END;\n", 50+r.Intn(100))
+
+	// Conditionals over builtins (Table 2's Builtin rows).
+	w("  IF ODD(acc) THEN acc := acc + %d ELSE acc := acc DIV 2 END;\n", 1+r.Intn(4))
+
+	// A reference into an imported interface (qualified lookups).
+	if len(g.direct) > 0 && r.Intn(2) == 0 {
+		m := g.lib.Def(g.direct[r.Intn(len(g.direct))])
+		switch r.Intn(3) {
+		case 0:
+			w("  acc := acc + %s.%s;\n", m.Name, m.Consts[r.Intn(len(m.Consts))])
+		case 1:
+			w("  %s.%s := acc;\n", m.Name, m.Vars[0])
+		default:
+			w("  acc := acc + %s.%s(acc MOD 9);\n", m.Name, m.Procs[0])
+		}
+	}
+	if len(g.froms) > 0 && r.Intn(3) == 0 {
+		m := g.lib.Def(g.froms[r.Intn(len(g.froms))])
+		w("  acc := acc + %s;\n", m.Consts[0])
+	}
+
+	// WITH over the local record (Table 2's WITH rows).
+	w("  WITH r DO a := acc; b := a + x; c := b - y END;\n")
+	w("  acc := acc + r.c;\n")
+
+	// CASE with ranges and ELSE.
+	w("  CASE acc MOD 6 OF\n    0: acc := acc + 1\n  | 1, 2: acc := acc + 2\n  | 3 .. 4: acc := acc + x MOD 3\n  ELSE acc := acc - 1\n  END;\n")
+
+	// Outer-scope traffic (module variables).
+	w("  mv0 := mv0 + acc MOD %d;\n", 3+r.Intn(7))
+
+	// A bounded WHILE.
+	w("  WHILE acc > %d DO acc := acc DIV 2 END;\n", 500+r.Intn(4000))
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"m2cc/internal/source"
+)
+
+// SuiteSize is the number of programs in the test suite (§4.1: "The
+// suite of 37 programs used to evaluate our compiler").
+const SuiteSize = 37
+
+// Suite is a generated test suite plus the shared interface library.
+type Suite struct {
+	Loader   *source.MapLoader
+	Library  *Library
+	Programs []ProgramInfo
+}
+
+// twoSegment interpolates geometrically from lo through med (at the
+// midpoint) to hi, reproducing the skewed-low distributions of Table 1.
+func twoSegment(i, n int, lo, med, hi float64) float64 {
+	mid := float64(n-1) / 2
+	x := float64(i)
+	if x <= mid {
+		return lo * math.Pow(med/lo, x/mid)
+	}
+	return med * math.Pow(hi/med, (x-mid)/(float64(n-1)-mid))
+}
+
+// GenerateSuite builds the 37-program suite.  scale in (0,1] shrinks
+// program bodies proportionally (the structure — imports, procedure
+// counts, nesting — is preserved), letting tests run the full pipeline
+// quickly while the benchmark harness uses scale 1.
+func GenerateSuite(seed int64, scale float64) *Suite {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	loader := source.NewMapLoader()
+	lib := GenerateLibrary(seed, loader)
+	s := &Suite{Loader: loader, Library: lib}
+
+	perm := rand.New(rand.NewSource(seed + 1)).Perm(SuiteSize)
+	perm2 := rand.New(rand.NewSource(seed + 2)).Perm(SuiteSize)
+
+	for i := 0; i < SuiteSize; i++ {
+		// Table 1 targets: sizes 2,371..13,180..336,312 bytes; procedures
+		// 2..16..221; imported interfaces 4..17..133; depth 1..5..12.
+		targetBytes := twoSegment(i, SuiteSize, 2371, 13180, 336312) * scale
+		procs := int(math.Round(twoSegment(i, SuiteSize, 2, 16, 221)))
+		imports := int(math.Round(twoSegment(perm[i], SuiteSize, 4, 17, 133)))
+		depth := int(math.Round(twoSegment(perm2[i], SuiteSize, 1, 5, 12)))
+
+		// Body size from the byte budget: roughly 620 bytes of module
+		// overhead + 28/import + 300/procedure skeleton + 560 per
+		// statement-template repetition (×1.8 for the long/short
+		// procedure size mix).
+		overhead := 620.0 + 28*float64(imports) + 300*float64(procs)
+		reps := int((targetBytes - overhead) / (560 * 1.8 * float64(procs)))
+		if reps < 1 {
+			reps = 1
+		}
+		spec := ProgramSpec{
+			Name:          fmt.Sprintf("Prog%02d", i),
+			Seed:          seed + int64(100+i),
+			Procs:         procs,
+			StmtReps:      reps,
+			TargetImports: imports,
+			TargetDepth:   depth,
+			NestedEvery:   6,
+			CallsForward:  true,
+		}
+		s.Programs = append(s.Programs, GenerateProgram(spec, lib, loader))
+	}
+	return s
+}
+
+// GenerateSynth builds the synthetic best-case module of §4.2: ample
+// parallel work (many same-sized, mutually independent procedures,
+// plus interface streams whose lexing parallelizes the front end) and
+// no DKY blockages (procedure bodies touch only parameters, locals and
+// pervasive builtins, and no imported name is ever referenced; the
+// module table, holding just the headings, completes almost
+// immediately).  It registers Synth.mod in loader and returns its
+// info.  imports lists interfaces pulled in purely for parallel work
+// (may be nil; they must already exist in loader).
+func GenerateSynth(loader *source.MapLoader, procs, reps int, imports []string) ProgramInfo {
+	if procs <= 0 {
+		procs = 48
+	}
+	if reps <= 0 {
+		reps = 8
+	}
+	var b []byte
+	w := func(format string, args ...any) { b = append(b, fmt.Sprintf(format, args...)...) }
+	w("MODULE Synth;\n")
+	for _, imp := range imports {
+		w("IMPORT %s;\n", imp)
+	}
+	w("VAR total: INTEGER;\n")
+	for k := 0; k < procs; k++ {
+		w("\nPROCEDURE work%d(x, y: INTEGER): INTEGER;\nVAR i, j, acc: INTEGER;\nBEGIN\n  acc := x;\n", k)
+		for rep := 0; rep < reps; rep++ {
+			w("  FOR i := 0 TO 9 DO\n    FOR j := 0 TO 4 DO\n      acc := acc + i * j + y\n    END\n  END;\n")
+			w("  IF ODD(acc) THEN acc := acc + 1 ELSE acc := acc DIV 2 END;\n")
+			w("  WHILE acc > 1000 DO acc := acc DIV 3 END;\n")
+		}
+		w("  RETURN acc\nEND work%d;\n", k)
+	}
+	w("\nBEGIN\n  total := 0;\n")
+	for k := 0; k < procs; k++ {
+		w("  total := total + work%d(%d, %d);\n", k, k+1, (k*7)%5+1)
+	}
+	w("  WriteInt(total, 8); WriteLn\nEND Synth.\n")
+	loader.Add("Synth", source.Impl, string(b))
+	return ProgramInfo{
+		Name: "Synth", Bytes: len(b), Procedures: procs,
+		Imports: len(imports), Streams: 1 + procs + len(imports),
+	}
+}
+
+// RandomSpec draws a small random program spec for property-based
+// differential tests.  selfContained specs import nothing and only call
+// earlier procedures, so the generated program also runs (terminates)
+// on the VM.
+func RandomSpec(r *rand.Rand, name string, selfContained bool) ProgramSpec {
+	spec := ProgramSpec{
+		Name:         name,
+		Seed:         r.Int63(),
+		Procs:        1 + r.Intn(8),
+		StmtReps:     1 + r.Intn(4),
+		NestedEvery:  []int{0, 2, 3}[r.Intn(3)],
+		CallsForward: !selfContained,
+	}
+	if !selfContained {
+		spec.TargetImports = 1 + r.Intn(20)
+		spec.TargetDepth = 1 + r.Intn(6)
+	}
+	return spec
+}

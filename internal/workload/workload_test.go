@@ -1,0 +1,140 @@
+package workload_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"m2cc/internal/seq"
+	"m2cc/internal/source"
+	"m2cc/internal/workload"
+)
+
+func TestSuiteCompilesCleanly(t *testing.T) {
+	s := workload.GenerateSuite(1992, 0.1)
+	if len(s.Programs) != workload.SuiteSize {
+		t.Fatalf("got %d programs", len(s.Programs))
+	}
+	for _, p := range s.Programs {
+		res := seq.Compile(p.Name, s.Loader)
+		if res.Failed() {
+			t.Fatalf("%s fails to compile:\n%s", p.Name, res.Diags)
+		}
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	s := workload.GenerateSuite(1992, 1.0)
+	minB, maxB := 1<<60, 0
+	minI, maxI, maxD, maxP := 1<<60, 0, 0, 0
+	for _, p := range s.Programs {
+		if p.Bytes < minB {
+			minB = p.Bytes
+		}
+		if p.Bytes > maxB {
+			maxB = p.Bytes
+		}
+		if p.Imports < minI {
+			minI = p.Imports
+		}
+		if p.Imports > maxI {
+			maxI = p.Imports
+		}
+		if p.ImportDepth > maxD {
+			maxD = p.ImportDepth
+		}
+		if p.Procedures > maxP {
+			maxP = p.Procedures
+		}
+	}
+	t.Logf("bytes %d..%d imports %d..%d depth max %d procs max %d", minB, maxB, minI, maxI, maxD, maxP)
+	if minB > 4000 || maxB < 150000 {
+		t.Errorf("size range off: %d..%d", minB, maxB)
+	}
+	if maxI < 80 {
+		t.Errorf("import range off: %d..%d", minI, maxI)
+	}
+	if maxD < 9 {
+		t.Errorf("depth max off: %d", maxD)
+	}
+	if maxP < 150 {
+		t.Errorf("proc max off: %d", maxP)
+	}
+}
+
+func TestSynthCompiles(t *testing.T) {
+	loader := source.NewMapLoader()
+	workload.GenerateSynth(loader, 16, 3, nil)
+	res := seq.Compile("Synth", loader)
+	if res.Failed() {
+		t.Fatalf("Synth fails:\n%s", res.Diags)
+	}
+}
+
+func TestRandomProgramsCompile(t *testing.T) {
+	loader := source.NewMapLoader()
+	lib := workload.GenerateLibrary(7, loader)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		spec := workload.RandomSpec(r, "Rnd", i%2 == 0)
+		var uselib *workload.Library
+		if spec.TargetImports > 0 {
+			uselib = lib
+		}
+		workload.GenerateProgram(spec, uselib, loader)
+		res := seq.Compile("Rnd", loader)
+		if res.Failed() {
+			t.Fatalf("random program %d (seed %d) fails:\n%s", i, spec.Seed, res.Diags)
+		}
+	}
+}
+
+func TestProcedureSizeMix(t *testing.T) {
+	// The §2.3.4 long-before-short rule only matters if procedure sizes
+	// vary; the generator must produce a genuine spread.
+	loader := source.NewMapLoader()
+	info := workload.GenerateProgram(workload.ProgramSpec{
+		Name: "Mix", Seed: 42, Procs: 14, StmtReps: 2, CallsForward: true,
+	}, nil, loader)
+	if info.Procedures != 14 {
+		t.Fatalf("procs = %d", info.Procedures)
+	}
+	text, _ := loader.Load("Mix", source.Impl)
+	// Count statement-template repetitions per procedure by counting
+	// the WITH lines between procedure headers.
+	counts := map[int]int{}
+	proc := -1
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "PROCEDURE proc") {
+			proc++
+		}
+		if strings.Contains(line, "WITH r DO") && proc >= 0 {
+			counts[proc]++
+		}
+	}
+	min, max := 1<<30, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < min*3 {
+		t.Fatalf("procedure size spread too flat: min %d, max %d", min, max)
+	}
+}
+
+func TestSynthWithImports(t *testing.T) {
+	loader := source.NewMapLoader()
+	workload.GenerateLibrary(1, loader)
+	info := workload.GenerateSynth(loader, 8, 2, []string{"Lib0", "Lib1"})
+	if info.Imports != 2 || info.Streams != 11 {
+		t.Fatalf("info %+v", info)
+	}
+	res := seq.Compile("Synth", loader)
+	if res.Failed() {
+		t.Fatalf("Synth with imports fails:\n%s", res.Diags)
+	}
+}

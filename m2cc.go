@@ -1,0 +1,184 @@
+// Package m2cc is a concurrent compiler for Modula-2+, a Go
+// reproduction of Wortman & Junkin, "A Concurrent Compiler for
+// Modula-2+" (PLDI 1992).
+//
+// The compiler splits a source program into separately compilable
+// streams — the main module body, one stream per procedure, one per
+// directly or indirectly imported definition module — and compiles the
+// streams concurrently under a Supervisor scheduler with avoided,
+// handled and barrier events.  Symbol tables are per-scope and may be
+// searched while still under construction; the Doesn't Know Yet
+// condition that results is handled by one of four strategies
+// (Avoidance, Pessimistic, Skeptical, Optimistic).  Per-procedure code
+// segments are merged by concatenation into an object file, and a small
+// linker turns a set of objects into a runnable program for the
+// package's abstract stack machine.
+//
+// # Quick start
+//
+//	loader := m2cc.NewMapLoader()
+//	loader.Add("Hello", m2cc.Impl, `
+//	MODULE Hello;
+//	BEGIN WriteString("hello"); WriteLn END Hello.`)
+//
+//	res := m2cc.Compile("Hello", loader, m2cc.Options{Workers: 8})
+//	if res.Failed() {
+//	    fmt.Print(res.Diags)
+//	}
+//	prog, _ := m2cc.BuildProgram("Hello", loader, m2cc.Options{Workers: 8})
+//	m2cc.Execute(prog, os.Stdin, os.Stdout)
+//
+// # Reproduction artifacts
+//
+// The workload generator (internal/workload), trace recorder
+// (internal/ctrace), Firefly-substitute simulator (internal/sim) and
+// experiment harness (internal/bench) regenerate every table and
+// figure of the paper's evaluation; see DESIGN.md and EXPERIMENTS.md,
+// and the cmd/m2bench tool.
+package m2cc
+
+import (
+	"fmt"
+	"io"
+
+	"m2cc/internal/core"
+	"m2cc/internal/ctrace"
+	"m2cc/internal/seq"
+	"m2cc/internal/sim"
+	"m2cc/internal/source"
+	"m2cc/internal/symtab"
+	"m2cc/internal/vm"
+)
+
+// Strategy selects DKY handling (§2.2 of the paper).
+type Strategy = symtab.Strategy
+
+// The four DKY strategies, ordered as in the paper.
+const (
+	Avoidance   = symtab.Avoidance
+	Pessimistic = symtab.Pessimistic
+	Skeptical   = symtab.Skeptical // the paper's recommendation (Figure 6)
+	Optimistic  = symtab.Optimistic
+)
+
+// ParseStrategy converts a strategy name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) { return symtab.ParseStrategy(name) }
+
+// HeaderMode selects §2.4 procedure-heading sharing.
+type HeaderMode = core.HeaderMode
+
+// Heading-sharing alternatives.
+const (
+	HeaderShared    = core.HeaderShared    // alternative 1 (the paper's choice)
+	HeaderReprocess = core.HeaderReprocess // alternative 3 (~3% slower)
+)
+
+// FileKind distinguishes definition (.def) from implementation (.mod)
+// files.
+type FileKind = source.FileKind
+
+// File kinds.
+const (
+	Def  = source.Def
+	Impl = source.Impl
+)
+
+// Loader resolves module names to source text.
+type Loader = source.Loader
+
+// MapLoader is an in-memory Loader.
+type MapLoader = source.MapLoader
+
+// NewMapLoader returns an empty in-memory loader.
+func NewMapLoader() *MapLoader { return source.NewMapLoader() }
+
+// DirLoader loads modules from directories.
+type DirLoader = source.DirLoader
+
+// Options configure a concurrent compilation.
+type Options = core.Options
+
+// Result is a concurrent compilation's outcome.
+type Result = core.Result
+
+// SeqResult is a sequential compilation's outcome.
+type SeqResult = seq.Result
+
+// Object is a compiled module (symbolic cross-references, linked by
+// Link).
+type Object = vm.Object
+
+// Program is a linked, runnable image.
+type Program = vm.Program
+
+// Trace is a schedule-independent compilation trace for the simulator.
+type Trace = ctrace.Trace
+
+// SimOptions configure a Firefly-substitute simulation.
+type SimOptions = sim.Options
+
+// SimResult is a simulation outcome.
+type SimResult = sim.Result
+
+// Stats are Table 2 identifier-lookup statistics.
+type Stats = symtab.Stats
+
+// Compile runs the concurrent compiler on the named implementation
+// module.
+func Compile(module string, loader Loader, opts Options) *Result {
+	return core.Compile(module, loader, opts)
+}
+
+// CompileSequential runs the traditional sequential compiler (the
+// paper's baseline); its output is byte-identical to Compile's.
+func CompileSequential(module string, loader Loader) *SeqResult {
+	return seq.Compile(module, loader)
+}
+
+// Link resolves symbolic references across objects into a runnable
+// Program whose main module is named.
+func Link(objects []*Object, main string) (*Program, error) {
+	return vm.Link(objects, main)
+}
+
+// BuildProgram compiles the main module and every transitively imported
+// module that has an implementation — each with the concurrent compiler
+// — and links the results.
+func BuildProgram(main string, loader Loader, opts Options) (*Program, error) {
+	var objects []*Object
+	seen := map[string]bool{}
+	queue := []string{main}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if _, err := loader.Load(name, Impl); err != nil {
+			if name == main {
+				return nil, fmt.Errorf("main module %s has no implementation", main)
+			}
+			continue // interface-only module
+		}
+		res := Compile(name, loader, opts)
+		if res.Failed() {
+			return nil, fmt.Errorf("compilation of %s failed:\n%s", name, res.Diags)
+		}
+		objects = append(objects, res.Object)
+		queue = append(queue, res.Object.Imports...)
+	}
+	return Link(objects, main)
+}
+
+// Execute runs a linked program on the abstract machine.
+func Execute(prog *Program, stdin io.Reader, stdout io.Writer) error {
+	return vm.NewMachine(prog, stdin, stdout).Run()
+}
+
+// Simulate replays a compilation trace on a simulated multiprocessor
+// under the Supervisor scheduling policy.  Collect traces with
+// Options{Workers: 1, Trace: true} for deterministic replays.
+func Simulate(trace *Trace, opts SimOptions) *SimResult {
+	return sim.New(trace, opts).Run()
+}

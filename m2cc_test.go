@@ -1,0 +1,105 @@
+package m2cc_test
+
+import (
+	"strings"
+	"testing"
+
+	"m2cc"
+)
+
+// TestPublicAPIQuickstart exercises the README's quick-start path end
+// to end through the exported facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	loader := m2cc.NewMapLoader()
+	loader.Add("Hello", m2cc.Impl, `
+MODULE Hello;
+VAR i: INTEGER;
+PROCEDURE Twice(x: INTEGER): INTEGER;
+BEGIN
+  RETURN 2 * x
+END Twice;
+BEGIN
+  FOR i := 1 TO 3 DO WriteInt(Twice(i), 3) END;
+  WriteLn
+END Hello.
+`)
+	res := m2cc.Compile("Hello", loader, m2cc.Options{Workers: 4})
+	if res.Failed() {
+		t.Fatalf("compile failed:\n%s", res.Diags)
+	}
+	if res.Streams < 2 {
+		t.Fatalf("streams = %d", res.Streams)
+	}
+	seqr := m2cc.CompileSequential("Hello", loader)
+	if res.Object.Listing() != seqr.Object.Listing() {
+		t.Fatal("outputs differ between compilers")
+	}
+	prog, err := m2cc.BuildProgram("Hello", loader, m2cc.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := m2cc.Execute(prog, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "  2  4  6\n" {
+		t.Fatalf("got %q", out.String())
+	}
+}
+
+// TestPublicAPITraceAndSimulate drives the trace → simulate path.
+func TestPublicAPITraceAndSimulate(t *testing.T) {
+	loader := m2cc.NewMapLoader()
+	loader.Add("W", m2cc.Impl, `
+MODULE W;
+PROCEDURE A(): INTEGER;
+BEGIN
+  RETURN 1
+END A;
+PROCEDURE B(): INTEGER;
+BEGIN
+  RETURN A() + 1
+END B;
+BEGIN
+  WriteInt(B(), 0); WriteLn
+END W.
+`)
+	res := m2cc.Compile("W", loader, m2cc.Options{Workers: 1, Trace: true})
+	if res.Failed() || res.Trace == nil {
+		t.Fatalf("trace compile failed:\n%s", res.Diags)
+	}
+	one := m2cc.Simulate(res.Trace, m2cc.SimOptions{Processors: 1,
+		Strategy: m2cc.Skeptical, LongBeforeShort: true, BoostResolver: true})
+	four := m2cc.Simulate(res.Trace, m2cc.SimOptions{Processors: 4,
+		Strategy: m2cc.Skeptical, LongBeforeShort: true, BoostResolver: true})
+	if !(four.Makespan <= one.Makespan) {
+		t.Fatalf("more processors must not be slower: %f vs %f", four.Makespan, one.Makespan)
+	}
+}
+
+// TestPublicAPIErrorPath: failing programs surface sorted diagnostics.
+func TestPublicAPIErrorPath(t *testing.T) {
+	loader := m2cc.NewMapLoader()
+	loader.Add("Bad", m2cc.Impl, "MODULE Bad;\nBEGIN\n  x := 1\nEND Bad.")
+	res := m2cc.Compile("Bad", loader, m2cc.Options{Workers: 2})
+	if !res.Failed() {
+		t.Fatal("must fail")
+	}
+	if !strings.Contains(res.Diags.String(), "undeclared identifier x") {
+		t.Fatalf("diags:\n%s", res.Diags)
+	}
+	if _, err := m2cc.BuildProgram("Bad", loader, m2cc.Options{}); err == nil {
+		t.Fatal("BuildProgram must propagate compile errors")
+	}
+}
+
+// TestParseStrategyNames covers the exported strategy surface.
+func TestParseStrategyNames(t *testing.T) {
+	s, err := m2cc.ParseStrategy("optimistic")
+	if err != nil || s != m2cc.Optimistic {
+		t.Fatalf("%v %v", s, err)
+	}
+	if _, err := m2cc.ParseStrategy("nope"); err == nil {
+		t.Fatal("want error")
+	}
+}
