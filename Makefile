@@ -1,0 +1,27 @@
+GO ?= go
+
+# Packages where races would be silent correctness bugs: the interface
+# cache, the concurrent driver, and the DKY symbol tables.
+RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab
+
+.PHONY: check vet build test race bench clean
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) run ./cmd/m2bench -ifacecache -json BENCH_ifacecache.json
+
+clean:
+	$(GO) clean ./...

@@ -4,6 +4,9 @@
 //	m2bench                 # everything, paper-sized workload
 //	m2bench -scale 0.25     # quicker, shrunken bodies
 //	m2bench -table2 -fig7   # selected experiments only
+//	m2bench -ifacecache -json BENCH_ifacecache.json
+//	                        # interface-cache cold/warm batch benchmark,
+//	                        # machine-readable result written to the file
 //
 // Hardware substitution: the paper measured wall-clock speedups on an
 // 8-CPU DEC Firefly; here speedups come from a deterministic
@@ -12,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,8 +43,32 @@ func main() {
 		headersA = flag.Bool("headers", false, "§2.4: heading-sharing ablation")
 		ordering = flag.Bool("longshort", false, "§2.3.4: long-before-short ordering ablation")
 		boost    = flag.Bool("boost", false, "§2.3.4: DKY-resolver preference ablation")
+		ifcache  = flag.Bool("ifacecache", false, "interface-cache benchmark: cold vs warm batch compilation")
+		jsonOut  = flag.String("json", "", "with -ifacecache: also write the result as JSON to this file")
+		workers  = flag.Int("workers", 8, "worker slots per compilation in the interface-cache benchmark")
 	)
 	flag.Parse()
+
+	if *ifcache {
+		r, err := bench.CacheBench(bench.Config{Seed: *seed, Scale: *scale}, *runs, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(r)
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("result written to %s\n", *jsonOut)
+		}
+		return
+	}
 
 	all := !(*table1 || *table2 || *table3 || *fig1 || *fig2 || *fig3 || *fig4 ||
 		*fig7 || *overhead || *dky || *headersA || *ordering || *boost)

@@ -9,6 +9,8 @@
 // compiled concurrently and its object listing written to stdout.
 //
 //	m2c -run Main              # compile Main + imported impls, link, execute
+//	                           # (one shared interface cache across the batch;
+//	                           # -nocache compiles every interface per module)
 //	m2c -workers 8 -dky optimistic -stats Sort
 //	m2c -seq Sort              # the sequential baseline compiler
 //	m2c -compare Sort          # compile both ways and diff the outputs
@@ -45,6 +47,7 @@ func main() {
 		stats   = flag.Bool("stats", false, "print identifier lookup statistics (Table 2)")
 		watch   = flag.Bool("watch", false, "render a WatchTool-style processor activity view")
 		astMode = flag.Bool("ast", false, "print the canonical source render of the parse tree")
+		nocache = flag.Bool("nocache", false, "disable the shared interface cache in batch modes (-run)")
 		quiet   = flag.Bool("q", false, "suppress the success message")
 	)
 	flag.Parse()
@@ -110,6 +113,12 @@ func main() {
 		return
 
 	case *run:
+		// One interface cache across the whole batch: each definition
+		// module is compiled once, not once per importing module.
+		// Output is byte-identical either way (-nocache to verify).
+		if !*nocache {
+			opts.Cache = m2cc.NewCache()
+		}
 		prog, err := m2cc.BuildProgram(module, loader, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,25 @@
+package bench
+
+import "testing"
+
+// TestCacheBenchRuns checks the benchmark's plumbing (not its timing,
+// which depends on the host): the batch compiles cleanly both cold and
+// warm, and the warm passes actually exercise the cache.
+func TestCacheBenchRuns(t *testing.T) {
+	r, err := CacheBench(Config{}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Programs != CacheBenchPrograms {
+		t.Fatalf("programs = %d, want %d", r.Programs, CacheBenchPrograms)
+	}
+	if r.ColdMs <= 0 || r.WarmMs <= 0 || r.Speedup <= 0 {
+		t.Fatalf("degenerate timings: %+v", r)
+	}
+	if r.Misses == 0 || r.Hits == 0 {
+		t.Fatalf("cache not exercised: %+v", r)
+	}
+	if r.Hits < r.Misses {
+		t.Fatalf("warm passes should be hit-dominated: %+v", r)
+	}
+}

@@ -39,7 +39,11 @@ func badPlace() place { return place{kind: pNone, t: types.Bad} }
 func (g *Gen) resolveDesig(d *ast.Designator, wantAddr bool) place {
 	res := g.env.Search.Lookup(g.scope, d.Head.Text, g.withBindings())
 	if !res.Found() {
-		g.errorf(d.Head.Pos, "undeclared identifier %s", d.Head.Text)
+		if res.DeepAlias {
+			g.errorf(d.Head.Pos, "import chain for %s is cyclic or too deep (more than %d re-export links)", d.Head.Text, symtab.MaxAliasDepth)
+		} else {
+			g.errorf(d.Head.Pos, "undeclared identifier %s", d.Head.Text)
+		}
 		return badPlace()
 	}
 	var t *types.Type
@@ -67,7 +71,11 @@ func (g *Gen) resolveDesig(d *ast.Designator, wantAddr bool) place {
 		}
 		qres := g.env.Search.QualifiedLookup(sym.IfaceScope, fs.Name.Text)
 		if qres.Sym == nil {
-			g.errorf(fs.Name.Pos, "%s is not declared in module %s", fs.Name.Text, sym.Name)
+			if qres.DeepAlias {
+				g.errorf(fs.Name.Pos, "import chain for %s.%s is cyclic or too deep (more than %d re-export links)", sym.Name, fs.Name.Text, symtab.MaxAliasDepth)
+			} else {
+				g.errorf(fs.Name.Pos, "%s is not declared in module %s", fs.Name.Text, sym.Name)
+			}
 			return badPlace()
 		}
 		sym = qres.Sym
@@ -123,7 +131,7 @@ func (g *Gen) pushVarAddr(sym *symtab.Symbol) {
 	case sym.ByRef:
 		g.emit(vm.Instr{Op: vm.LdLoc, A: g.hops(sym.Level), B: sym.Offset})
 	case sym.Global:
-		g.emit(vm.Instr{Op: vm.LdaGlb, A: sym.Module, B: sym.Offset})
+		g.emit(vm.Instr{Op: vm.LdaGlb, A: g.areaIdx(sym.Area), B: sym.Offset})
 	default:
 		g.emit(vm.Instr{Op: vm.LdaLoc, A: g.hops(sym.Level), B: sym.Offset})
 	}
@@ -227,7 +235,7 @@ func (g *Gen) loadPlace(p place, pos token.Pos) (*types.Type, bool) {
 		return g.emitConst(p.v, pos), false
 	case pDirect:
 		if p.sym.Global {
-			g.emit(vm.Instr{Op: vm.LdGlb, A: p.sym.Module, B: p.sym.Offset})
+			g.emit(vm.Instr{Op: vm.LdGlb, A: g.areaIdx(p.sym.Area), B: p.sym.Offset})
 		} else {
 			g.emit(vm.Instr{Op: vm.LdLoc, A: g.hops(p.sym.Level), B: p.sym.Offset})
 		}
@@ -268,7 +276,7 @@ func (g *Gen) storePlace(p place, pos token.Pos) {
 	switch p.kind {
 	case pDirect:
 		if p.sym.Global {
-			g.emit(vm.Instr{Op: vm.StGlb, A: p.sym.Module, B: p.sym.Offset})
+			g.emit(vm.Instr{Op: vm.StGlb, A: g.areaIdx(p.sym.Area), B: p.sym.Offset})
 		} else {
 			g.emit(vm.Instr{Op: vm.StLoc, A: g.hops(p.sym.Level), B: p.sym.Offset})
 		}

@@ -33,6 +33,7 @@ type Gen struct {
 	tempTop  int32
 	maxFrame int32
 	loops    []*loopCtx
+	areaMemo map[string]int32
 }
 
 type withInfo struct {
@@ -75,6 +76,30 @@ func (g *Gen) emit(i vm.Instr) int32 {
 }
 
 func (g *Gen) here() int32 { return int32(len(g.code)) }
+
+// areaIdx resolves a globals-area name to this compilation's registry
+// index.  Symbols carry area *names* (they may live in interface scopes
+// shared across compilations); the index is object-local and assigned
+// at first use.  A tiny per-Gen memo keeps registry locking off the
+// instruction-emission hot path.
+func (g *Gen) areaIdx(name string) int32 {
+	if idx, ok := g.areaMemo[name]; ok {
+		return idx
+	}
+	idx := g.env.Reg.AreaIdx(name)
+	if g.areaMemo == nil {
+		g.areaMemo = make(map[string]int32, 4)
+	}
+	g.areaMemo[name] = idx
+	return idx
+}
+
+// excIdx resolves a fully qualified exception name to this
+// compilation's registry index (see areaIdx for why symbols carry
+// names rather than indices).
+func (g *Gen) excIdx(name string) int32 {
+	return g.env.Reg.ExcIdx(name)
+}
 
 // patch sets the jump target of instruction i to the current position.
 func (g *Gen) patch(i int32) { g.code[i].A = g.here() }

@@ -73,7 +73,7 @@ func (g *Gen) stmt(s ast.Stmt) {
 			g.errorf(s.Pos, "%s is not an exception", s.Exc)
 			return
 		}
-		g.emit(vm.Instr{Op: vm.Raise, A: sym.ExcIdx, B: int32(s.Pos.Line)})
+		g.emit(vm.Instr{Op: vm.Raise, A: g.excIdx(sym.ExcName), B: int32(s.Pos.Line)})
 	case *ast.TryStmt:
 		g.tryStmt(s)
 	case *ast.LockStmt:
@@ -260,14 +260,14 @@ func (g *Gen) forStmt(s *ast.ForStmt) {
 
 	store := func() {
 		if v.Global {
-			g.emit(vm.Instr{Op: vm.StGlb, A: v.Module, B: v.Offset})
+			g.emit(vm.Instr{Op: vm.StGlb, A: g.areaIdx(v.Area), B: v.Offset})
 		} else {
 			g.emit(vm.Instr{Op: vm.StLoc, A: g.hops(v.Level), B: v.Offset})
 		}
 	}
 	load := func() {
 		if v.Global {
-			g.emit(vm.Instr{Op: vm.LdGlb, A: v.Module, B: v.Offset})
+			g.emit(vm.Instr{Op: vm.LdGlb, A: g.areaIdx(v.Area), B: v.Offset})
 		} else {
 			g.emit(vm.Instr{Op: vm.LdLoc, A: g.hops(v.Level), B: v.Offset})
 		}
@@ -375,7 +375,7 @@ func (g *Gen) tryStmt(s *ast.TryStmt) {
 				g.errorf(exq.Pos(), "%s is not an exception", exq)
 				continue
 			}
-			g.emit(vm.Instr{Op: vm.ExcIs, A: sym.ExcIdx})
+			g.emit(vm.Instr{Op: vm.ExcIs, A: g.excIdx(sym.ExcName)})
 			hits = append(hits, g.emit(vm.Instr{Op: vm.Jnz}))
 		}
 		skip := g.emit(vm.Instr{Op: vm.Jmp})

@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"m2cc/internal/core"
+	"m2cc/internal/seq"
+	"m2cc/internal/symtab"
+)
+
+// TestDeepReExportChainDiagnosed: a FROM re-export chain longer than
+// the alias-follow limit must be reported as a cyclic/too-deep import
+// chain — not as a bare undeclared identifier — and identically by the
+// sequential and every concurrent configuration.
+func TestDeepReExportChainDiagnosed(t *testing.T) {
+	files := map[string]string{
+		"M0.def": "DEFINITION MODULE M0;\nCONST v = 1;\nEND M0.\n",
+	}
+	const chain = 10 // > symtab.MaxAliasDepth alias links from Main
+	for i := 1; i < chain; i++ {
+		files[fmt.Sprintf("M%d.def", i)] = fmt.Sprintf(
+			"DEFINITION MODULE M%d;\nFROM M%d IMPORT v;\nEND M%d.\n", i, i-1, i)
+	}
+	files["Main.mod"] = fmt.Sprintf(
+		"MODULE Main;\nFROM M%d IMPORT v;\nBEGIN\n  WriteInt(v, 0)\nEND Main.\n", chain-1)
+	loader := testLoader(files)
+
+	want := seq.Compile("Main", loader)
+	if !want.Failed() {
+		t.Fatalf("a %d-link re-export chain (limit %d) must fail", chain, symtab.MaxAliasDepth)
+	}
+	if s := want.Diags.String(); !strings.Contains(s, "too deep") {
+		t.Fatalf("diagnostic must name the deep/cyclic import chain, got:\n%s", s)
+	}
+	for strat := symtab.Avoidance; strat < symtab.NumStrategies; strat++ {
+		got := core.Compile("Main", loader, core.Options{Workers: 4, Strategy: strat})
+		if got.Diags.String() != want.Diags.String() {
+			t.Fatalf("%s: diagnostics differ\nseq:\n%s\nconc:\n%s", strat, want.Diags, got.Diags)
+		}
+	}
+}
+
+// TestShallowReExportChainCompiles: the same shape inside the limit is
+// legal and must resolve through every strategy.
+func TestShallowReExportChainCompiles(t *testing.T) {
+	files := map[string]string{
+		"M0.def": "DEFINITION MODULE M0;\nCONST v = 1;\nEND M0.\n",
+	}
+	const chain = 4
+	for i := 1; i < chain; i++ {
+		files[fmt.Sprintf("M%d.def", i)] = fmt.Sprintf(
+			"DEFINITION MODULE M%d;\nFROM M%d IMPORT v;\nEND M%d.\n", i, i-1, i)
+	}
+	files["Main.mod"] = fmt.Sprintf(
+		"MODULE Main;\nFROM M%d IMPORT v;\nBEGIN\n  WriteInt(v, 0)\nEND Main.\n", chain-1)
+	loader := testLoader(files)
+
+	want := seq.Compile("Main", loader)
+	if want.Failed() {
+		t.Fatalf("shallow re-export chain must compile:\n%s", want.Diags)
+	}
+	for strat := symtab.Avoidance; strat < symtab.NumStrategies; strat++ {
+		got := core.Compile("Main", loader, core.Options{Workers: 4, Strategy: strat})
+		if got.Failed() {
+			t.Fatalf("%s: shallow chain failed:\n%s", strat, got.Diags)
+		}
+		if got.Object.Listing() != want.Object.Listing() {
+			t.Fatalf("%s: listings differ", strat)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"m2cc/internal/core"
+	"m2cc/internal/ifacecache"
+	"m2cc/internal/seq"
+	"m2cc/internal/sim"
+	"m2cc/internal/symtab"
+)
+
+// TestCachedMatchesSequential is the cache's differential acceptance
+// check: with one interface cache shared across every worker count and
+// every DKY strategy — so all but the very first compilation install
+// Stacks/Sorter from cache rather than compiling them — diagnostics
+// and listings stay byte-identical to the uncached sequential baseline.
+func TestCachedMatchesSequential(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	mods := []string{"Main", "Stacks", "Sorter"}
+	wantListing, wantDiags := seqBaseline(t, loader, mods)
+
+	cache := ifacecache.New()
+	for _, workers := range []int{1, 2, 4, 8} {
+		for strat := symtab.Avoidance; strat < symtab.NumStrategies; strat++ {
+			name := fmt.Sprintf("w%d/%s", workers, strat)
+			t.Run(name, func(t *testing.T) {
+				for _, m := range mods {
+					res := core.Compile(m, loader, core.Options{
+						Workers: workers, Strategy: strat, Cache: cache,
+					})
+					if got := res.Diags.String(); got != wantDiags[m] {
+						t.Fatalf("%s: diagnostics differ\n got: %q\nwant: %q", m, got, wantDiags[m])
+					}
+					if got := res.Object.Listing(); got != wantListing[m] {
+						t.Fatalf("%s: listings differ\ngot:\n%s\nwant:\n%s", m, got, wantListing[m])
+					}
+				}
+			})
+		}
+	}
+	if s := cache.Stats(); s.Hits == 0 || s.Misses == 0 {
+		t.Fatalf("cache never exercised: %+v", s)
+	}
+}
+
+// TestCachedSequentialMatches runs the sequential compiler against a
+// shared cache, twice per module, and checks both passes against the
+// uncached baseline.
+func TestCachedSequentialMatches(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	mods := []string{"Main", "Stacks", "Sorter"}
+	wantListing, wantDiags := seqBaseline(t, loader, mods)
+
+	cache := ifacecache.New()
+	for pass := 0; pass < 2; pass++ {
+		for _, m := range mods {
+			res := seq.CompileWithCache(m, loader, cache)
+			if got := res.Diags.String(); got != wantDiags[m] {
+				t.Fatalf("pass %d, %s: diagnostics differ\n got: %q\nwant: %q", pass, m, got, wantDiags[m])
+			}
+			if got := res.Object.Listing(); got != wantListing[m] {
+				t.Fatalf("pass %d, %s: listings differ\ngot:\n%s\nwant:\n%s", pass, m, got, wantListing[m])
+			}
+		}
+	}
+	if s := cache.Stats(); s.Hits == 0 {
+		t.Fatalf("warm pass produced no hits: %+v", s)
+	}
+}
+
+// TestSingleFlightAcrossCompilations races eight whole compilations of
+// Main against one empty cache: each of the two cacheable interfaces
+// (Stacks, Sorter) must be compiled exactly once — one leader each,
+// everyone else a waiter-then-hit — and every compilation's output must
+// match the baseline.  Run under -race.
+func TestSingleFlightAcrossCompilations(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	wantListing, wantDiags := seqBaseline(t, loader, []string{"Main"})
+
+	cache := ifacecache.New()
+	const sessions = 8
+	results := make([]*core.Result, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = core.Compile("Main", loader, core.Options{
+				Workers: 4, Cache: cache,
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, res := range results {
+		if got := res.Diags.String(); got != wantDiags["Main"] {
+			t.Fatalf("session %d: diagnostics differ: %q", i, got)
+		}
+		if got := res.Object.Listing(); got != wantListing["Main"] {
+			t.Fatalf("session %d: listing differs", i)
+		}
+	}
+	s := cache.Stats()
+	if s.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (Stacks and Sorter led exactly once): %+v", s.Misses, s)
+	}
+	if s.Hits != sessions*2-2 {
+		t.Fatalf("hits = %d, want %d: %+v", s.Hits, sessions*2-2, s)
+	}
+}
+
+// TestWarmTraceSimulates checks the trace semantics of cache hits: a
+// warm compilation records the cached interface scopes as pre-fired
+// events and spawns no def streams for them, and the resulting trace
+// still drives the simulator.
+func TestWarmTraceSimulates(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	cache := ifacecache.New()
+
+	cold := core.Compile("Main", loader, core.Options{Workers: 1, Trace: true, Cache: cache})
+	if cold.Failed() {
+		t.Fatalf("cold compile failed:\n%s", cold.Diags)
+	}
+	warm := core.Compile("Main", loader, core.Options{Workers: 1, Trace: true, Cache: cache})
+	if warm.Failed() {
+		t.Fatalf("warm compile failed:\n%s", warm.Diags)
+	}
+	if warm.Streams >= cold.Streams {
+		t.Fatalf("warm run spawned %d streams, cold %d; cache hits must not spawn def streams",
+			warm.Streams, cold.Streams)
+	}
+	if warm.Trace.TotalCost() >= cold.Trace.TotalCost() {
+		t.Fatalf("warm trace cost %.1f not below cold %.1f",
+			warm.Trace.TotalCost(), cold.Trace.TotalCost())
+	}
+	for _, procs := range []int{1, 8} {
+		res := sim.New(warm.Trace, sim.Options{
+			Processors: procs, Strategy: symtab.Skeptical, LongBeforeShort: true, BoostResolver: true,
+		}).Run()
+		if res.Makespan <= 0 {
+			t.Fatalf("simulation on %d processors produced makespan %v", procs, res.Makespan)
+		}
+	}
+}
+
+// TestCacheWithStatsCountsCachedScopes: Table 2 statistics must still
+// see lookups that land in cache-installed scopes (they count as
+// complete-table lookups, since the scope pre-exists the compilation).
+func TestCacheWithStatsCountsCachedScopes(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	cache := ifacecache.New()
+	core.Compile("Main", loader, core.Options{Workers: 2, Cache: cache})
+
+	res := core.Compile("Main", loader, core.Options{
+		Workers: 2, Cache: cache, CollectStats: true,
+	})
+	if res.Failed() {
+		t.Fatalf("warm compile failed:\n%s", res.Diags)
+	}
+	if res.Stats == nil || res.Stats.Lookups == 0 {
+		t.Fatalf("warm-cache run collected no lookup statistics: %+v", res.Stats)
+	}
+}

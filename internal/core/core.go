@@ -23,6 +23,7 @@ import (
 	"m2cc/internal/ctrace"
 	"m2cc/internal/diag"
 	"m2cc/internal/event"
+	"m2cc/internal/ifacecache"
 	"m2cc/internal/impscan"
 	"m2cc/internal/lexer"
 	"m2cc/internal/parser"
@@ -71,6 +72,12 @@ type Options struct {
 	Trace bool
 	// BlockSize overrides the token-queue block size (tests).
 	BlockSize int
+	// Cache, when non-nil, shares completed definition-module
+	// compilations across compilations: the once-only interface table
+	// consults it before spawning a def stream, and publishes cleanly
+	// compiled interfaces back.  Caching is correctness-transparent —
+	// diagnostics and listings are byte-identical with or without it.
+	Cache *ifacecache.Cache
 }
 
 // Result is the outcome of one concurrent compilation.
@@ -99,23 +106,32 @@ type driver struct {
 	rec   *ctrace.Recorder
 	sup   *sched.Supervisor
 
-	mu       sync.Mutex
-	ifaces   map[string]*ifaceEntry // the once-only table (§3)
-	procs    map[int32]*procStream
-	nstream  int32
-	allTasks []*sched.Task
-	mainKind ast.ModKind
+	cache *ifacecache.Cache
+
+	mu        sync.Mutex
+	ifaces    map[string]*ifaceEntry // the once-only table (§3)
+	procs     map[int32]*procStream
+	nstream   int32
+	allTasks  []*sched.Task
+	mainKind  ast.ModKind
+	poisoned  bool                    // deadlock watchdog fired; publish nothing
+	resolving map[string]*event.Event // per-name guard for in-flight cache resolution
 }
 
 // ifaceEntry is one once-only table entry for a definition module.
-// optional/failed are guarded by the driver mutex; load failures are
-// reported after the compilation settles so the diagnostics do not
-// depend on which import path found the module first.
+// optional/failed/resolved are guarded by the driver mutex; load
+// failures are reported after the compilation settles so the
+// diagnostics do not depend on which import path found the module
+// first.
 type ifaceEntry struct {
 	name     string
 	scope    *symtab.Scope
 	optional bool // own-def prefetch: absence is not an error
 	failed   bool // load failed (set by the Lexor task before queue close)
+
+	cacheEnt *ifacecache.Entry // cache entry this session leads or installed
+	cached   bool              // scope was installed from a cache hit
+	resolved bool              // Publish/Fail decision has been made
 }
 
 // procStream is a procedure stream created by the Splitter.
@@ -144,6 +160,10 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 		reg:    vm.NewRegistry(module),
 		ifaces: make(map[string]*ifaceEntry),
 		procs:  make(map[int32]*procStream),
+		cache:  opts.Cache,
+	}
+	if d.cache != nil {
+		d.resolving = make(map[string]*event.Event)
 	}
 	var stats *symtab.Stats
 	if opts.CollectStats {
@@ -155,16 +175,20 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	d.tab = symtab.NewTable(opts.Strategy, stats, d.rec)
 	d.sup = sched.New(opts.Workers, d.rec)
 	d.sup.OnDeadlock = func(msg string) {
+		d.mu.Lock()
+		d.poisoned = true
+		d.mu.Unlock()
 		d.diags.Errorf(module+".mod", token.Pos{}, "%s", msg)
 	}
 
 	d.startMainStream()
 	// Optimistic prefetch of the module's own interface (§3).
-	d.iface(module, true)
+	d.iface(module, true, nil)
 	d.sup.Wait()
 	d.reportLoadFailures()
 	d.runMerge()
 	d.sup.Wait()
+	d.failUnpublished()
 
 	res := &Result{
 		Object: d.reg.Object(),
@@ -246,7 +270,7 @@ func (d *driver) startMainStream() {
 		func(t *sched.Task) {
 			r := rawQ.NewReader(t.BarrierWait)
 			impscan.Run(t.Ctx, r, func(name string, pos token.Pos) {
-				d.iface(name, false)
+				d.iface(name, false, t)
 			})
 		})
 
@@ -320,7 +344,7 @@ func (d *driver) runModParse(t *sched.Task, mainQ *tokq.Queue, label string) {
 	m := p.ParsePrologue()
 
 	var parent *symtab.Scope
-	entry := d.iface(d.module, true)
+	entry := d.iface(d.module, true, t)
 	switch m.Kind {
 	case ast.ImplMod:
 		parent = entry.scope
@@ -341,7 +365,7 @@ func (d *driver) runModParse(t *sched.Task, mainQ *tokq.Queue, label string) {
 	a.ShareHeadings = d.opts.Headers == HeaderShared
 	d.bindChildren(t, a)
 	a.AnalyzeImports(m.Imports, func(name string) *symtab.Scope {
-		return d.iface(name, false).scope
+		return d.iface(name, false, t).scope
 	})
 	a.Analyze(p.ParseDeclarations())
 	a.ResolveForwardRefs()
@@ -414,18 +438,151 @@ func (d *driver) runProcParse(t *sched.Task, ps *procStream) {
 
 // iface returns the once-only table entry for a definition module,
 // starting its stream (Lexor, Importer, Parser/Decl-Analyzer) on first
-// reference.
-func (d *driver) iface(name string, optional bool) *ifaceEntry {
+// reference.  With a cache attached it consults the cache first: a hit
+// installs the sealed closure with zero spawned tasks; a miss makes
+// this compilation the single-flight leader; concurrent leaders in
+// other compilations are waited out (t supplies the external-wait
+// discipline; nil — the prefetch from the main goroutine — waits
+// inline).
+func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
+	d.mu.Lock()
+	for {
+		if e, ok := d.ifaces[name]; ok {
+			if !optional && e.optional {
+				e.optional = false
+			}
+			d.mu.Unlock()
+			return e
+		}
+		if d.cache == nil {
+			d.mu.Unlock()
+			return d.startIface(name, optional, nil)
+		}
+		ev, busy := d.resolving[name]
+		if !busy {
+			break
+		}
+		// Another task of this compilation is resolving the same name
+		// against the cache; wait for its verdict and re-check.
+		d.mu.Unlock()
+		d.extWait(t, ev)
+		d.mu.Lock()
+	}
+	resolved := event.New()
+	d.resolving[name] = resolved
+	d.mu.Unlock()
+
+	var e *ifaceEntry
+	for e == nil {
+		ent, ev, st := d.cache.Acquire(name, d.loader)
+		switch st {
+		case ifacecache.Wait:
+			d.extWait(t, ev)
+			continue // re-acquire: the leader published or failed
+		case ifacecache.Hit:
+			e = d.installCached(name, optional, ent)
+			if e == nil {
+				// A closure member conflicts with a scope this session
+				// already holds; compile fresh without the cache so all
+				// references keep pointer-identical types.
+				e = d.startIface(name, optional, nil)
+			}
+		case ifacecache.Lead:
+			e = d.startIface(name, optional, ent)
+		default: // Bypass
+			e = d.startIface(name, optional, nil)
+		}
+	}
+
+	d.mu.Lock()
+	delete(d.resolving, name)
+	d.mu.Unlock()
+	resolved.Fire()
+	return e
+}
+
+// extWait parks on an event owned outside this task's supervisor
+// (another compilation's cache leader, or another task's resolution).
+func (d *driver) extWait(t *sched.Task, ev *event.Event) {
+	if t == nil {
+		ev.Wait()
+		return
+	}
+	t.ExternalWait(ev)
+}
+
+// installCached installs a ready cache entry's whole closure into the
+// once-only table: for each member not yet known to this compilation,
+// the sealed scope is adopted, its storage area and imports registered,
+// and the scope marked pre-fired for the trace (a cache hit spawns no
+// tasks and its completion predates every task).  Returns nil without
+// installing anything if any member's name is already bound to a
+// *different* scope — mixing scope generations would break
+// pointer-identity type compatibility.
+func (d *driver) installCached(name string, optional bool, ent *ifacecache.Entry) *ifaceEntry {
+	closure := ent.Closure()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, m := range closure {
+		if ex, ok := d.ifaces[m.Name()]; ok && ex.scope != m.Scope() {
+			return nil
+		}
+	}
+	var result *ifaceEntry
+	for _, m := range closure {
+		mname := m.Name()
+		if ex, ok := d.ifaces[mname]; ok {
+			if mname == name {
+				if !optional && ex.optional {
+					ex.optional = false
+				}
+				result = ex
+			}
+			continue
+		}
+		opt := false
+		if mname == name {
+			opt = optional
+		}
+		e := &ifaceEntry{
+			name: mname, scope: m.Scope(), optional: opt,
+			cacheEnt: m, cached: true, resolved: true,
+		}
+		d.ifaces[mname] = e
+		d.reg.SetAreaSlots(d.reg.AreaIdx(m.AreaName()), m.AreaSlots())
+		for _, imp := range m.Imports() {
+			d.reg.AddImport(imp)
+		}
+		d.tab.MarkPrefired(m.Scope())
+		if d.rec != nil {
+			d.rec.NotePrefired(m.Scope().CompletionEvent())
+		}
+		if mname == name {
+			result = e
+		}
+	}
+	return result
+}
+
+// startIface inserts the once-only entry for name and spawns its def
+// stream.  ent, when non-nil, is the cache entry this compilation
+// leads; the DefParse task publishes it on clean completion.
+func (d *driver) startIface(name string, optional bool, ent *ifacecache.Entry) *ifaceEntry {
 	d.mu.Lock()
 	if e, ok := d.ifaces[name]; ok {
+		// Installed meanwhile by another task's closure install; yield
+		// any leadership we hold so its waiters are not stranded.
 		if !optional && e.optional {
 			e.optional = false
 		}
 		d.mu.Unlock()
+		if ent != nil {
+			ent.Fail()
+		}
 		return e
 	}
 	scope := d.tab.NewScope(symtab.DefScope, name, nil, 0)
-	e := &ifaceEntry{name: name, scope: scope, optional: optional}
+	e := &ifaceEntry{name: name, scope: scope, optional: optional, cacheEnt: ent}
 	d.ifaces[name] = e
 	d.nstream++
 	stream := d.nstream
@@ -457,7 +614,7 @@ func (d *driver) iface(name string, optional bool) *ifaceEntry {
 		func(t *sched.Task) {
 			r := q.NewReader(t.BarrierWait)
 			impscan.Run(t.Ctx, r, func(imp string, pos token.Pos) {
-				d.iface(imp, false)
+				d.iface(imp, false, t)
 			})
 		})
 
@@ -468,6 +625,9 @@ func (d *driver) iface(name string, optional bool) *ifaceEntry {
 				if !scope.Completed() {
 					scope.Complete(t.Ctx)
 				}
+				// Early returns (load failure, empty file) leave the
+				// entry unpublished; fail it so cache waiters move on.
+				d.failEntryIfUnresolved(e)
 			}()
 			r := q.NewReader(t.BarrierWait)
 			if r.Peek().Kind == token.EOF {
@@ -482,17 +642,95 @@ func (d *driver) iface(name string, optional bool) *ifaceEntry {
 				d.diags.Errorf(label, m.Pos, "%s is not a DEFINITION MODULE", label)
 			}
 			a := sema.NewModuleAnalyzer(env, scope, name+".def", name, name+".def", true)
+			var directImps []string
+			impSeen := make(map[string]bool)
 			a.AnalyzeImports(m.Imports, func(imp string) *symtab.Scope {
-				return d.iface(imp, false).scope
+				if !impSeen[imp] {
+					impSeen[imp] = true
+					directImps = append(directImps, imp)
+				}
+				return d.iface(imp, false, t).scope
 			})
 			a.Analyze(p.ParseDeclarations())
 			a.ResolveForwardRefs()
 			d.reg.SetAreaSlots(a.Area, a.NextOff)
 			scope.Complete(t.Ctx)
+			d.finishEntry(e, t, a, directImps, label)
 			p.ParseBody(m)
 		})
 	d.sup.SetProducer(scope.CompletionEvent(), parseTask)
 	return e
+}
+
+// finishEntry decides the fate of the cache entry this compilation
+// leads for e: publish if the interface compiled cleanly (no
+// diagnostics against its file, no load failure, no deadlock poison,
+// every direct import itself cache-resolved), otherwise fail so the
+// next requester retries.  The cost recorded is the def stream's
+// deterministic work units at scope completion.
+func (d *driver) finishEntry(e *ifaceEntry, t *sched.Task, a *sema.DeclAnalyzer, directImps []string, label string) {
+	ent := e.cacheEnt
+	if ent == nil {
+		return
+	}
+	d.mu.Lock()
+	if e.resolved {
+		d.mu.Unlock()
+		return
+	}
+	e.resolved = true
+	ok := !d.poisoned && !e.failed
+	var deps []ifacecache.Dep
+	if ok {
+		for _, imp := range directImps {
+			ie := d.ifaces[imp]
+			if ie == nil || ie.cacheEnt == nil {
+				ok = false // an uncacheable import makes us uncacheable
+				break
+			}
+			deps = append(deps, ifacecache.Dep{Ent: ie.cacheEnt, Scope: ie.scope})
+		}
+	}
+	scope := e.scope
+	d.mu.Unlock()
+	if ok && d.diags.HasFor(label) {
+		ok = false
+	}
+	if !ok {
+		ent.Fail()
+		return
+	}
+	ent.Publish(scope, a.AreaName, a.NextOff, directImps, deps, t.Ctx.Units)
+}
+
+// failEntryIfUnresolved fails e's cache entry if no Publish/Fail
+// decision was ever made (early-exit def streams, compiler shutdown).
+func (d *driver) failEntryIfUnresolved(e *ifaceEntry) {
+	d.mu.Lock()
+	ent := e.cacheEnt
+	unresolved := ent != nil && !e.resolved
+	if unresolved {
+		e.resolved = true
+	}
+	d.mu.Unlock()
+	if unresolved {
+		ent.Fail()
+	}
+}
+
+// failUnpublished sweeps the once-only table at compilation end,
+// failing any led cache entries that never resolved, so no waiter in
+// another compilation is stranded on this session's events.
+func (d *driver) failUnpublished() {
+	d.mu.Lock()
+	entries := make([]*ifaceEntry, 0, len(d.ifaces))
+	for _, e := range d.ifaces {
+		entries = append(entries, e)
+	}
+	d.mu.Unlock()
+	for _, e := range entries {
+		d.failEntryIfUnresolved(e)
+	}
 }
 
 // setMainKind records the compilation unit's kind for the settled

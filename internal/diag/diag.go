@@ -93,6 +93,20 @@ func (b *Bag) HasErrors() bool {
 	return b.errors > 0
 }
 
+// HasFor reports whether any error has been recorded against the given
+// file label.  The interface cache uses it to publish only cleanly
+// compiled definition modules.
+func (b *Bag) HasFor(file string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, d := range b.diags {
+		if d.Sev == Error && d.File == file {
+			return true
+		}
+	}
+	return false
+}
+
 // ErrorCount returns the number of errors recorded (including any past
 // the recording limit).
 func (b *Bag) ErrorCount() int {

@@ -1,0 +1,281 @@
+package ifacecache_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"m2cc/internal/ifacecache"
+	"m2cc/internal/source"
+	"m2cc/internal/symtab"
+)
+
+const (
+	defA  = "DEFINITION MODULE A;\nCONST one = 1;\nEND A.\n"
+	defA2 = "DEFINITION MODULE A;\nCONST one = 1;\nCONST extra = 2;\nEND A.\n"
+	defB  = "DEFINITION MODULE B;\nFROM A IMPORT one;\nCONST two = one + 1;\nEND B.\n"
+)
+
+func loaderWith(files map[string]string) *source.MapLoader {
+	l := source.NewMapLoader()
+	for name, text := range files {
+		l.Add(name, source.Def, text)
+	}
+	return l
+}
+
+func newScope(name string) *symtab.Scope {
+	tab := symtab.NewTable(symtab.Skeptical, nil, nil)
+	return tab.NewScope(symtab.DefScope, name, nil, 0)
+}
+
+func TestLeadPublishHit(t *testing.T) {
+	loader := loaderWith(map[string]string{"A": defA})
+	c := ifacecache.New()
+
+	ent, ev, st := c.Acquire("A", loader)
+	if st != ifacecache.Lead || ent == nil || ev != nil {
+		t.Fatalf("first acquire: got (%v, %v, %v), want Lead", ent, ev, st)
+	}
+	if ent.Ready() {
+		t.Fatal("entry ready before publish")
+	}
+	sc := newScope("A")
+	ent.Publish(sc, "A.def", 3, nil, nil, 42)
+	if !ent.Ready() {
+		t.Fatal("entry with no deps must be ready after publish")
+	}
+
+	ent2, _, st2 := c.Acquire("A", loader)
+	if st2 != ifacecache.Hit || ent2 != ent {
+		t.Fatalf("second acquire: got (%p, %v), want hit on %p", ent2, st2, ent)
+	}
+	if ent2.Scope() != sc || ent2.AreaName() != "A.def" || ent2.AreaSlots() != 3 || ent2.Cost() != 42 {
+		t.Fatalf("payload mismatch: scope=%p area=%q slots=%d cost=%v",
+			ent2.Scope(), ent2.AreaName(), ent2.AreaSlots(), ent2.Cost())
+	}
+	if cl := ent2.Closure(); len(cl) != 1 || cl[0] != ent2 {
+		t.Fatalf("closure of dep-free entry: %v", cl)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Waits != 0 || s.Bypasses != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// TestSingleFlight is the core dedup property: many goroutines racing
+// to acquire the same uncached interface produce exactly one leader;
+// everyone else waits and ends up with the leader's scope.  Run under
+// -race.
+func TestSingleFlight(t *testing.T) {
+	loader := loaderWith(map[string]string{"A": defA})
+	c := ifacecache.New()
+	sc := newScope("A")
+
+	const goroutines = 32
+	var leads atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ent, ev, st := c.Acquire("A", loader)
+				switch st {
+				case ifacecache.Lead:
+					leads.Add(1)
+					// Hold leadership long enough for others to pile up.
+					time.Sleep(2 * time.Millisecond)
+					ent.Publish(sc, "A.def", 0, nil, nil, 1)
+					return
+				case ifacecache.Wait:
+					ev.Wait()
+				case ifacecache.Hit:
+					if ent.Scope() != sc {
+						t.Error("hit returned a different scope")
+					}
+					return
+				default:
+					t.Errorf("unexpected state %v", st)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := leads.Load(); n != 1 {
+		t.Fatalf("%d leaders, want exactly 1", n)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits+s.Waits < goroutines-1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFailedLeaderRetried(t *testing.T) {
+	loader := loaderWith(map[string]string{"A": defA})
+	c := ifacecache.New()
+
+	ent, _, st := c.Acquire("A", loader)
+	if st != ifacecache.Lead {
+		t.Fatalf("state %v, want Lead", st)
+	}
+
+	// A waiter parks behind the leader...
+	_, ev, st2 := c.Acquire("A", loader)
+	if st2 != ifacecache.Wait {
+		t.Fatalf("state %v, want Wait", st2)
+	}
+	woke := make(chan struct{})
+	go func() { ev.Wait(); close(woke) }()
+
+	// ...the leader fails; the waiter wakes and re-leads.
+	ent.Fail()
+	<-woke
+	ent3, _, st3 := c.Acquire("A", loader)
+	if st3 != ifacecache.Lead || ent3 != ent {
+		t.Fatalf("after fail: got (%p, %v), want fresh lead on %p", ent3, st3, ent)
+	}
+	sc := newScope("A")
+	ent3.Publish(sc, "A.def", 0, nil, nil, 1)
+	if _, _, st4 := c.Acquire("A", loader); st4 != ifacecache.Hit {
+		t.Fatalf("state %v, want Hit after republish", st4)
+	}
+}
+
+func TestContentChangeInvalidates(t *testing.T) {
+	loader := loaderWith(map[string]string{"A": defA})
+	c := ifacecache.New()
+
+	ent, _, _ := c.Acquire("A", loader)
+	scOld := newScope("A")
+	ent.Publish(scOld, "A.def", 0, nil, nil, 1)
+
+	// Editing A.def must miss; the old entry stays for the old text.
+	loader.Add("A", source.Def, defA2)
+	ent2, _, st := c.Acquire("A", loader)
+	if st != ifacecache.Lead || ent2 == ent {
+		t.Fatalf("after edit: state %v (same entry: %v), want fresh Lead", st, ent2 == ent)
+	}
+	scNew := newScope("A")
+	ent2.Publish(scNew, "A.def", 0, nil, nil, 1)
+	if c.Len() != 2 {
+		t.Fatalf("cache has %d entries, want 2", c.Len())
+	}
+
+	// Reverting the text hits the original entry again.
+	loader.Add("A", source.Def, defA)
+	ent3, _, st3 := c.Acquire("A", loader)
+	if st3 != ifacecache.Hit || ent3 != ent || ent3.Scope() != scOld {
+		t.Fatalf("after revert: got (%p, %v), want hit on original", ent3, st3)
+	}
+}
+
+// TestImportChangeInvalidatesDependents: the key is the hash of the
+// whole transitive closure, so editing A.def invalidates B (which
+// imports A) even though B's own text is unchanged.
+func TestImportChangeInvalidatesDependents(t *testing.T) {
+	loader := loaderWith(map[string]string{"A": defA, "B": defB})
+	c := ifacecache.New()
+
+	entA, _, _ := c.Acquire("A", loader)
+	scA := newScope("A")
+	entA.Publish(scA, "A.def", 0, nil, nil, 1)
+
+	entB, _, _ := c.Acquire("B", loader)
+	scB := newScope("B")
+	entB.Publish(scB, "B.def", 0, []string{"A"},
+		[]ifacecache.Dep{{Ent: entA, Scope: scA}}, 2)
+	if !entB.Ready() {
+		t.Fatal("B must seal once its dep is ready")
+	}
+	if cl := entB.Closure(); len(cl) != 2 || cl[0] != entA || cl[1] != entB {
+		t.Fatalf("closure must list deps first: %v", cl)
+	}
+
+	loader.Add("A", source.Def, defA2)
+	if _, _, st := c.Acquire("B", loader); st != ifacecache.Lead {
+		t.Fatalf("B after A edit: state %v, want Lead (new closure hash)", st)
+	}
+	if _, _, st := c.Acquire("A", loader); st != ifacecache.Lead {
+		t.Fatalf("A after A edit: state %v, want Lead", st)
+	}
+}
+
+// TestSealingAwaitsDeps: an entry published before its dependency is
+// ready stays un-installable (waiters park) until the dep seals.
+func TestSealingAwaitsDeps(t *testing.T) {
+	loader := loaderWith(map[string]string{"A": defA, "B": defB})
+	c := ifacecache.New()
+
+	entA, _, _ := c.Acquire("A", loader)
+	entB, _, _ := c.Acquire("B", loader)
+	scA, scB := newScope("A"), newScope("B")
+
+	entB.Publish(scB, "B.def", 0, []string{"A"},
+		[]ifacecache.Dep{{Ent: entA, Scope: scA}}, 2)
+	if entB.Ready() {
+		t.Fatal("B sealed before its dep A was ready")
+	}
+	if _, _, st := c.Acquire("B", loader); st != ifacecache.Wait {
+		t.Fatalf("B while sealing: state %v, want Wait", st)
+	}
+
+	entA.Publish(scA, "A.def", 0, nil, nil, 1)
+	if !entB.Ready() {
+		t.Fatal("B must seal once A publishes")
+	}
+	if _, _, st := c.Acquire("B", loader); st != ifacecache.Hit {
+		t.Fatalf("B after seal: state %v, want Hit", st)
+	}
+}
+
+// TestDepScopeMismatchFails: if the dep entry becomes ready with a
+// *different* scope object than the publication's symbols reference,
+// the publication must fail rather than mix scope generations.
+func TestDepScopeMismatchFails(t *testing.T) {
+	loader := loaderWith(map[string]string{"A": defA, "B": defB})
+	c := ifacecache.New()
+
+	entA, _, _ := c.Acquire("A", loader)
+	entA.Publish(newScope("A"), "A.def", 0, nil, nil, 1)
+
+	entB, _, _ := c.Acquire("B", loader)
+	staleScopeOfA := newScope("A") // not the scope entA published
+	entB.Publish(newScope("B"), "B.def", 0, []string{"A"},
+		[]ifacecache.Dep{{Ent: entA, Scope: staleScopeOfA}}, 2)
+	if entB.Ready() {
+		t.Fatal("B sealed against a mismatched dep scope")
+	}
+	if _, _, st := c.Acquire("B", loader); st != ifacecache.Lead {
+		t.Fatalf("B after mismatch: state %v, want Lead (failed entry re-led)", st)
+	}
+}
+
+func TestCycleBypasses(t *testing.T) {
+	loader := loaderWith(map[string]string{
+		"A": "DEFINITION MODULE A;\nFROM B IMPORT x;\nCONST y = x;\nEND A.\n",
+		"B": "DEFINITION MODULE B;\nFROM A IMPORT y;\nCONST x = y;\nEND B.\n",
+	})
+	c := ifacecache.New()
+	for _, name := range []string{"A", "B"} {
+		if ent, ev, st := c.Acquire(name, loader); st != ifacecache.Bypass || ent != nil || ev != nil {
+			t.Fatalf("%s: got (%v, %v, %v), want Bypass", name, ent, ev, st)
+		}
+	}
+	if s := c.Stats(); s.Bypasses != 2 || c.Len() != 0 {
+		t.Fatalf("stats = %+v, len = %d", s, c.Len())
+	}
+}
+
+func TestMissingSourceBypasses(t *testing.T) {
+	c := ifacecache.New()
+	if _, _, st := c.Acquire("Nope", source.NewMapLoader()); st != ifacecache.Bypass {
+		t.Fatalf("state %v, want Bypass for missing .def", st)
+	}
+	// B is loadable but imports a missing module: the whole closure is
+	// uncacheable.
+	loader := loaderWith(map[string]string{"B": defB})
+	if _, _, st := c.Acquire("B", loader); st != ifacecache.Bypass {
+		t.Fatalf("state %v, want Bypass for missing transitive import", st)
+	}
+}

@@ -54,6 +54,55 @@ func Run(ctx *ctrace.TaskCtx, in *tokq.Reader, onImport func(name string, pos to
 	}
 }
 
+// Names runs the same prologue automaton over an already-lexed token
+// slice and returns the imported module names in order of appearance
+// (duplicates preserved).  The interface cache uses it to discover a
+// definition module's direct imports without task machinery.
+func Names(toks []token.Token) []string {
+	var names []string
+	i := 0
+	next := func() token.Token {
+		if i >= len(toks) {
+			return token.Token{Kind: token.EOF}
+		}
+		t := toks[i]
+		i++
+		return t
+	}
+	for {
+		t := next()
+		switch t.Kind {
+		case token.FROM:
+			if id := next(); id.Kind == token.Ident {
+				names = append(names, id.Text)
+			}
+			for {
+				t := next()
+				if t.Kind == token.Semicolon || t.Kind == token.EOF {
+					break
+				}
+			}
+
+		case token.IMPORT:
+			for {
+				id := next()
+				if id.Kind == token.Ident {
+					names = append(names, id.Text)
+					continue
+				}
+				if id.Kind == token.Comma {
+					continue
+				}
+				break
+			}
+
+		case token.CONST, token.TYPE, token.VAR, token.PROCEDURE,
+			token.EXCEPTION, token.BEGIN, token.END, token.EOF:
+			return names
+		}
+	}
+}
+
 func skipToSemicolon(ctx *ctrace.TaskCtx, in *tokq.Reader) {
 	for {
 		t := in.Next()

@@ -89,6 +89,34 @@ func (t *Task) HandledWait(e *event.Event) {
 	t.sup.reacquire(t)
 }
 
+// ExternalWait parks t on an event owned by *another* compilation (an
+// interface-cache entry whose leader is a different session).  The
+// worker slot is released like a handled wait, but the Supervisor's
+// deadlock watchdog must neither force-fire the foreign event nor
+// treat the stall as a scheduler bug: progress arrives from outside
+// this compilation.  The wait is not traced — in the trace the cached
+// scope appears pre-fired once installed.
+func (t *Task) ExternalWait(e *event.Event) {
+	if e.Fired() {
+		return
+	}
+	s := t.sup
+	s.mu.Lock()
+	s.free++
+	s.external[t] = e
+	s.dispatchLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	e.Wait()
+	s.mu.Lock()
+	delete(s.external, t)
+	s.makeRunnableLocked(t)
+	s.dispatchLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-t.resume
+}
+
 // Supervisor owns the worker slots and the ready queue.
 type Supervisor struct {
 	mu       sync.Mutex
@@ -101,6 +129,7 @@ type Supervisor struct {
 	producers map[*event.Event]*Task
 	blocked   map[*Task]*event.Event
 	parked    map[*Task][]*event.Event
+	external  map[*Task]*event.Event // waits on events owned by other compilations
 
 	total    int
 	finished int
@@ -123,6 +152,7 @@ func New(workers int, rec *ctrace.Recorder) *Supervisor {
 		producers: make(map[*event.Event]*Task),
 		blocked:   make(map[*Task]*event.Event),
 		parked:    make(map[*Task][]*event.Event),
+		external:  make(map[*Task]*event.Event),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -265,7 +295,9 @@ func (s *Supervisor) Wait() {
 		if s.free == s.slots && s.runnable.Len() == 0 {
 			// Nothing is running or runnable, yet tasks remain: a stall.
 			var fires []*event.Event
-			inTransit := false
+			// Tasks parked on foreign (cache) events are woken from
+			// outside this compilation; their stall is not a deadlock.
+			inTransit := len(s.external) > 0
 			for _, e := range s.blocked {
 				if e.Fired() {
 					// A woken waiter is between its event firing and

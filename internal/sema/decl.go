@@ -34,6 +34,7 @@ type DeclAnalyzer struct {
 	OwnerMod  string // module whose source declares this scope
 	IsDef     bool   // definition-module scope: procedures are external
 	Area      int32  // registry globals area (module/def scopes); -1 for procedures
+	AreaName  string // the area's name ("M.def"/"M.mod"); symbols carry this
 	NextOff   int32  // storage allocator (area slots or frame slots)
 	Children  []*ChildProc
 
@@ -59,7 +60,8 @@ type DeclAnalyzer struct {
 func NewModuleAnalyzer(env *Env, scope *symtab.Scope, scopePath, ownerMod, areaName string, isDef bool) *DeclAnalyzer {
 	return &DeclAnalyzer{
 		Env: env, Scope: scope, ScopePath: scopePath, OwnerMod: ownerMod,
-		IsDef: isDef, Area: env.Reg.AreaIdx(areaName), ShareHeadings: true,
+		IsDef: isDef, Area: env.Reg.AreaIdx(areaName), AreaName: areaName,
+		ShareHeadings: true,
 	}
 }
 
@@ -115,6 +117,7 @@ func (a *DeclAnalyzer) AnalyzeImports(imports []*ast.Import, resolveIface func(n
 // mirroring the concurrent compiler's stream split.
 func (a *DeclAnalyzer) Analyze(decls []ast.Decl) {
 	e := a.Env
+	a.Scope.Grow(len(decls))
 	for _, d := range decls {
 		switch d := d.(type) {
 		case *ast.ConstDecl:
@@ -154,7 +157,7 @@ func (a *DeclAnalyzer) Analyze(decls []ast.Decl) {
 				}
 				if a.Area >= 0 {
 					sym.Global = true
-					sym.Module = a.Area
+					sym.Area = a.AreaName
 				}
 				a.insert(sym)
 			}
@@ -164,7 +167,7 @@ func (a *DeclAnalyzer) Analyze(decls []ast.Decl) {
 				full := ExcName(a.ScopePath, n.Text)
 				a.insert(&symtab.Symbol{
 					Name: n.Text, Kind: symtab.KException, Pos: n.Pos,
-					Type: types.Exception, ExcIdx: e.Reg.ExcIdx(full),
+					Type: types.Exception, ExcName: full,
 				})
 			}
 

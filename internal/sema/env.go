@@ -60,7 +60,11 @@ func (e *Env) ResolveQualident(scope *symtab.Scope, q *ast.Qualident, withs []sy
 	head := q.Parts[0]
 	res := e.Search.Lookup(scope, head.Text, withs)
 	if !res.Found() {
-		e.Errorf(head.Pos, "undeclared identifier %s", head.Text)
+		if res.DeepAlias {
+			e.Errorf(head.Pos, "import chain for %s is cyclic or too deep (more than %d re-export links)", head.Text, symtab.MaxAliasDepth)
+		} else {
+			e.Errorf(head.Pos, "undeclared identifier %s", head.Text)
+		}
 		return nil
 	}
 	if res.Field != nil {
@@ -75,7 +79,11 @@ func (e *Env) ResolveQualident(scope *symtab.Scope, q *ast.Qualident, withs []sy
 		}
 		qres := e.Search.QualifiedLookup(sym.IfaceScope, part.Text)
 		if qres.Sym == nil {
-			e.Errorf(part.Pos, "%s is not declared in module %s", part.Text, sym.Name)
+			if qres.DeepAlias {
+				e.Errorf(part.Pos, "import chain for %s.%s is cyclic or too deep (more than %d re-export links)", sym.Name, part.Text, symtab.MaxAliasDepth)
+			} else {
+				e.Errorf(part.Pos, "%s is not declared in module %s", part.Text, sym.Name)
+			}
 			return nil
 		}
 		sym = qres.Sym

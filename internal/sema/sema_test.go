@@ -266,8 +266,8 @@ func TestExceptionNames(t *testing.T) {
 	}
 	bad := lookup(t, scope, "Bad")
 	worse := lookup(t, scope, "Worse")
-	if bad.Kind != symtab.KException || bad.ExcIdx == worse.ExcIdx {
-		t.Fatal("exceptions must get distinct indices")
+	if bad.Kind != symtab.KException || bad.ExcName == worse.ExcName || bad.ExcName == "" {
+		t.Fatal("exceptions must get distinct qualified names")
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"m2cc/internal/ctrace"
 	"m2cc/internal/diag"
 	"m2cc/internal/event"
+	"m2cc/internal/ifacecache"
 	"m2cc/internal/lexer"
 	"m2cc/internal/parser"
 	"m2cc/internal/sema"
@@ -52,6 +53,9 @@ type compiler struct {
 	ifaces   map[string]*symtab.Scope
 	inFlight map[string]bool
 	genQueue []genItem
+
+	cache     *ifacecache.Cache
+	cacheEnts map[string]*ifacecache.Entry // entry used or led per interface
 }
 
 // genItem is one pending statement-analysis/code-generation unit.
@@ -66,6 +70,14 @@ type genItem struct {
 
 // Compile compiles the named implementation module sequentially.
 func Compile(module string, loader source.Loader) *Result {
+	return CompileWithCache(module, loader, nil)
+}
+
+// CompileWithCache compiles sequentially, consulting (and feeding) a
+// shared interface cache when one is supplied.  Output is
+// byte-identical to Compile: cached interfaces resolve to the same
+// declarations, and diagnostics/listings are name-symbolic.
+func CompileWithCache(module string, loader source.Loader, cache *ifacecache.Cache) *Result {
 	c := &compiler{
 		loader: loader,
 		files:  source.NewSet(),
@@ -74,7 +86,9 @@ func Compile(module string, loader source.Loader) *Result {
 		ctx:    &ctrace.TaskCtx{},
 		ifaces: make(map[string]*symtab.Scope),
 
-		inFlight: make(map[string]bool),
+		inFlight:  make(map[string]bool),
+		cache:     cache,
+		cacheEnts: make(map[string]*ifacecache.Entry),
 	}
 	c.tab = symtab.NewTable(symtab.Skeptical, nil, nil)
 	c.compileModule(module)
@@ -104,9 +118,14 @@ func (c *compiler) env(file string) *sema.Env {
 	}
 }
 
-// iface loads, parses and analyzes a definition module, returning its
-// completed interface scope.  Each interface is processed exactly once;
-// cycles are diagnosed and broken.
+// iface returns the completed interface scope of a definition module,
+// processing each interface exactly once.  With a cache attached it
+// first consults the cache: a hit installs the whole cached closure, a
+// miss makes this compilation the entry's leader (publishing on
+// success), and a concurrent leader elsewhere is simply waited for.
+// Cycles are diagnosed and broken exactly as in the uncached path —
+// cyclic closures are uncacheable (Bypass), so the cache never sees
+// them.
 func (c *compiler) iface(name string, pos token.Pos, importer string) *symtab.Scope {
 	if sc, ok := c.ifaces[name]; ok {
 		if c.inFlight[name] {
@@ -114,13 +133,73 @@ func (c *compiler) iface(name string, pos token.Pos, importer string) *symtab.Sc
 		}
 		return sc
 	}
+	if c.cache == nil {
+		return c.compileIface(name, pos, importer, nil)
+	}
+	for {
+		ent, ev, st := c.cache.Acquire(name, c.loader)
+		switch st {
+		case ifacecache.Hit:
+			if sc := c.installCached(name, ent); sc != nil {
+				return sc
+			}
+			// Closure conflict with locally compiled interfaces:
+			// compile fresh, outside the cache.
+			return c.compileIface(name, pos, importer, nil)
+		case ifacecache.Lead:
+			return c.compileIface(name, pos, importer, ent)
+		case ifacecache.Wait:
+			ev.Wait()
+			continue
+		default: // Bypass
+			return c.compileIface(name, pos, importer, nil)
+		}
+	}
+}
+
+// installCached installs a ready cache entry's whole closure (deepest
+// dependencies first) into this compilation's tables.  It returns nil —
+// declining the hit — if any closure member's name is already bound to
+// a different scope here, since type compatibility is scope-pointer
+// identity and a mixed closure would split one interface in two.
+func (c *compiler) installCached(name string, ent *ifacecache.Entry) *symtab.Scope {
+	closure := ent.Closure()
+	for _, m := range closure {
+		if ex, ok := c.ifaces[m.Name()]; ok && ex != m.Scope() {
+			return nil
+		}
+	}
+	for _, m := range closure {
+		if _, ok := c.ifaces[m.Name()]; ok {
+			continue
+		}
+		c.ifaces[m.Name()] = m.Scope()
+		c.cacheEnts[m.Name()] = m
+		c.reg.SetAreaSlots(c.reg.AreaIdx(m.AreaName()), m.AreaSlots())
+		for _, imp := range m.Imports() {
+			c.reg.AddImport(imp)
+		}
+	}
+	return c.ifaces[name]
+}
+
+// compileIface loads, parses and analyzes a definition module.  When
+// ent is non-nil this compilation leads the cache entry: a clean result
+// is published (scope, area layout, imports, deps, cost) and any
+// failure — load error, diagnostics against the file, an uncacheable
+// import — fails the entry so waiters elsewhere retry for themselves.
+func (c *compiler) compileIface(name string, pos token.Pos, importer string, ent *ifacecache.Entry) *symtab.Scope {
 	scope := c.tab.NewScope(symtab.DefScope, name, nil, 0)
 	c.ifaces[name] = scope
 	c.inFlight[name] = true
+	published := false
 	defer func() {
 		c.inFlight[name] = false
 		if !scope.Completed() {
 			scope.Complete(c.ctx)
+		}
+		if ent != nil && !published {
+			ent.Fail()
 		}
 	}()
 
@@ -131,6 +210,8 @@ func (c *compiler) iface(name string, pos token.Pos, importer string) *symtab.Sc
 	}
 	f := c.files.Add(name, source.Def, text)
 	env := c.env(f.Label())
+	start := c.ctx.Units
+	var nested float64 // work done compiling imported interfaces, not ours
 	toks := lexer.ScanAll(f, c.ctx, c.diags)
 	p := parser.New(parser.NewSliceSource(toks), f.Label(), c.ctx, c.diags)
 	m := p.ParseUnit()
@@ -138,13 +219,40 @@ func (c *compiler) iface(name string, pos token.Pos, importer string) *symtab.Sc
 		c.diags.Errorf(f.Label(), m.Pos, "%s is not a DEFINITION MODULE", f.Label())
 	}
 	a := sema.NewModuleAnalyzer(env, scope, name+".def", name, name+".def", true)
+	var directImps []string
+	impSeen := map[string]bool{}
 	a.AnalyzeImports(m.Imports, func(imp string) *symtab.Scope {
-		return c.iface(imp, m.Pos, f.Label())
+		n0 := c.ctx.Units
+		sc := c.iface(imp, m.Pos, f.Label())
+		nested += c.ctx.Units - n0
+		if !impSeen[imp] {
+			impSeen[imp] = true
+			directImps = append(directImps, imp)
+		}
+		return sc
 	})
 	a.Analyze(m.Decls)
 	a.ResolveForwardRefs()
 	c.reg.SetAreaSlots(a.Area, a.NextOff)
 	scope.Complete(c.ctx)
+
+	if ent != nil {
+		ok := !c.diags.HasFor(f.Label())
+		deps := make([]ifacecache.Dep, 0, len(directImps))
+		for _, imp := range directImps {
+			ie, have := c.cacheEnts[imp]
+			if !have {
+				ok = false
+				break
+			}
+			deps = append(deps, ifacecache.Dep{Ent: ie, Scope: c.ifaces[imp]})
+		}
+		if ok {
+			c.cacheEnts[name] = ent
+			ent.Publish(scope, a.AreaName, a.NextOff, directImps, deps, c.ctx.Units-start-nested)
+			published = true
+		}
+	}
 	return scope
 }
 

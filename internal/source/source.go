@@ -9,12 +9,24 @@
 package source
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 )
+
+// Hash is a stable content hash of one module file's text.  The
+// interface cache keys compiled definition modules by the combined
+// hash of their transitive import closure, so any textual change to a
+// .def (or to anything it imports) invalidates dependent entries.
+type Hash [sha256.Size]byte
+
+// HashText hashes module source text.
+func HashText(text string) Hash { return sha256.Sum256([]byte(text)) }
+
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:8]) }
 
 // FileKind distinguishes the two halves of a Modula-2+ module.
 type FileKind uint8

@@ -240,6 +240,12 @@ type Result struct {
 	Sym       *Symbol
 	Field     *types.Field
 	WithIndex int
+
+	// DeepAlias marks a not-found outcome caused by an alias chain
+	// longer than the follow limit (a cyclic or absurdly deep
+	// re-export); callers should report it as such rather than as a
+	// plain undeclared identifier.
+	DeepAlias bool
 }
 
 // Found reports whether the lookup succeeded.
@@ -252,6 +258,12 @@ type Searcher struct {
 	Tab  *Table
 	Ctx  *ctrace.TaskCtx
 	Wait func(*event.Event)
+
+	// hopBuf is the per-Searcher scratch buffer for traced lookups'
+	// hop chains; record hands the recorder an exact-size copy and
+	// recaptures the (possibly grown) buffer.  Searchers are owned by
+	// one task, so reuse is race-free.
+	hopBuf []ctrace.Hop
 }
 
 func (s *Searcher) wait(e *event.Event) bool {
@@ -338,11 +350,22 @@ func classify(first bool, blocked bool) FoundWhen {
 	}
 }
 
-// record sends the lookup's hop chain to the trace recorder.
+// record sends the lookup's hop chain to the trace recorder.  The
+// recorder keeps its slice, so hops (usually the Searcher's scratch
+// buffer) is copied at exact size and the buffer reclaimed for the
+// next lookup.
 func (s *Searcher) record(qualified bool, at ctrace.Stamp, hops []ctrace.Hop, found bool) {
-	if rec := s.Tab.Rec; rec != nil {
-		rec.NoteLookup(ctrace.LookupRecord{At: at, Qualified: qualified, Hops: hops, Found: found})
+	rec := s.Tab.Rec
+	if rec == nil {
+		return
 	}
+	var kept []ctrace.Hop
+	if len(hops) > 0 {
+		kept = make([]ctrace.Hop, len(hops))
+		copy(kept, hops)
+		s.hopBuf = hops[:0]
+	}
+	rec.NoteLookup(ctrace.LookupRecord{At: at, Qualified: qualified, Hops: kept, Found: found})
 }
 
 // hop builds a trace hop for a scope probe outcome.
@@ -355,6 +378,12 @@ func (s *Searcher) hop(sc *Scope, rel ctrace.Relation, pr probeResult) ctrace.Ho
 	}
 	if pr.sym != nil {
 		h.Insert = pr.sym.Insert
+		if s.Tab.IsPrefired(sc) {
+			// Interface-cache hit: the symbol's recorded insertion time
+			// belongs to the compilation that built the scope.  In this
+			// trace it pre-exists every task, like a builtin.
+			h.Insert = ctrace.Stamp{}
+		}
 	}
 	return h
 }
@@ -367,7 +396,7 @@ func (s *Searcher) hop(sc *Scope, rel ctrace.Relation, pr probeResult) ctrace.Ho
 // the error.
 func (s *Searcher) Lookup(origin *Scope, name string, withs []WithBinding) Result {
 	at := s.Ctx.Stamp()
-	var hops []ctrace.Hop
+	hops := s.hopBuf[:0]
 	tracing := s.Tab.Rec != nil
 
 	// WITH scopes, innermost first.  Record field maps are built before
@@ -422,12 +451,18 @@ func (s *Searcher) Lookup(origin *Scope, name string, withs []WithBinding) Resul
 	return Result{}
 }
 
+// MaxAliasDepth bounds how many FROM-import aliases a single lookup
+// will chase.  Legal re-export chains are short; anything longer is a
+// cycle (A re-exports from B, B from A) or pathological nesting, and
+// is reported as a deep-alias error rather than a plain not-found.
+const MaxAliasDepth = 8
+
 // followAlias continues a search through a FROM-import alias into its
 // interface scope — "some other explicitly designated initial search
 // scope" in Table 2's terms.
 func (s *Searcher) followAlias(alias *Symbol, name string, at ctrace.Stamp, hops []ctrace.Hop) Result {
 	tracing := s.Tab.Rec != nil
-	for depth := 0; depth < 8; depth++ {
+	for depth := 0; depth < MaxAliasDepth; depth++ {
 		// The alias hop itself is not a hit for the trace: mark the
 		// previous hop not-found so the simulator keeps searching.
 		if tracing && len(hops) > 0 {
@@ -453,7 +488,7 @@ func (s *Searcher) followAlias(alias *Symbol, name string, at ctrace.Stamp, hops
 	}
 	s.Tab.Stats.bump(StatKey{When: Never})
 	s.record(false, at, hops, false)
-	return Result{}
+	return Result{DeepAlias: true}
 }
 
 // QualifiedLookup resolves the member of a qualified identifier M.x in
@@ -462,7 +497,7 @@ func (s *Searcher) followAlias(alias *Symbol, name string, at ctrace.Stamp, hops
 func (s *Searcher) QualifiedLookup(iface *Scope, name string) Result {
 	at := s.Ctx.Stamp()
 	tracing := s.Tab.Rec != nil
-	var hops []ctrace.Hop
+	hops := s.hopBuf[:0]
 	pr := s.searchScope(iface, name, false)
 	if tracing {
 		hops = append(hops, s.hop(iface, ctrace.RelOther, pr))
@@ -485,7 +520,8 @@ func (s *Searcher) QualifiedLookup(iface *Scope, name string) Result {
 
 func (s *Searcher) followAliasQualified(alias *Symbol, at ctrace.Stamp, hops []ctrace.Hop) Result {
 	tracing := s.Tab.Rec != nil
-	for depth := 0; depth < 8; depth++ {
+	deep := true
+	for depth := 0; depth < MaxAliasDepth; depth++ {
 		if tracing && len(hops) > 0 {
 			hops[len(hops)-1].Found = false
 		}
@@ -494,6 +530,7 @@ func (s *Searcher) followAliasQualified(alias *Symbol, at ctrace.Stamp, hops []c
 			hops = append(hops, s.hop(alias.AliasScope, ctrace.RelOther, pr))
 		}
 		if pr.sym == nil {
+			deep = false
 			break
 		}
 		if pr.sym.Kind != KAlias {
@@ -508,5 +545,5 @@ func (s *Searcher) followAliasQualified(alias *Symbol, at ctrace.Stamp, hops []c
 	}
 	s.Tab.Stats.bump(StatKey{Qualified: true, When: Never})
 	s.record(true, at, hops, false)
-	return Result{}
+	return Result{DeepAlias: deep}
 }

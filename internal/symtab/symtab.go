@@ -65,16 +65,20 @@ type Symbol struct {
 	Val types.Const // KConst: the constant's value
 	BID BuiltinID   // KBuiltin: which pervasive routine
 
-	// Storage assignment for KVar / KParam.
-	Global bool  // module-level variable
-	Module int32 // globals area of the module declaring it
-	Level  int32 // static nesting level for locals/params
-	Offset int32 // slot offset within globals area or frame
-	ByRef  bool  // VAR parameter
-	Open   bool  // open-array parameter (base+length slot pair)
+	// Storage assignment for KVar / KParam.  Globals carry the *name* of
+	// their storage area rather than an object-local index: indices are
+	// per-compilation (vm.Registry assigns them first-use), while symbols
+	// in an interface scope may be shared across compilations through the
+	// interface cache.  Code generators resolve the name at emit time.
+	Global bool   // module-level variable
+	Area   string // globals area of the module declaring it ("M.def"/"M.mod")
+	Level  int32  // static nesting level for locals/params
+	Offset int32  // slot offset within globals area or frame
+	ByRef  bool   // VAR parameter
+	Open   bool   // open-array parameter (base+length slot pair)
 
-	ProcIdx int32 // KProc: object-local procedure code index (-1 = external)
-	ExcIdx  int32 // KException: object-local exception index
+	ProcIdx int32  // KProc: object-local procedure code index (-1 = external)
+	ExcName string // KException: fully qualified name, resolved at emit time
 
 	// ExtName is the symbolic link name ("Module.Proc") for procedures
 	// declared in an imported definition module; code references to
@@ -137,20 +141,44 @@ type Scope struct {
 	queue  []*Symbol
 
 	completion *event.Event
-	complID    ctrace.EventID // assigned lazily when first traced
+	complID    ctrace.EventID   // assigned lazily when first traced...
+	complRec   *ctrace.Recorder // ...by this recorder.  Interface scopes
+	// can be shared across compilations (interface cache), each with its
+	// own recorder, so the cached ID is valid only for complRec.
 }
 
 // Table is the per-compilation symbol table registry: it numbers scopes,
 // carries the selected DKY strategy, the Table 2 statistics collector
 // and the optional trace recorder.
 type Table struct {
-	mu     sync.Mutex
-	nextID int32
+	mu       sync.Mutex
+	nextID   int32
+	prefired map[*Scope]bool
 
 	Builtins *Scope
 	Strategy Strategy
 	Stats    *Stats
 	Rec      *ctrace.Recorder
+}
+
+// MarkPrefired notes that scope entered this compilation already
+// complete (an interface-cache hit): its symbols and completion event
+// predate every task of this compilation, so traced lookups must stamp
+// them as pre-existing rather than replaying a foreign session's times.
+func (t *Table) MarkPrefired(scope *Scope) {
+	t.mu.Lock()
+	if t.prefired == nil {
+		t.prefired = make(map[*Scope]bool)
+	}
+	t.prefired[scope] = true
+	t.mu.Unlock()
+}
+
+// IsPrefired reports whether scope was installed by MarkPrefired.
+func (t *Table) IsPrefired(scope *Scope) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.prefired[scope]
 }
 
 // NewTable returns a table using the given DKY strategy.  stats and rec
@@ -172,6 +200,26 @@ func (t *Table) NewScope(kind ScopeKind, name string, parent *Scope, level int32
 		ID: id, Kind: kind, Name: name, Parent: parent, Level: level,
 		tab: t, syms: make(map[string]*Symbol), completion: event.New(),
 	}
+}
+
+// Grow pre-sizes the scope's symbol map for n upcoming declarations so
+// insertion does not rehash incrementally.  Existing entries (imports,
+// copied procedure headings) are preserved.  Owner task only.
+func (s *Scope) Grow(n int) {
+	s.mu.Lock()
+	if n > len(s.syms) {
+		grown := make(map[string]*Symbol, n+len(s.syms))
+		for k, v := range s.syms {
+			grown[k] = v
+		}
+		s.syms = grown
+		if cap(s.order) < n {
+			order := make([]*Symbol, len(s.order), n+len(s.order))
+			copy(order, s.order)
+			s.order = order
+		}
+	}
+	s.mu.Unlock()
 }
 
 // CompletionEvent returns the event fired when the scope's table is
@@ -215,12 +263,13 @@ func (s *Scope) Completed() bool {
 }
 
 // completionID returns (allocating if needed) the trace event ID of the
-// scope's completion event.
+// scope's completion event, as numbered by rec.
 func (s *Scope) completionID(rec *ctrace.Recorder) ctrace.EventID {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.complID == 0 {
+	if s.complID == 0 || s.complRec != rec {
 		s.complID = rec.EventIDOf(s.completion)
+		s.complRec = rec
 	}
 	return s.complID
 }

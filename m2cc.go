@@ -40,9 +40,11 @@ package m2cc
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"m2cc/internal/core"
 	"m2cc/internal/ctrace"
+	"m2cc/internal/ifacecache"
 	"m2cc/internal/seq"
 	"m2cc/internal/sim"
 	"m2cc/internal/source"
@@ -123,8 +125,24 @@ type SimResult = sim.Result
 // Stats are Table 2 identifier-lookup statistics.
 type Stats = symtab.Stats
 
+// Cache is a shared interface-compilation cache.  One Cache may serve
+// any number of concurrent and sequential compilations: completed
+// definition-module scopes are keyed by the content hash of their
+// transitive .def closure, and concurrent requests for the same
+// uncached interface are single-flighted — one compilation leads, the
+// rest wait on its completion event.  Output is byte-identical with or
+// without a cache.
+type Cache = ifacecache.Cache
+
+// CacheStats is a snapshot of a Cache's hit/miss/wait/bypass counters.
+type CacheStats = ifacecache.Stats
+
+// NewCache returns an empty shared interface cache.
+func NewCache() *Cache { return ifacecache.New() }
+
 // Compile runs the concurrent compiler on the named implementation
-// module.
+// module.  Set Options.Cache to share interface compilations across
+// calls.
 func Compile(module string, loader Loader, opts Options) *Result {
 	return core.Compile(module, loader, opts)
 }
@@ -133,6 +151,34 @@ func Compile(module string, loader Loader, opts Options) *Result {
 // paper's baseline); its output is byte-identical to Compile's.
 func CompileSequential(module string, loader Loader) *SeqResult {
 	return seq.Compile(module, loader)
+}
+
+// CompileSequentialCached runs the sequential compiler against a shared
+// interface cache (nil behaves exactly like CompileSequential).
+func CompileSequentialCached(module string, loader Loader, cache *Cache) *SeqResult {
+	return seq.CompileWithCache(module, loader, cache)
+}
+
+// CompileBatch compiles several implementation modules concurrently,
+// sharing one interface cache so each definition module in the batch is
+// compiled exactly once.  If opts.Cache is nil a fresh cache is used
+// for the batch; pass an existing cache to warm-start.  Results are
+// returned in input order.
+func CompileBatch(modules []string, loader Loader, opts Options) []*Result {
+	if opts.Cache == nil {
+		opts.Cache = NewCache()
+	}
+	results := make([]*Result, len(modules))
+	var wg sync.WaitGroup
+	for i, mod := range modules {
+		wg.Add(1)
+		go func(i int, mod string) {
+			defer wg.Done()
+			results[i] = core.Compile(mod, loader, opts)
+		}(i, mod)
+	}
+	wg.Wait()
+	return results
 }
 
 // Link resolves symbolic references across objects into a runnable
