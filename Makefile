@@ -1,12 +1,17 @@
 GO ?= go
 
 # Packages where races would be silent correctness bugs: the interface
-# cache, the concurrent driver, and the DKY symbol tables.
-RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab
+# cache, the concurrent driver, the DKY symbol tables, the Supervisor
+# scheduler, and the fault-injection plans shared across task goroutines.
+RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject
 
-.PHONY: check vet build test race bench clean
+# Seeds for the chaos suite's seeded matrix (see chaos_test.go); the
+# suite also hand-arms every injection point regardless of seeds.
+CHAOS_SEEDS ?= 1,2,3,4,5,6,7,8,13,21,34,55,89,144
 
-check: vet build test race
+.PHONY: check vet build test race chaos bench clean
+
+check: vet build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -19,6 +24,9 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+chaos:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run Chaos -count=1 .
 
 bench:
 	$(GO) run ./cmd/m2bench -ifacecache -json BENCH_ifacecache.json

@@ -17,12 +17,14 @@ package core
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"m2cc/internal/ast"
 	"m2cc/internal/codegen"
 	"m2cc/internal/ctrace"
 	"m2cc/internal/diag"
 	"m2cc/internal/event"
+	"m2cc/internal/faultinject"
 	"m2cc/internal/ifacecache"
 	"m2cc/internal/impscan"
 	"m2cc/internal/lexer"
@@ -36,6 +38,13 @@ import (
 	"m2cc/internal/tokq"
 	"m2cc/internal/vm"
 )
+
+// DefaultStallTimeout bounds waits on events owned by foreign
+// compilations (interface-cache leaders in other sessions) when
+// Options.StallTimeout is zero.  A healthy leader publishes or fails
+// its entry in well under a second; a leader silent this long is
+// treated as wedged and the waiter compiles the interface itself.
+const DefaultStallTimeout = 30 * time.Second
 
 // HeaderMode selects how procedure headings are shared between parent
 // and child scopes (§2.4).
@@ -78,6 +87,18 @@ type Options struct {
 	// compiled interfaces back.  Caching is correctness-transparent —
 	// diagnostics and listings are byte-identical with or without it.
 	Cache *ifacecache.Cache
+	// StallTimeout bounds how long any task may wait on an event owned
+	// by a foreign compilation (another session's interface-cache
+	// leader).  On expiry the waiter abandons the cache entry and
+	// compiles the interface itself, mirroring the cache's
+	// failed-leader retry.  Zero selects DefaultStallTimeout; negative
+	// disables the bound (waits forever, the pre-fault-tolerance
+	// behavior).
+	StallTimeout time.Duration
+	// FaultPlan arms the compiler's deterministic fault-injection
+	// points (see internal/faultinject).  Production callers leave it
+	// nil, which reduces every injection site to a pointer check.
+	FaultPlan *faultinject.Plan
 }
 
 // Result is the outcome of one concurrent compilation.
@@ -88,6 +109,17 @@ type Result struct {
 	Stats   *symtab.Stats
 	Trace   *ctrace.Trace
 	Streams int // main module + procedures + imported interfaces (Table 1)
+
+	// Faulted marks a poisoned result: a stream task panicked or the
+	// deadlock watchdog had to force-fire events, so the object program
+	// and diagnostics may be incomplete.  Callers that need a correct
+	// answer re-run the module through the sequential compiler
+	// (m2cc.Compile does this transparently).
+	Faulted bool
+	// FellBack reports that this result was produced by the sequential
+	// fallback after a faulted concurrent attempt (set by m2cc, never
+	// by core.Compile itself).
+	FellBack bool
 }
 
 // Failed reports whether the compilation produced errors.
@@ -106,7 +138,9 @@ type driver struct {
 	rec   *ctrace.Recorder
 	sup   *sched.Supervisor
 
-	cache *ifacecache.Cache
+	cache  *ifacecache.Cache
+	inject *faultinject.Plan
+	stall  time.Duration // resolved StallTimeout (0 = unbounded)
 
 	mu        sync.Mutex
 	ifaces    map[string]*ifaceEntry // the once-only table (§3)
@@ -115,6 +149,7 @@ type driver struct {
 	allTasks  []*sched.Task
 	mainKind  ast.ModKind
 	poisoned  bool                    // deadlock watchdog fired; publish nothing
+	faulted   bool                    // a stream task panicked and was isolated
 	resolving map[string]*event.Event // per-name guard for in-flight cache resolution
 }
 
@@ -161,6 +196,13 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 		ifaces: make(map[string]*ifaceEntry),
 		procs:  make(map[int32]*procStream),
 		cache:  opts.Cache,
+		inject: opts.FaultPlan,
+	}
+	switch {
+	case opts.StallTimeout > 0:
+		d.stall = opts.StallTimeout
+	case opts.StallTimeout == 0:
+		d.stall = DefaultStallTimeout
 	}
 	if d.cache != nil {
 		d.resolving = make(map[string]*event.Event)
@@ -173,12 +215,22 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 		d.rec = ctrace.NewRecorder()
 	}
 	d.tab = symtab.NewTable(opts.Strategy, stats, d.rec)
+	d.tab.Inject = d.inject
 	d.sup = sched.New(opts.Workers, d.rec)
+	d.sup.StallTimeout = d.stall
 	d.sup.OnDeadlock = func(msg string) {
 		d.mu.Lock()
 		d.poisoned = true
 		d.mu.Unlock()
 		d.diags.Errorf(module+".mod", token.Pos{}, "%s", msg)
+	}
+	d.sup.OnPanic = func(t *sched.Task, recovered any, stack []byte) {
+		d.mu.Lock()
+		d.faulted = true
+		d.mu.Unlock()
+		d.diags.Errorf(module+".mod", token.Pos{},
+			"internal: %s task %q (stream %d) panicked: %v",
+			t.Kind(), t.Label, t.Stream(), recovered)
 	}
 
 	d.startMainStream()
@@ -198,6 +250,7 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	}
 	d.mu.Lock()
 	res.Streams = int(d.nstream) + 1
+	res.Faulted = d.poisoned || d.faulted
 	d.mu.Unlock()
 	if d.rec != nil {
 		res.Trace = d.rec.Trace()
@@ -228,6 +281,41 @@ func (d *driver) env(t *sched.Task, file string) *sema.Env {
 	}
 }
 
+// sealOnPanic is deferred by token-queue producer tasks (Lexors, the
+// Splitter).  Barrier waits hold their worker slot and are invisible to
+// the deadlock watchdog, so a producer that dies leaving its queue open
+// would hang every consumer forever.  On panic the queue is sealed with
+// a terminating EOF — post-Close Appends are safe no-ops, so racing an
+// already-closed queue is harmless — and the panic is re-raised for the
+// Supervisor's isolation layer to report.
+func sealOnPanic(qs ...*tokq.Queue) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	for _, q := range qs {
+		q.Append(token.Token{Kind: token.EOF})
+		q.Close()
+	}
+	panic(r)
+}
+
+// sealProcStreams closes every procedure stream's queue with an EOF;
+// deferred by the Splitter so its consumers terminate if it panics
+// mid-split.
+func (d *driver) sealProcStreams() {
+	d.mu.Lock()
+	qs := make([]*tokq.Queue, 0, len(d.procs))
+	for _, ps := range d.procs {
+		qs = append(qs, ps.q)
+	}
+	d.mu.Unlock()
+	for _, q := range qs {
+		q.Append(token.Token{Kind: token.EOF})
+		q.Close()
+	}
+}
+
 // newStream allocates the next stream number.
 func (d *driver) newStream() int32 {
 	d.mu.Lock()
@@ -251,6 +339,7 @@ func (d *driver) startMainStream() {
 	// barrier waits downstream always have a live producer (§2.3.3).
 	d.spawn(ctrace.KindLexor, 0, "Lexor "+label,
 		sched.Priority(ctrace.KindLexor, 0), nil, nil, func(t *sched.Task) {
+			defer sealOnPanic(rawQ)
 			t.Ctx.FireEvent(lexStarted)
 			rawQ.SetFireHook(t.Ctx.FireEvent)
 			text, err := d.loader.Load(d.module, source.Impl)
@@ -278,6 +367,16 @@ func (d *driver) startMainStream() {
 	d.spawn(ctrace.KindSplitter, 0, "Splitter "+label,
 		sched.Priority(ctrace.KindSplitter, 0), []*event.Event{lexStarted}, nil,
 		func(t *sched.Task) {
+			defer func() {
+				if r := recover(); r != nil {
+					// Seal the main queue and every procedure stream the
+					// splitter produces, so their parsers terminate.
+					d.sealProcStreams()
+					mainQ.Append(token.Token{Kind: token.EOF})
+					mainQ.Close()
+					panic(r)
+				}
+			}()
 			t.Ctx.FireEvent(splitStarted)
 			r := rawQ.NewReader(t.BarrierWait)
 			splitter.Run(t.Ctx, r, mainQ, d.startProcStream(t),
@@ -333,6 +432,12 @@ func (d *driver) bindChildren(t *sched.Task, a *sema.DeclAnalyzer) {
 			return
 		}
 		ps.child = cp
+		if d.inject.Hit(faultinject.DropFire) {
+			// Injected: the heading-ready fire is dropped, wedging the
+			// procedure stream until the deadlock watchdog breaks it and
+			// poisons the result.
+			return
+		}
 		t.Ctx.FireEvent(ps.headingReady)
 	}
 }
@@ -394,6 +499,12 @@ func (d *driver) runModParse(t *sched.Task, mainQ *tokq.Queue, label string) {
 // task (§3, right column of Figure 5).
 func (d *driver) runProcParse(t *sched.Task, ps *procStream) {
 	cp := ps.child
+	if cp == nil {
+		// The heading never arrived (its producer faulted or the fire
+		// was dropped) and the watchdog force-fired our gate; the
+		// result is already poisoned — nothing to parse.
+		return
+	}
 	label := cp.Meta.Module + ".mod"
 	env := d.env(t, label)
 	d.sup.SetProducer(cp.Scope.CompletionEvent(), t)
@@ -465,7 +576,14 @@ func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
 		// Another task of this compilation is resolving the same name
 		// against the cache; wait for its verdict and re-check.
 		d.mu.Unlock()
-		d.extWait(t, ev)
+		if !d.extWait(t, ev) {
+			// The resolving task stalled past the deadline (wedged on a
+			// foreign leader, or lost to a fault); stop waiting on it and
+			// compile the interface without the cache.  startIface
+			// re-checks the once-only table, so if the resolver did land
+			// meanwhile its entry is reused.
+			return d.startIface(name, optional, nil)
+		}
 		d.mu.Lock()
 	}
 	resolved := event.New()
@@ -477,8 +595,14 @@ func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
 		ent, ev, st := d.cache.Acquire(name, d.loader)
 		switch st {
 		case ifacecache.Wait:
-			d.extWait(t, ev)
-			continue // re-acquire: the leader published or failed
+			if d.extWait(t, ev) {
+				continue // re-acquire: the leader published or failed
+			}
+			// The foreign leader stalled past StallTimeout.  Abandon the
+			// cache entry and compile the interface ourselves — the same
+			// degradation the cache applies to a failed leader, except
+			// this session does not wait for the verdict.
+			e = d.startIface(name, optional, nil)
 		case ifacecache.Hit:
 			e = d.installCached(name, optional, ent)
 			if e == nil {
@@ -502,13 +626,27 @@ func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
 }
 
 // extWait parks on an event owned outside this task's supervisor
-// (another compilation's cache leader, or another task's resolution).
-func (d *driver) extWait(t *sched.Task, ev *event.Event) {
+// (another compilation's cache leader, or another task's resolution),
+// bounded by the resolved stall timeout.  It reports whether the event
+// fired; false means the wait was abandoned at the deadline.
+func (d *driver) extWait(t *sched.Task, ev *event.Event) bool {
 	if t == nil {
+		// The prefetch from the main goroutine waits inline, under the
+		// same deadline discipline as supervised tasks.
+		if d.stall > 0 {
+			timer := time.NewTimer(d.stall)
+			defer timer.Stop()
+			select {
+			case <-ev.Done():
+				return true
+			case <-timer.C:
+				return ev.Fired()
+			}
+		}
 		ev.Wait()
-		return
+		return true
 	}
-	t.ExternalWait(ev)
+	return t.ExternalWait(ev)
 }
 
 // installCached installs a ready cache entry's whole closure into the
@@ -520,6 +658,9 @@ func (d *driver) extWait(t *sched.Task, ev *event.Event) {
 // *different* scope — mixing scope generations would break
 // pointer-identity type compatibility.
 func (d *driver) installCached(name string, optional bool, ent *ifacecache.Entry) *ifaceEntry {
+	if d.inject.Hit(faultinject.FailInstall) {
+		return nil // injected: decline the hit, forcing the compile-fresh path
+	}
 	closure := ent.Closure()
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -594,6 +735,7 @@ func (d *driver) startIface(name string, optional bool, ent *ifacecache.Entry) *
 
 	d.spawn(ctrace.KindLexor, stream, "Lexor "+label,
 		sched.Priority(ctrace.KindLexor, 0), nil, nil, func(t *sched.Task) {
+			defer sealOnPanic(q)
 			t.Ctx.FireEvent(lexStarted)
 			q.SetFireHook(t.Ctx.FireEvent)
 			text, err := d.loader.Load(name, source.Def)
@@ -673,6 +815,10 @@ func (d *driver) finishEntry(e *ifaceEntry, t *sched.Task, a *sema.DeclAnalyzer,
 	if ent == nil {
 		return
 	}
+	// Injected: wedge this leader before it publishes or fails, so
+	// foreign waiters exercise their stall timeout.  This session's own
+	// tasks are already unblocked — the scope completed above.
+	d.inject.Stall(faultinject.StallLeader)
 	d.mu.Lock()
 	if e.resolved {
 		d.mu.Unlock()

@@ -1,0 +1,155 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"m2cc/internal/core"
+	"m2cc/internal/faultinject"
+	"m2cc/internal/ifacecache"
+	"m2cc/internal/symtab"
+)
+
+// cyclicProgram deadlocks the concurrent compiler's DKY machinery: two
+// interfaces FROM-import each other's constants, so each def stream
+// blocks on a lookup only the other could resolve.
+var cyclicProgram = map[string]string{
+	"A.def":    "DEFINITION MODULE A;\nFROM B IMPORT x;\nCONST y = x;\nEND A.\n",
+	"B.def":    "DEFINITION MODULE B;\nFROM A IMPORT y;\nCONST x = y;\nEND B.\n",
+	"Main.mod": "MODULE Main;\nFROM A IMPORT y;\nBEGIN\n  WriteInt(y, 0)\nEND Main.\n",
+}
+
+// TestDeadlockPoisonsAllStrategies exercises the OnDeadlock watchdog
+// under every DKY strategy, not just the default: each must terminate,
+// mark the result faulted, and report a scheduler state dump naming
+// the stuck tasks.
+func TestDeadlockPoisonsAllStrategies(t *testing.T) {
+	loader := testLoader(cyclicProgram)
+	for strat := symtab.Avoidance; strat < symtab.NumStrategies; strat++ {
+		t.Run(strat.String(), func(t *testing.T) {
+			res := core.Compile("Main", loader, core.Options{Workers: 4, Strategy: strat})
+			if !res.Failed() {
+				t.Fatal("cyclic imports must fail")
+			}
+			if !res.Faulted {
+				t.Fatal("deadlock-broken result must be marked Faulted")
+			}
+			msg := res.Diags.String()
+			if !strings.Contains(msg, "scheduler state") {
+				t.Fatalf("watchdog diagnostic lacks the state dump:\n%s", msg)
+			}
+			if !strings.Contains(msg, "DefParse") {
+				t.Fatalf("state dump does not name the stuck tasks:\n%s", msg)
+			}
+		})
+	}
+}
+
+// TestInjectedPanicFaultsAllStrategies arms a lookup panic under each
+// strategy: the compilation must terminate (no hang, no crash), mark
+// the result faulted, and carry a diagnostic naming the dead task.
+func TestInjectedPanicFaultsAllStrategies(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	for strat := symtab.Avoidance; strat < symtab.NumStrategies; strat++ {
+		t.Run(strat.String(), func(t *testing.T) {
+			plan := faultinject.New().Arm(faultinject.PanicLookup, 5)
+			res := core.Compile("Main", loader, core.Options{
+				Workers: 4, Strategy: strat, FaultPlan: plan,
+			})
+			if plan.Tripped(faultinject.PanicLookup) != 1 {
+				t.Fatalf("fault tripped %d times", plan.Tripped(faultinject.PanicLookup))
+			}
+			if !res.Faulted {
+				t.Fatal("panicked compilation must be marked Faulted")
+			}
+			if !strings.Contains(res.Diags.String(), "panicked") {
+				t.Fatalf("no panic diagnostic:\n%s", res.Diags)
+			}
+		})
+	}
+}
+
+// TestDroppedFirePoisonsAllStrategies drops the first heading-ready
+// fire: the wedged procedure stream must be broken by the watchdog and
+// the result poisoned, under every strategy.
+func TestDroppedFirePoisonsAllStrategies(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	for strat := symtab.Avoidance; strat < symtab.NumStrategies; strat++ {
+		t.Run(strat.String(), func(t *testing.T) {
+			plan := faultinject.New().Arm(faultinject.DropFire, 1)
+			res := core.Compile("Stacks", loader, core.Options{
+				Workers: 4, Strategy: strat, FaultPlan: plan,
+			})
+			if plan.Tripped(faultinject.DropFire) != 1 {
+				t.Fatalf("fault tripped %d times", plan.Tripped(faultinject.DropFire))
+			}
+			if !res.Faulted {
+				t.Fatal("dropped-fire compilation must be marked Faulted")
+			}
+		})
+	}
+}
+
+// TestFailedInstallCompilesFresh vetoes a cache-closure install: the
+// compilation must fall back to compiling the interface itself and
+// still produce byte-identical output, with no fault recorded.
+func TestFailedInstallCompilesFresh(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	cache := ifacecache.New()
+	warm := core.Compile("Main", loader, core.Options{Workers: 4, Cache: cache})
+	if warm.Failed() || warm.Faulted {
+		t.Fatalf("warm-up failed:\n%s", warm.Diags)
+	}
+	plan := faultinject.New().Arm(faultinject.FailInstall, 1)
+	res := core.Compile("Main", loader, core.Options{
+		Workers: 4, Cache: cache, FaultPlan: plan,
+	})
+	if plan.Tripped(faultinject.FailInstall) != 1 {
+		t.Fatalf("fault tripped %d times", plan.Tripped(faultinject.FailInstall))
+	}
+	if res.Failed() || res.Faulted {
+		t.Fatalf("declined install must degrade gracefully:\n%s", res.Diags)
+	}
+	if got, want := res.Object.Listing(), warm.Object.Listing(); got != want {
+		t.Fatalf("listing differs after declined install\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestStallTimeoutAbandonsForeignLeader wedges a cache leader in one
+// session and checks that a second session waiting on it times out,
+// compiles the interface itself, and produces correct, unfaulted
+// output.
+func TestStallTimeoutAbandonsForeignLeader(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	cache := ifacecache.New()
+	plan := faultinject.New().Arm(faultinject.StallLeader, 1)
+
+	leaderDone := make(chan *core.Result, 1)
+	go func() {
+		leaderDone <- core.Compile("Main", loader, core.Options{
+			Workers: 4, Cache: cache, FaultPlan: plan,
+		})
+	}()
+	select {
+	case <-plan.Stalled():
+	case <-time.After(10 * time.Second):
+		t.Fatal("leader never reached the stall point")
+	}
+
+	waiter := core.Compile("Main", loader, core.Options{
+		Workers: 4, Cache: cache, StallTimeout: 20 * time.Millisecond,
+	})
+	if waiter.Failed() || waiter.Faulted {
+		t.Fatalf("waiter must abandon the stalled leader and succeed:\n%s", waiter.Diags)
+	}
+
+	plan.Release()
+	leader := <-leaderDone
+	if leader.Failed() || leader.Faulted {
+		t.Fatalf("released leader must finish cleanly:\n%s", leader.Diags)
+	}
+	if got, want := waiter.Object.Listing(), leader.Object.Listing(); got != want {
+		t.Fatalf("waiter and leader listings differ\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,135 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilPlanIsInert(t *testing.T) {
+	var p *Plan
+	if p.Hit(PanicLookup) {
+		t.Fatal("nil plan tripped")
+	}
+	p.Panic(PanicLookup, "x") // must not panic
+	p.Stall(StallLeader)      // must not block
+	p.Release()
+	if p.Tripped(DropFire) != 0 || p.Count(DropFire) != 0 {
+		t.Fatal("nil plan has state")
+	}
+}
+
+func TestArmTripsExactlyOnceAtN(t *testing.T) {
+	p := New().Arm(DropFire, 3)
+	got := -1
+	for i := 1; i <= 10; i++ {
+		if p.Hit(DropFire) {
+			if got != -1 {
+				t.Fatalf("tripped twice (hits %d and %d)", got, i)
+			}
+			got = i
+		}
+	}
+	if got != 3 {
+		t.Fatalf("tripped at hit %d, want 3", got)
+	}
+	if p.Tripped(DropFire) != 1 || p.Count(DropFire) != 10 {
+		t.Fatalf("tripped=%d count=%d", p.Tripped(DropFire), p.Count(DropFire))
+	}
+}
+
+func TestPanicCarriesInjectedValue(t *testing.T) {
+	p := New().Arm(PanicLookup, 1)
+	defer func() {
+		r := recover()
+		inj, ok := r.(*Injected)
+		if !ok {
+			t.Fatalf("recovered %T, want *Injected", r)
+		}
+		if inj.Point != PanicLookup || inj.Site != "Foo" || inj.N != 1 {
+			t.Fatalf("bad injected value %+v", inj)
+		}
+		if inj.Error() == "" {
+			t.Fatal("empty error text")
+		}
+	}()
+	p.Panic(PanicLookup, "Foo")
+	t.Fatal("did not panic")
+}
+
+func TestStallBlocksUntilRelease(t *testing.T) {
+	p := New().Arm(StallLeader, 1)
+	done := make(chan struct{})
+	go func() {
+		p.Stall(StallLeader)
+		close(done)
+	}()
+	<-p.Stalled()
+	select {
+	case <-done:
+		t.Fatal("stall returned before Release")
+	default:
+	}
+	p.Release()
+	p.Release() // idempotent
+	<-done
+	// Further arrivals pass through without blocking.
+	p.Stall(StallLeader)
+}
+
+func TestFromSeedIsDeterministic(t *testing.T) {
+	seen := make(map[Point]bool)
+	for seed := int64(0); seed < 64; seed++ {
+		a, b := FromSeed(seed), FromSeed(seed)
+		var pa, pb Point
+		var na, nb int64
+		for _, pt := range Points() {
+			a.mu.Lock()
+			if a.trigger[pt] != 0 {
+				pa, na = pt, a.trigger[pt]
+			}
+			a.mu.Unlock()
+			b.mu.Lock()
+			if b.trigger[pt] != 0 {
+				pb, nb = pt, b.trigger[pt]
+			}
+			b.mu.Unlock()
+		}
+		if pa != pb || na != nb {
+			t.Fatalf("seed %d: (%v,%d) vs (%v,%d)", seed, pa, na, pb, nb)
+		}
+		if na < 1 || na > 32 {
+			t.Fatalf("seed %d: trigger %d out of range", seed, na)
+		}
+		seen[pa] = true
+	}
+	if len(seen) != len(Points()) {
+		t.Fatalf("64 seeds cover only %d/%d points", len(seen), len(Points()))
+	}
+}
+
+func TestConcurrentHitsTripOnce(t *testing.T) {
+	p := New().Arm(FailInstall, 50)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	trips := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if p.Hit(FailInstall) {
+					mu.Lock()
+					trips++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if trips != 1 {
+		t.Fatalf("tripped %d times, want exactly 1", trips)
+	}
+	if p.Count(FailInstall) != 200 {
+		t.Fatalf("count %d, want 200", p.Count(FailInstall))
+	}
+}

@@ -20,7 +20,12 @@ package sched
 
 import (
 	"container/heap"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"m2cc/internal/ctrace"
 	"m2cc/internal/event"
@@ -48,6 +53,7 @@ type Task struct {
 
 	sup      *Supervisor
 	kind     ctrace.TaskKind
+	stream   int32
 	priority int64
 	seq      int64
 	run      func(*Task)
@@ -62,6 +68,12 @@ type Task struct {
 // Done returns the event fired when the task finishes.  Other tasks
 // gate on it to sequence the stages of one stream.
 func (t *Task) Done() *event.Event { return t.done }
+
+// Kind returns the task's class (used in fault reports).
+func (t *Task) Kind() ctrace.TaskKind { return t.kind }
+
+// Stream returns the stream the task belongs to.
+func (t *Task) Stream() int32 { return t.stream }
 
 // BarrierWait performs a barrier-event wait: the worker slot is held
 // (§2.3.3).  It is the WaitFunc handed to token-queue readers.  The
@@ -96,9 +108,16 @@ func (t *Task) HandledWait(e *event.Event) {
 // treat the stall as a scheduler bug: progress arrives from outside
 // this compilation.  The wait is not traced — in the trace the cached
 // scope appears pre-fired once installed.
-func (t *Task) ExternalWait(e *event.Event) {
+//
+// Because the producer lives outside this Supervisor's jurisdiction,
+// the wait is bounded by StallTimeout: a foreign leader that wedges
+// (or dies without failing its cache entry) must not stall this
+// compilation forever.  ExternalWait reports whether the event fired;
+// false means the deadline passed and the caller should abandon the
+// foreign dependency and do the work itself.
+func (t *Task) ExternalWait(e *event.Event) bool {
 	if e.Fired() {
-		return
+		return true
 	}
 	s := t.sup
 	s.mu.Lock()
@@ -107,7 +126,20 @@ func (t *Task) ExternalWait(e *event.Event) {
 	s.dispatchLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
-	e.Wait()
+	fired := true
+	if s.StallTimeout > 0 {
+		timer := time.NewTimer(s.StallTimeout)
+		select {
+		case <-e.Done():
+		case <-timer.C:
+			// The fire may have raced the deadline; a fired event is
+			// never reported as a stall.
+			fired = e.Fired()
+		}
+		timer.Stop()
+	} else {
+		e.Wait()
+	}
 	s.mu.Lock()
 	delete(s.external, t)
 	s.makeRunnableLocked(t)
@@ -115,6 +147,7 @@ func (t *Task) ExternalWait(e *event.Event) {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-t.resume
+	return fired
 }
 
 // Supervisor owns the worker slots and the ready queue.
@@ -133,12 +166,30 @@ type Supervisor struct {
 
 	total    int
 	finished int
+	faults   int // tasks that panicked and were isolated
 
 	rec *ctrace.Recorder
 
 	// OnDeadlock is invoked (outside the lock) with a description when
 	// the watchdog breaks a stall; the driver reports it as an error.
+	// The message includes a full scheduler state dump (runnable heap,
+	// blocked/parked/external tasks and the producers of the events
+	// they wait on).
 	OnDeadlock func(msg string)
+
+	// OnPanic is invoked (outside the lock) when a task panics.  The
+	// panic is contained: the Supervisor reports it here, force-fires
+	// every unfired event the task was registered to produce (so
+	// sibling streams unwedge instead of deadlocking on a producer
+	// that will never come back), fires the task's Done event, and
+	// releases the worker slot.  The driver converts the report into a
+	// diagnostic and poisons the result.
+	OnPanic func(t *Task, recovered any, stack []byte)
+
+	// StallTimeout bounds ExternalWait: how long a task may park on an
+	// event owned by a foreign compilation before abandoning it.
+	// Zero or negative waits forever.  Set before the first Spawn.
+	StallTimeout time.Duration
 }
 
 // New returns a Supervisor with the given number of worker slots
@@ -185,7 +236,7 @@ func (s *Supervisor) Spawn(kind ctrace.TaskKind, stream int32, label string,
 		s.rec.NoteSpawn(pid, at, ctx.ID, gates)
 	}
 	t := &Task{
-		Ctx: ctx, Label: label, sup: s, kind: kind, priority: priority,
+		Ctx: ctx, Label: label, sup: s, kind: kind, stream: stream, priority: priority,
 		run: run, done: event.New(), resume: make(chan struct{}, 1), heapIdx: -1,
 	}
 
@@ -245,7 +296,7 @@ func (s *Supervisor) dispatchLocked() {
 
 func (s *Supervisor) body(t *Task) {
 	t.Ctx.Add(ctrace.CostTaskStart)
-	t.run(t)
+	s.runGuarded(t)
 	t.Ctx.FireEvent(t.done)
 	if s.rec != nil {
 		s.rec.FinishTask(t.Ctx.ID, t.Ctx.Units)
@@ -256,6 +307,47 @@ func (s *Supervisor) body(t *Task) {
 	s.dispatchLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
+}
+
+// runGuarded runs the task body with panic isolation: a panicking task
+// is contained to its own stream instead of crashing the process.  The
+// recovery reports the fault through OnPanic, then force-fires every
+// unfired event the task was registered (via SetProducer) to produce —
+// sibling streams blocked on those events resume and run to completion
+// rather than wedging until the deadlock watchdog.  The caller (body)
+// then fires Done and releases the slot exactly as for a clean finish.
+func (s *Supervisor) runGuarded(t *Task) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		stack := debug.Stack()
+		s.mu.Lock()
+		s.faults++
+		var fires []*event.Event
+		for e, p := range s.producers {
+			if p == t && !e.Fired() {
+				fires = append(fires, e)
+			}
+		}
+		cb := s.OnPanic
+		s.mu.Unlock()
+		if cb != nil {
+			cb(t, r, stack)
+		}
+		for _, e := range fires {
+			e.Fire()
+		}
+	}()
+	t.run(t)
+}
+
+// Faults reports how many tasks panicked and were isolated.
+func (s *Supervisor) Faults() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
 }
 
 // releaseForWait gives up t's slot because it is about to block on e.
@@ -322,9 +414,11 @@ func (s *Supervisor) Wait() {
 			}
 			if len(fires) > 0 {
 				cb := s.OnDeadlock
+				msg := "DKY deadlock broken: compilation cannot make progress (cyclic imports or missing declarations)\n" +
+					s.stateDumpLocked()
 				s.mu.Unlock()
 				if cb != nil {
-					cb("DKY deadlock broken: compilation cannot make progress (cyclic imports or missing declarations)")
+					cb(msg)
 				}
 				for _, e := range fires {
 					e.Fire()
@@ -342,6 +436,64 @@ func (s *Supervisor) Wait() {
 		s.cond.Wait()
 	}
 	s.mu.Unlock()
+}
+
+// stateDumpLocked renders the scheduler's full state — runnable heap,
+// blocked/parked/external tasks, and for every awaited event its
+// registered producer — so a DKY deadlock report names the stuck tasks
+// instead of leaving the user to guess.  Lines within each section are
+// sorted for deterministic output.  Caller holds s.mu.
+func (s *Supervisor) stateDumpLocked() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheduler state: %d/%d tasks finished, %d/%d slots free, %d faults\n",
+		s.finished, s.total, s.free, s.slots, s.faults)
+	section := func(title string, lines []string) {
+		if len(lines) == 0 {
+			return
+		}
+		sort.Strings(lines)
+		fmt.Fprintf(&b, "  %s:\n", title)
+		for _, l := range lines {
+			fmt.Fprintf(&b, "    %s\n", l)
+		}
+	}
+	var runnable []string
+	for _, t := range s.runnable {
+		runnable = append(runnable, t.Label)
+	}
+	section("runnable", runnable)
+	var blocked []string
+	for t, e := range s.blocked {
+		blocked = append(blocked, fmt.Sprintf("%s waits on %s", t.Label, s.eventDescLocked(e)))
+	}
+	section("blocked (handled waits)", blocked)
+	var parked []string
+	for t, gates := range s.parked {
+		var unfired []string
+		for _, g := range gates {
+			if !g.Fired() {
+				unfired = append(unfired, s.eventDescLocked(g))
+			}
+		}
+		parked = append(parked, fmt.Sprintf("%s gated on %d event(s): %s",
+			t.Label, len(unfired), strings.Join(unfired, ", ")))
+	}
+	section("parked (avoided gates)", parked)
+	var external []string
+	for t := range s.external {
+		external = append(external, fmt.Sprintf("%s waits on a foreign compilation's event", t.Label))
+	}
+	section("external (cache waits)", external)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// eventDescLocked names an event by its registered producer, the only
+// identity events have.  Caller holds s.mu.
+func (s *Supervisor) eventDescLocked(e *event.Event) string {
+	if p, ok := s.producers[e]; ok {
+		return fmt.Sprintf("event produced by %q", p.Label)
+	}
+	return "event with no registered producer"
 }
 
 // taskHeap orders runnable tasks by (priority, seq).

@@ -1,6 +1,7 @@
 package sched_test
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -297,6 +298,156 @@ func TestBarrierWaitHoldsSlot(t *testing.T) {
 	for i := range want {
 		if i >= len(order) || order[i] != want[i] {
 			t.Fatalf("order %v, want %v (B must wait for the held slot)", order, want)
+		}
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	// A panicking task must not crash the process: its Done event still
+	// fires (so gated siblings run), its slot is released, OnPanic
+	// reports kind/stream/label, and Wait returns.
+	s := sched.New(1, nil)
+	var mu sync.Mutex
+	var faulted *sched.Task
+	var recovered any
+	s.OnPanic = func(task *sched.Task, r any, stack []byte) {
+		mu.Lock()
+		faulted, recovered = task, r
+		mu.Unlock()
+		if len(stack) == 0 {
+			t.Error("OnPanic got an empty stack")
+		}
+	}
+	bad := s.Spawn(ctrace.KindDefParseDecl, 3, "bad", 0, nil, nil, func(*sched.Task) {
+		panic("boom")
+	})
+	var ran atomic.Bool
+	s.Spawn(ctrace.KindSplitter, 0, "after", 1, []*event.Event{bad.Done()}, nil,
+		func(*sched.Task) { ran.Store(true) })
+	s.Wait()
+	if !ran.Load() {
+		t.Fatal("task gated on the panicking task's Done never ran")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if faulted == nil || faulted.Label != "bad" {
+		t.Fatalf("OnPanic task = %v", faulted)
+	}
+	if faulted.Kind() != ctrace.KindDefParseDecl || faulted.Stream() != 3 {
+		t.Fatalf("OnPanic kind/stream = %v/%d", faulted.Kind(), faulted.Stream())
+	}
+	if recovered != "boom" {
+		t.Fatalf("recovered %v, want boom", recovered)
+	}
+	if s.Faults() != 1 {
+		t.Fatalf("Faults() = %d, want 1", s.Faults())
+	}
+}
+
+func TestPanicForceFiresProducedEvents(t *testing.T) {
+	// A waiter blocked on an event whose registered producer panics must
+	// be released by the recovery's force-fire, without the deadlock
+	// watchdog getting involved.
+	s := sched.New(2, nil)
+	var deadlocked atomic.Bool
+	s.OnDeadlock = func(string) { deadlocked.Store(true) }
+	s.OnPanic = func(*sched.Task, any, []byte) {}
+	e := event.New()
+	hold := event.New() // keeps the producer from running before A blocks
+	var resumed atomic.Bool
+	s.Spawn(ctrace.KindLexor, 0, "A", 0, nil, nil, func(task *sched.Task) {
+		task.Ctx.FireEvent(hold)
+		task.HandledWait(e)
+		resumed.Store(true)
+	})
+	p := s.Spawn(ctrace.KindMerge, 0, "producer", 1, []*event.Event{hold}, nil,
+		func(*sched.Task) { panic("producer died before firing") })
+	s.SetProducer(e, p)
+	done := make(chan struct{})
+	go func() { s.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("panic recovery did not unwedge the waiter")
+	}
+	if !resumed.Load() {
+		t.Fatal("waiter never resumed")
+	}
+	if deadlocked.Load() {
+		t.Fatal("watchdog fired; the panic recovery should have force-fired the event")
+	}
+}
+
+func TestExternalWaitStallTimeout(t *testing.T) {
+	// An ExternalWait on an event no one will ever fire must return
+	// false after StallTimeout instead of hanging the compilation.
+	s := sched.New(2, nil)
+	s.StallTimeout = 10 * time.Millisecond
+	foreign := event.New()
+	var timedOut atomic.Bool
+	s.Spawn(ctrace.KindDefParseDecl, 0, "waiter", 0, nil, nil, func(task *sched.Task) {
+		timedOut.Store(!task.ExternalWait(foreign))
+	})
+	done := make(chan struct{})
+	go func() { s.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled external wait never timed out")
+	}
+	if !timedOut.Load() {
+		t.Fatal("ExternalWait reported the event as fired")
+	}
+}
+
+func TestExternalWaitFiredBeforeDeadline(t *testing.T) {
+	s := sched.New(2, nil)
+	s.StallTimeout = time.Minute
+	foreign := event.New()
+	var ok atomic.Bool
+	s.Spawn(ctrace.KindDefParseDecl, 0, "waiter", 0, nil, nil, func(task *sched.Task) {
+		ok.Store(task.ExternalWait(foreign))
+	})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		foreign.Fire()
+	}()
+	s.Wait()
+	if !ok.Load() {
+		t.Fatal("ExternalWait reported a stall for a fired event")
+	}
+}
+
+func TestDeadlockReportNamesStuckTasks(t *testing.T) {
+	// The watchdog message must carry a scheduler state dump naming the
+	// stuck tasks and the producers of the events they wait on.
+	s := sched.New(2, nil)
+	var mu sync.Mutex
+	var msg string
+	s.OnDeadlock = func(m string) { mu.Lock(); msg = m; mu.Unlock() }
+	e1, e2 := event.New(), event.New()
+	alpha := s.Spawn(ctrace.KindLexor, 0, "Alpha", 0, nil, nil, func(task *sched.Task) {
+		task.HandledWait(e1)
+		task.Ctx.FireEvent(e2)
+	})
+	beta := s.Spawn(ctrace.KindLexor, 0, "Beta", 0, nil, nil, func(task *sched.Task) {
+		task.HandledWait(e2)
+		task.Ctx.FireEvent(e1)
+	})
+	s.SetProducer(e1, beta)
+	s.SetProducer(e2, alpha)
+	done := make(chan struct{})
+	go func() { s.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock not broken")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, want := range []string{"Alpha", "Beta", "scheduler state", "produced by", "blocked"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("deadlock report missing %q:\n%s", want, msg)
 		}
 	}
 }

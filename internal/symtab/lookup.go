@@ -8,6 +8,7 @@ import (
 
 	"m2cc/internal/ctrace"
 	"m2cc/internal/event"
+	"m2cc/internal/faultinject"
 	"m2cc/internal/types"
 )
 
@@ -395,6 +396,9 @@ func (s *Searcher) hop(sc *Scope, rel ctrace.Relation, pr probeResult) ctrace.Ho
 // interface scopes.  A zero Result means not found; the caller reports
 // the error.
 func (s *Searcher) Lookup(origin *Scope, name string, withs []WithBinding) Result {
+	if s.Tab.Inject != nil {
+		s.Tab.Inject.Panic(faultinject.PanicLookup, name)
+	}
 	at := s.Ctx.Stamp()
 	hops := s.hopBuf[:0]
 	tracing := s.Tab.Rec != nil
@@ -495,6 +499,9 @@ func (s *Searcher) followAlias(alias *Symbol, name string, at ctrace.Stamp, hops
 // the interface scope designated by M.  There is no outward chaining
 // and no builtin fallback: qualified names live in exactly one table.
 func (s *Searcher) QualifiedLookup(iface *Scope, name string) Result {
+	if s.Tab.Inject != nil {
+		s.Tab.Inject.Panic(faultinject.PanicLookup, name)
+	}
 	at := s.Ctx.Stamp()
 	tracing := s.Tab.Rec != nil
 	hops := s.hopBuf[:0]

@@ -22,6 +22,7 @@ import (
 
 	"m2cc/internal/ctrace"
 	"m2cc/internal/event"
+	"m2cc/internal/faultinject"
 	"m2cc/internal/token"
 	"m2cc/internal/types"
 )
@@ -159,6 +160,10 @@ type Table struct {
 	Strategy Strategy
 	Stats    *Stats
 	Rec      *ctrace.Recorder
+
+	// Inject, when non-nil, arms the PanicLookup fault-injection point
+	// in Searcher (tests only); nil costs one pointer check per lookup.
+	Inject *faultinject.Plan
 }
 
 // MarkPrefired notes that scope entered this compilation already

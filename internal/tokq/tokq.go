@@ -64,14 +64,18 @@ func New(blockSize int) *Queue {
 // Must be set before the first Append and only by the producer.
 func (q *Queue) SetFireHook(f func(*event.Event)) { q.fire = f }
 
-// Append adds one token produced by the lexer or splitter.  When the
-// current block fills, its Ready event fires and a new block opens.
-// Append must be called from a single producer task.
-func (q *Queue) Append(t token.Token) {
+// Append adds one token produced by the lexer or splitter and reports
+// whether it was accepted.  When the current block fills, its Ready
+// event fires and a new block opens.  Append must be called from a
+// single producer task — except after Close, when it is a safe no-op
+// returning false: under panic isolation a recovered producer's
+// cleanup can race the closing of a queue another path already sealed,
+// and that race must not take down the compilation.
+func (q *Queue) Append(t token.Token) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		panic("tokq: Append after Close")
+		return false
 	}
 	n := len(q.blocks)
 	if n == 0 || len(q.blocks[n-1].Toks) == q.blockSize {
@@ -91,6 +95,7 @@ func (q *Queue) Append(t token.Token) {
 	if full {
 		q.fire(b.Ready)
 	}
+	return true
 }
 
 // Flush fires the current partial block's event so consumers can read

@@ -150,3 +150,28 @@ func TestWaitHookSeesEveryBlock(t *testing.T) {
 		t.Fatalf("wait hook invoked %d times, want once per block (3)", waits)
 	}
 }
+
+func TestAppendAfterCloseIsSafeNoOp(t *testing.T) {
+	q := tokq.New(4)
+	if !q.Append(token.Token{Kind: token.Ident, Text: "a"}) {
+		t.Fatal("Append before Close must be accepted")
+	}
+	q.Append(token.Token{Kind: token.EOF})
+	q.Close()
+	if q.Append(token.Token{Kind: token.Ident, Text: "late"}) {
+		t.Fatal("Append after Close must report rejection")
+	}
+	if got := q.Len(); got != 2 {
+		t.Fatalf("post-Close Append changed the queue: len %d, want 2", got)
+	}
+	// A recovered producer's cleanup path may Close again and keep
+	// appending; everything must stay a quiet no-op.
+	q.Close()
+	if q.Append(token.Token{Kind: token.EOF}) {
+		t.Fatal("second post-Close Append accepted")
+	}
+	r := q.NewReader(nil)
+	if r.Next().Kind != token.Ident || r.Next().Kind != token.EOF {
+		t.Fatal("queue contents corrupted by post-Close Appends")
+	}
+}

@@ -11,6 +11,7 @@ package types
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"m2cc/internal/token"
 )
@@ -65,7 +66,11 @@ type Type struct {
 
 	EnumLen int // number of enumeration constants
 
-	slots int // memoized storage size in slots; 0 = not yet computed
+	// slots memoizes the storage size (0 = not yet computed).  It is
+	// atomic because types published through the interface cache are
+	// shared by concurrent compilations, which may race to fill the
+	// memo; the computation is deterministic, so either store wins.
+	slots atomic.Int32
 }
 
 // Field is one record field with its storage offset in slots.
@@ -231,8 +236,8 @@ func (t *Type) Bounds() (lo, hi int64, ok bool) {
 // code generator, not here.
 func (t *Type) Slots() int {
 	d := t.Deref()
-	if d.slots > 0 {
-		return d.slots
+	if s := d.slots.Load(); s > 0 {
+		return int(s)
 	}
 	n := 1
 	switch d.Kind {
@@ -254,7 +259,7 @@ func (t *Type) Slots() int {
 			n = 1 // empty record still occupies storage
 		}
 	}
-	d.slots = n
+	d.slots.Store(int32(n))
 	return n
 }
 

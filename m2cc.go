@@ -100,6 +100,10 @@ type DirLoader = source.DirLoader
 // Options configure a concurrent compilation.
 type Options = core.Options
 
+// DefaultStallTimeout bounds waits on foreign interface-cache leaders
+// when Options.StallTimeout is zero; see core.DefaultStallTimeout.
+const DefaultStallTimeout = core.DefaultStallTimeout
+
 // Result is a concurrent compilation's outcome.
 type Result = core.Result
 
@@ -143,8 +147,38 @@ func NewCache() *Cache { return ifacecache.New() }
 // Compile runs the concurrent compiler on the named implementation
 // module.  Set Options.Cache to share interface compilations across
 // calls.
+//
+// Compile never lets a wounded concurrent compilation reach the
+// caller: if the attempt faulted (a stream task panicked and was
+// isolated, or the deadlock watchdog had to force-fire events), the
+// module is transparently re-run through the always-correct sequential
+// compiler, so the result is either a correct object program or
+// ordinary source diagnostics — never a crash and never a poisoned
+// object.  Such results carry Faulted and FellBack set.
 func Compile(module string, loader Loader, opts Options) *Result {
-	return core.Compile(module, loader, opts)
+	res := core.Compile(module, loader, opts)
+	if res.Faulted {
+		return sequentialFallback(module, loader, res)
+	}
+	return res
+}
+
+// sequentialFallback re-runs a faulted concurrent compilation through
+// seq.Compile.  The fallback deliberately runs without a cache: a
+// fault may have interrupted cache publication mid-flight, and the
+// sequential path's independence is the point.  Stats and Trace are
+// dropped — measurements of a poisoned schedule would be lies — while
+// Streams keeps the concurrent attempt's count for reporting.
+func sequentialFallback(module string, loader Loader, faulted *Result) *Result {
+	sres := seq.Compile(module, loader)
+	return &Result{
+		Object:   sres.Object,
+		Diags:    sres.Diags,
+		Files:    sres.Files,
+		Streams:  faulted.Streams,
+		Faulted:  true,
+		FellBack: true,
+	}
 }
 
 // CompileSequential runs the traditional sequential compiler (the
@@ -163,7 +197,9 @@ func CompileSequentialCached(module string, loader Loader, cache *Cache) *SeqRes
 // sharing one interface cache so each definition module in the batch is
 // compiled exactly once.  If opts.Cache is nil a fresh cache is used
 // for the batch; pass an existing cache to warm-start.  Results are
-// returned in input order.
+// returned in input order.  Faulted compilations fall back to the
+// sequential compiler individually (see Compile); one wounded module
+// never poisons its batch siblings.
 func CompileBatch(modules []string, loader Loader, opts Options) []*Result {
 	if opts.Cache == nil {
 		opts.Cache = NewCache()
@@ -174,7 +210,7 @@ func CompileBatch(modules []string, loader Loader, opts Options) []*Result {
 		wg.Add(1)
 		go func(i int, mod string) {
 			defer wg.Done()
-			results[i] = core.Compile(mod, loader, opts)
+			results[i] = Compile(mod, loader, opts)
 		}(i, mod)
 	}
 	wg.Wait()
