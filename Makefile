@@ -2,16 +2,17 @@ GO ?= go
 
 # Packages where races would be silent correctness bugs: the interface
 # cache, the concurrent driver, the DKY symbol tables, the Supervisor
-# scheduler, and the fault-injection plans shared across task goroutines.
-RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject
+# scheduler, the fault-injection plans shared across task goroutines,
+# and the observability layer hooked into every task transition.
+RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject ./internal/obs
 
 # Seeds for the chaos suite's seeded matrix (see chaos_test.go); the
 # suite also hand-arms every injection point regardless of seeds.
 CHAOS_SEEDS ?= 1,2,3,4,5,6,7,8,13,21,34,55,89,144
 
-.PHONY: check vet build test race chaos bench clean
+.PHONY: check vet build test race chaos smoke bench obsbench clean
 
-check: vet build test race chaos
+check: vet build test race chaos smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,8 +29,17 @@ race:
 chaos:
 	CHAOS_SEEDS=$(CHAOS_SEEDS) $(GO) test -race -run Chaos -count=1 .
 
+# End-to-end observability smoke: compile an example module with -trace
+# and validate the Chrome trace-event JSON it wrote.
+smoke:
+	$(GO) run ./cmd/m2c -I examples/modules -q -trace /tmp/m2c_smoke_trace.json Demo
+	$(GO) run ./cmd/tracecheck /tmp/m2c_smoke_trace.json
+
 bench:
 	$(GO) run ./cmd/m2bench -ifacecache -json BENCH_ifacecache.json
+
+obsbench:
+	$(GO) run ./cmd/m2bench -obs -json BENCH_obs.json
 
 clean:
 	$(GO) clean ./...

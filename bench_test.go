@@ -140,7 +140,10 @@ func BenchmarkSequentialVsConcurrent1(b *testing.B) {
 	h := sharedHarness(b)
 	var ov bench.OverheadResult
 	for i := 0; i < b.N; i++ {
-		ov = h.Overhead(1)
+		var err error
+		if ov, err = h.Overhead(1); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(ov.UnitsPct, "overhead-units-%")
 	b.ReportMetric(ov.Percent, "overhead-wall-%")

@@ -7,6 +7,13 @@
 //	m2bench -ifacecache -json BENCH_ifacecache.json
 //	                        # interface-cache cold/warm batch benchmark,
 //	                        # machine-readable result written to the file
+//	m2bench -obs -json BENCH_obs.json
+//	                        # observability-layer overhead benchmark
+//	                        # (instrumentation budget: <5%)
+//
+// Benchmark flags (-ifacecache, -obs) compose with section flags: each
+// requested piece runs in turn.  -json names the file for the one
+// selected benchmark's result.
 //
 // Hardware substitution: the paper measured wall-clock speedups on an
 // 8-CPU DEC Firefly; here speedups come from a deterministic
@@ -44,10 +51,39 @@ func main() {
 		ordering = flag.Bool("longshort", false, "§2.3.4: long-before-short ordering ablation")
 		boost    = flag.Bool("boost", false, "§2.3.4: DKY-resolver preference ablation")
 		ifcache  = flag.Bool("ifacecache", false, "interface-cache benchmark: cold vs warm batch compilation")
-		jsonOut  = flag.String("json", "", "with -ifacecache: also write the result as JSON to this file")
-		workers  = flag.Int("workers", 8, "worker slots per compilation in the interface-cache benchmark")
+		obsBench = flag.Bool("obs", false, "observability-layer overhead benchmark (budget: <5%)")
+		jsonOut  = flag.String("json", "", "with -ifacecache or -obs: also write the result as JSON to this file")
+		workers  = flag.Int("workers", 8, "worker slots per compilation in the -ifacecache/-obs benchmarks")
 	)
 	flag.Parse()
+
+	sections := *table1 || *table2 || *table3 || *fig1 || *fig2 || *fig3 || *fig4 ||
+		*fig7 || *overhead || *dky || *headersA || *ordering || *boost
+	if *jsonOut != "" && *ifcache && *obsBench {
+		fmt.Fprintln(os.Stderr, "-json names one result file: pass -ifacecache or -obs, not both")
+		os.Exit(2)
+	}
+	if *jsonOut != "" && !*ifcache && !*obsBench {
+		fmt.Fprintln(os.Stderr, "-json requires -ifacecache or -obs")
+		os.Exit(2)
+	}
+
+	// writeJSON saves a benchmark result machine-readably when -json
+	// names a file.
+	writeJSON := func(r any) {
+		if *jsonOut == "" {
+			return
+		}
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("result written to %s\n", *jsonOut)
+	}
 
 	if *ifcache {
 		r, err := bench.CacheBench(bench.Config{Seed: *seed, Scale: *scale}, *runs, *workers)
@@ -56,22 +92,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(r)
-		if *jsonOut != "" {
-			data, err := json.MarshalIndent(r, "", "  ")
-			if err == nil {
-				err = os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("result written to %s\n", *jsonOut)
+		writeJSON(r)
+	}
+	if *obsBench {
+		r, err := bench.ObsBench(bench.Config{Seed: *seed, Scale: *scale}, *runs, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		return
+		fmt.Print(r)
+		writeJSON(r)
 	}
 
-	all := !(*table1 || *table2 || *table3 || *fig1 || *fig2 || *fig3 || *fig4 ||
-		*fig7 || *overhead || *dky || *headersA || *ordering || *boost)
+	// A benchmark-only invocation skips the (expensive) section harness;
+	// section flags alongside a benchmark still render their sections.
+	all := !sections && !*ifcache && !*obsBench
+	if !all && !sections {
+		return
+	}
 
 	start := time.Now()
 	h, err := bench.New(bench.Config{Seed: *seed, Scale: *scale, MaxProcs: *procs})
@@ -117,7 +155,11 @@ func main() {
 		fmt.Printf("paper: a blocked worker's slot preferentially runs the task that resolves the blockage\n\n")
 	}
 	if all || *overhead {
-		ov := h.Overhead(*runs)
+		ov, err := h.Overhead(*runs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("Single-processor overhead (§4.2): sequential %v, concurrent@1 %v => %+.1f%% wall clock\n",
 			ov.SeqWall.Round(time.Millisecond), ov.Conc1.Round(time.Millisecond), ov.Percent)
 		fmt.Printf("deterministic work-unit comparison: %+.1f%% (paper: concurrent was 4.3%% slower on one processor)\n",

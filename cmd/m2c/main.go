@@ -16,6 +16,9 @@
 //	m2c -compare Sort          # compile both ways and diff the outputs
 //	m2c -watch Sort            # WatchTool-style activity view (simulated P=workers)
 //	m2c -ast Sort              # canonical source render of the parse tree
+//	m2c -trace out.json Sort   # Chrome trace-event JSON of the live schedule
+//	m2c -metrics Sort          # machine-readable observability metrics
+//	m2c -timeline Sort         # measured per-worker activity timeline
 package main
 
 import (
@@ -49,6 +52,10 @@ func main() {
 		astMode = flag.Bool("ast", false, "print the canonical source render of the parse tree")
 		nocache = flag.Bool("nocache", false, "disable the shared interface cache in batch modes (-run)")
 		quiet   = flag.Bool("q", false, "suppress the success message")
+
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON `file` of the live schedule (open in Perfetto)")
+		metrics  = flag.Bool("metrics", false, "print the observability metrics snapshot as JSON")
+		timeline = flag.Bool("timeline", false, "render the measured per-worker activity timeline (Figure 7 style)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -65,12 +72,54 @@ func main() {
 		os.Exit(2)
 	}
 	opts := m2cc.Options{
-		Workers:      *workers,
-		Strategy:     strategy,
-		CollectStats: *stats,
+		Workers:  *workers,
+		Strategy: strategy,
+		// -metrics piggybacks on the Table 2 collector for its
+		// per-strategy lookup section.
+		CollectStats: *stats || *metrics,
 	}
 	if *headers {
 		opts.Headers = m2cc.HeaderReprocess
+	}
+	var observer *m2cc.Observer
+	if *traceOut != "" || *metrics || *timeline {
+		observer = m2cc.NewObserver()
+		opts.Obs = observer
+	}
+	// obsReport writes whichever observability views were requested; it
+	// runs even for failed compilations — a trace of a failure is
+	// exactly when you want one.
+	obsReport := func() {
+		if observer == nil {
+			return
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			werr := observer.WriteChromeTrace(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "trace written to %s\n", *traceOut)
+			}
+		}
+		if *timeline {
+			fmt.Print(observer.RenderTimeline(110))
+		}
+		if *metrics {
+			if err := observer.WriteMetrics(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	switch {
@@ -120,6 +169,7 @@ func main() {
 			opts.Cache = m2cc.NewCache()
 		}
 		prog, err := m2cc.BuildProgram(module, loader, opts)
+		obsReport()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -162,6 +212,7 @@ func main() {
 	default:
 		res := m2cc.Compile(module, loader, opts)
 		os.Stderr.WriteString(res.Diags.String())
+		obsReport()
 		if res.Failed() {
 			os.Exit(1)
 		}

@@ -1,0 +1,58 @@
+// Command tracecheck validates a Chrome trace-event JSON file written
+// by `m2c -trace` (or any internal/obs export): the file must parse,
+// declare traceEvents, and contain at least one complete ("X") span
+// with a name — the minimum for Perfetto to show something useful.
+// Used by `make smoke` and CI; exits non-zero with a diagnostic on any
+// violation.
+//
+//	tracecheck out.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceFile struct {
+	TraceEvents []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Ts   int64  `json:"ts"`
+		Dur  int64  `json:"dur"`
+	} `json:"traceEvents"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: not valid trace-event JSON: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	spans := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		if ev.Name == "" || ev.Ts < 0 || ev.Dur < 1 {
+			fmt.Fprintf(os.Stderr, "%s: malformed span (name=%q ts=%d dur=%d)\n",
+				os.Args[1], ev.Name, ev.Ts, ev.Dur)
+			os.Exit(1)
+		}
+		spans++
+	}
+	if spans == 0 {
+		fmt.Fprintf(os.Stderr, "%s: no complete (ph=X) span events\n", os.Args[1])
+		os.Exit(1)
+	}
+	fmt.Printf("%s: ok (%d events, %d spans)\n", os.Args[1], len(tf.TraceEvents), spans)
+}

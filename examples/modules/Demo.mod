@@ -1,0 +1,13 @@
+MODULE Demo;
+FROM Fib IMPORT Nth;
+IMPORT Fib;
+VAR i: INTEGER;
+BEGIN
+  FOR i := 1 TO 10 DO
+    WriteInt(Nth(i), 4)
+  END;
+  WriteLn;
+  WriteString("Fib.Nth(20) = ");
+  WriteInt(Fib.Nth(20), 0);
+  WriteLn
+END Demo.

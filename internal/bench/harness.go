@@ -229,7 +229,12 @@ type OverheadResult struct {
 // Overhead measures sequential vs concurrent-with-one-worker wall time
 // over the whole suite (runs repetitions, best-of to damp noise) plus
 // the deterministic virtual-unit comparison.
-func (h *Harness) Overhead(runs int) OverheadResult {
+//
+// A compilation that fails (or faults, on the concurrent side) makes
+// the timing a comparison of two different amounts of work, so the
+// first such failure aborts the measurement with an error naming the
+// program instead of silently reporting a meaningless percentage.
+func (h *Harness) Overhead(runs int) (OverheadResult, error) {
 	if runs < 1 {
 		runs = 1
 	}
@@ -238,14 +243,21 @@ func (h *Harness) Overhead(runs int) OverheadResult {
 	for r := 0; r < runs; r++ {
 		start := time.Now()
 		for _, p := range h.Suite.Programs {
-			seq.Compile(p.Name, h.Suite.Loader)
+			if sres := seq.Compile(p.Name, h.Suite.Loader); sres.Failed() {
+				return res, fmt.Errorf("overhead: sequential compile of %s failed:\n%s",
+					p.Name, sres.Diags)
+			}
 		}
 		if d := time.Since(start); d < bestSeq {
 			bestSeq = d
 		}
 		start = time.Now()
 		for _, p := range h.Suite.Programs {
-			core.Compile(p.Name, h.Suite.Loader, core.Options{Workers: 1})
+			cres := core.Compile(p.Name, h.Suite.Loader, core.Options{Workers: 1})
+			if cres.Failed() || cres.Faulted {
+				return res, fmt.Errorf("overhead: concurrent compile of %s failed (faulted=%v):\n%s",
+					p.Name, cres.Faulted, cres.Diags)
+			}
 		}
 		if d := time.Since(start); d < bestCon {
 			bestCon = d
@@ -258,7 +270,7 @@ func (h *Harness) Overhead(runs int) OverheadResult {
 		res.ConUnits += h.traces[i].TotalCost()
 	}
 	res.UnitsPct = 100 * (res.ConUnits - res.SeqUnits) / res.SeqUnits
-	return res
+	return res, nil
 }
 
 // StrategyAblation returns the suite mean 8-processor makespan per DKY

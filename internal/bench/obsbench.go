@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"m2cc/internal/core"
+	"m2cc/internal/obs"
+	"m2cc/internal/workload"
+)
+
+// ObsBenchResult quantifies the observability layer's runtime cost on
+// the standard suite workload: the same compilations run with no
+// observer attached versus with a fresh obs.Observer per pass.  The
+// design budget is OverheadPct < 5 — instrumentation cheap enough to
+// leave on.  Field tags match BENCH_obs.json.
+type ObsBenchResult struct {
+	Benchmark   string  `json:"benchmark"` // "obs"
+	Seed        int64   `json:"seed"`
+	Scale       float64 `json:"scale"`
+	Workers     int     `json:"workers"`
+	Runs        int     `json:"runs"`
+	Programs    int     `json:"programs"`
+	BaseMs      float64 `json:"base_ms"`      // best pass, no observer
+	ObservedMs  float64 `json:"observed_ms"`  // best pass, observer attached
+	OverheadPct float64 `json:"overhead_pct"` // 100×(observed-base)/base
+
+	// Aggregates from the best observed pass, proving the observer saw
+	// the whole run while it was being timed.
+	Tasks       int     `json:"tasks"`
+	Spans       int     `json:"spans"`
+	EventFires  int64   `json:"event_fires"`
+	EventWaits  int64   `json:"event_waits"`
+	Utilization float64 `json:"utilization"`
+}
+
+func (r ObsBenchResult) String() string {
+	return fmt.Sprintf(
+		"Observability overhead benchmark (seed %d, scale %g, %d programs, workers=%d, best of %d):\n"+
+			"  no observer:         %8.1f ms\n"+
+			"  observer attached:   %8.1f ms\n"+
+			"  overhead:            %+7.1f%%  (budget: <5%%)\n"+
+			"  observed: %d tasks, %d spans, %d event fires, %d waits, utilization %.0f%%\n",
+		r.Seed, r.Scale, r.Programs, r.Workers, r.Runs,
+		r.BaseMs, r.ObservedMs, r.OverheadPct,
+		r.Tasks, r.Spans, r.EventFires, r.EventWaits, 100*r.Utilization)
+}
+
+// ObsBench measures the wall-clock cost of the internal/obs layer on
+// the standard suite workload.  Both sides compile the identical
+// program set with the same worker count; the observed side attaches a
+// fresh Observer per pass (so span tables never amortize across
+// repetitions — each pass pays full recording cost).  Both sides take
+// the best of runs repetitions to damp scheduler noise, and any
+// compilation failure aborts the measurement with an error.
+func ObsBench(cfg Config, runs, workers int) (ObsBenchResult, error) {
+	cfg = cfg.withDefaults()
+	if runs < 1 {
+		runs = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	suite := workload.GenerateSuite(cfg.Seed, cfg.Scale)
+
+	pass := func(o *obs.Observer) (time.Duration, error) {
+		start := time.Now()
+		for _, p := range suite.Programs {
+			res := core.Compile(p.Name, suite.Loader, core.Options{
+				Workers: workers, Obs: o,
+			})
+			if res.Failed() || res.Faulted {
+				return 0, fmt.Errorf("obs bench: %s failed to compile (faulted=%v):\n%s",
+					p.Name, res.Faulted, res.Diags)
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	base := time.Duration(1 << 62)
+	for r := 0; r < runs; r++ {
+		d, err := pass(nil)
+		if err != nil {
+			return ObsBenchResult{}, err
+		}
+		if d < base {
+			base = d
+		}
+	}
+
+	observed := time.Duration(1 << 62)
+	var bestObs *obs.Observer
+	for r := 0; r < runs; r++ {
+		o := obs.New()
+		d, err := pass(o)
+		if err != nil {
+			return ObsBenchResult{}, err
+		}
+		if d < observed {
+			observed, bestObs = d, o
+		}
+	}
+
+	m := bestObs.Snapshot()
+	return ObsBenchResult{
+		Benchmark:   "obs",
+		Seed:        cfg.Seed,
+		Scale:       cfg.Scale,
+		Workers:     workers,
+		Runs:        runs,
+		Programs:    len(suite.Programs),
+		BaseMs:      float64(base.Microseconds()) / 1000,
+		ObservedMs:  float64(observed.Microseconds()) / 1000,
+		OverheadPct: 100 * (float64(observed) - float64(base)) / float64(base),
+		Tasks:       m.Tasks,
+		Spans:       m.Spans,
+		EventFires:  m.EventFires,
+		EventWaits:  m.EventWaits,
+		Utilization: m.Utilization,
+	}, nil
+}

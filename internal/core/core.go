@@ -28,6 +28,7 @@ import (
 	"m2cc/internal/ifacecache"
 	"m2cc/internal/impscan"
 	"m2cc/internal/lexer"
+	"m2cc/internal/obs"
 	"m2cc/internal/parser"
 	"m2cc/internal/sched"
 	"m2cc/internal/sema"
@@ -99,6 +100,12 @@ type Options struct {
 	// points (see internal/faultinject).  Production callers leave it
 	// nil, which reduces every injection site to a pointer check.
 	FaultPlan *faultinject.Plan
+	// Obs, when non-nil, attaches the live-observability layer
+	// (internal/obs): wall-clock spans for every Supervisor task,
+	// fault and watchdog markers, scheduler and cache metrics.  One
+	// Observer may span a whole CompileBatch.  Nil costs a pointer
+	// check per scheduler transition.
+	Obs *obs.Observer
 }
 
 // Result is the outcome of one concurrent compilation.
@@ -140,9 +147,11 @@ type driver struct {
 
 	cache  *ifacecache.Cache
 	inject *faultinject.Plan
+	obs    *obs.Observer
 	stall  time.Duration // resolved StallTimeout (0 = unbounded)
 
 	mu        sync.Mutex
+	cacheSeen obs.CacheCounters      // this compilation's own Acquire outcomes
 	ifaces    map[string]*ifaceEntry // the once-only table (§3)
 	procs     map[int32]*procStream
 	nstream   int32
@@ -197,6 +206,7 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 		procs:  make(map[int32]*procStream),
 		cache:  opts.Cache,
 		inject: opts.FaultPlan,
+		obs:    opts.Obs,
 	}
 	switch {
 	case opts.StallTimeout > 0:
@@ -209,15 +219,21 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	}
 	var stats *symtab.Stats
 	if opts.CollectStats {
+		// The Table 2 collector tallies every identifier lookup under a
+		// lock — real cost, so it stays strictly opt-in.  An attached
+		// observer reuses the tallies when they are being collected
+		// anyway (NoteLookups below) but never forces them on.
 		stats = symtab.NewStats()
 	}
 	if opts.Trace {
 		d.rec = ctrace.NewRecorder()
 	}
+	d.obs.Begin(opts.Workers, opts.Strategy.String())
 	d.tab = symtab.NewTable(opts.Strategy, stats, d.rec)
 	d.tab.Inject = d.inject
 	d.sup = sched.New(opts.Workers, d.rec)
 	d.sup.StallTimeout = d.stall
+	d.sup.Obs = d.obs
 	d.sup.OnDeadlock = func(msg string) {
 		d.mu.Lock()
 		d.poisoned = true
@@ -242,6 +258,19 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	d.sup.Wait()
 	d.failUnpublished()
 
+	if d.obs != nil {
+		if d.cache != nil {
+			// This driver's own Acquire outcomes — not a delta of the
+			// shared cache's counters, which concurrent batch siblings
+			// would pollute.
+			d.mu.Lock()
+			cc := d.cacheSeen
+			d.mu.Unlock()
+			d.obs.NoteCache(cc)
+		}
+		d.obs.NoteLookups(stats)
+		d.obs.Finish()
+	}
 	res := &Result{
 		Object: d.reg.Object(),
 		Diags:  d.diags,
@@ -582,6 +611,7 @@ func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
 			// compile the interface without the cache.  startIface
 			// re-checks the once-only table, so if the resolver did land
 			// meanwhile its entry is reused.
+			d.obs.StallAbandoned(obsTaskID(t))
 			return d.startIface(name, optional, nil)
 		}
 		d.mu.Lock()
@@ -595,6 +625,7 @@ func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
 		ent, ev, st := d.cache.Acquire(name, d.loader)
 		switch st {
 		case ifacecache.Wait:
+			d.cacheTally(&d.cacheSeen.Waits)
 			if d.extWait(t, ev) {
 				continue // re-acquire: the leader published or failed
 			}
@@ -602,8 +633,12 @@ func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
 			// cache entry and compile the interface ourselves — the same
 			// degradation the cache applies to a failed leader, except
 			// this session does not wait for the verdict.
+			d.cacheTally(&d.cacheSeen.Abandoned)
+			d.cache.NoteAbandoned()
+			d.obs.StallAbandoned(obsTaskID(t))
 			e = d.startIface(name, optional, nil)
 		case ifacecache.Hit:
+			d.cacheTally(&d.cacheSeen.Hits)
 			e = d.installCached(name, optional, ent)
 			if e == nil {
 				// A closure member conflicts with a scope this session
@@ -612,8 +647,10 @@ func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
 				e = d.startIface(name, optional, nil)
 			}
 		case ifacecache.Lead:
+			d.cacheTally(&d.cacheSeen.Misses)
 			e = d.startIface(name, optional, ent)
 		default: // Bypass
+			d.cacheTally(&d.cacheSeen.Bypasses)
 			e = d.startIface(name, optional, nil)
 		}
 	}
@@ -623,6 +660,27 @@ func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
 	d.mu.Unlock()
 	resolved.Fire()
 	return e
+}
+
+// cacheTally bumps one counter of d.cacheSeen (field address is stable;
+// the increment itself needs d.mu).  Skipped entirely when no observer
+// is attached — the counters exist only for the metrics snapshot.
+func (d *driver) cacheTally(counter *int64) {
+	if d.obs == nil {
+		return
+	}
+	d.mu.Lock()
+	*counter++
+	d.mu.Unlock()
+}
+
+// obsTaskID maps a possibly-nil task (nil = the prefetch running on the
+// main goroutine) to its observability ID; 0 means unobserved.
+func obsTaskID(t *sched.Task) int {
+	if t == nil {
+		return 0
+	}
+	return t.ObsID()
 }
 
 // extWait parks on an event owned outside this task's supervisor

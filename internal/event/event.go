@@ -12,7 +12,40 @@
 // scheduler (internal/sched).  This package supplies only the primitive.
 package event
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Process-wide fire/wait tallies.  The observability layer
+// (internal/obs) snapshots these around a compilation to report how
+// much event traffic it generated; the counters are monotonic and
+// shared by every compilation in the process, so consumers must work
+// with deltas.  One atomic add per fire/wait keeps the primitive's
+// overhead negligible whether or not anyone is observing.
+var (
+	totalFires int64
+	totalWaits int64
+)
+
+// Counters is a snapshot of the process-wide event tallies.
+type Counters struct {
+	Fires int64 // events fired (first Fire per event only)
+	Waits int64 // blocking waits actually taken (Wait on an unfired event)
+}
+
+// Totals returns the current process-wide event counters.
+func Totals() Counters {
+	return Counters{
+		Fires: atomic.LoadInt64(&totalFires),
+		Waits: atomic.LoadInt64(&totalWaits),
+	}
+}
+
+// Sub returns c - prev, the traffic between two snapshots.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{Fires: c.Fires - prev.Fires, Waits: c.Waits - prev.Waits}
+}
 
 // Event is a one-shot occurrence flag.  The zero value is an unfired
 // event ready for use.  Fire is idempotent; all methods are safe for
@@ -36,6 +69,7 @@ func (e *Event) Fire() {
 		return
 	}
 	e.fired = true
+	atomic.AddInt64(&totalFires, 1)
 	if e.done != nil {
 		close(e.done)
 	}
@@ -88,5 +122,8 @@ func (e *Event) Subscribe(f func()) {
 // through the scheduler so their worker slot can be released; Wait is the
 // barrier-style wait used by token-queue consumers (§2.3.3).
 func (e *Event) Wait() {
+	if !e.Fired() {
+		atomic.AddInt64(&totalWaits, 1)
+	}
 	<-e.Done()
 }

@@ -291,10 +291,24 @@ func (e *Entry) depDone() {
 
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
-	Hits     int64 // Acquire found a ready entry
-	Misses   int64 // Acquire became leader (first compile of this content)
-	Waits    int64 // Acquire parked behind another compilation's leader
-	Bypasses int64 // uncacheable requests (load failure / import cycle)
+	Hits      int64 // Acquire found a ready entry
+	Misses    int64 // Acquire became leader (first compile of this content)
+	Waits     int64 // Acquire parked behind another compilation's leader
+	Bypasses  int64 // uncacheable requests (load failure / import cycle)
+	Abandoned int64 // waiters that timed out on a wedged leader (NoteAbandoned)
+}
+
+// Sub returns s - prev, the cache traffic between two snapshots; the
+// observability layer uses it to attribute counters to one compilation
+// of a shared cache.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Waits:     s.Waits - prev.Waits,
+		Bypasses:  s.Bypasses - prev.Bypasses,
+		Abandoned: s.Abandoned - prev.Abandoned,
+	}
 }
 
 // Cache is a concurrency-safe interface-compilation cache shared by
@@ -320,6 +334,16 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// NoteAbandoned counts one waiter giving up on a wedged foreign leader
+// at its stall deadline (the compiler then compiles the interface
+// itself, outside the cache).  The cache cannot see these timeouts —
+// they happen in the waiter — so the compiler reports them.
+func (c *Cache) NoteAbandoned() {
+	c.mu.Lock()
+	c.stats.Abandoned++
+	c.mu.Unlock()
 }
 
 // Len returns the number of entries (any state).

@@ -1,0 +1,353 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"m2cc/internal/symtab"
+)
+
+// Metrics is the machine-readable snapshot of one observed run.  All
+// durations are milliseconds of wall clock.
+type Metrics struct {
+	WallMs  float64 `json:"wall_ms"`
+	Workers int     `json:"workers"`
+
+	Tasks    int `json:"tasks"`
+	Finished int `json:"finished"`
+	NeverRan int `json:"never_ran"` // spawned but never dispatched (faulted runs)
+	Spans    int `json:"spans"`
+
+	Panics        int `json:"panics"`         // panic-isolated tasks (PR 2)
+	WatchdogFires int `json:"watchdog_fires"` // deadlock-watchdog interventions
+	StallAbandons int `json:"stall_abandons"` // foreign-leader waits abandoned at deadline
+
+	BlocksHandled  int64 `json:"blocks_handled"`  // handled-event waits taken (slot released)
+	BlocksExternal int64 `json:"blocks_external"` // external (cache-leader) waits taken
+
+	// Worker-slot occupancy over the run: time-weighted mean of busy
+	// slots, the peak, and mean/workers as utilization (the measured
+	// counterpart of sim.Result.Utilization).
+	SlotOccupancyMean float64 `json:"slot_occupancy_mean"`
+	SlotOccupancyPeak int     `json:"slot_occupancy_peak"`
+	Utilization       float64 `json:"utilization"`
+
+	// Ready-queue depth sampled after every dispatch round.
+	ReadyDepthMean float64 `json:"ready_depth_mean"`
+	ReadyDepthPeak int     `json:"ready_depth_peak"`
+
+	// Event traffic attributed to the run (process-global counter
+	// delta; see event.Totals).
+	EventFires int64 `json:"event_fires"`
+	EventWaits int64 `json:"event_waits"`
+
+	// Cache is the interface-cache traffic, when a cache was attached.
+	Cache *CacheCounters `json:"ifacecache,omitempty"`
+
+	// Lookups are the per-strategy DKY tallies (Table 2's collector,
+	// re-used at runtime), when lookup stats were recorded.
+	Lookups *LookupMetrics `json:"lookups,omitempty"`
+}
+
+// LookupMetrics serializes symtab.Stats for the metrics snapshot.
+type LookupMetrics struct {
+	Strategy string      `json:"strategy"`
+	Lookups  int64       `json:"lookups"`
+	Blocks   int64       `json:"blocks"` // DKY blockages actually taken
+	Rows     []LookupRow `json:"rows,omitempty"`
+}
+
+// LookupRow is one Table 2 row as measured at runtime.
+type LookupRow struct {
+	Class string `json:"class"` // simple | qualified
+	Found string `json:"found"` // First try | Search | After DKY | Never
+	Scope string `json:"scope,omitempty"`
+	State string `json:"state,omitempty"` // complete | incomplete
+	Count int64  `json:"count"`
+}
+
+// Snapshot computes the metrics view.  It may be taken at any time;
+// spans still running are counted up to Finish's stamp (or now).
+func (o *Observer) Snapshot() Metrics {
+	if o == nil {
+		return Metrics{}
+	}
+	spans, tasks, _, wall := o.snapshotSpans()
+
+	o.mu.Lock()
+	m := Metrics{
+		WallMs:            wall.Seconds() * 1000,
+		Workers:           o.workers,
+		Tasks:             len(tasks),
+		Spans:             len(spans),
+		Panics:            o.panics,
+		WatchdogFires:     o.watchdogs,
+		SlotOccupancyPeak: o.peakBusy,
+		ReadyDepthPeak:    o.readyPeak,
+		EventFires:        o.evDelta.Fires,
+		EventWaits:        o.evDelta.Waits,
+	}
+	// Advance the occupancy integral to the horizon for tasks still on
+	// a slot, without mutating the live integral.
+	busyInt := o.busyInt + float64(o.busy)*(wall-o.lastBusyAt).Seconds()
+	if wall > 0 {
+		m.SlotOccupancyMean = busyInt / wall.Seconds()
+	}
+	if o.workers > 0 {
+		m.Utilization = m.SlotOccupancyMean / float64(o.workers)
+	}
+	if o.readySamples > 0 {
+		m.ReadyDepthMean = float64(o.readySum) / float64(o.readySamples)
+	}
+	if o.hasCache {
+		c := o.cache
+		m.Cache = &c
+	}
+	lookups := o.lookups
+	strategy := o.strategy
+	o.mu.Unlock()
+
+	for _, t := range tasks {
+		if t.Done {
+			m.Finished++
+		}
+		if !t.HasRun {
+			m.NeverRan++
+		}
+		m.BlocksHandled += int64(t.Blocks[BlockHandled])
+		m.BlocksExternal += int64(t.Blocks[BlockExternal])
+	}
+	for _, mk := range o.marksSnapshot() {
+		if mk.Kind == MarkStallAbandon {
+			m.StallAbandons++
+		}
+	}
+	if lookups != nil {
+		lm := &LookupMetrics{Strategy: strategy}
+		for _, r := range lookups.Rows() {
+			row := LookupRow{Count: r.Count, Class: "simple", Found: r.Key.When.String()}
+			if r.Key.Qualified {
+				row.Class = "qualified"
+			}
+			if r.Key.When != symtab.Never {
+				row.Scope = r.Key.Rel.String()
+				row.State = "complete"
+				if r.Key.Incomplete {
+					row.State = "incomplete"
+				}
+			}
+			lm.Rows = append(lm.Rows, row)
+		}
+		lm.Lookups, lm.Blocks = lookups.Totals()
+		m.Lookups = lm
+	}
+	return m
+}
+
+func (o *Observer) marksSnapshot() []Mark {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Mark, len(o.marks))
+	copy(out, o.marks)
+	return out
+}
+
+// WriteMetrics writes the metrics snapshot as indented JSON.
+func (o *Observer) WriteMetrics(w io.Writer) error {
+	data, err := json.MarshalIndent(o.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// chromeEvent is one Chrome trace-event JSON object (the subset of the
+// trace-event format Perfetto and chrome://tracing load: metadata "M",
+// complete "X" and instant "i" phases).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    int64          `json:"ts"` // microseconds
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+const tracePid = 1
+
+// WriteChromeTrace writes the observed spans as Chrome trace-event
+// JSON: one thread lane per worker slot, one complete ("X") event per
+// span, instant events for panic isolation and watchdog fires.  Load
+// the file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	if o == nil {
+		return fmt.Errorf("obs: no observer attached")
+	}
+	spans, tasks, marks, _ := o.snapshotSpans()
+	o.mu.Lock()
+	workers := o.workers
+	lanes := len(o.lanes)
+	o.mu.Unlock()
+	if lanes > workers {
+		workers = lanes
+	}
+
+	evs := make([]chromeEvent, 0, len(spans)+len(marks)+workers+1)
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "m2cc concurrent compiler"},
+	})
+	for lane := 0; lane < workers; lane++ {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: lane,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", lane)},
+		})
+	}
+	taskOf := func(id int) *TaskRecord {
+		if id < 1 || id > len(tasks) {
+			return nil
+		}
+		return &tasks[id-1]
+	}
+	for _, sp := range spans {
+		name := fmt.Sprintf("task %d", sp.Task)
+		args := map[string]any{"end": sp.EndReason}
+		cat := ""
+		if t := taskOf(sp.Task); t != nil {
+			name = t.Label
+			cat = t.Kind.String()
+			args["stream"] = t.Stream
+			args["task"] = t.ID
+			if t.Panicked {
+				args["panicked"] = true
+			}
+		}
+		dur := (sp.End - sp.Start).Microseconds()
+		if dur < 1 {
+			dur = 1 // Perfetto drops zero-width slices
+		}
+		evs = append(evs, chromeEvent{
+			Name: name, Cat: cat, Ph: "X",
+			Ts: sp.Start.Microseconds(), Dur: dur,
+			Pid: tracePid, Tid: sp.Lane, Args: args,
+		})
+	}
+	for _, mk := range marks {
+		name := mk.Kind.String()
+		scope, tid := "p", 0
+		if mk.Lane >= 0 {
+			scope, tid = "t", mk.Lane
+		}
+		args := map[string]any{}
+		if t := taskOf(mk.Task); t != nil {
+			args["task"] = t.Label
+		}
+		evs = append(evs, chromeEvent{
+			Name: name, Cat: "fault", Ph: "i",
+			Ts: mk.At.Microseconds(), Pid: tracePid, Tid: tid,
+			Scope: scope, Args: args,
+		})
+	}
+
+	data, err := json.MarshalIndent(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{evs, "ms"}, "", " ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// RenderTimeline draws the measured per-worker activity as rows of
+// task-kind glyphs in the style of the paper's Figure 7 (and of
+// bench.RenderTimeline, which draws the simulator's *predicted*
+// timeline from the same glyph alphabet): L lex, S split, I import,
+// P parse/decl, G stmt-analysis/codegen, M merge, '.' idle, '!' a
+// panic-isolated span.  Comparing this measured view against the
+// simulated one is the point of the layer.
+func (o *Observer) RenderTimeline(width int) string {
+	if o == nil {
+		return ""
+	}
+	if width <= 0 {
+		width = 100
+	}
+	spans, tasks, _, wall := o.snapshotSpans()
+	o.mu.Lock()
+	workers := o.workers
+	lanes := len(o.lanes)
+	o.mu.Unlock()
+	if lanes > workers {
+		workers = lanes
+	}
+	if workers == 0 || wall <= 0 {
+		return "(no activity recorded)\n"
+	}
+
+	total := wall.Seconds()
+	rows := make([][]byte, workers)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	// Per-cell dominant glyph by accumulated time, as in the simulated
+	// renderer, so sub-cell spans do not flicker based on order.
+	acc := make([]map[byte]float64, workers*width)
+	for _, sp := range spans {
+		if sp.Lane < 0 || sp.Lane >= workers {
+			continue
+		}
+		glyph := byte('?')
+		if sp.Task >= 1 && sp.Task <= len(tasks) {
+			t := tasks[sp.Task-1]
+			glyph = t.Kind.Glyph()
+			if t.Panicked {
+				glyph = '!'
+			}
+		}
+		s0, s1 := sp.Start.Seconds(), sp.End.Seconds()
+		c0 := int(s0 / total * float64(width))
+		c1 := int(s1 / total * float64(width))
+		if c1 >= width {
+			c1 = width - 1
+		}
+		for c := c0; c <= c1; c++ {
+			cell := sp.Lane*width + c
+			if acc[cell] == nil {
+				acc[cell] = make(map[byte]float64)
+			}
+			lo := math.Max(s0, total*float64(c)/float64(width))
+			hi := math.Min(s1, total*float64(c+1)/float64(width))
+			if hi > lo {
+				acc[cell][glyph] += hi - lo
+			}
+		}
+	}
+	for p := 0; p < workers; p++ {
+		for c := 0; c < width; c++ {
+			best, bestV := byte('.'), 0.0
+			for g, v := range acc[p*width+c] {
+				if v > bestV {
+					best, bestV = g, v
+				}
+			}
+			rows[p][c] = best
+		}
+	}
+	var sb strings.Builder
+	for p := workers - 1; p >= 0; p-- {
+		fmt.Fprintf(&sb, "W%d |%s|\n", p, rows[p])
+	}
+	fmt.Fprintf(&sb, "    0%*s\n", width, fmt.Sprintf("%.2f ms", float64(wall)/float64(time.Millisecond)))
+	sb.WriteString("legend: L lexical  S splitter  I importer  P parser/decl  G stmt/codegen  M merge  ! panic-isolated  . idle\n")
+	return sb.String()
+}

@@ -1,0 +1,454 @@
+// Package obs is the live-observability layer for the real concurrent
+// compiler: wall-clock span tracing and a metrics snapshot for the
+// goroutine Supervisor in internal/sched, the runtime counterpart of
+// the deterministic work-unit traces in internal/ctrace.
+//
+// The simulator (internal/sim) predicts timelines from
+// schedule-independent traces; this package measures what actually
+// happened — which worker slot ran which task when, where tasks
+// blocked, where panics were isolated and where the watchdog fired —
+// so the paper's Figure 7 style activity views can be compared
+// side-by-side: predicted (simulated) against measured (observed).
+//
+// An Observer is attached via core.Options.Obs and receives hooks from
+// the Supervisor at every task transition: spawn, first dispatch,
+// block on a handled/external event, re-dispatch, finish, panic
+// isolation, watchdog fire.  Each hook is one mutex acquisition and
+// one clock read; every method is safe on a nil *Observer and reduces
+// to a pointer check (the same pattern as internal/faultinject), so an
+// unobserved compilation pays nothing.  The measured instrumentation
+// overhead is reported by `m2bench -obs` and budgeted under 5%.
+//
+// Three exports:
+//
+//   - WriteChromeTrace: Chrome trace-event JSON (load in Perfetto or
+//     chrome://tracing) with one lane per worker slot;
+//   - Snapshot: a machine-readable Metrics value (worker-slot
+//     occupancy, ready-queue depth, event and interface-cache
+//     counters, per-strategy DKY lookup tallies via symtab.Stats);
+//   - RenderTimeline: an ASCII per-worker activity view in the style
+//     of the paper's Figure 7, from measured wall-clock spans.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"m2cc/internal/ctrace"
+	"m2cc/internal/event"
+	"m2cc/internal/symtab"
+)
+
+// BlockReason classifies why a task gave up its worker slot.
+type BlockReason uint8
+
+const (
+	// BlockHandled is a handled-event wait (DKY blockage, §2.3.3): the
+	// slot is released until the event fires.
+	BlockHandled BlockReason = iota
+	// BlockExternal is a wait on an event owned by a foreign
+	// compilation (an interface-cache leader in another session).
+	BlockExternal
+)
+
+func (r BlockReason) String() string {
+	if r == BlockExternal {
+		return "external"
+	}
+	return "handled"
+}
+
+// MarkKind classifies instant markers.
+type MarkKind uint8
+
+const (
+	// MarkPanic: a task panicked and was isolated (PR 2's runGuarded).
+	MarkPanic MarkKind = iota
+	// MarkWatchdog: the deadlock watchdog force-fired events.
+	MarkWatchdog
+	// MarkStallAbandon: a waiter abandoned a wedged foreign cache
+	// leader at its stall deadline.
+	MarkStallAbandon
+)
+
+func (k MarkKind) String() string {
+	switch k {
+	case MarkPanic:
+		return "panic"
+	case MarkWatchdog:
+		return "watchdog"
+	default:
+		return "stall-abandon"
+	}
+}
+
+// Span is one contiguous occupancy of a worker slot by a task: from
+// dispatch (first start or unblock) to the next block, panic-tainted
+// finish or clean finish.
+type Span struct {
+	Task  int           // observer task ID (1-based)
+	Lane  int           // worker slot lane (0-based, lowest-free assignment)
+	Start time.Duration // offset from the observer's epoch
+	End   time.Duration
+	// EndReason tells how the span closed: "block-handled",
+	// "block-external", "finish", or "open" (still running when the
+	// snapshot was taken).
+	EndReason string
+}
+
+// Mark is one instant marker (panic isolation, watchdog fire).
+type Mark struct {
+	Kind MarkKind
+	Task int // 0 for compiler-wide marks (watchdog)
+	Lane int // -1 when the mark is not lane-bound
+	At   time.Duration
+}
+
+// TaskRecord is one task's observed lifecycle.
+type TaskRecord struct {
+	ID       int
+	Kind     ctrace.TaskKind
+	Stream   int32
+	Label    string
+	Spawned  time.Duration
+	Started  time.Duration // first dispatch; 0-with-!HasRun if never ran
+	Finished time.Duration
+	HasRun   bool
+	Done     bool
+	Panicked bool
+	Blocks   [2]int // waits taken, indexed by BlockReason
+}
+
+// Observer records the runtime behaviour of one (or one batch of)
+// concurrent compilation.  All methods are safe for concurrent use and
+// on a nil receiver.
+type Observer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	ended time.Duration // set by Finish; 0 = still running
+
+	workers int
+	tasks   []TaskRecord
+	closed  []Span        // finished spans, in close order
+	open    map[int]*Span // task ID → its running span
+	lanes   []bool        // lane busy flags, lowest-free assignment
+
+	// Slot occupancy: time-weighted integral of busy lanes.
+	busy       int
+	peakBusy   int
+	busyInt    float64 // ∫ busy dt, in seconds·slots
+	lastBusyAt time.Duration
+
+	// Ready-queue depth, sampled at every dispatch round.
+	readySamples int64
+	readySum     int64
+	readyPeak    int
+
+	marks     []Mark
+	panics    int
+	watchdogs int
+
+	evBase   event.Counters
+	evDelta  event.Counters
+	cache    CacheCounters
+	hasCache bool
+	strategy string
+	lookups  *symtab.Stats
+}
+
+// CacheCounters is the interface-cache traffic attributed to the
+// observed compilation (a delta of ifacecache.Stats).
+type CacheCounters struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Waits     int64 `json:"waits"` // single-flight waits behind a foreign leader
+	Bypasses  int64 `json:"bypasses"`
+	Abandoned int64 `json:"abandoned"` // stall-timeout abandonments of wedged leaders
+}
+
+// New returns an Observer with its epoch set to now.
+func New() *Observer {
+	return &Observer{
+		epoch:  time.Now(),
+		open:   make(map[int]*Span),
+		evBase: event.Totals(),
+	}
+}
+
+func (o *Observer) now() time.Duration { return time.Since(o.epoch) }
+
+// Begin notes the compilation's worker-slot count and DKY strategy.
+// Idempotent; CompileBatch calls it once per module and the largest
+// worker count wins.
+func (o *Observer) Begin(workers int, strategy string) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	if workers > o.workers {
+		o.workers = workers
+	}
+	o.strategy = strategy
+	o.mu.Unlock()
+}
+
+// Finish stamps the end of the observed run.  Open spans are closed at
+// this stamp when a snapshot or export is taken.  Idempotent in effect:
+// the latest call wins, so batch observers cover the whole batch.
+func (o *Observer) Finish() {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.ended = o.now()
+	o.evDelta = event.Totals().Sub(o.evBase)
+	o.mu.Unlock()
+}
+
+// TaskSpawned registers a task and returns its observer ID (0 on a nil
+// Observer; IDs are 1-based).
+func (o *Observer) TaskSpawned(kind ctrace.TaskKind, stream int32, label string) int {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	id := len(o.tasks) + 1
+	o.tasks = append(o.tasks, TaskRecord{
+		ID: id, Kind: kind, Stream: stream, Label: label, Spawned: o.now(),
+	})
+	return id
+}
+
+// acquireLaneLocked hands out the lowest free lane, growing the lane
+// set if tasks ever outnumber the declared workers (defensive; the
+// Supervisor's slot discipline should prevent it).
+func (o *Observer) acquireLaneLocked() int {
+	for i, busy := range o.lanes {
+		if !busy {
+			o.lanes[i] = true
+			return i
+		}
+	}
+	o.lanes = append(o.lanes, true)
+	return len(o.lanes) - 1
+}
+
+// busyDeltaLocked advances the occupancy integral to now, then applies
+// d to the busy count.
+func (o *Observer) busyDeltaLocked(now time.Duration, d int) {
+	o.busyInt += float64(o.busy) * (now - o.lastBusyAt).Seconds()
+	o.lastBusyAt = now
+	o.busy += d
+	if o.busy > o.peakBusy {
+		o.peakBusy = o.busy
+	}
+}
+
+// openSpanLocked starts a span for task id on a fresh lane.
+func (o *Observer) openSpanLocked(id int, now time.Duration) {
+	lane := o.acquireLaneLocked()
+	o.busyDeltaLocked(now, +1)
+	o.open[id] = &Span{Task: id, Lane: lane, Start: now}
+}
+
+// closeSpanLocked ends task id's running span, freeing its lane.
+func (o *Observer) closeSpanLocked(id int, now time.Duration, reason string) {
+	sp := o.open[id]
+	if sp == nil {
+		return
+	}
+	delete(o.open, id)
+	sp.End = now
+	sp.EndReason = reason
+	o.closed = append(o.closed, *sp)
+	if sp.Lane >= 0 && sp.Lane < len(o.lanes) {
+		o.lanes[sp.Lane] = false
+	}
+	o.busyDeltaLocked(now, -1)
+}
+
+// TaskStarted notes task id's first dispatch onto a worker slot.
+func (o *Observer) TaskStarted(id int) {
+	if o == nil || id == 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := o.now()
+	if t := o.taskLocked(id); t != nil {
+		t.Started = now
+		t.HasRun = true
+	}
+	o.openSpanLocked(id, now)
+}
+
+// TaskBlocked notes that task id released its slot to wait.
+func (o *Observer) TaskBlocked(id int, reason BlockReason) {
+	if o == nil || id == 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if t := o.taskLocked(id); t != nil {
+		t.Blocks[reason]++
+	}
+	o.closeSpanLocked(id, o.now(), "block-"+reason.String())
+}
+
+// TaskUnblocked notes that task id re-acquired a slot after a wait.
+func (o *Observer) TaskUnblocked(id int) {
+	if o == nil || id == 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.openSpanLocked(id, o.now())
+}
+
+// TaskFinished notes task id's completion (clean or panic-isolated).
+func (o *Observer) TaskFinished(id int) {
+	if o == nil || id == 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := o.now()
+	if t := o.taskLocked(id); t != nil {
+		t.Finished = now
+		t.Done = true
+	}
+	o.closeSpanLocked(id, now, "finish")
+}
+
+// TaskPanicked marks task id as panic-isolated (the task still
+// finishes; its spans are tainted in the export).
+func (o *Observer) TaskPanicked(id int) {
+	if o == nil || id == 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := o.now()
+	lane := -1
+	if sp := o.open[id]; sp != nil {
+		lane = sp.Lane
+	}
+	if t := o.taskLocked(id); t != nil {
+		t.Panicked = true
+	}
+	o.panics++
+	o.marks = append(o.marks, Mark{Kind: MarkPanic, Task: id, Lane: lane, At: now})
+}
+
+// WatchdogFired marks one deadlock-watchdog intervention.
+func (o *Observer) WatchdogFired() {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.watchdogs++
+	o.marks = append(o.marks, Mark{Kind: MarkWatchdog, Lane: -1, At: o.now()})
+}
+
+// StallAbandoned marks one waiter giving up on a wedged foreign cache
+// leader at the stall deadline.
+func (o *Observer) StallAbandoned(id int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.marks = append(o.marks, Mark{Kind: MarkStallAbandon, Task: id, Lane: -1, At: o.now()})
+}
+
+// ReadySample records the ready-queue depth after one dispatch round.
+func (o *Observer) ReadySample(depth int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.readySamples++
+	o.readySum += int64(depth)
+	if depth > o.readyPeak {
+		o.readyPeak = depth
+	}
+	o.mu.Unlock()
+}
+
+// NoteCache attributes interface-cache traffic (a stats delta) to the
+// observed run.  Deltas from several modules of a batch accumulate.
+func (o *Observer) NoteCache(c CacheCounters) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.hasCache = true
+	o.cache.Hits += c.Hits
+	o.cache.Misses += c.Misses
+	o.cache.Waits += c.Waits
+	o.cache.Bypasses += c.Bypasses
+	o.cache.Abandoned += c.Abandoned
+	o.mu.Unlock()
+}
+
+// NoteLookups attributes DKY lookup tallies to the observed run.
+// Stats from several modules of a batch are merged.
+func (o *Observer) NoteLookups(st *symtab.Stats) {
+	if o == nil || st == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.lookups == nil {
+		o.lookups = symtab.NewStats()
+	}
+	agg := o.lookups
+	o.mu.Unlock()
+	// symtab.Stats has its own lock; merge outside ours to keep the
+	// hook lock ordering trivial.
+	agg.Add(st)
+}
+
+func (o *Observer) taskLocked(id int) *TaskRecord {
+	if id < 1 || id > len(o.tasks) {
+		return nil
+	}
+	return &o.tasks[id-1]
+}
+
+// wallLocked is the snapshot horizon: Finish's stamp, or now.
+func (o *Observer) wallLocked() time.Duration {
+	if o.ended > 0 {
+		return o.ended
+	}
+	return o.now()
+}
+
+// snapshotSpans returns the closed spans plus every open span closed
+// at the horizon, with the horizon used.
+func (o *Observer) snapshotSpans() ([]Span, []TaskRecord, []Mark, time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	wall := o.wallLocked()
+	spans := make([]Span, 0, len(o.closed)+len(o.open))
+	spans = append(spans, o.closed...)
+	for _, sp := range o.open {
+		cp := *sp
+		cp.End = wall
+		cp.EndReason = "open"
+		spans = append(spans, cp)
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Task < spans[j].Task
+	})
+	tasks := make([]TaskRecord, len(o.tasks))
+	copy(tasks, o.tasks)
+	marks := make([]Mark, len(o.marks))
+	copy(marks, o.marks)
+	return spans, tasks, marks, wall
+}

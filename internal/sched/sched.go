@@ -29,6 +29,7 @@ import (
 
 	"m2cc/internal/ctrace"
 	"m2cc/internal/event"
+	"m2cc/internal/obs"
 )
 
 // Priority computes a task's ready-queue priority: class-major (the
@@ -63,6 +64,7 @@ type Task struct {
 	started   bool
 	resume    chan struct{}
 	heapIdx   int // index in the runnable heap, -1 when absent
+	obsID     int // observability-layer task ID (0 = unobserved)
 }
 
 // Done returns the event fired when the task finishes.  Other tasks
@@ -74,6 +76,11 @@ func (t *Task) Kind() ctrace.TaskKind { return t.kind }
 
 // Stream returns the stream the task belongs to.
 func (t *Task) Stream() int32 { return t.stream }
+
+// ObsID returns the task's observability-layer ID (0 when the
+// compilation runs unobserved); the driver uses it to attribute
+// stall-abandonment marks to the right task.
+func (t *Task) ObsID() int { return t.obsID }
 
 // BarrierWait performs a barrier-event wait: the worker slot is held
 // (§2.3.3).  It is the WaitFunc handed to token-queue readers.  The
@@ -121,6 +128,7 @@ func (t *Task) ExternalWait(e *event.Event) bool {
 	}
 	s := t.sup
 	s.mu.Lock()
+	s.Obs.TaskBlocked(t.obsID, obs.BlockExternal)
 	s.free++
 	s.external[t] = e
 	s.dispatchLocked()
@@ -190,6 +198,12 @@ type Supervisor struct {
 	// event owned by a foreign compilation before abandoning it.
 	// Zero or negative waits forever.  Set before the first Spawn.
 	StallTimeout time.Duration
+
+	// Obs, when non-nil, receives live-observability hooks at every
+	// task transition (spawn, dispatch, block, unblock, finish, panic,
+	// watchdog fire).  Nil reduces every hook to a pointer check, the
+	// same discipline as faultinject.  Set before the first Spawn.
+	Obs *obs.Observer
 }
 
 // New returns a Supervisor with the given number of worker slots
@@ -238,6 +252,7 @@ func (s *Supervisor) Spawn(kind ctrace.TaskKind, stream int32, label string,
 	t := &Task{
 		Ctx: ctx, Label: label, sup: s, kind: kind, stream: stream, priority: priority,
 		run: run, done: event.New(), resume: make(chan struct{}, 1), heapIdx: -1,
+		obsID: s.Obs.TaskSpawned(kind, stream, label),
 	}
 
 	s.mu.Lock()
@@ -282,15 +297,22 @@ func (s *Supervisor) makeRunnableLocked(t *Task) {
 // dispatchLocked hands free slots to the highest-priority runnable
 // tasks.
 func (s *Supervisor) dispatchLocked() {
+	granted := false
 	for s.free > 0 && s.runnable.Len() > 0 {
 		t := heap.Pop(&s.runnable).(*Task)
 		s.free--
+		granted = true
 		if !t.started {
 			t.started = true
+			s.Obs.TaskStarted(t.obsID)
 			go s.body(t)
 		} else {
+			s.Obs.TaskUnblocked(t.obsID)
 			t.resume <- struct{}{}
 		}
+	}
+	if granted {
+		s.Obs.ReadySample(s.runnable.Len())
 	}
 }
 
@@ -301,6 +323,10 @@ func (s *Supervisor) body(t *Task) {
 	if s.rec != nil {
 		s.rec.FinishTask(t.Ctx.ID, t.Ctx.Units)
 	}
+	// Note the finish (freeing the task's observed lane) before the
+	// slot is returned, so an observer never sees more lanes busy than
+	// slots exist.
+	s.Obs.TaskFinished(t.obsID)
 	s.mu.Lock()
 	s.free++
 	s.finished++
@@ -333,6 +359,7 @@ func (s *Supervisor) runGuarded(t *Task) {
 		}
 		cb := s.OnPanic
 		s.mu.Unlock()
+		s.Obs.TaskPanicked(t.obsID)
 		if cb != nil {
 			cb(t, r, stack)
 		}
@@ -353,6 +380,7 @@ func (s *Supervisor) Faults() int {
 // releaseForWait gives up t's slot because it is about to block on e.
 func (s *Supervisor) releaseForWait(t *Task, e *event.Event) {
 	s.mu.Lock()
+	s.Obs.TaskBlocked(t.obsID, obs.BlockHandled)
 	s.free++
 	s.blocked[t] = e
 	// Run the task that resolves the blockage next, if it is ready.
@@ -417,6 +445,7 @@ func (s *Supervisor) Wait() {
 				msg := "DKY deadlock broken: compilation cannot make progress (cyclic imports or missing declarations)\n" +
 					s.stateDumpLocked()
 				s.mu.Unlock()
+				s.Obs.WatchdogFired()
 				if cb != nil {
 					cb(msg)
 				}

@@ -87,9 +87,11 @@ type Result struct {
 	Timeline []Interval
 }
 
-// Utilization returns BusyTime / (P * Makespan).
+// Utilization returns BusyTime / (P * Makespan); 0 when the run is
+// empty (Makespan 0) or p is not a positive processor count — a
+// division by p <= 0 would report a negative or infinite utilization.
 func (r *Result) Utilization(p int) float64 {
-	if r.Makespan <= 0 {
+	if r.Makespan <= 0 || p <= 0 {
 		return 0
 	}
 	return r.BusyTime / (float64(p) * r.Makespan)

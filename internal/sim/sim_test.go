@@ -179,3 +179,22 @@ func TestSimTimeline(t *testing.T) {
 		}
 	}
 }
+
+// TestUtilizationDegenerateProcessors is the regression test for the
+// p <= 0 guard: a nonsense processor count must yield 0, not a
+// negative or infinite utilization.
+func TestUtilizationDegenerateProcessors(t *testing.T) {
+	r := &sim.Result{Makespan: 100, BusyTime: 250}
+	for _, p := range []int{0, -1, -8} {
+		if u := r.Utilization(p); u != 0 {
+			t.Errorf("Utilization(%d) = %v, want 0", p, u)
+		}
+	}
+	if u := r.Utilization(4); u != 250.0/(4*100.0) {
+		t.Errorf("Utilization(4) = %v, want %v", u, 250.0/(4*100.0))
+	}
+	empty := &sim.Result{}
+	if u := empty.Utilization(4); u != 0 {
+		t.Errorf("empty run Utilization(4) = %v, want 0", u)
+	}
+}

@@ -140,6 +140,19 @@ func (st *Stats) block() {
 // BumpBlock counts one DKY blockage (exported for the simulator).
 func (st *Stats) BumpBlock() { st.block() }
 
+// Totals returns the lookup and DKY-blockage counts under the
+// collector's lock (the exported fields must not be read while other
+// tasks may still be bumping them; the observability layer snapshots
+// through here).
+func (st *Stats) Totals() (lookups, blocks int64) {
+	if st == nil {
+		return 0, 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.Lookups, st.Blocks
+}
+
 // Add merges other into st (used to aggregate a whole test suite).
 func (st *Stats) Add(other *Stats) {
 	if st == nil || other == nil {

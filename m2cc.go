@@ -45,6 +45,7 @@ import (
 	"m2cc/internal/core"
 	"m2cc/internal/ctrace"
 	"m2cc/internal/ifacecache"
+	"m2cc/internal/obs"
 	"m2cc/internal/seq"
 	"m2cc/internal/sim"
 	"m2cc/internal/source"
@@ -143,6 +144,21 @@ type CacheStats = ifacecache.Stats
 
 // NewCache returns an empty shared interface cache.
 func NewCache() *Cache { return ifacecache.New() }
+
+// Observer is the live-observability layer: attach one via
+// Options.Obs to record wall-clock spans for every Supervisor task and
+// aggregate worker-occupancy, ready-queue, event and cache metrics.
+// One Observer may span a whole CompileBatch.  Export with
+// WriteChromeTrace (Perfetto-loadable), WriteMetrics (JSON) or
+// RenderTimeline (Figure 7-style ASCII); see internal/obs.
+type Observer = obs.Observer
+
+// ObsMetrics is an Observer's aggregated metrics snapshot.
+type ObsMetrics = obs.Metrics
+
+// NewObserver returns an Observer ready to attach to Options.Obs.
+// The zero epoch is the moment of creation.
+func NewObserver() *Observer { return obs.New() }
 
 // Compile runs the concurrent compiler on the named implementation
 // module.  Set Options.Cache to share interface compilations across
