@@ -3,16 +3,17 @@ GO ?= go
 # Packages where races would be silent correctness bugs: the interface
 # cache, the concurrent driver, the DKY symbol tables, the Supervisor
 # scheduler, the fault-injection plans shared across task goroutines,
-# and the observability layer hooked into every task transition.
-RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject ./internal/obs
+# the observability layer hooked into every task transition, and the
+# profiler consuming its dumps while compilations run.
+RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject ./internal/obs ./internal/profile
 
 # Seeds for the chaos suite's seeded matrix (see chaos_test.go); the
 # suite also hand-arms every injection point regardless of seeds.
 CHAOS_SEEDS ?= 1,2,3,4,5,6,7,8,13,21,34,55,89,144
 
-.PHONY: check vet build test race chaos smoke bench obsbench clean
+.PHONY: check vet build test race chaos smoke profile bench obsbench profilebench clean
 
-check: vet build test race chaos smoke
+check: vet build test race chaos smoke profile
 
 vet:
 	$(GO) vet ./...
@@ -35,11 +36,22 @@ smoke:
 	$(GO) run ./cmd/m2c -I examples/modules -q -trace /tmp/m2c_smoke_trace.json Demo
 	$(GO) run ./cmd/tracecheck /tmp/m2c_smoke_trace.json
 
+# End-to-end profiler smoke: compile an example module with the
+# critical-path profiler and the what-if replay, then cross-check the
+# trace export (fires/waits/task IDs) with tracecheck.
+profile:
+	$(GO) run ./cmd/m2c -I examples/modules -q -profile -profile-json /tmp/m2c_profile.json Fib
+	$(GO) run ./cmd/m2c -I examples/modules -q -whatif -workers 4 -trace /tmp/m2c_whatif_trace.json Fib
+	$(GO) run ./cmd/tracecheck /tmp/m2c_whatif_trace.json
+
 bench:
 	$(GO) run ./cmd/m2bench -ifacecache -json BENCH_ifacecache.json
 
 obsbench:
 	$(GO) run ./cmd/m2bench -obs -json BENCH_obs.json
+
+profilebench:
+	$(GO) run ./cmd/m2bench -profile -json BENCH_profile.json
 
 clean:
 	$(GO) clean ./...

@@ -10,10 +10,13 @@
 //	m2bench -obs -json BENCH_obs.json
 //	                        # observability-layer overhead benchmark
 //	                        # (instrumentation budget: <5%)
+//	m2bench -profile -json BENCH_profile.json
+//	                        # critical-path profiler overhead benchmark
+//	                        # (budget: <5% on top of -obs, replay error <1%)
 //
-// Benchmark flags (-ifacecache, -obs) compose with section flags: each
-// requested piece runs in turn.  -json names the file for the one
-// selected benchmark's result.
+// Benchmark flags (-ifacecache, -obs, -profile) compose with section
+// flags: each requested piece runs in turn.  -json names the file for
+// the one selected benchmark's result.
 //
 // Hardware substitution: the paper measured wall-clock speedups on an
 // 8-CPU DEC Firefly; here speedups come from a deterministic
@@ -52,19 +55,22 @@ func main() {
 		boost    = flag.Bool("boost", false, "§2.3.4: DKY-resolver preference ablation")
 		ifcache  = flag.Bool("ifacecache", false, "interface-cache benchmark: cold vs warm batch compilation")
 		obsBench = flag.Bool("obs", false, "observability-layer overhead benchmark (budget: <5%)")
-		jsonOut  = flag.String("json", "", "with -ifacecache or -obs: also write the result as JSON to this file")
-		workers  = flag.Int("workers", 8, "worker slots per compilation in the -ifacecache/-obs benchmarks")
+		profB    = flag.Bool("profile", false, "critical-path profiler overhead benchmark (budget: <5% on top of -obs)")
+		jsonOut  = flag.String("json", "", "with -ifacecache, -obs or -profile: also write the result as JSON to this file")
+		workers  = flag.Int("workers", 8, "worker slots per compilation in the benchmark flags")
 	)
 	flag.Parse()
 
 	sections := *table1 || *table2 || *table3 || *fig1 || *fig2 || *fig3 || *fig4 ||
 		*fig7 || *overhead || *dky || *headersA || *ordering || *boost
-	if *jsonOut != "" && *ifcache && *obsBench {
-		fmt.Fprintln(os.Stderr, "-json names one result file: pass -ifacecache or -obs, not both")
-		os.Exit(2)
+	benchCount := 0
+	for _, b := range []bool{*ifcache, *obsBench, *profB} {
+		if b {
+			benchCount++
+		}
 	}
-	if *jsonOut != "" && !*ifcache && !*obsBench {
-		fmt.Fprintln(os.Stderr, "-json requires -ifacecache or -obs")
+	if *jsonOut != "" && benchCount != 1 {
+		fmt.Fprintln(os.Stderr, "-json names one result file: pass exactly one of -ifacecache, -obs or -profile")
 		os.Exit(2)
 	}
 
@@ -103,10 +109,19 @@ func main() {
 		fmt.Print(r)
 		writeJSON(r)
 	}
+	if *profB {
+		r, err := bench.ProfileBench(bench.Config{Seed: *seed, Scale: *scale}, *runs, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(r)
+		writeJSON(r)
+	}
 
 	// A benchmark-only invocation skips the (expensive) section harness;
 	// section flags alongside a benchmark still render their sections.
-	all := !sections && !*ifcache && !*obsBench
+	all := !sections && benchCount == 0
 	if !all && !sections {
 		return
 	}

@@ -19,6 +19,8 @@
 //	m2c -trace out.json Sort   # Chrome trace-event JSON of the live schedule
 //	m2c -metrics Sort          # machine-readable observability metrics
 //	m2c -timeline Sort         # measured per-worker activity timeline
+//	m2c -profile Sort          # critical-path profile + blocked-time blame report
+//	m2c -whatif Sort           # replay the measured run at P=1..workers
 package main
 
 import (
@@ -56,6 +58,10 @@ func main() {
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON `file` of the live schedule (open in Perfetto)")
 		metrics  = flag.Bool("metrics", false, "print the observability metrics snapshot as JSON")
 		timeline = flag.Bool("timeline", false, "render the measured per-worker activity timeline (Figure 7 style)")
+
+		profileF    = flag.Bool("profile", false, "print the measured critical-path profile and blame report")
+		profileJSON = flag.String("profile-json", "", "write the critical-path profile as JSON to `file`")
+		whatif      = flag.Bool("whatif", false, "replay the measured run in the simulator at every processor count (what-if speedup curve)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -82,7 +88,7 @@ func main() {
 		opts.Headers = m2cc.HeaderReprocess
 	}
 	var observer *m2cc.Observer
-	if *traceOut != "" || *metrics || *timeline {
+	if *traceOut != "" || *metrics || *timeline || *profileF || *profileJSON != "" || *whatif {
 		observer = m2cc.NewObserver()
 		opts.Obs = observer
 	}
@@ -118,6 +124,58 @@ func main() {
 			if err := observer.WriteMetrics(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
+			}
+		}
+		if *profileF || *profileJSON != "" {
+			p := m2cc.BuildProfile(observer)
+			if *profileF {
+				fmt.Print(p.Render(12))
+			}
+			if *profileJSON != "" {
+				f, err := os.Create(*profileJSON)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				werr := p.WriteJSON(f)
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					fmt.Fprintln(os.Stderr, werr)
+					os.Exit(1)
+				}
+				if !*quiet {
+					fmt.Fprintf(os.Stderr, "profile written to %s\n", *profileJSON)
+				}
+			}
+		}
+		if *whatif {
+			// Replay the *measured* run (not a fresh deterministic trace)
+			// at every processor count: the Figure 5-style curve for what
+			// actually happened, makespans in measured microseconds.
+			tr := m2cc.ExportObservedTrace(observer)
+			p := m2cc.BuildProfile(observer)
+			base := m2cc.Simulate(tr, m2cc.SimOptions{
+				Processors: 1, Strategy: strategy, ReplayWaits: true,
+				LongBeforeShort: true, BoostResolver: true,
+			})
+			fmt.Printf("what-if replay of the measured run (%s; units = measured µs of execution):\n", strategy)
+			fmt.Printf("  %3s  %12s  %8s  %s\n", "P", "makespan(ms)", "speedup", "utilization")
+			for pN := 1; pN <= *workers; pN++ {
+				r := base
+				if pN > 1 {
+					r = m2cc.Simulate(tr, m2cc.SimOptions{
+						Processors: pN, Strategy: strategy, ReplayWaits: true,
+						LongBeforeShort: true, BoostResolver: true,
+					})
+				}
+				fmt.Printf("  %3d  %12.3f  %8.2f  %10.0f%%\n",
+					pN, r.Makespan/1000, base.Makespan/r.Makespan, 100*r.Utilization(pN))
+			}
+			if p.SpeedupBound > 0 {
+				fmt.Printf("  critical-path bound at P→∞: %.2fx (serial fraction %.1f%%)\n",
+					p.SpeedupBound, 100*p.SerialFraction)
 			}
 		}
 	}

@@ -1,9 +1,19 @@
 // Command tracecheck validates a Chrome trace-event JSON file written
-// by `m2c -trace` (or any internal/obs export): the file must parse,
-// declare traceEvents, and contain at least one complete ("X") span
-// with a name — the minimum for Perfetto to show something useful.
-// Used by `make smoke` and CI; exits non-zero with a diagnostic on any
-// violation.
+// by `m2c -trace` (or any internal/obs export).  Beyond the basic
+// shape — the file must parse, declare traceEvents, and contain at
+// least one complete ("X") span with a name — it cross-references the
+// dependency edges the exporter embeds as instant events:
+//
+//   - every "wait" instant whose reason is not "external" must name an
+//     event that some "fire" or "force-fire" instant also names (a wait
+//     on an event nobody fired is a recording bug or a deadlocked run);
+//   - every task ID in span and edge args must lie within the
+//     "task_count" metadata record (no dangling task references).
+//
+// External waits are exempt from the fire check: their producer is a
+// foreign compilation's cache leader, outside this observer's run.
+// Used by `make smoke`/`make profile` and CI; exits non-zero with a
+// diagnostic on any violation.
 //
 //	tracecheck out.json
 package main
@@ -14,13 +24,30 @@ import (
 	"os"
 )
 
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
 type traceFile struct {
-	TraceEvents []struct {
-		Name string `json:"name"`
-		Ph   string `json:"ph"`
-		Ts   int64  `json:"ts"`
-		Dur  int64  `json:"dur"`
-	} `json:"traceEvents"`
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// intArg reads an integer-valued arg (JSON numbers decode as float64).
+func intArg(args map[string]any, key string) (int, bool) {
+	v, ok := args[key]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false
+	}
+	return int(f), true
 }
 
 func main() {
@@ -28,31 +55,92 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	file := os.Args[1]
+	fail := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", file, fmt.Sprintf(format, a...))
+		os.Exit(1)
+	}
+
+	data, err := os.ReadFile(file)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	var tf traceFile
 	if err := json.Unmarshal(data, &tf); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: not valid trace-event JSON: %v\n", os.Args[1], err)
-		os.Exit(1)
+		fail("not valid trace-event JSON: %v", err)
 	}
-	spans := 0
+
+	// Pass 1: span shape, task_count metadata, and the set of fired
+	// event IDs.
+	taskCount := -1 // -1: no metadata record, range checks skipped
+	fired := map[int]bool{}
+	spans, fires, waits := 0, 0, 0
 	for _, ev := range tf.TraceEvents {
-		if ev.Ph != "X" {
-			continue
+		switch {
+		case ev.Ph == "M" && ev.Name == "task_count":
+			if n, ok := intArg(ev.Args, "count"); ok {
+				taskCount = n
+			} else {
+				fail("task_count metadata without an integer count arg")
+			}
+		case ev.Ph == "X":
+			if ev.Name == "" || ev.Ts < 0 || ev.Dur < 1 {
+				fail("malformed span (name=%q ts=%d dur=%d)", ev.Name, ev.Ts, ev.Dur)
+			}
+			spans++
+		case ev.Ph == "i" && ev.Cat == "event" && (ev.Name == "fire" || ev.Name == "force-fire"):
+			id, ok := intArg(ev.Args, "event")
+			if !ok || id < 1 {
+				fail("%s instant without a positive event arg", ev.Name)
+			}
+			fired[id] = true
+			fires++
 		}
-		if ev.Name == "" || ev.Ts < 0 || ev.Dur < 1 {
-			fmt.Fprintf(os.Stderr, "%s: malformed span (name=%q ts=%d dur=%d)\n",
-				os.Args[1], ev.Name, ev.Ts, ev.Dur)
-			os.Exit(1)
-		}
-		spans++
 	}
 	if spans == 0 {
-		fmt.Fprintf(os.Stderr, "%s: no complete (ph=X) span events\n", os.Args[1])
-		os.Exit(1)
+		fail("no complete (ph=X) span events")
 	}
-	fmt.Printf("%s: ok (%d events, %d spans)\n", os.Args[1], len(tf.TraceEvents), spans)
+
+	// inRange validates a task reference against the metadata count.
+	// Task 0 is the driver (allowed where noted); real tasks are 1-based.
+	inRange := func(id, low int) bool {
+		return taskCount < 0 || (id >= low && id <= taskCount)
+	}
+
+	// Pass 2: cross-references.
+	for _, ev := range tf.TraceEvents {
+		switch {
+		case ev.Ph == "X":
+			if id, ok := intArg(ev.Args, "task"); ok && !inRange(id, 1) {
+				fail("span %q references task %d outside 1..%d", ev.Name, id, taskCount)
+			}
+		case ev.Ph == "i" && ev.Cat == "event":
+			switch ev.Name {
+			case "fire", "force-fire":
+				// The driver (task 0) may fire events; tasks are 1-based.
+				if id, ok := intArg(ev.Args, "task"); ok && !inRange(id, 0) {
+					fail("%s references task %d outside 0..%d", ev.Name, id, taskCount)
+				}
+			case "wait":
+				waits++
+				task, ok := intArg(ev.Args, "task")
+				if !ok || !inRange(task, 1) {
+					fail("wait references task %d outside 1..%d", task, taskCount)
+				}
+				id, ok := intArg(ev.Args, "event")
+				if !ok || id < 1 {
+					fail("wait instant without a positive event arg")
+				}
+				reason, _ := ev.Args["reason"].(string)
+				if reason != "external" && !fired[id] {
+					fail("task %d waits on event %d (%s) but no fire or force-fire records it",
+						task, id, reason)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("%s: ok (%d events, %d spans, %d fires, %d waits cross-checked)\n",
+		file, len(tf.TraceEvents), spans, fires, waits)
 }

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"m2cc/internal/core"
+	"m2cc/internal/obs"
+	"m2cc/internal/profile"
+	"m2cc/internal/sim"
+	"m2cc/internal/symtab"
+	"m2cc/internal/workload"
+)
+
+// ProfileBenchResult quantifies the critical-path profiler's cost on
+// top of plain observation: the same compilations run with just an
+// Observer attached versus with the full post-pass — Dump, Build,
+// ExportTrace, and a P=1 simulator replay of the exported trace.  The
+// budget is OverheadPct < 5 on top of -obs.  ReplayErrPct checks the
+// obs→ctrace bridge: a P=1 replay with ReplayWaits must reproduce the
+// exported trace's serial work total within 1%.  Field tags match
+// BENCH_profile.json.
+type ProfileBenchResult struct {
+	Benchmark   string  `json:"benchmark"` // "profile"
+	Seed        int64   `json:"seed"`
+	Scale       float64 `json:"scale"`
+	Workers     int     `json:"workers"`
+	Runs        int     `json:"runs"`
+	Programs    int     `json:"programs"`
+	ObsMs       float64 `json:"obs_ms"`       // best pass, observer only
+	ProfiledMs  float64 `json:"profiled_ms"`  // best pass, observer + profile + export + replay
+	OverheadPct float64 `json:"overhead_pct"` // 100×(profiled-obs)/obs; budget <5
+
+	// Aggregates from the best profiled pass.
+	Tasks          int     `json:"tasks"`
+	EventsBlamed   int     `json:"events_blamed"`
+	TotalBlockedMs float64 `json:"total_blocked_ms"`
+	CritLenMs      float64 `json:"crit_len_ms"`
+	SerialFraction float64 `json:"serial_fraction"`
+	SpeedupBound   float64 `json:"speedup_bound"`
+
+	// Replay fidelity: the exported trace's serial work total versus
+	// the P=1 simulated makespan of the same trace, both in measured
+	// microseconds of execution.
+	TraceUnits   float64 `json:"trace_units"`
+	ReplayUnits  float64 `json:"replay_units"`
+	ReplayErrPct float64 `json:"replay_err_pct"` // acceptance: <1
+}
+
+func (r ProfileBenchResult) String() string {
+	return fmt.Sprintf(
+		"Critical-path profiler overhead benchmark (seed %d, scale %g, %d programs, workers=%d, best of %d):\n"+
+			"  observer only:         %8.1f ms\n"+
+			"  observer + profiler:   %8.1f ms\n"+
+			"  overhead:              %+7.1f%%  (budget: <5%% on top of -obs)\n"+
+			"  profiled: %d tasks, %d blamed events, %.1f ms blocked, crit path %.1f ms\n"+
+			"  serial fraction %.1f%%, speedup bound %.2fx\n"+
+			"  P=1 replay %.0f units vs trace %.0f units => %.3f%% error (budget: <1%%)\n",
+		r.Seed, r.Scale, r.Programs, r.Workers, r.Runs,
+		r.ObsMs, r.ProfiledMs, r.OverheadPct,
+		r.Tasks, r.EventsBlamed, r.TotalBlockedMs, r.CritLenMs,
+		100*r.SerialFraction, r.SpeedupBound,
+		r.ReplayUnits, r.TraceUnits, r.ReplayErrPct)
+}
+
+// ProfileBench measures the wall-clock cost of the critical-path
+// profiler (internal/profile) on the standard suite workload.  Both
+// sides attach a fresh Observer per pass; the profiled side
+// additionally dumps the observation, builds the blame profile,
+// exports the obs→ctrace what-if trace, and replays it at P=1 — the
+// complete `m2c -profile -whatif` post-pass — inside the timed region.
+// Best of runs repetitions; any compilation failure aborts.
+func ProfileBench(cfg Config, runs, workers int) (ProfileBenchResult, error) {
+	cfg = cfg.withDefaults()
+	if runs < 1 {
+		runs = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	suite := workload.GenerateSuite(cfg.Seed, cfg.Scale)
+
+	compile := func(o *obs.Observer) error {
+		for _, p := range suite.Programs {
+			res := core.Compile(p.Name, suite.Loader, core.Options{
+				Workers: workers, Strategy: symtab.Skeptical, Obs: o,
+			})
+			if res.Failed() || res.Faulted {
+				return fmt.Errorf("profile bench: %s failed to compile (faulted=%v):\n%s",
+					p.Name, res.Faulted, res.Diags)
+			}
+		}
+		return nil
+	}
+
+	base := time.Duration(1 << 62)
+	for r := 0; r < runs; r++ {
+		o := obs.New()
+		start := time.Now()
+		if err := compile(o); err != nil {
+			return ProfileBenchResult{}, err
+		}
+		if d := time.Since(start); d < base {
+			base = d
+		}
+	}
+
+	type profiled struct {
+		p      *profile.Profile
+		replay *sim.Result
+		units  float64
+	}
+	profiledPass := time.Duration(1 << 62)
+	var best profiled
+	for r := 0; r < runs; r++ {
+		o := obs.New()
+		start := time.Now()
+		if err := compile(o); err != nil {
+			return ProfileBenchResult{}, err
+		}
+		dump := o.Dump()
+		p := profile.Build(&dump)
+		tr := profile.ExportTrace(&dump)
+		replay := sim.New(tr, sim.Options{
+			Processors: 1, Strategy: symtab.Skeptical, ReplayWaits: true,
+			LongBeforeShort: true, BoostResolver: true,
+		}).Run()
+		if d := time.Since(start); d < profiledPass {
+			profiledPass = d
+			best = profiled{p: p, replay: replay, units: tr.TotalCost()}
+		}
+	}
+
+	errPct := 0.0
+	if best.units > 0 {
+		errPct = 100 * math.Abs(best.replay.Makespan-best.units) / best.units
+	}
+	return ProfileBenchResult{
+		Benchmark:      "profile",
+		Seed:           cfg.Seed,
+		Scale:          cfg.Scale,
+		Workers:        workers,
+		Runs:           runs,
+		Programs:       len(suite.Programs),
+		ObsMs:          float64(base.Microseconds()) / 1000,
+		ProfiledMs:     float64(profiledPass.Microseconds()) / 1000,
+		OverheadPct:    100 * (float64(profiledPass) - float64(base)) / float64(base),
+		Tasks:          best.p.Tasks,
+		EventsBlamed:   len(best.p.Events),
+		TotalBlockedMs: float64(best.p.TotalBlocked.Microseconds()) / 1000,
+		CritLenMs:      float64(best.p.CritLen.Microseconds()) / 1000,
+		SerialFraction: best.p.SerialFraction,
+		SpeedupBound:   best.p.SpeedupBound,
+		TraceUnits:     best.units,
+		ReplayUnits:    best.replay.Makespan,
+		ReplayErrPct:   errPct,
+	}, nil
+}

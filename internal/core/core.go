@@ -658,6 +658,9 @@ func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
 	d.mu.Lock()
 	delete(d.resolving, name)
 	d.mu.Unlock()
+	// A driver-owned fire (task 0): observed waiters on the resolution
+	// guard get a matching fire edge instead of an unexplained unblock.
+	d.obs.EventFired(0, resolved)
 	resolved.Fire()
 	return e
 }

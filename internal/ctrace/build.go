@@ -26,6 +26,18 @@ func (r *Recorder) FireIDs(task TaskID, offset float64) EventID {
 	return r.nextEv
 }
 
+// NoteFireID records that task fires an already-allocated event (from
+// NewEventID) at the given offset.  Task 0 marks the event as existing
+// before the traced run starts (a pre-fired cache hit, or a fire whose
+// producer was not observed); the simulator treats those as fired at
+// time zero.  Used by the obs→ctrace exporter, where fire and wait
+// edges arrive independently and must share one pre-assigned identity.
+func (r *Recorder) NoteFireID(ev EventID, task TaskID, offset float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fires = append(r.fires, FireRecord{Event: ev, At: Stamp{Task: task, Offset: offset}})
+}
+
 // NoteWaitIDs records a wait on an event by ID.
 func (r *Recorder) NoteWaitIDs(task TaskID, offset float64, ev EventID, barrier bool) {
 	r.mu.Lock()

@@ -1,0 +1,89 @@
+package ctrace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestIDBasedBuildAPI exercises the trace-construction surface the
+// simulator tests and the obs→ctrace exporter rely on: pre-allocated
+// event IDs, fire/wait/spawn records by ID, and scope gates.
+func TestIDBasedBuildAPI(t *testing.T) {
+	r := NewRecorder()
+	prod := r.RegisterTask(KindModParseDecl, 1, "prod")
+	cons := r.RegisterTask(KindProcParseDecl, 2, "cons")
+	r.FinishTask(prod, 100)
+	r.FinishTask(cons, 40)
+
+	// NewEventID hands out dense identities without recording a fire.
+	e1 := r.NewEventID()
+	e2 := r.NewEventID()
+	if e1 == 0 || e2 == 0 || e1 == e2 {
+		t.Fatalf("NewEventID gave %v, %v: want two distinct nonzero IDs", e1, e2)
+	}
+
+	// FireIDs allocates-and-fires in one step; the ID keeps advancing
+	// past pre-allocated ones.
+	e3 := r.FireIDs(prod, 50)
+	if e3 == e1 || e3 == e2 {
+		t.Fatalf("FireIDs reused an allocated ID: %v", e3)
+	}
+
+	r.NoteFireID(e1, prod, 80)
+	r.NoteFireID(e2, 0, 0) // pre-fired (task 0)
+	r.NoteWaitIDs(cons, 10, e1, false)
+	r.NoteWaitIDs(cons, 30, e3, true)
+	r.NoteSpawnIDs(0, Stamp{}, prod, nil)
+	r.NoteSpawnIDs(prod, Stamp{Task: prod, Offset: 5}, cons, []EventID{e2})
+	r.NoteScopeGateID(cons, e3)
+
+	tr := r.Trace()
+	if len(tr.Tasks) != 2 || tr.TotalCost() != 140 {
+		t.Fatalf("tasks %d, total cost %v; want 2 tasks of 140 units", len(tr.Tasks), tr.TotalCost())
+	}
+	if tr.Events < 3 {
+		t.Errorf("Events = %d, want >= 3 allocated identities", tr.Events)
+	}
+
+	wantFires := []FireRecord{
+		{Event: e3, At: Stamp{Task: prod, Offset: 50}},
+		{Event: e1, At: Stamp{Task: prod, Offset: 80}},
+		{Event: e2, At: Stamp{Task: 0, Offset: 0}},
+	}
+	if !reflect.DeepEqual(tr.Fires, wantFires) {
+		t.Errorf("Fires = %+v\nwant %+v", tr.Fires, wantFires)
+	}
+	wantWaits := []WaitRecord{
+		{Event: e1, At: Stamp{Task: cons, Offset: 10}},
+		{Event: e3, At: Stamp{Task: cons, Offset: 30}, Barrier: true},
+	}
+	if !reflect.DeepEqual(tr.Waits, wantWaits) {
+		t.Errorf("Waits = %+v\nwant %+v", tr.Waits, wantWaits)
+	}
+	if len(tr.Spawns) != 2 || tr.Spawns[1].Parent != prod || tr.Spawns[1].Child != cons {
+		t.Errorf("Spawns = %+v", tr.Spawns)
+	}
+	if !reflect.DeepEqual(tr.Spawns[1].Gates, []EventID{e2}) {
+		t.Errorf("spawn gates = %+v, want [%v]", tr.Spawns[1].Gates, e2)
+	}
+	if !reflect.DeepEqual(tr.ScopeGates[cons], []EventID{e3}) {
+		t.Errorf("scope gates = %+v, want [%v]", tr.ScopeGates[cons], e3)
+	}
+}
+
+// TestNoteSpawnIDsCopiesGates pins that the recorder copies the gate
+// slice: callers may reuse their scratch buffer.
+func TestNoteSpawnIDsCopiesGates(t *testing.T) {
+	r := NewRecorder()
+	child := r.RegisterTask(KindLexor, 1, "child")
+	r.FinishTask(child, 10)
+	gates := []EventID{r.NewEventID()}
+	r.NoteSpawnIDs(0, Stamp{}, child, gates)
+	orig := gates[0]
+	gates[0] = 999 // caller clobbers its buffer
+	tr := r.Trace()
+	if tr.Spawns[0].Gates[0] != orig {
+		t.Fatalf("recorded gate %v followed the caller's mutation, want %v",
+			tr.Spawns[0].Gates[0], orig)
+	}
+}

@@ -28,6 +28,7 @@ type Metrics struct {
 
 	BlocksHandled  int64 `json:"blocks_handled"`  // handled-event waits taken (slot released)
 	BlocksExternal int64 `json:"blocks_external"` // external (cache-leader) waits taken
+	BlocksBarrier  int64 `json:"blocks_barrier"`  // barrier waits taken (slot held)
 
 	// Worker-slot occupancy over the run: time-weighted mean of busy
 	// slots, the peak, and mean/workers as utilization (the measured
@@ -55,10 +56,22 @@ type Metrics struct {
 
 // LookupMetrics serializes symtab.Stats for the metrics snapshot.
 type LookupMetrics struct {
-	Strategy string      `json:"strategy"`
-	Lookups  int64       `json:"lookups"`
-	Blocks   int64       `json:"blocks"` // DKY blockages actually taken
-	Rows     []LookupRow `json:"rows,omitempty"`
+	Strategy string       `json:"strategy"`
+	Lookups  int64        `json:"lookups"`
+	Blocks   int64        `json:"blocks"` // DKY blockages actually taken
+	Rows     []LookupRow  `json:"rows,omitempty"`
+	Outcomes []OutcomeRow `json:"outcomes,omitempty"` // per-strategy DKY outcome histogram
+}
+
+// OutcomeRow is one strategy's lookup-outcome histogram: how the
+// strategy's DKY gamble actually played out at runtime (the measured
+// companion of Table 2's risk/benefit discussion).
+type OutcomeRow struct {
+	Strategy  string `json:"strategy"`
+	Found     int64  `json:"found"`     // lookups that resolved to a symbol
+	Blocked   int64  `json:"blocked"`   // DKY waits actually taken
+	Guessed   int64  `json:"guessed"`   // hits in still-incomplete tables, no wait
+	Retracted int64  `json:"retracted"` // incomplete-table misses searched twice
 }
 
 // LookupRow is one Table 2 row as measured at runtime.
@@ -120,6 +133,7 @@ func (o *Observer) Snapshot() Metrics {
 		}
 		m.BlocksHandled += int64(t.Blocks[BlockHandled])
 		m.BlocksExternal += int64(t.Blocks[BlockExternal])
+		m.BlocksBarrier += int64(t.Blocks[BlockBarrier])
 	}
 	for _, mk := range o.marksSnapshot() {
 		if mk.Kind == MarkStallAbandon {
@@ -141,6 +155,15 @@ func (o *Observer) Snapshot() Metrics {
 				}
 			}
 			lm.Rows = append(lm.Rows, row)
+		}
+		for _, or := range lookups.OutcomeRows() {
+			lm.Outcomes = append(lm.Outcomes, OutcomeRow{
+				Strategy:  or.Strategy.String(),
+				Found:     or.Counts[symtab.OutFound],
+				Blocked:   or.Counts[symtab.OutBlocked],
+				Guessed:   or.Counts[symtab.OutGuessed],
+				Retracted: or.Counts[symtab.OutRetracted],
+			})
 		}
 		lm.Lookups, lm.Blocks = lookups.Totals()
 		m.Lookups = lm
@@ -185,13 +208,17 @@ const tracePid = 1
 
 // WriteChromeTrace writes the observed spans as Chrome trace-event
 // JSON: one thread lane per worker slot, one complete ("X") event per
-// span, instant events for panic isolation and watchdog fires.  Load
-// the file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// span, instant events for event fires, waits, panic isolation and
+// watchdog fires.  Output order is deterministic (spans sorted by
+// start, then lane, then task; edges likewise), so the same recorded
+// run always serializes byte-identically.  Load the file in Perfetto
+// (ui.perfetto.dev) or chrome://tracing.
 func (o *Observer) WriteChromeTrace(w io.Writer) error {
 	if o == nil {
 		return fmt.Errorf("obs: no observer attached")
 	}
 	spans, tasks, marks, _ := o.snapshotSpans()
+	fires, waits, _ := o.snapshotEdges()
 	o.mu.Lock()
 	workers := o.workers
 	lanes := len(o.lanes)
@@ -200,10 +227,16 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 		workers = lanes
 	}
 
-	evs := make([]chromeEvent, 0, len(spans)+len(marks)+workers+1)
+	evs := make([]chromeEvent, 0, len(spans)+len(marks)+len(fires)+len(waits)+workers+2)
 	evs = append(evs, chromeEvent{
 		Name: "process_name", Ph: "M", Pid: tracePid,
 		Args: map[string]any{"name": "m2cc concurrent compiler"},
+	})
+	// task_count lets cross-reference checkers (cmd/tracecheck) validate
+	// task IDs in span/edge args without trusting the span set itself.
+	evs = append(evs, chromeEvent{
+		Name: "task_count", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"count": len(tasks)},
 	})
 	for lane := 0; lane < workers; lane++ {
 		evs = append(evs, chromeEvent{
@@ -254,6 +287,39 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 			Name: name, Cat: "fault", Ph: "i",
 			Ts: mk.At.Microseconds(), Pid: tracePid, Tid: tid,
 			Scope: scope, Args: args,
+		})
+	}
+	// Dependency edges: one instant per event fire and per wait window,
+	// carrying the observer event/task IDs so tracecheck can verify the
+	// cross-references (every non-external wait must name a fired event).
+	for _, f := range fires {
+		name := "fire"
+		if f.Forced {
+			name = "force-fire"
+		}
+		scope, tid := "p", 0
+		if f.Lane >= 0 {
+			scope, tid = "t", f.Lane
+		}
+		evs = append(evs, chromeEvent{
+			Name: name, Cat: "event", Ph: "i",
+			Ts: f.At.Microseconds(), Pid: tracePid, Tid: tid, Scope: scope,
+			Args: map[string]any{"event": f.Event, "task": f.Task},
+		})
+	}
+	for _, wt := range waits {
+		scope, tid := "p", 0
+		if wt.Lane >= 0 {
+			scope, tid = "t", wt.Lane
+		}
+		evs = append(evs, chromeEvent{
+			Name: "wait", Cat: "event", Ph: "i",
+			Ts: wt.Start.Microseconds(), Pid: tracePid, Tid: tid, Scope: scope,
+			Args: map[string]any{
+				"event": wt.Event, "task": wt.Task,
+				"reason":     wt.Reason.String(),
+				"blocked_us": (wt.End - wt.Start).Microseconds(),
+			},
 		})
 	}
 

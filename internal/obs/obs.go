@@ -50,13 +50,23 @@ const (
 	// BlockExternal is a wait on an event owned by a foreign
 	// compilation (an interface-cache leader in another session).
 	BlockExternal
+	// BlockBarrier is a barrier-style wait (§2.3.3): the task keeps its
+	// worker slot while it waits, so no span closes — only a wait edge
+	// is recorded.
+	BlockBarrier
+
+	numBlockReasons = 3
 )
 
 func (r BlockReason) String() string {
-	if r == BlockExternal {
+	switch r {
+	case BlockExternal:
 		return "external"
+	case BlockBarrier:
+		return "barrier"
+	default:
+		return "handled"
 	}
-	return "handled"
 }
 
 // MarkKind classifies instant markers.
@@ -111,13 +121,56 @@ type TaskRecord struct {
 	Kind     ctrace.TaskKind
 	Stream   int32
 	Label    string
+	Parent   int   // spawning task's observer ID; 0 = driver-spawned
+	Gates    []int // observer event IDs gating the first dispatch
 	Spawned  time.Duration
 	Started  time.Duration // first dispatch; 0-with-!HasRun if never ran
 	Finished time.Duration
 	HasRun   bool
 	Done     bool
 	Panicked bool
-	Blocks   [2]int // waits taken, indexed by BlockReason
+	Blocks   [numBlockReasons]int // waits taken, indexed by BlockReason
+}
+
+// FireEdge is one observed event fire.  Each event keeps its first fire
+// only (one-shot semantics); Task 0 means the fire came from outside
+// any observed task (the driver resolving an interface, or a pre-fired
+// cache hit).
+type FireEdge struct {
+	Event  int // observer event ID (1-based, dense)
+	Task   int // firing task's observer ID, 0 = driver
+	Lane   int // firer's lane at the fire; -1 when not on a slot
+	At     time.Duration
+	Forced bool // fired by panic isolation or the deadlock watchdog
+}
+
+// WaitEdge is one observed wait of a task on an event, from the moment
+// the task decided to wait to the moment it was running again (handled/
+// external: slot re-acquired; barrier: wait returned).  The portion
+// after the event's fire is queue delay, not dependency stall — the
+// profiler splits the two.
+type WaitEdge struct {
+	Event  int
+	Task   int
+	Lane   int // lane held (barrier) or just released (handled/external)
+	Reason BlockReason
+	Start  time.Duration
+	End    time.Duration
+}
+
+// Dump is a deterministic snapshot of everything the Observer recorded,
+// the input to the critical-path profiler (internal/profile).  Open
+// spans and waits are closed at the horizon; slices are sorted.
+type Dump struct {
+	Wall     time.Duration
+	Workers  int
+	Strategy string
+	Events   int // number of distinct observed events
+	Tasks    []TaskRecord
+	Spans    []Span
+	Marks    []Mark
+	Fires    []FireEdge
+	Waits    []WaitEdge
 }
 
 // Observer records the runtime behaviour of one (or one batch of)
@@ -149,6 +202,14 @@ type Observer struct {
 	panics    int
 	watchdogs int
 
+	// Dependency edges: event identities (dense 1-based IDs handed out
+	// on first sight), first-fire edges and per-task wait windows.
+	events   map[*event.Event]int
+	fires    []FireEdge
+	fired    map[int]bool // event ID → a fire edge exists
+	waits    []WaitEdge
+	openWait map[int]int // task ID → index of its open wait in waits
+
 	evBase   event.Counters
 	evDelta  event.Counters
 	cache    CacheCounters
@@ -170,9 +231,12 @@ type CacheCounters struct {
 // New returns an Observer with its epoch set to now.
 func New() *Observer {
 	return &Observer{
-		epoch:  time.Now(),
-		open:   make(map[int]*Span),
-		evBase: event.Totals(),
+		epoch:    time.Now(),
+		open:     make(map[int]*Span),
+		events:   make(map[*event.Event]int),
+		fired:    make(map[int]bool),
+		openWait: make(map[int]int),
+		evBase:   event.Totals(),
 	}
 }
 
@@ -207,18 +271,102 @@ func (o *Observer) Finish() {
 }
 
 // TaskSpawned registers a task and returns its observer ID (0 on a nil
-// Observer; IDs are 1-based).
-func (o *Observer) TaskSpawned(kind ctrace.TaskKind, stream int32, label string) int {
+// Observer; IDs are 1-based).  parent is the spawning task's observer
+// ID (0 for driver spawns); gates are the avoided events holding back
+// the first dispatch.
+func (o *Observer) TaskSpawned(kind ctrace.TaskKind, stream int32, label string, parent int, gates []*event.Event) int {
 	if o == nil {
 		return 0
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	id := len(o.tasks) + 1
+	var gateIDs []int
+	if len(gates) > 0 {
+		gateIDs = make([]int, len(gates))
+		for i, e := range gates {
+			gateIDs[i] = o.eventIDLocked(e)
+		}
+	}
 	o.tasks = append(o.tasks, TaskRecord{
-		ID: id, Kind: kind, Stream: stream, Label: label, Spawned: o.now(),
+		ID: id, Kind: kind, Stream: stream, Label: label,
+		Parent: parent, Gates: gateIDs, Spawned: o.now(),
 	})
 	return id
+}
+
+// eventIDLocked hands out a dense 1-based identity for e.
+func (o *Observer) eventIDLocked(e *event.Event) int {
+	if e == nil {
+		return 0
+	}
+	id, ok := o.events[e]
+	if !ok {
+		id = len(o.events) + 1
+		o.events[e] = id
+	}
+	return id
+}
+
+// EventFired records that task id (0 = the driver) fired e.  Called
+// immediately before the actual fire, so waiters' unblock edges always
+// follow the fire edge.  Only the first fire of an event is kept.
+func (o *Observer) EventFired(id int, e *event.Event) {
+	if o == nil || e == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.fireLocked(id, e, false)
+}
+
+// EventForceFired records a fire performed by panic isolation or the
+// deadlock watchdog on behalf of a task that will never fire it
+// properly.  Forced fires do not extend the critical path — the
+// profiler treats their waiters as externally stalled.
+func (o *Observer) EventForceFired(e *event.Event) {
+	if o == nil || e == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.fireLocked(0, e, true)
+}
+
+func (o *Observer) fireLocked(task int, e *event.Event, forced bool) {
+	ev := o.eventIDLocked(e)
+	if o.fired[ev] {
+		return
+	}
+	o.fired[ev] = true
+	lane := -1
+	if sp := o.open[task]; task != 0 && sp != nil {
+		lane = sp.Lane
+	}
+	o.fires = append(o.fires, FireEdge{
+		Event: ev, Task: task, Lane: lane, At: o.now(), Forced: forced,
+	})
+}
+
+// openWaitLocked starts a wait edge for task id on e.
+func (o *Observer) openWaitLocked(id int, e *event.Event, reason BlockReason, lane int, now time.Duration) {
+	if e == nil {
+		return
+	}
+	o.closeWaitLocked(id, now) // defensive: one open wait per task
+	o.openWait[id] = len(o.waits)
+	o.waits = append(o.waits, WaitEdge{
+		Event: o.eventIDLocked(e), Task: id, Lane: lane,
+		Reason: reason, Start: now, End: -1,
+	})
+}
+
+// closeWaitLocked ends task id's open wait edge, if any.
+func (o *Observer) closeWaitLocked(id int, now time.Duration) {
+	if i, ok := o.openWait[id]; ok {
+		delete(o.openWait, id)
+		o.waits[i].End = now
+	}
 }
 
 // acquireLaneLocked hands out the lowest free lane, growing the lane
@@ -284,17 +432,24 @@ func (o *Observer) TaskStarted(id int) {
 	o.openSpanLocked(id, now)
 }
 
-// TaskBlocked notes that task id released its slot to wait.
-func (o *Observer) TaskBlocked(id int, reason BlockReason) {
+// TaskBlocked notes that task id released its slot to wait on e (nil
+// when the event is unknown; the block is counted but no edge opens).
+func (o *Observer) TaskBlocked(id int, reason BlockReason, e *event.Event) {
 	if o == nil || id == 0 {
 		return
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	now := o.now()
 	if t := o.taskLocked(id); t != nil {
 		t.Blocks[reason]++
 	}
-	o.closeSpanLocked(id, o.now(), "block-"+reason.String())
+	lane := -1
+	if sp := o.open[id]; sp != nil {
+		lane = sp.Lane
+	}
+	o.openWaitLocked(id, e, reason, lane, now)
+	o.closeSpanLocked(id, now, "block-"+reason.String())
 }
 
 // TaskUnblocked notes that task id re-acquired a slot after a wait.
@@ -304,7 +459,39 @@ func (o *Observer) TaskUnblocked(id int) {
 	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	o.openSpanLocked(id, o.now())
+	now := o.now()
+	o.closeWaitLocked(id, now)
+	o.openSpanLocked(id, now)
+}
+
+// TaskBarrierBlocked notes a barrier wait: task id stalls on e while
+// holding its worker slot (its span stays open; only a wait edge is
+// recorded).
+func (o *Observer) TaskBarrierBlocked(id int, e *event.Event) {
+	if o == nil || id == 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	now := o.now()
+	if t := o.taskLocked(id); t != nil {
+		t.Blocks[BlockBarrier]++
+	}
+	lane := -1
+	if sp := o.open[id]; sp != nil {
+		lane = sp.Lane
+	}
+	o.openWaitLocked(id, e, BlockBarrier, lane, now)
+}
+
+// TaskBarrierUnblocked closes task id's barrier wait.
+func (o *Observer) TaskBarrierUnblocked(id int) {
+	if o == nil || id == 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.closeWaitLocked(id, o.now())
 }
 
 // TaskFinished notes task id's completion (clean or panic-isolated).
@@ -440,9 +627,14 @@ func (o *Observer) snapshotSpans() ([]Span, []TaskRecord, []Mark, time.Duration)
 		cp.EndReason = "open"
 		spans = append(spans, cp)
 	}
+	// Deterministic order — by start, then lane, then task — so trace
+	// diffs and golden tests are stable across runs of the same record.
 	sort.Slice(spans, func(i, j int) bool {
 		if spans[i].Start != spans[j].Start {
 			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].Lane != spans[j].Lane {
+			return spans[i].Lane < spans[j].Lane
 		}
 		return spans[i].Task < spans[j].Task
 	})
@@ -450,5 +642,57 @@ func (o *Observer) snapshotSpans() ([]Span, []TaskRecord, []Mark, time.Duration)
 	copy(tasks, o.tasks)
 	marks := make([]Mark, len(o.marks))
 	copy(marks, o.marks)
+	sort.SliceStable(marks, func(i, j int) bool { return marks[i].At < marks[j].At })
 	return spans, tasks, marks, wall
+}
+
+// snapshotEdges returns sorted copies of the fire and wait edges, with
+// still-open waits closed at the horizon.
+func (o *Observer) snapshotEdges() (fires []FireEdge, waits []WaitEdge, events int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	wall := o.wallLocked()
+	fires = make([]FireEdge, len(o.fires))
+	copy(fires, o.fires)
+	waits = make([]WaitEdge, len(o.waits))
+	copy(waits, o.waits)
+	for i := range waits {
+		if waits[i].End < 0 {
+			waits[i].End = wall
+		}
+	}
+	sort.Slice(fires, func(i, j int) bool {
+		if fires[i].At != fires[j].At {
+			return fires[i].At < fires[j].At
+		}
+		return fires[i].Event < fires[j].Event
+	})
+	sort.Slice(waits, func(i, j int) bool {
+		if waits[i].Start != waits[j].Start {
+			return waits[i].Start < waits[j].Start
+		}
+		if waits[i].Task != waits[j].Task {
+			return waits[i].Task < waits[j].Task
+		}
+		return waits[i].Event < waits[j].Event
+	})
+	return fires, waits, len(o.events)
+}
+
+// Dump takes the full deterministic snapshot consumed by the
+// critical-path profiler and the obs→ctrace exporter.  Safe on a nil
+// receiver (returns the zero Dump).
+func (o *Observer) Dump() Dump {
+	if o == nil {
+		return Dump{}
+	}
+	spans, tasks, marks, wall := o.snapshotSpans()
+	fires, waits, events := o.snapshotEdges()
+	o.mu.Lock()
+	workers, strategy := o.workers, o.strategy
+	o.mu.Unlock()
+	return Dump{
+		Wall: wall, Workers: workers, Strategy: strategy, Events: events,
+		Tasks: tasks, Spans: spans, Marks: marks, Fires: fires, Waits: waits,
+	}
 }

@@ -94,12 +94,16 @@ func compileObserved(t *testing.T, workers int, plan *faultinject.Plan) (*obs.Ob
 func TestNilObserverSafe(t *testing.T) {
 	var o *obs.Observer
 	o.Begin(4, "Skeptical")
-	if id := o.TaskSpawned(ctrace.KindLexor, 1, "lex"); id != 0 {
+	if id := o.TaskSpawned(ctrace.KindLexor, 1, "lex", 0, nil); id != 0 {
 		t.Fatalf("nil TaskSpawned = %d, want 0", id)
 	}
 	o.TaskStarted(1)
-	o.TaskBlocked(1, obs.BlockHandled)
+	o.TaskBlocked(1, obs.BlockHandled, nil)
 	o.TaskUnblocked(1)
+	o.TaskBarrierBlocked(1, nil)
+	o.TaskBarrierUnblocked(1)
+	o.EventFired(1, nil)
+	o.EventForceFired(nil)
 	o.TaskFinished(1)
 	o.TaskPanicked(1)
 	o.WatchdogFired()
@@ -110,6 +114,9 @@ func TestNilObserverSafe(t *testing.T) {
 	o.Finish()
 	if m := o.Snapshot(); m.Tasks != 0 || m.Spans != 0 {
 		t.Fatalf("nil Snapshot = %+v, want zero", m)
+	}
+	if d := o.Dump(); d.Tasks != nil || d.Fires != nil || d.Waits != nil {
+		t.Fatalf("nil Dump = %+v, want zero", d)
 	}
 	if err := o.WriteChromeTrace(&bytes.Buffer{}); err == nil {
 		t.Fatal("nil WriteChromeTrace must error")
@@ -241,6 +248,77 @@ func TestChromeTraceSchema(t *testing.T) {
 	}
 	if len(tasksWithSpan) != m.Tasks {
 		t.Errorf("%d tasks appear in the trace, snapshot says %d", len(tasksWithSpan), m.Tasks)
+	}
+}
+
+// TestChromeTraceDeterministic pins the export contract: the same
+// recorded run serializes byte-identically on every call (spans,
+// marks and dependency edges are all sorted before writing).
+func TestChromeTraceDeterministic(t *testing.T) {
+	o, _ := compileObserved(t, 4, nil)
+	var a, b bytes.Buffer
+	if err := o.WriteChromeTrace(&a); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if err := o.WriteChromeTrace(&b); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same recorded run differ")
+	}
+}
+
+// TestDumpEdgesConsistent validates the dependency-edge capture that
+// feeds the profiler: dense event IDs, first-fire-only dedup, closed
+// wait windows, and the cross-reference the tracecheck tool enforces —
+// every non-external wait names a fired event.
+func TestDumpEdgesConsistent(t *testing.T) {
+	o, _ := compileObserved(t, 4, nil)
+	d := o.Dump()
+
+	if d.Events == 0 {
+		t.Fatal("no events observed")
+	}
+	if len(d.Fires) == 0 {
+		t.Fatal("no fire edges observed")
+	}
+	fired := map[int]bool{}
+	for _, f := range d.Fires {
+		if f.Event < 1 || f.Event > d.Events {
+			t.Errorf("fire references event %d outside 1..%d", f.Event, d.Events)
+		}
+		if f.Task < 0 || f.Task > len(d.Tasks) {
+			t.Errorf("fire references task %d outside 0..%d", f.Task, len(d.Tasks))
+		}
+		if fired[f.Event] {
+			t.Errorf("event %d has more than one fire edge", f.Event)
+		}
+		fired[f.Event] = true
+	}
+	for _, w := range d.Waits {
+		if w.Event < 1 || w.Event > d.Events {
+			t.Errorf("wait references event %d outside 1..%d", w.Event, d.Events)
+		}
+		if w.Task < 1 || w.Task > len(d.Tasks) {
+			t.Errorf("wait references task %d outside 1..%d", w.Task, len(d.Tasks))
+		}
+		if w.End < w.Start {
+			t.Errorf("wait on event %d has End %v < Start %v", w.Event, w.End, w.Start)
+		}
+		if w.Reason != obs.BlockExternal && !fired[w.Event] {
+			t.Errorf("task %d waits on event %d (%s) that never fired",
+				w.Task, w.Event, w.Reason)
+		}
+	}
+	for _, tr := range d.Tasks {
+		if tr.Parent < 0 || tr.Parent > len(d.Tasks) {
+			t.Errorf("task %d has parent %d outside 0..%d", tr.ID, tr.Parent, len(d.Tasks))
+		}
+		for _, g := range tr.Gates {
+			if g < 1 || g > d.Events {
+				t.Errorf("task %d gated on event %d outside 1..%d", tr.ID, g, d.Events)
+			}
+		}
 	}
 }
 

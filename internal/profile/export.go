@@ -1,0 +1,111 @@
+package profile
+
+import (
+	"time"
+
+	"m2cc/internal/ctrace"
+	"m2cc/internal/obs"
+)
+
+// ExportTrace converts a measured observation dump into a
+// schedule-independent ctrace.Trace, replayable by internal/sim at any
+// processor count and DKY strategy (the `m2c -whatif` bridge).
+//
+// Unit mapping: one trace work unit per microsecond of measured
+// execution.  A task's cost is its total executing time (spans minus
+// barrier stalls); fire and wait offsets are mapped through the task's
+// own execution prefix — wall-clock gaps where the task was blocked or
+// off-slot do not advance its offset, which is exactly the
+// schedule-independence the simulator needs.  The caveat: measured
+// wall-clock includes this machine's scheduling noise, so replayed
+// makespans are in "measured microseconds", comparable across replay
+// processor counts but not directly against the deterministic
+// work-unit traces of a live `-trace` run.
+//
+// External waits (foreign cache leaders) are omitted, mirroring live
+// traces where cached scopes appear pre-fired; events whose only fire
+// was forced (panic isolation, watchdog) or driver-issued are exported
+// as pre-fired (task 0), since their producers are outside the
+// replayable DAG.
+func ExportTrace(d *obs.Dump) *ctrace.Trace {
+	rec := ctrace.NewRecorder()
+	execs := execIntervals(d)
+
+	// offsetAt maps a task's wall-clock instant to its execution offset
+	// in microseconds (work units).
+	offsetAt := func(task int, t time.Duration) float64 {
+		var acc time.Duration
+		for _, iv := range execs[task] {
+			if t >= iv.e {
+				acc += iv.e - iv.s
+				continue
+			}
+			if t > iv.s {
+				acc += t - iv.s
+			}
+			break
+		}
+		return float64(acc) / float64(time.Microsecond)
+	}
+
+	// Tasks, registered in observer-ID order so trace TaskIDs coincide
+	// with observer task IDs.
+	for i := range d.Tasks {
+		t := &d.Tasks[i]
+		id := rec.RegisterTask(t.Kind, t.Stream, t.Label)
+		var cost time.Duration
+		for _, iv := range execs[t.ID] {
+			cost += iv.e - iv.s
+		}
+		rec.FinishTask(id, float64(cost)/float64(time.Microsecond))
+	}
+
+	// Events: pre-allocate the dump's dense IDs 1..Events so fire and
+	// wait records can reference them independently.
+	ids := make([]ctrace.EventID, d.Events+1)
+	for i := 1; i <= d.Events; i++ {
+		ids[i] = rec.NewEventID()
+	}
+	evID := func(e int) ctrace.EventID {
+		if e < 1 || e >= len(ids) {
+			return 0
+		}
+		return ids[e]
+	}
+
+	for _, f := range d.Fires {
+		if f.Event < 1 || f.Event > d.Events {
+			continue
+		}
+		if f.Forced || f.Task < 1 || f.Task > len(d.Tasks) {
+			rec.NoteFireID(evID(f.Event), 0, 0) // pre-fired for the replay
+			continue
+		}
+		rec.NoteFireID(evID(f.Event), ctrace.TaskID(f.Task), offsetAt(f.Task, f.At))
+	}
+	for _, w := range d.Waits {
+		if w.Event < 1 || w.Event > d.Events || w.Task < 1 || w.Task > len(d.Tasks) {
+			continue
+		}
+		if w.Reason == obs.BlockExternal {
+			continue
+		}
+		rec.NoteWaitIDs(ctrace.TaskID(w.Task), offsetAt(w.Task, w.Start),
+			evID(w.Event), w.Reason == obs.BlockBarrier)
+	}
+	for i := range d.Tasks {
+		t := &d.Tasks[i]
+		var gates []ctrace.EventID
+		for _, g := range t.Gates {
+			if id := evID(g); id != 0 {
+				gates = append(gates, id)
+			}
+		}
+		var at ctrace.Stamp
+		if t.Parent >= 1 && t.Parent <= len(d.Tasks) {
+			at = ctrace.Stamp{Task: ctrace.TaskID(t.Parent), Offset: offsetAt(t.Parent, t.Spawned)}
+		}
+		rec.NoteSpawnIDs(at.Task, at, ctrace.TaskID(t.ID), gates)
+	}
+	return rec.Trace()
+}

@@ -1,0 +1,303 @@
+package profile_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"m2cc/internal/core"
+	"m2cc/internal/ctrace"
+	"m2cc/internal/obs"
+	"m2cc/internal/profile"
+	"m2cc/internal/sim"
+	"m2cc/internal/source"
+	"m2cc/internal/symtab"
+)
+
+const us = time.Microsecond
+
+// twoTaskDump hand-builds the smallest interesting observation: a
+// producer that runs 0..100µs and fires event 1 at 80µs, and a
+// consumer (spawned by the producer at 5µs) that runs 10..20µs, waits
+// on event 1 from 20µs to 85µs, then runs 85..120µs.  Every profile
+// number below is checkable by hand.
+func twoTaskDump() obs.Dump {
+	return obs.Dump{
+		Wall: 120 * us, Workers: 2, Strategy: "Skeptical", Events: 1,
+		Tasks: []obs.TaskRecord{
+			{ID: 1, Kind: ctrace.KindModParseDecl, Label: "producer",
+				Spawned: 0, Started: 0, Finished: 100 * us, HasRun: true, Done: true},
+			{ID: 2, Kind: ctrace.KindProcParseDecl, Label: "consumer", Parent: 1,
+				Spawned: 5 * us, Started: 10 * us, Finished: 120 * us, HasRun: true, Done: true},
+		},
+		Spans: []obs.Span{
+			{Task: 1, Lane: 0, Start: 0, End: 100 * us, EndReason: "finish"},
+			{Task: 2, Lane: 1, Start: 10 * us, End: 20 * us, EndReason: "block-handled"},
+			{Task: 2, Lane: 1, Start: 85 * us, End: 120 * us, EndReason: "finish"},
+		},
+		Fires: []obs.FireEdge{{Event: 1, Task: 1, Lane: 0, At: 80 * us}},
+		Waits: []obs.WaitEdge{{Event: 1, Task: 2, Lane: 1,
+			Reason: obs.BlockHandled, Start: 20 * us, End: 85 * us}},
+	}
+}
+
+func TestBuildTwoTaskByHand(t *testing.T) {
+	d := twoTaskDump()
+	p := profile.Build(&d)
+
+	if p.Makespan != 120*us {
+		t.Errorf("Makespan = %v, want 120µs", p.Makespan)
+	}
+	if p.TotalWork != 145*us {
+		t.Errorf("TotalWork = %v, want 145µs (100 + 10 + 35)", p.TotalWork)
+	}
+	if p.TotalBlocked != 65*us {
+		t.Errorf("TotalBlocked = %v, want 65µs", p.TotalBlocked)
+	}
+	if p.TotalQueue != 5*us {
+		t.Errorf("TotalQueue = %v, want 5µs (fire at 80, resumed at 85)", p.TotalQueue)
+	}
+
+	// The critical path: producer works 0..80, the consumer's queue
+	// delay 80..85, consumer works 85..120.
+	want := []profile.Segment{
+		{Kind: profile.SegWork, Task: 1, Label: "producer", Start: 0, End: 80 * us},
+		{Kind: profile.SegQueue, Task: 2, Label: "consumer", Event: 1, Start: 80 * us, End: 85 * us},
+		{Kind: profile.SegWork, Task: 2, Label: "consumer", Start: 85 * us, End: 120 * us},
+	}
+	if !reflect.DeepEqual(p.Path, want) {
+		t.Errorf("Path = %+v\nwant %+v", p.Path, want)
+	}
+	if p.CritLen != 120*us || p.CritWork != 115*us || p.CritQueue != 5*us || p.CritBlocked != 0 {
+		t.Errorf("CritLen/Work/Queue/Blocked = %v/%v/%v/%v, want 120µs/115µs/5µs/0",
+			p.CritLen, p.CritWork, p.CritQueue, p.CritBlocked)
+	}
+	if got, want := p.SerialFraction, 115.0/145.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("SerialFraction = %v, want %v", got, want)
+	}
+	if got, want := p.SpeedupBound, 145.0/115.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("SpeedupBound = %v, want %v", got, want)
+	}
+
+	if len(p.Events) != 1 {
+		t.Fatalf("Events = %+v, want exactly one blame row", p.Events)
+	}
+	eb := p.Events[0]
+	if eb.Event != 1 || eb.Producer != 1 || eb.ProducerLabel != "producer" ||
+		eb.Waiters != 1 || eb.Blocked != 60*us || eb.Queue != 5*us || !eb.OnCritPath {
+		t.Errorf("blame = %+v, want event 1 by producer: 60µs blocked + 5µs queue, on path", eb)
+	}
+}
+
+func TestExportTwoTaskReplay(t *testing.T) {
+	d := twoTaskDump()
+	tr := profile.ExportTrace(&d)
+	if got := tr.TotalCost(); got != 145 {
+		t.Fatalf("TotalCost = %v, want 145 work units (µs of execution)", got)
+	}
+	// P=1: serial replay is exactly the work total.
+	one := sim.New(tr, sim.Options{
+		Processors: 1, Strategy: symtab.Skeptical, ReplayWaits: true,
+		LongBeforeShort: true, BoostResolver: true,
+	}).Run()
+	if one.Makespan != 145 {
+		t.Errorf("P=1 replay makespan %v, want 145", one.Makespan)
+	}
+	// P=2: the consumer still waits for the fire at t=80, then runs its
+	// remaining 35 units — the measured queue delay is recovered.
+	two := sim.New(tr, sim.Options{
+		Processors: 2, Strategy: symtab.Skeptical, ReplayWaits: true,
+		LongBeforeShort: true, BoostResolver: true,
+	}).Run()
+	if two.Makespan != 115 {
+		t.Errorf("P=2 replay makespan %v, want 115", two.Makespan)
+	}
+}
+
+func TestBuildEmptySafe(t *testing.T) {
+	p := profile.Build(&obs.Dump{})
+	if p.Makespan != 0 || p.TotalWork != 0 || len(p.Path) != 0 {
+		t.Errorf("empty dump profile = %+v, want zeros", p)
+	}
+	if out := p.Render(10); !strings.Contains(out, "no activity") {
+		t.Errorf("empty Render = %q", out)
+	}
+	tr := profile.ExportTrace(&obs.Dump{})
+	if len(tr.Tasks) != 0 || tr.TotalCost() != 0 {
+		t.Errorf("empty export = %+v, want no tasks", tr)
+	}
+}
+
+// --- real-compilation fixtures ------------------------------------------
+
+var profProgram = map[string]map[source.FileKind]string{
+	"Pair": {source.Def: `
+DEFINITION MODULE Pair;
+PROCEDURE Sum(a, b: INTEGER): INTEGER;
+PROCEDURE Max(a, b: INTEGER): INTEGER;
+END Pair.
+`, source.Impl: `
+IMPLEMENTATION MODULE Pair;
+
+PROCEDURE Sum(a, b: INTEGER): INTEGER;
+BEGIN
+  RETURN a + b
+END Sum;
+
+PROCEDURE Max(a, b: INTEGER): INTEGER;
+BEGIN
+  IF a > b THEN RETURN a END;
+  RETURN b
+END Max;
+
+END Pair.
+`},
+	"Main": {source.Impl: `
+MODULE Main;
+FROM Pair IMPORT Sum, Max;
+IMPORT Pair;
+VAR v: INTEGER;
+
+PROCEDURE Triple(n: INTEGER): INTEGER;
+BEGIN
+  RETURN Sum(Sum(n, n), n)
+END Triple;
+
+BEGIN
+  v := Triple(4);
+  WriteInt(Max(v, 3), 0); WriteLn
+END Main.
+`},
+}
+
+// compileDump runs one observed concurrent compilation and returns its
+// dump.
+func compileDump(t *testing.T, workers int) obs.Dump {
+	t.Helper()
+	loader := source.NewMapLoader()
+	for name, kinds := range profProgram {
+		for kind, text := range kinds {
+			loader.Add(name, kind, text)
+		}
+	}
+	o := obs.New()
+	res := core.Compile("Main", loader, core.Options{
+		Workers: workers, Strategy: symtab.Skeptical, Obs: o,
+	})
+	if res.Failed() || res.Faulted {
+		t.Fatalf("compile failed (faulted=%v):\n%s", res.Faulted, res.Diags)
+	}
+	return o.Dump()
+}
+
+// TestBlameConservation pins the attribution invariant on a real run:
+// the blocked time attributed across events equals the sum of the
+// measured wait edges equals Profile.TotalBlocked, and the walked
+// critical path tiles the makespan exactly.
+func TestBlameConservation(t *testing.T) {
+	d := compileDump(t, 4)
+	p := profile.Build(&d)
+
+	var waitsTotal time.Duration
+	for _, w := range d.Waits {
+		waitsTotal += w.End - w.Start
+	}
+	if p.TotalBlocked != waitsTotal {
+		t.Errorf("TotalBlocked = %v, measured wait edges sum to %v", p.TotalBlocked, waitsTotal)
+	}
+	var blamed time.Duration
+	for _, eb := range p.Events {
+		blamed += eb.Blocked + eb.Queue
+	}
+	if blamed != p.TotalBlocked {
+		t.Errorf("attributed %v across events, TotalBlocked %v", blamed, p.TotalBlocked)
+	}
+	if p.CritLen != p.Makespan {
+		t.Errorf("CritLen = %v, Makespan = %v; the path must tile the run", p.CritLen, p.Makespan)
+	}
+	var pathLen time.Duration
+	for i, seg := range p.Path {
+		pathLen += seg.Dur()
+		if i > 0 && p.Path[i-1].End != seg.Start {
+			t.Errorf("path gap: segment %d ends %v, segment %d starts %v",
+				i-1, p.Path[i-1].End, i, seg.Start)
+		}
+	}
+	if pathLen != p.CritLen {
+		t.Errorf("path segments sum to %v, CritLen %v", pathLen, p.CritLen)
+	}
+	if p.TotalWork <= 0 || p.SpeedupBound < 1 {
+		t.Errorf("TotalWork %v, SpeedupBound %v: want positive work, bound >= 1",
+			p.TotalWork, p.SpeedupBound)
+	}
+}
+
+// TestExportReplayP1Fidelity pins the -whatif acceptance bound: a P=1
+// replay of the obs-exported trace reproduces the trace's serial work
+// total within 1%.
+func TestExportReplayP1Fidelity(t *testing.T) {
+	d := compileDump(t, 4)
+	tr := profile.ExportTrace(&d)
+	total := tr.TotalCost()
+	if total <= 0 {
+		t.Fatal("exported trace has no work")
+	}
+	r := sim.New(tr, sim.Options{
+		Processors: 1, Strategy: symtab.Skeptical, ReplayWaits: true,
+		LongBeforeShort: true, BoostResolver: true,
+	}).Run()
+	if errPct := 100 * math.Abs(r.Makespan-total) / total; errPct > 1 {
+		t.Errorf("P=1 replay makespan %.1f vs trace work %.1f: %.3f%% error, want < 1%%",
+			r.Makespan, total, errPct)
+	}
+}
+
+// TestExportDeterministic pins schedule-independence of the bridge: the
+// same dump exports to identical traces, and identical traces simulate
+// to identical results at any processor count.
+func TestExportDeterministic(t *testing.T) {
+	d := compileDump(t, 4)
+	a := profile.ExportTrace(&d)
+	b := profile.ExportTrace(&d)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two exports of the same dump differ")
+	}
+	opts := sim.Options{
+		Processors: 4, Strategy: symtab.Skeptical, ReplayWaits: true,
+		LongBeforeShort: true, BoostResolver: true,
+	}
+	ra := sim.New(a, opts).Run()
+	rb := sim.New(b, opts).Run()
+	if ra.Makespan != rb.Makespan || ra.BusyTime != rb.BusyTime || ra.Blocks != rb.Blocks {
+		t.Errorf("replays differ: %+v vs %+v", ra, rb)
+	}
+}
+
+// TestRenderAndJSON smoke-tests both report forms on a real profile.
+func TestRenderAndJSON(t *testing.T) {
+	d := compileDump(t, 4)
+	p := profile.Build(&d)
+	out := p.Render(5)
+	for _, want := range []string{"critical-path profile", "critical path (earliest first)", "serial fraction"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("profile JSON does not parse: %v", err)
+	}
+	for _, key := range []string{"makespan_ms", "critical_path", "events", "by_task", "speedup_bound"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("profile JSON missing %q", key)
+		}
+	}
+}

@@ -92,7 +92,9 @@ func (t *Task) BarrierWait(e *event.Event) {
 	if e.Fired() {
 		return
 	}
+	t.sup.Obs.TaskBarrierBlocked(t.obsID, e)
 	e.Wait()
+	t.sup.Obs.TaskBarrierUnblocked(t.obsID)
 }
 
 // HandledWait performs a handled-event wait: the slot is released so
@@ -128,7 +130,7 @@ func (t *Task) ExternalWait(e *event.Event) bool {
 	}
 	s := t.sup
 	s.mu.Lock()
-	s.Obs.TaskBlocked(t.obsID, obs.BlockExternal)
+	s.Obs.TaskBlocked(t.obsID, obs.BlockExternal, e)
 	s.free++
 	s.external[t] = e
 	s.dispatchLocked()
@@ -249,10 +251,22 @@ func (s *Supervisor) Spawn(kind ctrace.TaskKind, stream int32, label string,
 		}
 		s.rec.NoteSpawn(pid, at, ctx.ID, gates)
 	}
+	parentObs := 0
+	if parent != nil {
+		parentObs = parent.ObsID
+	}
 	t := &Task{
 		Ctx: ctx, Label: label, sup: s, kind: kind, stream: stream, priority: priority,
 		run: run, done: event.New(), resume: make(chan struct{}, 1), heapIdx: -1,
-		obsID: s.Obs.TaskSpawned(kind, stream, label),
+		obsID: s.Obs.TaskSpawned(kind, stream, label, parentObs, gates),
+	}
+	if obsv := s.Obs; obsv != nil && t.obsID != 0 {
+		// Edge capture: every event this task fires through its TaskCtx
+		// is attributed to it, before the fire lands (so waiters' unblock
+		// edges always follow the fire edge).
+		ctx.ObsID = t.obsID
+		id := t.obsID
+		ctx.OnFire = func(e *event.Event) { obsv.EventFired(id, e) }
 	}
 
 	s.mu.Lock()
@@ -364,6 +378,7 @@ func (s *Supervisor) runGuarded(t *Task) {
 			cb(t, r, stack)
 		}
 		for _, e := range fires {
+			s.Obs.EventForceFired(e)
 			e.Fire()
 		}
 	}()
@@ -380,7 +395,7 @@ func (s *Supervisor) Faults() int {
 // releaseForWait gives up t's slot because it is about to block on e.
 func (s *Supervisor) releaseForWait(t *Task, e *event.Event) {
 	s.mu.Lock()
-	s.Obs.TaskBlocked(t.obsID, obs.BlockHandled)
+	s.Obs.TaskBlocked(t.obsID, obs.BlockHandled, e)
 	s.free++
 	s.blocked[t] = e
 	// Run the task that resolves the blockage next, if it is ready.
@@ -450,6 +465,7 @@ func (s *Supervisor) Wait() {
 					cb(msg)
 				}
 				for _, e := range fires {
+					s.Obs.EventForceFired(e)
 					e.Fire()
 				}
 				s.mu.Lock()

@@ -1,0 +1,79 @@
+package sim_test
+
+import (
+	"testing"
+
+	"m2cc/internal/ctrace"
+	"m2cc/internal/sim"
+	"m2cc/internal/symtab"
+)
+
+// TestSimReplayWaitsHonoursHandledWaits pins the ReplayWaits contract
+// used by obs-exported traces (`m2c -whatif`): recorded non-barrier
+// waits are skipped by default (live traces carry the same dependency
+// as lookup records) and replayed as handled waits when the option is
+// set.
+func TestSimReplayWaitsHonoursHandledWaits(t *testing.T) {
+	build := func() *ctrace.Trace {
+		b := newBuilder()
+		prod := b.task(ctrace.KindLexor, "prod", 100)
+		cons := b.task(ctrace.KindSplitter, "cons", 40)
+		ready := b.rec.FireIDs(prod, 80)
+		b.rec.NoteWaitIDs(cons, 10, ready, false) // handled wait at offset 10
+		b.spawn(0, 0, prod)
+		b.spawn(0, 0, cons)
+		return b.rec.Trace()
+	}
+
+	// Default: the recorded handled wait is ignored, both tasks run
+	// freely in parallel.
+	plain := sim.New(build(), sim.Options{Processors: 2, Strategy: symtab.Skeptical}).Run()
+	if plain.Makespan != 100 {
+		t.Fatalf("without ReplayWaits: makespan %f, want 100", plain.Makespan)
+	}
+	if plain.Blocks != 0 {
+		t.Fatalf("without ReplayWaits: blocks %d, want 0", plain.Blocks)
+	}
+
+	// ReplayWaits: the consumer runs 10 units, releases its processor
+	// until the producer's fire at t=80, then runs its remaining 30.
+	rw := sim.New(build(), sim.Options{Processors: 2, Strategy: symtab.Skeptical, ReplayWaits: true}).Run()
+	if rw.Makespan != 110 {
+		t.Fatalf("with ReplayWaits: makespan %f, want 110", rw.Makespan)
+	}
+	if rw.Blocks != 1 {
+		t.Fatalf("with ReplayWaits: blocks %d, want 1", rw.Blocks)
+	}
+
+	// P=1 anchor for the -whatif acceptance check: the serial replay is
+	// exactly the trace's total work (no idle time can accumulate).
+	one := sim.New(build(), sim.Options{
+		Processors: 1, Strategy: symtab.Skeptical, ReplayWaits: true,
+		LongBeforeShort: true, BoostResolver: true,
+	}).Run()
+	if one.Makespan != 140 {
+		t.Fatalf("P=1 replay: makespan %f, want 140 (total work)", one.Makespan)
+	}
+}
+
+// TestSimReplayWaitsPreFiredEventSkipped checks that a replayed wait on
+// an event fired before the waiter reaches its wait offset costs
+// nothing — the obs exporter records driver and pre-fired events as
+// task-0 fires, which the simulator fires at startup.
+func TestSimReplayWaitsPreFiredEventSkipped(t *testing.T) {
+	b := newBuilder()
+	cons := b.task(ctrace.KindSplitter, "cons", 40)
+	ready := b.rec.NewEventID()
+	b.rec.NoteFireID(ready, 0, 0) // pre-fired (driver/cache)
+	b.rec.NoteWaitIDs(cons, 10, ready, false)
+	b.spawn(0, 0, cons)
+	tr := b.rec.Trace()
+
+	r := sim.New(tr, sim.Options{Processors: 1, Strategy: symtab.Skeptical, ReplayWaits: true}).Run()
+	if r.Makespan != 40 {
+		t.Fatalf("makespan %f, want 40 (pre-fired wait is free)", r.Makespan)
+	}
+	if r.Blocks != 0 {
+		t.Fatalf("blocks %d, want 0", r.Blocks)
+	}
+}

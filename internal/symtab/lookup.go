@@ -96,18 +96,54 @@ type StatKey struct {
 	Incomplete bool // table state at the successful probe (or first probe for Never)
 }
 
+// Outcome classifies how one lookup interacted with the DKY condition
+// under its strategy — the measured counterpart of §2.3.3's
+// risk/benefit discussion.  Found counts resolved lookups; Blocked
+// counts DKY waits actually taken; Guessed counts hits in tables still
+// under construction (Skeptical/Optimistic's winning gamble); Retracted
+// counts incomplete-table misses that forced a wait plus a second
+// search (the gamble's losing side: the first search was wasted work).
+type Outcome uint8
+
+// Outcome values.
+const (
+	OutFound Outcome = iota
+	OutBlocked
+	OutGuessed
+	OutRetracted
+
+	// NumOutcomes is the number of outcome buckets.
+	NumOutcomes
+)
+
+var outcomeNames = [NumOutcomes]string{"found", "blocked", "guessed", "retracted"}
+
+func (o Outcome) String() string {
+	if o < NumOutcomes {
+		return outcomeNames[o]
+	}
+	return "?"
+}
+
 // Stats tallies identifier lookups for Table 2 plus aggregate DKY
-// blockage counts.  Safe for concurrent use.
+// blockage counts and a per-strategy outcome histogram.  Safe for
+// concurrent use.
 type Stats struct {
-	mu     sync.Mutex
-	counts map[StatKey]int64
+	mu       sync.Mutex
+	counts   map[StatKey]int64
+	outcomes map[Strategy]*[NumOutcomes]int64
 
 	Blocks  int64 // DKY blockages (waits actually taken)
 	Lookups int64
 }
 
 // NewStats returns an empty collector.
-func NewStats() *Stats { return &Stats{counts: make(map[StatKey]int64)} }
+func NewStats() *Stats {
+	return &Stats{
+		counts:   make(map[StatKey]int64),
+		outcomes: make(map[Strategy]*[NumOutcomes]int64),
+	}
+}
 
 func (st *Stats) bump(k StatKey) {
 	if st == nil {
@@ -140,6 +176,48 @@ func (st *Stats) block() {
 // BumpBlock counts one DKY blockage (exported for the simulator).
 func (st *Stats) BumpBlock() { st.block() }
 
+func (st *Stats) bumpOutcome(strat Strategy, o Outcome) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	row := st.outcomes[strat]
+	if row == nil {
+		if st.outcomes == nil {
+			st.outcomes = make(map[Strategy]*[NumOutcomes]int64)
+		}
+		row = new([NumOutcomes]int64)
+		st.outcomes[strat] = row
+	}
+	row[o]++
+	st.mu.Unlock()
+}
+
+// BumpOutcome adds one entry to the per-strategy outcome histogram
+// (exported for the simulator's re-derived statistics).
+func (st *Stats) BumpOutcome(strat Strategy, o Outcome) { st.bumpOutcome(strat, o) }
+
+// OutcomeRow is one strategy's lookup-outcome histogram.
+type OutcomeRow struct {
+	Strategy Strategy
+	Counts   [NumOutcomes]int64
+}
+
+// OutcomeRows returns the nonzero histogram rows in strategy order.
+func (st *Stats) OutcomeRows() []OutcomeRow {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	rows := make([]OutcomeRow, 0, len(st.outcomes))
+	for strat, c := range st.outcomes {
+		rows = append(rows, OutcomeRow{Strategy: strat, Counts: *c})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Strategy < rows[j].Strategy })
+	return rows
+}
+
 // Totals returns the lookup and DKY-blockage counts under the
 // collector's lock (the exported fields must not be read while other
 // tasks may still be bumping them; the observability layer snapshots
@@ -164,6 +242,19 @@ func (st *Stats) Add(other *Stats) {
 	defer st.mu.Unlock()
 	for k, v := range other.counts {
 		st.counts[k] += v
+	}
+	for strat, c := range other.outcomes {
+		row := st.outcomes[strat]
+		if row == nil {
+			if st.outcomes == nil {
+				st.outcomes = make(map[Strategy]*[NumOutcomes]int64)
+			}
+			row = new([NumOutcomes]int64)
+			st.outcomes[strat] = row
+		}
+		for i, v := range c {
+			row[i] += v
+		}
 	}
 	st.Blocks += other.Blocks
 	st.Lookups += other.Lookups
@@ -239,6 +330,13 @@ func (st *Stats) String() string {
 	st.mu.Lock()
 	fmt.Fprintf(&sb, "lookups: %d   DKY blockages: %d\n", st.Lookups, st.Blocks)
 	st.mu.Unlock()
+	if rows := st.OutcomeRows(); len(rows) > 0 {
+		fmt.Fprintf(&sb, "\n%-12s  %8s  %8s  %8s  %9s\n", "strategy", "found", "blocked", "guessed", "retracted")
+		for _, r := range rows {
+			fmt.Fprintf(&sb, "%-12s  %8d  %8d  %8d  %9d\n", r.Strategy,
+				r.Counts[OutFound], r.Counts[OutBlocked], r.Counts[OutGuessed], r.Counts[OutRetracted])
+		}
+	}
 	return sb.String()
 }
 
@@ -288,12 +386,22 @@ func (s *Searcher) wait(e *event.Event) bool {
 	}
 	s.Ctx.NoteWait(e)
 	s.Tab.Stats.block()
+	s.Tab.Stats.bumpOutcome(s.Tab.Strategy, OutBlocked)
 	if s.Wait != nil {
 		s.Wait(e)
 	} else {
 		e.Wait()
 	}
 	return true
+}
+
+// tally counts one finished lookup: the Table 2 row plus, for resolved
+// lookups, the strategy's outcome histogram.
+func (s *Searcher) tally(k StatKey) {
+	s.Tab.Stats.bump(k)
+	if k.When != Never {
+		s.Tab.Stats.bumpOutcome(s.Tab.Strategy, OutFound)
+	}
 }
 
 // probeResult is the outcome of searching one scope under the current
@@ -323,8 +431,16 @@ func (s *Searcher) searchScope(sc *Scope, name string, self bool) probeResult {
 		// incomplete and search once more.
 		sym, complete := sc.probe(name)
 		if sym != nil || complete {
+			if sym != nil && !complete {
+				// The skeptic's winning gamble: a hit in a table still
+				// under construction, no wait needed.
+				s.Tab.Stats.bumpOutcome(s.Tab.Strategy, OutGuessed)
+			}
 			return probeResult{sym: sym, incomplete: !complete}
 		}
+		// The losing side: the incomplete-table search missed, so the
+		// first pass was wasted work — wait, then search once more.
+		s.Tab.Stats.bumpOutcome(s.Tab.Strategy, OutRetracted)
 		blocked := s.wait(sc.completion)
 		s.Ctx.Add(ctrace.CostLookupHop)
 		sym, complete = sc.probe(name)
@@ -332,6 +448,9 @@ func (s *Searcher) searchScope(sc *Scope, name string, self bool) probeResult {
 	case Optimistic:
 		sym, complete, ev := sc.probeOrPlaceholder(name)
 		if sym != nil || ev == nil {
+			if sym != nil && !complete {
+				s.Tab.Stats.bumpOutcome(s.Tab.Strategy, OutGuessed)
+			}
 			return probeResult{sym: sym, incomplete: !complete}
 		}
 		blocked := s.wait(ev)
@@ -421,7 +540,7 @@ func (s *Searcher) Lookup(origin *Scope, name string, withs []WithBinding) Resul
 	for i := len(withs) - 1; i >= 0; i-- {
 		s.Ctx.Add(ctrace.CostLookupHop)
 		if f := withs[i].Rec.FieldNamed(name); f != nil {
-			s.Tab.Stats.bump(StatKey{When: FirstTry, Rel: ctrace.RelWith})
+			s.tally(StatKey{When: FirstTry, Rel: ctrace.RelWith})
 			if tracing {
 				hops = append(hops, ctrace.Hop{Rel: ctrace.RelWith, Found: true})
 				s.record(false, at, hops, true)
@@ -445,7 +564,7 @@ func (s *Searcher) Lookup(origin *Scope, name string, withs []WithBinding) Resul
 			if pr.sym.Kind == KAlias {
 				return s.followAlias(pr.sym, name, at, hops)
 			}
-			s.Tab.Stats.bump(StatKey{When: classify(first, pr.blocked), Rel: rel, Incomplete: pr.incomplete})
+			s.tally(StatKey{When: classify(first, pr.blocked), Rel: rel, Incomplete: pr.incomplete})
 			s.record(false, at, hops, true)
 			return Result{Sym: pr.sym}
 		}
@@ -453,7 +572,7 @@ func (s *Searcher) Lookup(origin *Scope, name string, withs []WithBinding) Resul
 			// Builtin names behave as if declared local to every scope.
 			s.Ctx.Add(ctrace.CostLookupHop)
 			if b := lookupBuiltin(name); b != nil {
-				s.Tab.Stats.bump(StatKey{When: FirstTry, Rel: ctrace.RelBuiltin})
+				s.tally(StatKey{When: FirstTry, Rel: ctrace.RelBuiltin})
 				if tracing {
 					hops = append(hops, ctrace.Hop{Rel: ctrace.RelBuiltin, Found: true})
 					s.record(false, at, hops, true)
@@ -463,7 +582,7 @@ func (s *Searcher) Lookup(origin *Scope, name string, withs []WithBinding) Resul
 		}
 		first = false
 	}
-	s.Tab.Stats.bump(StatKey{When: Never})
+	s.tally(StatKey{When: Never})
 	s.record(false, at, hops, false)
 	return Result{}
 }
@@ -490,12 +609,12 @@ func (s *Searcher) followAlias(alias *Symbol, name string, at ctrace.Stamp, hops
 			hops = append(hops, s.hop(alias.AliasScope, ctrace.RelOther, pr))
 		}
 		if pr.sym == nil {
-			s.Tab.Stats.bump(StatKey{When: Never})
+			s.tally(StatKey{When: Never})
 			s.record(false, at, hops, false)
 			return Result{}
 		}
 		if pr.sym.Kind != KAlias {
-			s.Tab.Stats.bump(StatKey{
+			s.tally(StatKey{
 				When: classify(true, pr.blocked), Rel: ctrace.RelOther, Incomplete: pr.incomplete,
 			})
 			s.record(false, at, hops, true)
@@ -503,7 +622,7 @@ func (s *Searcher) followAlias(alias *Symbol, name string, at ctrace.Stamp, hops
 		}
 		alias = pr.sym
 	}
-	s.Tab.Stats.bump(StatKey{When: Never})
+	s.tally(StatKey{When: Never})
 	s.record(false, at, hops, false)
 	return Result{DeepAlias: true}
 }
@@ -526,14 +645,14 @@ func (s *Searcher) QualifiedLookup(iface *Scope, name string) Result {
 		return s.followAliasQualified(pr.sym, at, hops)
 	}
 	if pr.sym != nil {
-		s.Tab.Stats.bump(StatKey{
+		s.tally(StatKey{
 			Qualified: true, When: classify(true, pr.blocked),
 			Rel: ctrace.RelOther, Incomplete: pr.incomplete,
 		})
 		s.record(true, at, hops, true)
 		return Result{Sym: pr.sym}
 	}
-	s.Tab.Stats.bump(StatKey{Qualified: true, When: Never})
+	s.tally(StatKey{Qualified: true, When: Never})
 	s.record(true, at, hops, false)
 	return Result{}
 }
@@ -554,7 +673,7 @@ func (s *Searcher) followAliasQualified(alias *Symbol, at ctrace.Stamp, hops []c
 			break
 		}
 		if pr.sym.Kind != KAlias {
-			s.Tab.Stats.bump(StatKey{
+			s.tally(StatKey{
 				Qualified: true, When: classify(true, pr.blocked),
 				Rel: ctrace.RelOther, Incomplete: pr.incomplete,
 			})
@@ -563,7 +682,7 @@ func (s *Searcher) followAliasQualified(alias *Symbol, at ctrace.Stamp, hops []c
 		}
 		alias = pr.sym
 	}
-	s.Tab.Stats.bump(StatKey{Qualified: true, When: Never})
+	s.tally(StatKey{Qualified: true, When: Never})
 	s.record(true, at, hops, false)
 	return Result{DeepAlias: deep}
 }

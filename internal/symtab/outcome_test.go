@@ -1,0 +1,68 @@
+package symtab
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOutcomeHistogram exercises the per-strategy, per-outcome lookup
+// histogram: bumping, strategy-ordered rows, merging and rendering.
+func TestOutcomeHistogram(t *testing.T) {
+	st := NewStats()
+	if rows := st.OutcomeRows(); len(rows) != 0 {
+		t.Fatalf("fresh stats has outcome rows: %+v", rows)
+	}
+	st.BumpOutcome(Skeptical, OutFound)
+	st.BumpOutcome(Skeptical, OutFound)
+	st.BumpOutcome(Skeptical, OutGuessed)
+	st.BumpOutcome(Optimistic, OutBlocked)
+
+	rows := st.OutcomeRows()
+	if len(rows) != 2 {
+		t.Fatalf("OutcomeRows = %+v, want 2 strategies", rows)
+	}
+	// Rows come in strategy order: Skeptical (2) before Optimistic (3).
+	if rows[0].Strategy != Skeptical || rows[1].Strategy != Optimistic {
+		t.Fatalf("row order = %v, %v", rows[0].Strategy, rows[1].Strategy)
+	}
+	if rows[0].Counts != [NumOutcomes]int64{2, 0, 1, 0} {
+		t.Errorf("skeptical counts = %v, want [2 0 1 0]", rows[0].Counts)
+	}
+	if rows[1].Counts != [NumOutcomes]int64{0, 1, 0, 0} {
+		t.Errorf("optimistic counts = %v, want [0 1 0 0]", rows[1].Counts)
+	}
+
+	// Add merges histograms, including strategies new to the receiver.
+	other := NewStats()
+	other.BumpOutcome(Skeptical, OutRetracted)
+	other.BumpOutcome(Avoidance, OutFound)
+	st.Add(other)
+	rows = st.OutcomeRows()
+	if len(rows) != 3 || rows[0].Strategy != Avoidance {
+		t.Fatalf("after Add: rows = %+v, want avoidance first of 3", rows)
+	}
+	if rows[1].Counts != [NumOutcomes]int64{2, 0, 1, 1} {
+		t.Errorf("merged skeptical counts = %v, want [2 0 1 1]", rows[1].Counts)
+	}
+
+	out := st.String()
+	for _, want := range []string{"retracted", "guessed", Skeptical.String()} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats.String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestOutcomeStrings pins the outcome names used by the obs metrics
+// export.
+func TestOutcomeStrings(t *testing.T) {
+	want := map[Outcome]string{
+		OutFound: "found", OutBlocked: "blocked",
+		OutGuessed: "guessed", OutRetracted: "retracted",
+	}
+	for o, name := range want {
+		if o.String() != name {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), name)
+		}
+	}
+}

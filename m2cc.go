@@ -46,6 +46,7 @@ import (
 	"m2cc/internal/ctrace"
 	"m2cc/internal/ifacecache"
 	"m2cc/internal/obs"
+	"m2cc/internal/profile"
 	"m2cc/internal/seq"
 	"m2cc/internal/sim"
 	"m2cc/internal/source"
@@ -159,6 +160,33 @@ type ObsMetrics = obs.Metrics
 // NewObserver returns an Observer ready to attach to Options.Obs.
 // The zero epoch is the moment of creation.
 func NewObserver() *Observer { return obs.New() }
+
+// Profile is a measured critical-path profile: the dependency-DAG walk
+// over one observed run, with blocked time attributed per event and
+// the serial fraction / P→∞ speedup bound derived; see
+// internal/profile.
+type Profile = profile.Profile
+
+// BuildProfile computes the critical-path profile of the run(s)
+// recorded by o: reconstructs the task/event dependency DAG from the
+// observed spans and fire/wait edges, walks the critical path, and
+// attributes every unit of blocked time to the event that caused it.
+// Render the result with Profile.Render or Profile.WriteJSON.
+func BuildProfile(o *Observer) *Profile {
+	d := o.Dump()
+	return profile.Build(&d)
+}
+
+// ExportObservedTrace converts the run recorded by o into a
+// schedule-independent Trace replayable by Simulate — the "what-if"
+// bridge: re-run the actual measured compilation at any processor
+// count or DKY strategy without recompiling.  One trace work unit is
+// one microsecond of measured execution; pass SimOptions.ReplayWaits
+// so the simulator honours the measured handled-wait edges.
+func ExportObservedTrace(o *Observer) *Trace {
+	d := o.Dump()
+	return profile.ExportTrace(&d)
+}
 
 // Compile runs the concurrent compiler on the named implementation
 // module.  Set Options.Cache to share interface compilations across
