@@ -3,20 +3,27 @@ GO ?= go
 # Packages where races would be silent correctness bugs: the interface
 # cache, the concurrent driver, the DKY symbol tables, the Supervisor
 # scheduler, the fault-injection plans shared across task goroutines,
-# the observability layer hooked into every task transition, and the
-# profiler consuming its dumps while compilations run.
-RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject ./internal/obs ./internal/profile
+# the observability layer hooked into every task transition, the
+# profiler consuming its dumps while compilations run, and the
+# concurrent static analyzer whose findings must be schedule-independent.
+RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject ./internal/obs ./internal/profile ./internal/check
 
 # Seeds for the chaos suite's seeded matrix (see chaos_test.go); the
 # suite also hand-arms every injection point regardless of seeds.
 CHAOS_SEEDS ?= 1,2,3,4,5,6,7,8,13,21,34,55,89,144
 
-.PHONY: check vet build test race chaos smoke profile bench obsbench profilebench clean
+.PHONY: check vet build test race chaos smoke profile lint bench obsbench profilebench clean
 
-check: vet build test race chaos smoke profile
+check: vet build test race chaos smoke profile lint
 
+# Standard vet, then the repo's own concurrency-invariant analyzers
+# (internal/lint) via the go vet vettool protocol: raw event fires,
+# un-nil-guarded obs methods, wall-clock reads in deterministic
+# packages, undocumented mutex/chan fields.
 vet:
 	$(GO) vet ./...
+	$(GO) build -o bin/m2vet ./cmd/m2vet
+	$(GO) vet -vettool=$(abspath bin/m2vet) ./...
 
 build:
 	$(GO) build ./...
@@ -43,6 +50,13 @@ profile:
 	$(GO) run ./cmd/m2c -I examples/modules -q -profile -profile-json /tmp/m2c_profile.json Fib
 	$(GO) run ./cmd/m2c -I examples/modules -q -whatif -workers 4 -trace /tmp/m2c_whatif_trace.json Fib
 	$(GO) run ./cmd/tracecheck /tmp/m2c_whatif_trace.json
+
+# Static analysis over the example modules: the clean fixtures must
+# stay clean (-werror), and the findings fixture must match its golden
+# file (also enforced, per DKY strategy, by lint_golden_test.go).
+lint:
+	$(GO) run ./cmd/m2lint -I examples/modules -werror LintClean Demo
+	$(GO) run ./cmd/m2lint -I examples/modules LintFindings | diff examples/modules/LintFindings.golden -
 
 bench:
 	$(GO) run ./cmd/m2bench -ifacecache -json BENCH_ifacecache.json

@@ -163,6 +163,14 @@ func runChaos(t *testing.T, loader m2cc.Loader, module string, strat m2cc.Strate
 
 	opts := m2cc.Options{Workers: 4, Strategy: strat, FaultPlan: plan}
 
+	// PanicCheck kills a static-analysis task, so it only has arrivals
+	// when lint streams run.  Check disables the interface cache, which
+	// would starve the cache points of arrivals, so it is enabled only
+	// for plans that arm PanicCheck.
+	if plan.Trigger(faultinject.PanicCheck) > 0 {
+		opts.Check = true
+	}
+
 	// FailInstall vetoes a cache-closure install, which only happens on
 	// a cache hit: warm a cache first so the point has arrivals.
 	if plan.Trigger(faultinject.FailInstall) > 0 {
@@ -215,6 +223,20 @@ func runChaos(t *testing.T, loader m2cc.Loader, module string, strat m2cc.Strate
 	if got := res.Diags.String(); got != wantDiags {
 		t.Fatalf("diagnostics diverge from sequential baseline\ngot:\n%s\nwant:\n%s", got, wantDiags)
 	}
+	if opts.Check {
+		// A crashed lint stream must degrade to the sequential
+		// analyzer without losing or corrupting sibling findings.
+		if res.Faulted {
+			t.Fatal("a lint fault poisoned the compilation")
+		}
+		if plan.Tripped(faultinject.PanicCheck) > 0 && !res.CheckFellBack {
+			t.Fatal("tripped PanicCheck but CheckFellBack not set")
+		}
+		want := m2cc.RenderFindings(m2cc.Lint(module, loader))
+		if got := m2cc.RenderFindings(res.Findings); got != want {
+			t.Fatalf("findings diverge from sequential analyzer\ngot:\n%s\nwant:\n%s", got, want)
+		}
+	}
 }
 
 // TestChaosMatrix hand-arms every injection point under every DKY
@@ -237,6 +259,9 @@ func TestChaosMatrix(t *testing.T) {
 		}},
 		{"stall-leader", func() *faultinject.Plan {
 			return faultinject.New().Arm(faultinject.StallLeader, 1)
+		}},
+		{"panic-check", func() *faultinject.Plan {
+			return faultinject.New().Arm(faultinject.PanicCheck, 3)
 		}},
 	}
 	for strat := m2cc.Avoidance; strat <= m2cc.Optimistic; strat++ {

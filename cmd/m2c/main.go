@@ -21,6 +21,8 @@
 //	m2c -timeline Sort         # measured per-worker activity timeline
 //	m2c -profile Sort          # critical-path profile + blocked-time blame report
 //	m2c -whatif Sort           # replay the measured run at P=1..workers
+//	m2c -lint Sort             # concurrent static analysis; findings to stdout
+//	m2c -lint-json Sort        # the same findings as a JSON array
 package main
 
 import (
@@ -59,6 +61,9 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print the observability metrics snapshot as JSON")
 		timeline = flag.Bool("timeline", false, "render the measured per-worker activity timeline (Figure 7 style)")
 
+		lintF    = flag.Bool("lint", false, "run the static-analysis streams and print findings")
+		lintJSON = flag.Bool("lint-json", false, "like -lint, but print findings as a JSON array")
+
 		profileF    = flag.Bool("profile", false, "print the measured critical-path profile and blame report")
 		profileJSON = flag.String("profile-json", "", "write the critical-path profile as JSON to `file`")
 		whatif      = flag.Bool("whatif", false, "replay the measured run in the simulator at every processor count (what-if speedup curve)")
@@ -86,6 +91,24 @@ func main() {
 	}
 	if *headers {
 		opts.Headers = m2cc.HeaderReprocess
+	}
+	if *lintF || *lintJSON {
+		opts.Check = true
+	}
+	// printFindings writes lint findings to stdout in whichever format
+	// was requested.  Findings are warnings: they never fail the build.
+	printFindings := func(findings []m2cc.Finding) {
+		if !*lintF && !*lintJSON {
+			return
+		}
+		if *lintJSON {
+			if err := m2cc.WriteFindingsJSON(os.Stdout, findings); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Print(m2cc.RenderFindings(findings))
 	}
 	var observer *m2cc.Observer
 	if *traceOut != "" || *metrics || *timeline || *profileF || *profileJSON != "" || *whatif {
@@ -257,6 +280,9 @@ func main() {
 	case *seqMode:
 		res := m2cc.CompileSequential(module, loader)
 		os.Stderr.WriteString(res.Diags.String())
+		if *lintF || *lintJSON {
+			printFindings(m2cc.Lint(module, loader))
+		}
 		if res.Failed() {
 			os.Exit(1)
 		}
@@ -271,12 +297,13 @@ func main() {
 		res := m2cc.Compile(module, loader, opts)
 		os.Stderr.WriteString(res.Diags.String())
 		obsReport()
+		printFindings(res.Findings)
 		if res.Failed() {
 			os.Exit(1)
 		}
 		if *listing {
 			fmt.Print(res.Object.Listing())
-		} else if !*quiet {
+		} else if !*quiet && !*lintF && !*lintJSON {
 			fmt.Printf("%s: ok (%d streams, workers=%d, %s)\n",
 				module, res.Streams, *workers, strategy)
 		}

@@ -1,0 +1,80 @@
+// Command m2lint runs the Modula-2+ static analyzer over one or more
+// modules and prints the findings.
+//
+// Usage:
+//
+//	m2lint [-I path] [-json] [-seq] [-werror] Module...
+//
+// By default each module is compiled concurrently with the analysis
+// streams enabled (the same supervisor schedule as m2c -lint); -seq
+// runs the sequential single-pass analyzer instead — the two are
+// byte-identical by construction, which the test suite enforces.
+// Findings are warnings: the exit status is 0 unless a module fails to
+// compile, or -werror is set and any finding is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"m2cc"
+)
+
+func main() {
+	var (
+		include = flag.String("I", ".", "colon-separated include path for .def/.mod files")
+		jsonOut = flag.Bool("json", false, "print findings as a JSON array")
+		seqMode = flag.Bool("seq", false, "use the sequential analyzer (no supervisor streams)")
+		workers = flag.Int("workers", 8, "worker slots for the concurrent analyzer")
+		dky     = flag.String("dky", "skeptical", "DKY strategy: avoidance|pessimistic|skeptical|optimistic")
+		werror  = flag.Bool("werror", false, "exit nonzero when any finding is reported")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: m2lint [flags] Module...")
+		flag.Usage()
+		os.Exit(2)
+	}
+	strategy, err := m2cc.ParseStrategy(*dky)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	loader := &m2cc.DirLoader{Dirs: strings.Split(*include, ":")}
+
+	exit := 0
+	var all []m2cc.Finding
+	for _, module := range flag.Args() {
+		var findings []m2cc.Finding
+		if *seqMode {
+			findings = m2cc.Lint(module, loader)
+		} else {
+			res := m2cc.Compile(module, loader, m2cc.Options{
+				Workers: *workers, Strategy: strategy, Check: true,
+			})
+			if res.Failed() {
+				os.Stderr.WriteString(res.Diags.String())
+				exit = 1
+				continue
+			}
+			findings = res.Findings
+		}
+		if *jsonOut {
+			all = append(all, findings...)
+		} else {
+			fmt.Print(m2cc.RenderFindings(findings))
+		}
+		if *werror && len(findings) > 0 {
+			exit = 1
+		}
+	}
+	if *jsonOut {
+		if err := m2cc.WriteFindingsJSON(os.Stdout, all); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,18 @@
+(* LintClean: golden fixture for the static analyzer — a module with
+   zero findings.  The test suite asserts m2lint prints nothing. *)
+MODULE LintClean;
+FROM Fib IMPORT Nth;
+VAR n, sum: INTEGER;
+
+PROCEDURE Double(x: INTEGER): INTEGER;
+BEGIN
+  RETURN x + x
+END Double;
+
+BEGIN
+  sum := 0;
+  FOR n := 1 TO 5 DO
+    sum := sum + Double(Nth(n))
+  END;
+  WriteInt(sum, 0); WriteLn
+END LintClean.

@@ -1,0 +1,37 @@
+(* LintFindings: golden fixture for the static analyzer — one instance
+   of every finding class, byte-matched against LintFindings.golden by
+   the test suite.  The defects are deliberate; do not "fix" them. *)
+MODULE LintFindings;
+IMPORT Fib;                        (* unused import *)
+FROM Shapes IMPORT Area, Perimeter; (* Perimeter: unused imported identifier *)
+VAR total: INTEGER;
+
+PROCEDURE Compute(w: INTEGER; pad: INTEGER): INTEGER;
+VAR r, leftover: INTEGER;          (* leftover: unused local *)
+BEGIN
+  r := Area(w, w);
+  RETURN r
+END Compute;                       (* pad: unused parameter *)
+
+PROCEDURE Risky(): INTEGER;
+VAR u: INTEGER;
+BEGIN
+  IF total > 0 THEN u := 1 END;
+  RETURN u                         (* u may be used before initialization *)
+END Risky;
+
+PROCEDURE AfterReturn(): INTEGER;
+BEGIN
+  RETURN 0;
+  total := 1                       (* unreachable statement *)
+END AfterReturn;
+
+PROCEDURE Orphan;                  (* never called *)
+BEGIN
+  total := 0
+END Orphan;
+
+BEGIN
+  total := Compute(3, 4) + Risky() + AfterReturn();
+  WriteInt(total, 0); WriteLn
+END LintFindings.

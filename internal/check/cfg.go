@@ -1,0 +1,445 @@
+package check
+
+import (
+	"m2cc/internal/ast"
+	"m2cc/internal/token"
+)
+
+// The uninitialized-variable pass runs a must-initialize forward
+// dataflow over a small control-flow graph built from the unit's body.
+// A variable is "initialized" at a point iff it is assigned on every
+// path from entry; a read of a variable not must-initialized is
+// reported once, at its earliest offending use.
+//
+// The analysis is deliberately conservative so it never produces a
+// false positive under Modula-2+ semantics:
+//
+//   - a bare variable in call-argument position counts as a definition
+//     (it may bind to a VAR parameter the callee assigns);
+//   - a call to a procedure declared in this unit havocs the state
+//     (nested procedures can assign the enclosing frame's variables);
+//   - a WITH body havocs on entry (field names are indistinguishable
+//     from variables without type information);
+//   - exception handlers join with the TRY entry state (an exception
+//     may strike before any assignment in the protected body).
+
+type actKind uint8
+
+const (
+	actUse actKind = iota
+	actDef
+	actHavoc
+)
+
+// action is one dataflow-relevant event inside a basic block.
+type action struct {
+	kind actKind
+	v    int // tracked-variable index (actUse/actDef)
+	name string
+	pos  token.Pos
+}
+
+// cblock is one basic block.
+type cblock struct {
+	acts  []action
+	succs []*cblock
+	in    bitset
+	seen  bool // reachable from entry
+}
+
+// bitset is a fixed-width bit vector over the tracked variables.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) get(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+
+func (b bitset) setAll() {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+}
+
+// and intersects o into b, reporting whether b changed.
+func (b bitset) and(o bitset) bool {
+	changed := false
+	for i := range b {
+		n := b[i] & o[i]
+		if n != b[i] {
+			b[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// cfg is one unit body's control-flow graph under construction.
+type cfg struct {
+	vars   []ast.Name // tracked variables, declaration order
+	varIdx map[string]int
+	procs  map[string]bool // procedures declared in this unit (havoc on call)
+	blocks []*cblock
+	entry  *cblock
+	cur    *cblock   // nil while the current path is terminated
+	loops  []*cblock // LOOP after-block stack, for EXIT
+}
+
+func buildCFG(u *Unit) *cfg {
+	g := &cfg{varIdx: map[string]int{}, procs: map[string]bool{}}
+	for _, d := range u.Decls {
+		switch d := d.(type) {
+		case *ast.VarDecl:
+			for _, n := range d.Names {
+				if _, ok := g.varIdx[n.Text]; !ok {
+					g.varIdx[n.Text] = len(g.vars)
+					g.vars = append(g.vars, n)
+				}
+			}
+		case *ast.ProcDecl:
+			g.procs[d.Head.Name.Text] = true
+		}
+	}
+	g.entry = g.newBlock()
+	g.cur = g.entry
+	g.stmts(u.Body)
+	return g
+}
+
+func (g *cfg) newBlock() *cblock {
+	b := &cblock{}
+	g.blocks = append(g.blocks, b)
+	return b
+}
+
+func (g *cfg) edge(from, to *cblock) {
+	if from != nil {
+		from.succs = append(from.succs, to)
+	}
+}
+
+func (g *cfg) emit(a action) {
+	if g.cur != nil {
+		g.cur.acts = append(g.cur.acts, a)
+	}
+}
+
+func (g *cfg) use(name string, pos token.Pos) {
+	if i, ok := g.varIdx[name]; ok {
+		g.emit(action{kind: actUse, v: i, name: name, pos: pos})
+	}
+}
+
+func (g *cfg) def(name string) {
+	if i, ok := g.varIdx[name]; ok {
+		g.emit(action{kind: actDef, v: i})
+	}
+}
+
+func (g *cfg) havoc() { g.emit(action{kind: actHavoc}) }
+
+// uses records the reads an expression performs.
+func (g *cfg) uses(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		g.uses(e.X)
+		g.uses(e.Y)
+	case *ast.UnaryExpr:
+		g.uses(e.X)
+	case *ast.SetExpr:
+		for _, el := range e.Elems {
+			g.uses(el.Lo)
+			g.uses(el.Hi)
+		}
+	case *ast.Designator:
+		g.desigUses(e)
+	case *ast.CallExpr:
+		g.call(e.Fun, e.Args)
+	}
+}
+
+func (g *cfg) desigUses(d *ast.Designator) {
+	if d == nil {
+		return
+	}
+	g.use(d.Head.Text, d.Head.Pos)
+	for _, sel := range d.Sels {
+		if ix, ok := sel.(*ast.IndexSel); ok {
+			for _, e := range ix.Indexes {
+				g.uses(e)
+			}
+		}
+	}
+}
+
+// call models a procedure or function call.  A bare tracked variable
+// in argument position may bind to a VAR (out) parameter, so it counts
+// as a definition rather than a use; a call to a procedure declared in
+// this unit may assign any of the unit's variables through the shared
+// frame, so it havocs the must-init state.
+func (g *cfg) call(fun *ast.Designator, args []ast.Expr) {
+	g.desigUses(fun)
+	for _, a := range args {
+		if d, ok := a.(*ast.Designator); ok && len(d.Sels) == 0 {
+			if _, tracked := g.varIdx[d.Head.Text]; tracked {
+				g.def(d.Head.Text)
+				continue
+			}
+		}
+		g.uses(a)
+	}
+	if fun != nil && len(fun.Sels) == 0 && g.procs[fun.Head.Text] {
+		g.havoc()
+	}
+}
+
+func (g *cfg) stmts(l *ast.StmtList) {
+	if l == nil {
+		return
+	}
+	for _, s := range l.Stmts {
+		g.stmt(s)
+	}
+}
+
+func (g *cfg) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		g.uses(s.RHS)
+		if s.LHS != nil {
+			for _, sel := range s.LHS.Sels {
+				if ix, ok := sel.(*ast.IndexSel); ok {
+					for _, e := range ix.Indexes {
+						g.uses(e)
+					}
+				}
+			}
+			// Assigning through selectors still requires the whole to
+			// have been initialized, but component tracking is out of
+			// scope; treat any assignment to the head as defining it.
+			g.def(s.LHS.Head.Text)
+		}
+	case *ast.CallStmt:
+		g.call(s.Proc, s.Args)
+	case *ast.IfStmt:
+		g.uses(s.Cond)
+		prev := g.cur // block holding the previous condition
+		join := g.newBlock()
+		then := g.newBlock()
+		g.edge(prev, then)
+		g.cur = then
+		g.stmts(s.Then)
+		g.edge(g.cur, join)
+		for _, e := range s.Elsifs {
+			cond := g.newBlock()
+			g.edge(prev, cond)
+			g.cur = cond
+			g.uses(e.Cond)
+			arm := g.newBlock()
+			g.edge(cond, arm)
+			g.cur = arm
+			g.stmts(e.Then)
+			g.edge(g.cur, join)
+			prev = cond
+		}
+		if s.Else != nil {
+			els := g.newBlock()
+			g.edge(prev, els)
+			g.cur = els
+			g.stmts(s.Else)
+			g.edge(g.cur, join)
+		} else {
+			g.edge(prev, join)
+		}
+		g.cur = join
+	case *ast.CaseStmt:
+		g.uses(s.Expr)
+		head := g.cur
+		join := g.newBlock()
+		for _, arm := range s.Arms {
+			// Case labels are constant expressions — no tracked reads.
+			ab := g.newBlock()
+			g.edge(head, ab)
+			g.cur = ab
+			g.stmts(arm.Body)
+			g.edge(g.cur, join)
+		}
+		if s.Else != nil {
+			eb := g.newBlock()
+			g.edge(head, eb)
+			g.cur = eb
+			g.stmts(s.Else)
+			g.edge(g.cur, join)
+		}
+		// Without ELSE an unmatched selector halts the program, so the
+		// only paths to join run through the arms.
+		g.cur = join
+	case *ast.WhileStmt:
+		cond := g.newBlock()
+		g.edge(g.cur, cond)
+		g.cur = cond
+		g.uses(s.Cond)
+		body := g.newBlock()
+		after := g.newBlock()
+		g.edge(cond, body)
+		g.edge(cond, after)
+		g.cur = body
+		g.stmts(s.Body)
+		g.edge(g.cur, cond)
+		g.cur = after
+	case *ast.RepeatStmt:
+		body := g.newBlock()
+		g.edge(g.cur, body)
+		g.cur = body
+		g.stmts(s.Body)
+		g.uses(s.Cond) // evaluated wherever the body ends
+		after := g.newBlock()
+		g.edge(g.cur, body)
+		g.edge(g.cur, after)
+		g.cur = after
+	case *ast.LoopStmt:
+		body := g.newBlock()
+		g.edge(g.cur, body)
+		after := g.newBlock()
+		g.loops = append(g.loops, after)
+		g.cur = body
+		g.stmts(s.Body)
+		g.edge(g.cur, body)
+		g.loops = g.loops[:len(g.loops)-1]
+		g.cur = after
+	case *ast.ExitStmt:
+		if n := len(g.loops); n > 0 {
+			g.edge(g.cur, g.loops[n-1])
+		}
+		g.cur = nil
+	case *ast.ForStmt:
+		g.uses(s.From)
+		g.uses(s.To)
+		g.uses(s.By)
+		g.def(s.Var.Text)
+		head := g.cur
+		body := g.newBlock()
+		after := g.newBlock()
+		g.edge(head, body)
+		g.edge(head, after) // zero iterations
+		g.cur = body
+		g.stmts(s.Body)
+		g.edge(g.cur, body)
+		g.edge(g.cur, after)
+		g.cur = after
+	case *ast.WithStmt:
+		g.desigUses(s.Rec)
+		g.havoc()
+		g.stmts(s.Body)
+	case *ast.ReturnStmt:
+		g.uses(s.Expr)
+		g.cur = nil
+	case *ast.RaiseStmt:
+		g.cur = nil
+	case *ast.TryStmt:
+		entry := g.cur
+		join := g.newBlock()
+		body := g.newBlock()
+		g.edge(entry, body)
+		g.cur = body
+		g.stmts(s.Body)
+		g.edge(g.cur, join)
+		for _, h := range s.Handlers {
+			hb := g.newBlock()
+			g.edge(entry, hb) // an exception may strike before any assignment
+			g.cur = hb
+			g.stmts(h.Body)
+			g.edge(g.cur, join)
+		}
+		if s.Else != nil {
+			eb := g.newBlock()
+			g.edge(entry, eb)
+			g.cur = eb
+			g.stmts(s.Else)
+			g.edge(g.cur, join)
+		}
+		g.cur = join
+		g.stmts(s.Finally)
+	case *ast.LockStmt:
+		g.uses(s.Mutex)
+		g.stmts(s.Body)
+	}
+}
+
+// transfer applies a block's actions to st, invoking onUninit for each
+// read of a variable not must-initialized at that point.
+func (g *cfg) transfer(b *cblock, st bitset, onUninit func(action)) {
+	for _, a := range b.acts {
+		switch a.kind {
+		case actUse:
+			if !st.get(a.v) && onUninit != nil {
+				onUninit(a)
+			}
+		case actDef:
+			st.set(a.v)
+		case actHavoc:
+			st.setAll()
+		}
+	}
+}
+
+// solve runs the must-initialize dataflow to fixpoint, then reports
+// the earliest possibly-uninitialized use of each tracked variable.
+// Unreachable blocks keep the all-initialized top state and so report
+// nothing.
+func (g *cfg) solve(report func(name string, pos token.Pos)) {
+	nv := len(g.vars)
+	if nv == 0 || len(g.blocks) == 0 {
+		return
+	}
+	for _, b := range g.blocks {
+		b.in = newBitset(nv)
+		b.in.setAll()
+	}
+	g.entry.in = newBitset(nv) // nothing initialized on entry
+	g.entry.seen = true
+	work := []*cblock{g.entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := b.in.clone()
+		g.transfer(b, out, nil)
+		for _, s := range b.succs {
+			first := !s.seen
+			s.seen = true
+			if s.in.and(out) || first {
+				work = append(work, s)
+			}
+		}
+	}
+	// Earliest offending use per variable, in declaration order (the
+	// caller's findings are globally sorted afterwards anyway).
+	first := make([]token.Pos, nv)
+	has := make([]bool, nv)
+	for _, b := range g.blocks {
+		if !b.seen {
+			continue
+		}
+		st := b.in.clone()
+		g.transfer(b, st, func(a action) {
+			if !has[a.v] || a.pos.Before(first[a.v]) {
+				has[a.v] = true
+				first[a.v] = a.pos
+			}
+		})
+	}
+	for i := range g.vars {
+		if has[i] {
+			report(g.vars[i].Text, first[i])
+		}
+	}
+}

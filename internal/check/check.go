@@ -1,0 +1,391 @@
+// Package check is the concurrent static-analysis (lint) subsystem.
+//
+// The paper's stream split fits analysis as well as it fits
+// compilation: the per-unit intraprocedural passes (uninitialized-
+// variable dataflow over a small CFG, unreachable code after
+// RETURN/EXIT/RAISE) run as one Supervisor task per stream — main
+// module, procedure, definition module — while the cross-module passes
+// (unused imports, unused locals/params, exported-but-never-referenced
+// symbols, call-graph reachability from the main module) work on
+// per-stream fact tables merged by a barrier task gated on every
+// analysis task's completion event.  Analysis tasks are first-class
+// Supervisor citizens, so their cost shows up in obs spans, -profile
+// blame and the internal/sim cost model (KindAnalysis work units).
+//
+// Determinism: a unit's facts are computed from its AST alone — no
+// symbol-table probes, no cross-stream reads — so the fact tables are
+// schedule-independent and the merged findings are byte-identical to
+// the sequential single-pass baseline (Analyze) under every DKY
+// strategy and worker count.  All set logic in the merge is
+// order-insensitive and the result is diag.SortDedup'ed.
+//
+// Fault containment: an analysis task recovers its own panics before
+// the Supervisor's isolation layer can see them, marks the checker
+// faulted, and the merge re-runs every registered unit sequentially —
+// a crashed lint stream degrades to the sequential analyzer without
+// poisoning the compilation or sibling findings.
+package check
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"m2cc/internal/ast"
+	"m2cc/internal/ctrace"
+	"m2cc/internal/diag"
+	"m2cc/internal/faultinject"
+	"m2cc/internal/token"
+)
+
+// UnitKind classifies analysis units, mirroring the compiler's streams.
+type UnitKind uint8
+
+const (
+	// ModuleUnit is the main module stream: module-level declarations
+	// and the initialization body.
+	ModuleUnit UnitKind = iota
+	// ProcUnit is one procedure stream.
+	ProcUnit
+	// DefUnit is one definition-module stream.
+	DefUnit
+)
+
+// Unit is one stream's analyzable slice of the program.  The AST
+// fields are read-only after parsing, so units may be analyzed
+// concurrently with code generation.  Nested procedure declarations
+// inside Decls are never descended into beyond their heading — in the
+// concurrent compiler the nested body belongs to another stream's
+// unit, and the sequential decomposition (SourceUnits) follows the
+// same rule so both modes see identical shapes.
+type Unit struct {
+	Kind     UnitKind
+	File     string // file label, e.g. "M.mod" or "M.def"
+	Module   string // module the unit belongs to
+	Path     string // deterministic scope path: "M.mod", "M.mod:P", "M.mod:P:P.Q", "M.def"
+	ProcName string // procedure's simple name (ProcUnit)
+	Head     *ast.ProcHead
+	Imports  []*ast.Import
+	Decls    []ast.Decl
+	Body     *ast.StmtList
+}
+
+// facts is one unit's published fact table: the identifier mention set
+// consumed by the cross-module passes, plus the intraprocedural
+// findings computed stream-locally.
+type facts struct {
+	unit     *Unit
+	mentions map[string]bool
+	findings []diag.Diagnostic
+	nodes    int // AST nodes visited (deterministic analysis cost)
+}
+
+// analyzeUnit runs the per-stream passes on one unit.
+func analyzeUnit(u *Unit) *facts {
+	w := newWalker()
+	w.decls(u.Decls)
+	w.stmts(u.Body)
+	f := &facts{unit: u, mentions: w.mentions, nodes: w.nodes}
+	unreachable(u.Body, func(pos token.Pos) {
+		f.findings = append(f.findings, diag.Diagnostic{
+			Sev: diag.Warning, Pos: pos, File: u.File, Msg: "unreachable statement",
+		})
+	})
+	if u.Body != nil {
+		g := buildCFG(u)
+		g.solve(func(name string, pos token.Pos) {
+			f.findings = append(f.findings, diag.Diagnostic{
+				Sev: diag.Warning, Pos: pos, End: nameEnd(name, pos), File: u.File,
+				Msg: fmt.Sprintf("variable %s may be used before initialization", name),
+			})
+		})
+	}
+	return f
+}
+
+// nameEnd extends a name's start position to its exclusive end column,
+// giving findings a full line+column span.
+func nameEnd(name string, pos token.Pos) token.Pos {
+	if !pos.IsValid() {
+		return token.Pos{}
+	}
+	pos.Col += int32(len(name))
+	return pos
+}
+
+// Run analyzes every unit sequentially and merges the fact tables —
+// the single-pass baseline the concurrent checker must byte-match, and
+// the degraded path a faulted checker falls back to.
+func Run(units []*Unit) []diag.Diagnostic {
+	fs := make([]*facts, 0, len(units))
+	for _, u := range units {
+		fs = append(fs, analyzeUnit(u))
+	}
+	return mergeFacts(fs)
+}
+
+// Checker accumulates per-stream fact tables for one concurrent
+// compilation.  AddUnit registers a unit when its stream's parse
+// completes; RunUnit is the analysis task's body; Merge joins the
+// tables at the barrier.  All methods are safe for concurrent use.
+type Checker struct {
+	inject *faultinject.Plan
+
+	mu      sync.Mutex // guards: units, fs, faulted
+	units   []*Unit
+	fs      []*facts
+	faulted bool
+}
+
+// NewChecker returns a checker; plan (may be nil) supplies the
+// PanicCheck injection point.
+func NewChecker(plan *faultinject.Plan) *Checker {
+	return &Checker{inject: plan}
+}
+
+// AddUnit registers a unit before its analysis task is spawned, so a
+// faulted checker can still re-analyze every unit sequentially.
+func (c *Checker) AddUnit(u *Unit) {
+	c.mu.Lock()
+	c.units = append(c.units, u)
+	c.mu.Unlock()
+}
+
+// RunUnit is the analysis task body: analyze one unit and publish its
+// fact table.  A panic (including an injected PanicCheck) is recovered
+// here — before the Supervisor's isolation layer sees it — so a dead
+// lint stream marks the checker faulted instead of poisoning the
+// compilation.
+func (c *Checker) RunUnit(ctx *ctrace.TaskCtx, u *Unit) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.mu.Lock()
+			c.faulted = true
+			c.mu.Unlock()
+		}
+	}()
+	c.inject.Panic(faultinject.PanicCheck, u.Path)
+	f := analyzeUnit(u)
+	ctx.Add(float64(f.nodes) * ctrace.CostAnalysisNode)
+	c.mu.Lock()
+	c.fs = append(c.fs, f)
+	c.mu.Unlock()
+}
+
+// Faulted reports whether any analysis task panicked (the merge then
+// re-ran the sequential analyzer over the registered units).
+func (c *Checker) Faulted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faulted
+}
+
+// Merge joins the published fact tables into the final findings.  If
+// any analysis task faulted, the concurrent tables are discarded and
+// every registered unit is re-analyzed sequentially, so sibling
+// findings survive a crashed stream intact.  Never returns nil.
+func (c *Checker) Merge(ctx *ctrace.TaskCtx) []diag.Diagnostic {
+	c.mu.Lock()
+	faulted := c.faulted
+	fs := append([]*facts(nil), c.fs...)
+	units := append([]*Unit(nil), c.units...)
+	c.mu.Unlock()
+	if faulted {
+		fs = fs[:0]
+		for _, u := range units {
+			f := analyzeUnit(u)
+			ctx.Add(float64(f.nodes) * ctrace.CostAnalysisNode)
+			fs = append(fs, f)
+		}
+	}
+	out := mergeFacts(fs)
+	ctx.Add(float64(len(fs)+len(out)) * ctrace.CostAnalysisFact)
+	return out
+}
+
+// mergeFacts runs the cross-module passes over the fact tables and
+// returns the sorted, deduplicated findings.  Every rule is a set
+// membership test, so the result is independent of table order.
+func mergeFacts(fs []*facts) []diag.Diagnostic {
+	out := []diag.Diagnostic{}
+	for _, f := range fs {
+		out = append(out, f.findings...)
+	}
+
+	warn := func(file string, n ast.Name, format string, args ...any) {
+		out = append(out, diag.Diagnostic{
+			Sev: diag.Warning, Pos: n.Pos, End: nameEnd(n.Text, n.Pos),
+			File: file, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+	// mentionedUnder: name is mentioned by the unit at path or any
+	// descendant scope (nested procedure streams).
+	mentionedUnder := func(name, path string) bool {
+		for _, f := range fs {
+			if f.unit.Path == path || strings.HasPrefix(f.unit.Path, path+":") {
+				if f.mentions[name] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	mentionedByModule := func(name, module string) bool {
+		for _, f := range fs {
+			if f.unit.Module == module && f.mentions[name] {
+				return true
+			}
+		}
+		return false
+	}
+	mentionedOutsideModule := func(name, module string) bool {
+		for _, f := range fs {
+			if f.unit.Module != module && f.mentions[name] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var root *facts
+	for _, f := range fs {
+		if f.unit.Kind == ModuleUnit {
+			root = f
+		}
+	}
+	rootModule := ""
+	if root != nil {
+		rootModule = root.unit.Module
+	}
+
+	for _, f := range fs {
+		u := f.unit
+		// Unused locals and parameters (procedure streams).  A name is
+		// "used" if mentioned anywhere in the procedure or a nested
+		// procedure — conservative under shadowing, so never a false
+		// positive.
+		if u.Kind == ProcUnit {
+			for _, d := range u.Decls {
+				vd, ok := d.(*ast.VarDecl)
+				if !ok {
+					continue
+				}
+				for _, n := range vd.Names {
+					if !mentionedUnder(n.Text, u.Path) {
+						warn(u.File, n, "local variable %s is declared but never used", n.Text)
+					}
+				}
+			}
+			if u.Head != nil {
+				for _, sec := range u.Head.Params {
+					for _, n := range sec.Names {
+						if !mentionedUnder(n.Text, u.Path) {
+							warn(u.File, n, "parameter %s is declared but never used", n.Text)
+						}
+					}
+				}
+			}
+		}
+		// Unused imports.  Checked against the whole importing module
+		// (a .def's imports are visible to its implementation through
+		// the scope chain).
+		for _, imp := range u.Imports {
+			for _, n := range imp.Names {
+				if mentionedByModule(n.Text, u.Module) {
+					continue
+				}
+				if imp.From.Text != "" {
+					warn(u.File, n, "imported identifier %s is never used", n.Text)
+				} else {
+					warn(u.File, n, "import %s is never used", n.Text)
+				}
+			}
+		}
+	}
+
+	// Exported-but-never-referenced symbols: every top-level name in a
+	// definition module is exported; one nobody outside its module
+	// mentions is dead interface surface for this program.  The root
+	// module's own interface is exempt — its clients are outside this
+	// compilation.
+	for _, f := range fs {
+		u := f.unit
+		if u.Kind != DefUnit || u.Module == rootModule {
+			continue
+		}
+		for _, d := range u.Decls {
+			for _, n := range declNames(d) {
+				if !mentionedOutsideModule(n.Text, u.Module) {
+					warn(u.File, n, "exported %s is never referenced in this compilation", n.Text)
+				}
+			}
+		}
+	}
+
+	// Call-graph reachability from the main module: roots are the main
+	// stream's mentions plus the procedures the root interface exports;
+	// an edge U→P exists when a reached unit mentions P's name.  The
+	// name-based graph over-approximates calls, so "never called" has
+	// no false positives.
+	if root != nil {
+		byName := map[string][]*facts{}
+		var procs []*facts
+		for _, f := range fs {
+			if f.unit.Kind == ProcUnit && f.unit.Module == rootModule {
+				procs = append(procs, f)
+				byName[f.unit.ProcName] = append(byName[f.unit.ProcName], f)
+			}
+		}
+		reached := map[*facts]bool{}
+		var queue []string
+		for name := range root.mentions {
+			queue = append(queue, name)
+		}
+		for _, f := range fs {
+			if f.unit.Kind == DefUnit && f.unit.Module == rootModule {
+				for _, d := range f.unit.Decls {
+					if pd, ok := d.(*ast.ProcDecl); ok {
+						queue = append(queue, pd.Head.Name.Text)
+					}
+				}
+			}
+		}
+		for len(queue) > 0 {
+			name := queue[0]
+			queue = queue[1:]
+			for _, p := range byName[name] {
+				if reached[p] {
+					continue
+				}
+				reached[p] = true
+				for m := range p.mentions {
+					queue = append(queue, m)
+				}
+			}
+		}
+		for _, p := range procs {
+			if !reached[p] && p.unit.Head != nil {
+				warn(p.unit.File, p.unit.Head.Name, "procedure %s is declared but never called", p.unit.ProcName)
+			}
+		}
+	}
+
+	return diag.SortDedup(out)
+}
+
+// declNames lists the names a declaration introduces.
+func declNames(d ast.Decl) []ast.Name {
+	switch d := d.(type) {
+	case *ast.ConstDecl:
+		return []ast.Name{d.Name}
+	case *ast.TypeDecl:
+		return []ast.Name{d.Name}
+	case *ast.VarDecl:
+		return d.Names
+	case *ast.ExceptionDecl:
+		return d.Names
+	case *ast.ProcDecl:
+		return []ast.Name{d.Head.Name}
+	}
+	return nil
+}

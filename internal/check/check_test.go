@@ -1,0 +1,367 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"m2cc/internal/check"
+	"m2cc/internal/core"
+	"m2cc/internal/faultinject"
+	"m2cc/internal/source"
+	"m2cc/internal/symtab"
+)
+
+// lintProgram exercises every finding class: an uninitialized
+// variable, unreachable code, unused locals and parameters, an unused
+// plain import and an unused FROM import, exported-but-unreferenced
+// interface symbols, an uncalled procedure, and nested procedures
+// (whose mentions must count toward the enclosing scope's liveness).
+var lintProgram = map[string]string{
+	"Mats.def": `
+DEFINITION MODULE Mats;
+PROCEDURE Twice(n: INTEGER): INTEGER;
+PROCEDURE Thrice(n: INTEGER): INTEGER;
+END Mats.
+`,
+	"Mats.mod": `
+IMPLEMENTATION MODULE Mats;
+
+PROCEDURE Twice(n: INTEGER): INTEGER;
+BEGIN
+  RETURN n + n
+END Twice;
+
+PROCEDURE Thrice(n: INTEGER): INTEGER;
+BEGIN
+  RETURN n + n + n
+END Thrice;
+
+END Mats.
+`,
+	"Vals.def": `
+DEFINITION MODULE Vals;
+CONST Limit = 10;
+CONST Spare = 99;
+END Vals.
+`,
+	"Lint.mod": `
+MODULE Lint;
+IMPORT Mats;
+FROM Vals IMPORT Limit, Spare;
+VAR g, h: INTEGER;
+
+PROCEDURE UseThings(a: INTEGER; b: INTEGER): INTEGER;
+VAR x, y, dead: INTEGER;
+BEGIN
+  x := a;
+  IF x > Limit THEN y := 1 ELSE y := 2 END;
+  RETURN x + y
+END UseThings;
+
+PROCEDURE Uninit(): INTEGER;
+VAR u, v: INTEGER;
+BEGIN
+  IF g > 0 THEN u := 1 END;
+  v := u;
+  RETURN v
+END Uninit;
+
+PROCEDURE DeadCode(): INTEGER;
+BEGIN
+  RETURN 1;
+  g := 2
+END DeadCode;
+
+PROCEDURE Orphan;
+BEGIN
+  g := Mats.Twice(g)
+END Orphan;
+
+PROCEDURE Outer(n: INTEGER): INTEGER;
+VAR t: INTEGER;
+
+  PROCEDURE Inner(k: INTEGER): INTEGER;
+  BEGIN
+    RETURN k + t
+  END Inner;
+
+BEGIN
+  t := n;
+  RETURN Inner(n)
+END Outer;
+
+BEGIN
+  g := UseThings(1, 2);
+  h := Uninit();
+  h := DeadCode();
+  h := Outer(h);
+  WriteInt(g + h, 0); WriteLn
+END Lint.
+`,
+}
+
+func lintLoader() *source.MapLoader {
+	loader := source.NewMapLoader()
+	for name, text := range lintProgram {
+		if base, ok := strings.CutSuffix(name, ".def"); ok {
+			loader.Add(base, source.Def, text)
+		} else if base, ok := strings.CutSuffix(name, ".mod"); ok {
+			loader.Add(base, source.Impl, text)
+		}
+	}
+	return loader
+}
+
+// TestSequentialFindings pins the sequential analyzer's output on the
+// fixture — every finding class, byte for byte.
+func TestSequentialFindings(t *testing.T) {
+	got := check.Render(check.Analyze("Lint", lintLoader()))
+	want := []string{
+		"variable u may be used before initialization",
+		"unreachable statement",
+		"local variable dead is declared but never used",
+		"parameter b is declared but never used",
+		"imported identifier Spare is never used",
+		"exported Spare is never referenced in this compilation",
+		"exported Thrice is never referenced in this compilation",
+		"procedure Orphan is declared but never called",
+	}
+	for _, w := range want {
+		if !strings.Contains(got, w) {
+			t.Errorf("findings missing %q\ngot:\n%s", w, got)
+		}
+	}
+	// And nothing spurious about the live code.
+	for _, absent := range []string{
+		"variable x", "variable y", "variable v", "variable t",
+		"parameter a ", "parameter n ", "parameter k ",
+		"local variable t ",
+		"import Mats", "identifier Limit",
+		"exported Limit", "exported Twice",
+		"procedure UseThings", "procedure Inner", "procedure Outer",
+	} {
+		if strings.Contains(got, absent) {
+			t.Errorf("findings contain spurious %q\ngot:\n%s", absent, got)
+		}
+	}
+	if got != check.Render(check.Analyze("Lint", lintLoader())) {
+		t.Error("sequential analyzer is not deterministic")
+	}
+}
+
+// TestFindingSpans checks that name-anchored findings carry line+column
+// spans ("L:C-L:C") and render deterministically sorted.
+func TestFindingSpans(t *testing.T) {
+	fnd := check.Analyze("Lint", lintLoader())
+	if len(fnd) == 0 {
+		t.Fatal("no findings")
+	}
+	spanned := false
+	for _, d := range fnd {
+		if d.End.IsValid() {
+			spanned = true
+			if d.End.Line != d.Pos.Line || d.End.Col <= d.Pos.Col {
+				t.Errorf("bad span on %s", d)
+			}
+		}
+	}
+	if !spanned {
+		t.Error("no finding carries an end position")
+	}
+	lines := strings.Split(strings.TrimSuffix(check.Render(fnd), "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i] < lines[i-1] && !strings.HasPrefix(lines[i], lines[i-1][:strings.Index(lines[i-1], ":")]) {
+			t.Errorf("findings not sorted: %q after %q", lines[i], lines[i-1])
+		}
+	}
+}
+
+// TestDifferential is the tentpole property: the concurrent checker's
+// findings are byte-identical to the sequential analyzer's under every
+// DKY strategy, both heading modes and several worker counts.
+func TestDifferential(t *testing.T) {
+	loader := lintLoader()
+	want := check.Render(check.Analyze("Lint", loader))
+	if want == "" {
+		t.Fatal("fixture produced no findings")
+	}
+	for strat := symtab.Avoidance; strat <= symtab.Optimistic; strat++ {
+		for _, workers := range []int{1, 4, 8} {
+			for _, headers := range []core.HeaderMode{core.HeaderShared, core.HeaderReprocess} {
+				strat, workers, headers := strat, workers, headers
+				name := strat.String() + "/w" + string(rune('0'+workers))
+				if headers == core.HeaderReprocess {
+					name += "/reprocess"
+				}
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					res := core.Compile("Lint", loader, core.Options{
+						Workers: workers, Strategy: strat, Headers: headers, Check: true,
+					})
+					if res.Failed() {
+						t.Fatalf("compile failed:\n%s", res.Diags)
+					}
+					if res.Faulted || res.CheckFellBack {
+						t.Fatalf("unexpected fault: Faulted=%v CheckFellBack=%v", res.Faulted, res.CheckFellBack)
+					}
+					if got := check.Render(res.Findings); got != want {
+						t.Fatalf("concurrent findings diverge from sequential baseline\ngot:\n%s\nwant:\n%s", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCheckDegradesOnPanic arms the PanicCheck injection point: the
+// tripped analysis task dies, the checker degrades to the sequential
+// analyzer at the merge, and neither the compilation nor the sibling
+// findings are poisoned.
+func TestCheckDegradesOnPanic(t *testing.T) {
+	loader := lintLoader()
+	want := check.Render(check.Analyze("Lint", loader))
+	for _, n := range []int64{1, 3, 5} {
+		plan := faultinject.New().Arm(faultinject.PanicCheck, n)
+		res := core.Compile("Lint", loader, core.Options{
+			Workers: 4, Check: true, FaultPlan: plan,
+		})
+		if res.Failed() {
+			t.Fatalf("n=%d: compile failed:\n%s", n, res.Diags)
+		}
+		if res.Faulted {
+			t.Fatalf("n=%d: a lint panic poisoned the compilation", n)
+		}
+		if plan.Tripped(faultinject.PanicCheck) != 1 {
+			t.Fatalf("n=%d: point tripped %d times", n, plan.Tripped(faultinject.PanicCheck))
+		}
+		if !res.CheckFellBack {
+			t.Fatalf("n=%d: checker did not report the sequential fallback", n)
+		}
+		if got := check.Render(res.Findings); got != want {
+			t.Fatalf("n=%d: degraded findings diverge\ngot:\n%s\nwant:\n%s", n, got, want)
+		}
+	}
+}
+
+// TestShadowWarning: a procedure-local variable hiding an imported
+// module name draws the sema warning, identically under the concurrent
+// and sequential compilers.
+func TestShadowWarning(t *testing.T) {
+	loader := source.NewMapLoader()
+	loader.Add("Shade", source.Impl, `
+MODULE Shade;
+IMPORT Mats;
+VAR g: INTEGER;
+
+PROCEDURE P(): INTEGER;
+VAR Mats: INTEGER;
+BEGIN
+  Mats := 3;
+  RETURN Mats
+END P;
+
+BEGIN
+  g := P() + Mats.Twice(2);
+  WriteInt(g, 0); WriteLn
+END Shade.
+`)
+	loader.Add("Mats", source.Def, lintProgram["Mats.def"])
+	loader.Add("Mats", source.Impl, lintProgram["Mats.mod"])
+	const warn = "variable Mats shadows imported module Mats"
+	res := core.Compile("Shade", loader, core.Options{Workers: 4})
+	if res.Failed() || res.Faulted {
+		t.Fatalf("compile failed:\n%s", res.Diags)
+	}
+	if !strings.Contains(res.Diags.String(), warn) {
+		t.Fatalf("concurrent diagnostics missing shadow warning:\n%s", res.Diags)
+	}
+}
+
+// TestUninitCFG pins the dataflow's conservative rules on focused
+// programs: loops, VAR-argument definitions, WITH havoc, and TRY
+// handler entry states.
+func TestUninitCFG(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    string
+		decls   string
+		flagged []string // variables that must be reported
+		clean   []string // variables that must not be reported
+	}{
+		{
+			name:  "while-first-iteration",
+			decls: "VAR i, s: INTEGER;",
+			body: `
+  i := 0;
+  WHILE i < 3 DO s := s + 1; i := i + 1 END
+`,
+			flagged: []string{"s"},
+			clean:   []string{"i"},
+		},
+		{
+			name:  "repeat-runs-once",
+			decls: "VAR i, s: INTEGER;",
+			body: `
+  i := 0;
+  REPEAT s := 1; i := i + s UNTIL i > 2
+`,
+			clean: []string{"i", "s"},
+		},
+		{
+			name:  "both-branches-define",
+			decls: "VAR c, r: INTEGER;",
+			body: `
+  c := 1;
+  IF c > 0 THEN r := 1 ELSE r := 2 END;
+  c := r
+`,
+			clean: []string{"r"},
+		},
+		{
+			name:  "one-branch-defines",
+			decls: "VAR c, r: INTEGER;",
+			body: `
+  c := 1;
+  IF c > 0 THEN r := 1 END;
+  c := r
+`,
+			flagged: []string{"r"},
+		},
+		{
+			name:  "var-argument-defines",
+			decls: "VAR r: INTEGER;",
+			body: `
+  ReadInt(r);
+  WriteInt(r, 0)
+`,
+			clean: []string{"r"},
+		},
+		{
+			name:  "for-defines-loop-var",
+			decls: "VAR k, s: INTEGER;",
+			body: `
+  s := 0;
+  FOR k := 1 TO 3 DO s := s + k END;
+  WriteInt(s, 0)
+`,
+			clean: []string{"k", "s"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			loader := source.NewMapLoader()
+			loader.Add("T", source.Impl, "MODULE T;\n"+tc.decls+"\nBEGIN\n"+tc.body+"\nEND T.\n")
+			got := check.Render(check.Analyze("T", loader))
+			for _, v := range tc.flagged {
+				if !strings.Contains(got, "variable "+v+" may be used before initialization") {
+					t.Errorf("missing uninit report for %s:\n%s", v, got)
+				}
+			}
+			for _, v := range tc.clean {
+				if strings.Contains(got, "variable "+v+" may be used") {
+					t.Errorf("false positive for %s:\n%s", v, got)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package check
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+
+	"m2cc/internal/diag"
+)
+
+// Render formats findings one per line (diag.Diagnostic.String) — the
+// byte-comparable form used by the differential tests and m2c -lint.
+func Render(findings []diag.Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range findings {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// jsonFinding is the machine-readable finding shape for -lint-json.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int32  `json:"line"`
+	Col      int32  `json:"col"`
+	EndLine  int32  `json:"end_line,omitempty"`
+	EndCol   int32  `json:"end_col,omitempty"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON emits findings as an indented JSON array with full
+// line+column spans.
+func WriteJSON(w io.Writer, findings []diag.Diagnostic) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, d := range findings {
+		jf := jsonFinding{
+			File: d.File, Line: d.Pos.Line, Col: d.Pos.Col,
+			Severity: d.Sev.String(), Message: d.Msg,
+		}
+		if d.End.IsValid() {
+			jf.EndLine = d.End.Line
+			jf.EndCol = d.End.Col
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

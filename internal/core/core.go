@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"m2cc/internal/ast"
+	"m2cc/internal/check"
 	"m2cc/internal/codegen"
 	"m2cc/internal/ctrace"
 	"m2cc/internal/diag"
@@ -96,6 +97,12 @@ type Options struct {
 	// disables the bound (waits forever, the pre-fault-tolerance
 	// behavior).
 	StallTimeout time.Duration
+	// Check runs the concurrent static-analysis (lint) passes alongside
+	// the compilation: one KindAnalysis task per stream publishes a
+	// fact table, and a barrier-gated merge task joins them into
+	// Result.Findings.  Lint compilations bypass the interface cache —
+	// a cached interface install carries no ASTs to analyze.
+	Check bool
 	// FaultPlan arms the compiler's deterministic fault-injection
 	// points (see internal/faultinject).  Production callers leave it
 	// nil, which reduces every injection site to a pointer check.
@@ -127,6 +134,15 @@ type Result struct {
 	// fallback after a faulted concurrent attempt (set by m2cc, never
 	// by core.Compile itself).
 	FellBack bool
+
+	// Findings holds the static-analysis findings (Options.Check),
+	// sorted and deduplicated; byte-identical to the sequential
+	// analyzer's output under every strategy and worker count.
+	Findings []diag.Diagnostic
+	// CheckFellBack reports that an analysis task panicked and the
+	// findings were recomputed by the sequential analyzer over the
+	// registered units.  The compilation itself is unaffected.
+	CheckFellBack bool
 }
 
 // Failed reports whether the compilation produced errors.
@@ -150,16 +166,21 @@ type driver struct {
 	obs    *obs.Observer
 	stall  time.Duration // resolved StallTimeout (0 = unbounded)
 
-	mu        sync.Mutex
-	cacheSeen obs.CacheCounters      // this compilation's own Acquire outcomes
-	ifaces    map[string]*ifaceEntry // the once-only table (§3)
-	procs     map[int32]*procStream
-	nstream   int32
-	allTasks  []*sched.Task
-	mainKind  ast.ModKind
-	poisoned  bool                    // deadlock watchdog fired; publish nothing
-	faulted   bool                    // a stream task panicked and was isolated
-	resolving map[string]*event.Event // per-name guard for in-flight cache resolution
+	check *check.Checker // non-nil when Options.Check
+
+	mu         sync.Mutex             // guards: every driver field below, mutated from task goroutines
+	cacheSeen  obs.CacheCounters      // this compilation's own Acquire outcomes
+	ifaces     map[string]*ifaceEntry // the once-only table (§3)
+	procs      map[int32]*procStream
+	nstream    int32
+	allTasks   []*sched.Task
+	checkTasks []*sched.Task // per-stream analysis tasks (the lint-merge gates)
+	findings   []diag.Diagnostic
+	checkFell  bool // checker degraded to the sequential analyzer
+	mainKind   ast.ModKind
+	poisoned   bool                    // deadlock watchdog fired; publish nothing
+	faulted    bool                    // a stream task panicked and was isolated
+	resolving  map[string]*event.Event // per-name guard for in-flight cache resolution
 }
 
 // ifaceEntry is one once-only table entry for a definition module.
@@ -197,6 +218,11 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
+	if opts.Check {
+		// Cached interface installs have no ASTs to analyze; lint
+		// compilations compile every interface fresh.
+		opts.Cache = nil
+	}
 	d := &driver{
 		opts: opts, loader: loader, module: module,
 		files:  source.NewSet(),
@@ -216,6 +242,9 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	}
 	if d.cache != nil {
 		d.resolving = make(map[string]*event.Event)
+	}
+	if opts.Check {
+		d.check = check.NewChecker(d.inject)
 	}
 	var stats *symtab.Stats
 	if opts.CollectStats {
@@ -254,6 +283,7 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	d.iface(module, true, nil)
 	d.sup.Wait()
 	d.reportLoadFailures()
+	d.runCheckMerge()
 	d.runMerge()
 	d.sup.Wait()
 	d.failUnpublished()
@@ -280,6 +310,8 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	d.mu.Lock()
 	res.Streams = int(d.nstream) + 1
 	res.Faulted = d.poisoned || d.faulted
+	res.Findings = d.findings
+	res.CheckFellBack = d.checkFell
 	d.mu.Unlock()
 	if d.rec != nil {
 		res.Trace = d.rec.Trace()
@@ -296,6 +328,48 @@ func (d *driver) spawn(kind ctrace.TaskKind, stream int32, label string,
 	d.allTasks = append(d.allTasks, t)
 	d.mu.Unlock()
 	return t
+}
+
+// spawnCheck schedules a stream's static-analysis task (KindAnalysis).
+// The unit's ASTs are complete when this is called, so the task is
+// ungated; its kind ranks it behind code generation, so lint work
+// never delays the compile proper.
+func (d *driver) spawnCheck(stream int32, parent *ctrace.TaskCtx, u *check.Unit) {
+	if d.check == nil {
+		return
+	}
+	d.check.AddUnit(u)
+	t := d.spawn(ctrace.KindAnalysis, stream, "Lint "+u.Path,
+		sched.Priority(ctrace.KindAnalysis, 0), nil, parent,
+		func(t *sched.Task) { d.check.RunUnit(t.Ctx, u) })
+	d.mu.Lock()
+	d.checkTasks = append(d.checkTasks, t)
+	d.mu.Unlock()
+}
+
+// runCheckMerge spawns the lint-merge task, barrier-gated on every
+// analysis task's completion event: the per-stream fact tables join
+// into the final findings (or, if any analysis task faulted, the
+// sequential analyzer re-runs over the registered units).
+func (d *driver) runCheckMerge() {
+	if d.check == nil {
+		return
+	}
+	d.mu.Lock()
+	gates := make([]*event.Event, len(d.checkTasks))
+	for i, t := range d.checkTasks {
+		gates[i] = t.Done()
+	}
+	d.mu.Unlock()
+	d.spawn(ctrace.KindMerge, 0, "LintMerge "+d.module,
+		sched.Priority(ctrace.KindMerge, 0), gates, nil, func(t *sched.Task) {
+			fnd := d.check.Merge(t.Ctx)
+			fell := d.check.Faulted()
+			d.mu.Lock()
+			d.findings = fnd
+			d.checkFell = fell
+			d.mu.Unlock()
+		})
 }
 
 // env builds a per-task analysis environment.
@@ -501,13 +575,18 @@ func (d *driver) runModParse(t *sched.Task, mainQ *tokq.Queue, label string) {
 	a.AnalyzeImports(m.Imports, func(name string) *symtab.Scope {
 		return d.iface(name, false, t).scope
 	})
-	a.Analyze(p.ParseDeclarations())
+	decls := p.ParseDeclarations()
+	a.Analyze(decls)
 	a.ResolveForwardRefs()
 	d.reg.SetAreaSlots(a.Area, a.NextOff)
 	// §3: the symbol table is marked complete before the statement
 	// parse tree is built, so DKY blockages resolve as early as possible.
 	scope.Complete(t.Ctx)
 	p.ParseBody(m)
+	d.spawnCheck(0, t.Ctx, &check.Unit{
+		Kind: check.ModuleUnit, File: label, Module: d.module, Path: label,
+		Imports: m.Imports, Decls: decls, Body: m.Body,
+	})
 
 	if m.Body != nil {
 		size := int64(mainQ.Len())
@@ -555,10 +634,16 @@ func (d *driver) runProcParse(t *sched.Task, ps *procStream) {
 	a.NextOff = frameBase
 	a.ShareHeadings = d.opts.Headers == HeaderShared
 	d.bindChildren(t, a)
-	a.Analyze(p.ParseDeclarations())
+	decls := p.ParseDeclarations()
+	a.Analyze(decls)
 	a.ResolveForwardRefs()
 	cp.Scope.Complete(t.Ctx)
 	tail := p.ParseProcTail(ps.name)
+	d.spawnCheck(ps.id, t.Ctx, &check.Unit{
+		Kind: check.ProcUnit, File: label, Module: cp.Meta.Module, Path: cp.ScopePath,
+		ProcName: cp.Decl.Head.Name.Text, Head: cp.Decl.Head,
+		Decls: decls, Body: tail.Body,
+	})
 
 	size := int64(ps.q.Len())
 	kind := ctrace.KindShortStmtCG
@@ -661,7 +746,7 @@ func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
 	// A driver-owned fire (task 0): observed waiters on the resolution
 	// guard get a matching fire edge instead of an unexplained unblock.
 	d.obs.EventFired(0, resolved)
-	resolved.Fire()
+	resolved.Fire() // vet:allowfire driver-owned fire; EventFired above is the trace record
 	return e
 }
 
@@ -854,12 +939,17 @@ func (d *driver) startIface(name string, optional bool, ent *ifacecache.Entry) *
 				}
 				return d.iface(imp, false, t).scope
 			})
-			a.Analyze(p.ParseDeclarations())
+			decls := p.ParseDeclarations()
+			a.Analyze(decls)
 			a.ResolveForwardRefs()
 			d.reg.SetAreaSlots(a.Area, a.NextOff)
 			scope.Complete(t.Ctx)
 			d.finishEntry(e, t, a, directImps, label)
 			p.ParseBody(m)
+			d.spawnCheck(stream, t.Ctx, &check.Unit{
+				Kind: check.DefUnit, File: label, Module: name, Path: label,
+				Imports: m.Imports, Decls: decls,
+			})
 		})
 	d.sup.SetProducer(scope.CompletionEvent(), parseTask)
 	return e

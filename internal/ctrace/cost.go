@@ -48,4 +48,11 @@ const (
 	// CostTaskStart is the fixed scheduling overhead charged once per
 	// task ("the scheduling cost", §2.3.3).
 	CostTaskStart = 5.0
+	// CostAnalysisNode is charged per AST node visited by a static-
+	// analysis (lint) pass; lighter than CostStmtNode because lint
+	// passes neither resolve symbols nor emit code.
+	CostAnalysisNode = 1.5
+	// CostAnalysisFact is charged per fact examined by the analysis
+	// merge when cross-module facts are joined at the barrier.
+	CostAnalysisFact = 2.0
 )

@@ -35,25 +35,32 @@ func (s Severity) String() string {
 
 // Diagnostic is one message anchored at a source position.  File carries
 // the human-readable file label (e.g. "Sort.mod") so messages are
-// self-contained after streams are merged.
+// self-contained after streams are merged.  End, when valid, extends the
+// anchor to a full line+column span; a zero End means "point diagnostic"
+// and renders exactly as before spans existed.
 type Diagnostic struct {
 	Sev  Severity
 	Pos  token.Pos
+	End  token.Pos // exclusive end of the span; zero = point diagnostic
 	File string
 	Msg  string
 }
 
 func (d Diagnostic) String() string {
-	if d.File == "" {
-		return fmt.Sprintf("%s: %s: %s", d.Pos, d.Sev, d.Msg)
+	loc := d.Pos.String()
+	if d.End.IsValid() && d.End != d.Pos {
+		loc = fmt.Sprintf("%s-%s", d.Pos, d.End)
 	}
-	return fmt.Sprintf("%s:%s: %s: %s", d.File, d.Pos, d.Sev, d.Msg)
+	if d.File == "" {
+		return fmt.Sprintf("%s: %s: %s", loc, d.Sev, d.Msg)
+	}
+	return fmt.Sprintf("%s:%s: %s: %s", d.File, loc, d.Sev, d.Msg)
 }
 
 // Bag accumulates diagnostics from concurrent tasks.  The zero value is
 // ready to use.
 type Bag struct {
-	mu     sync.Mutex
+	mu     sync.Mutex // guards: diags, errors
 	diags  []Diagnostic
 	errors int
 	limit  int // 0 = unlimited
@@ -73,6 +80,10 @@ func (b *Bag) Errorf(file string, pos token.Pos, format string, args ...any) {
 func (b *Bag) Warnf(file string, pos token.Pos, format string, args ...any) {
 	b.add(Diagnostic{Sev: Warning, Pos: pos, File: file, Msg: fmt.Sprintf(format, args...)})
 }
+
+// Add records a fully-formed diagnostic (used by producers that carry
+// end positions, e.g. the static-analysis checker).
+func (b *Bag) Add(d Diagnostic) { b.add(d) }
 
 func (b *Bag) add(d Diagnostic) {
 	b.mu.Lock()
@@ -115,24 +126,46 @@ func (b *Bag) ErrorCount() int {
 	return b.errors
 }
 
-// Sorted returns all diagnostics ordered by (file, position, message).
-// The ordering is total, so concurrent and sequential compilations of
-// the same program produce identical reports.
+// Sorted returns all diagnostics ordered by (file, position, end,
+// severity, message), with exact duplicates collapsed to one.  The
+// ordering is total and the dedup deterministic, so concurrent and
+// sequential compilations of the same program produce identical reports
+// even when two streams independently report the same fact.
 func (b *Bag) Sorted() []Diagnostic {
 	b.mu.Lock()
 	out := make([]Diagnostic, len(b.diags))
 	copy(out, b.diags)
 	b.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].File != out[j].File {
-			return out[i].File < out[j].File
+	return SortDedup(out)
+}
+
+// SortDedup sorts ds in place by (file, position, end, severity,
+// message) and removes exact duplicates, returning the trimmed slice.
+func SortDedup(ds []Diagnostic) []Diagnostic {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].File != ds[j].File {
+			return ds[i].File < ds[j].File
 		}
-		if out[i].Pos != out[j].Pos {
-			return out[i].Pos.Before(out[j].Pos)
+		if ds[i].Pos != ds[j].Pos {
+			return ds[i].Pos.Before(ds[j].Pos)
 		}
-		return out[i].Msg < out[j].Msg
+		if ds[i].End != ds[j].End {
+			return ds[i].End.Before(ds[j].End)
+		}
+		if ds[i].Sev != ds[j].Sev {
+			return ds[i].Sev < ds[j].Sev
+		}
+		return ds[i].Msg < ds[j].Msg
 	})
-	return out
+	w := 0
+	for i, d := range ds {
+		if i > 0 && d == ds[w-1] {
+			continue
+		}
+		ds[w] = d
+		w++
+	}
+	return ds[:w]
 }
 
 // String renders the sorted diagnostics one per line.

@@ -51,8 +51,8 @@ func (c Counters) Sub(prev Counters) Counters {
 // event ready for use.  Fire is idempotent; all methods are safe for
 // concurrent use.
 type Event struct {
-	mu    sync.Mutex
-	done  chan struct{}
+	mu    sync.Mutex    // guards: fired, subs; done is closed while holding it
+	done  chan struct{} // guards: the fired state for waiters — closed exactly once by Fire
 	fired bool
 	subs  []func()
 }

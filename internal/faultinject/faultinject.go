@@ -47,12 +47,18 @@ const (
 	// (core.bindChildren), wedging a procedure stream until the
 	// deadlock watchdog breaks it.
 	DropFire
+	// PanicCheck panics inside the Nth static-analysis (lint) task
+	// body (check.Checker.RunUnit), modelling a crashed analysis
+	// stream; the checker must degrade to the sequential analyzer
+	// without poisoning the compilation or sibling findings.
+	PanicCheck
 
 	numPoints
 )
 
 var pointNames = [numPoints]string{
 	"panic-lookup", "stall-leader", "fail-install", "drop-fire",
+	"panic-check",
 }
 
 func (p Point) String() string {
@@ -64,7 +70,7 @@ func (p Point) String() string {
 
 // Points lists every injection point (for chaos matrices).
 func Points() []Point {
-	return []Point{PanicLookup, StallLeader, FailInstall, DropFire}
+	return []Point{PanicLookup, StallLeader, FailInstall, DropFire, PanicCheck}
 }
 
 // Injected is the value an armed PanicLookup point panics with; the
@@ -85,13 +91,13 @@ func (e *Injected) Error() string {
 type Plan struct {
 	Seed int64 // the seed this plan was derived from (0 for hand-armed)
 
-	mu      sync.Mutex
+	mu      sync.Mutex       // guards: trigger, count, tripped
 	trigger [numPoints]int64 // 1-based hit index that trips; 0 = disarmed
 	count   [numPoints]int64 // arrivals seen so far
 	tripped [numPoints]int64 // times the point actually fired
 
-	release chan struct{} // closed by Release; stalled points block on it
-	stalled chan struct{} // closed when a StallLeader point first trips
+	release chan struct{} // guards: stall continuation — closed by Release; stalled points block on it
+	stalled chan struct{} // guards: stall notification — closed when a StallLeader point first trips
 }
 
 // New returns an empty plan with nothing armed.

@@ -104,7 +104,7 @@ type Entry struct {
 	name  string
 	key   key
 
-	mu        sync.Mutex
+	mu        sync.Mutex // guards: state, ready, and the install payload below
 	state     entryState
 	ready     *event.Event // fired when the entry becomes ready or failed
 	scope     *symtab.Scope
@@ -233,7 +233,7 @@ func (e *Entry) Fail() {
 	e.state = stateFailed
 	ev := e.ready
 	e.mu.Unlock()
-	ev.Fire()
+	ev.Fire() // vet:allowfire cross-compilation cache event; no TaskCtx owns it
 }
 
 func (e *Entry) seal() {
@@ -245,7 +245,7 @@ func (e *Entry) seal() {
 	e.state = stateReady
 	ev := e.ready
 	e.mu.Unlock()
-	ev.Fire()
+	ev.Fire() // vet:allowfire cross-compilation cache event; no TaskCtx owns it
 }
 
 // watchDep drives one dep toward resolution.  A dep entry can cycle
@@ -315,7 +315,7 @@ func (s Stats) Sub(prev Stats) Stats {
 // any number of concurrent compilations.  The zero value is not
 // usable; call New.
 type Cache struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // guards: entries, scans
 	entries map[key]*Entry
 	scans   map[source.Hash][]string // content hash → direct import names
 	stats   Stats

@@ -1,0 +1,94 @@
+// Package lint is a small, dependency-free analysis framework in the
+// style of go/analysis, carrying the custom vet passes that enforce
+// this repository's concurrency invariants (see analyzers.go).  The
+// standard x/tools module is deliberately not used — the toolchain
+// here is self-contained — so Analyzer/Pass mirror just enough of the
+// go/analysis surface for cmd/m2vet to drive the passes both
+// standalone and under `go vet -vettool`.
+//
+// All passes are purely syntactic (parse-only, no type checking): each
+// invariant below is recognizable from the AST plus the package's
+// import path, which keeps m2vet fast and free of build-graph
+// plumbing.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored at a token.Pos within the
+// pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string // short kebab-free identifier, e.g. "guardedfire"
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass) error
+}
+
+// Pass is one analyzer's view of one package: parsed files, the
+// package's import path, and a Report sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // package import path ("" when unknown)
+	Report   func(Diagnostic)
+}
+
+// Reportf records a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers lists every registered invariant check, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{GuardedFire, ObsGuard, NoTime, GuardsComment}
+}
+
+// Run applies every analyzer to one package, reporting diagnostics
+// tagged with the analyzer's name.
+func Run(fset *token.FileSet, files []*ast.File, path string, report func(a *Analyzer, d Diagnostic)) error {
+	for _, a := range Analyzers() {
+		pass := &Pass{
+			Analyzer: a, Fset: fset, Files: files, Path: path,
+			Report: func(d Diagnostic) { report(a, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	return nil
+}
+
+// isTestFile reports whether f was parsed from a _test.go file.  The
+// invariants protect production code; tests may fire events directly,
+// read clocks and build scratch structs.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// markedLines returns the set of lines carrying a comment that
+// contains marker — the annotation mechanism for sanctioned
+// exceptions.  A marker comment blesses its own line and the line
+// below it, so both trailing and preceding-line annotations work.
+func markedLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, marker) {
+				line := fset.Position(c.Pos()).Line
+				lines[line] = true
+				lines[line+1] = true
+			}
+		}
+	}
+	return lines
+}

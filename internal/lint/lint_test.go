@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation regex from a `// want "..."` comment,
+// following the go/analysis fixture convention.
+var wantRe = regexp.MustCompile(`// want "(.*)"`)
+
+type fixtureDiag struct {
+	analyzer string
+	file     string
+	line     int
+	msg      string
+}
+
+// runFixture parses every .go file under testdata/src/<dir>, runs all
+// analyzers under the given synthetic import path, and returns the
+// diagnostics.
+func runFixture(t *testing.T, dir, path string) []fixtureDiag {
+	t.Helper()
+	fset := token.NewFileSet()
+	root := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(root, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	var diags []fixtureDiag
+	err = Run(fset, files, path, func(a *Analyzer, d Diagnostic) {
+		pos := fset.Position(d.Pos)
+		diags = append(diags, fixtureDiag{a.Name, pos.Filename, pos.Line, d.Message})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// checkFixture asserts that diagnostics and `// want` expectations
+// match one-to-one per line.
+func checkFixture(t *testing.T, dir, path string) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", dir)
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[string]map[int]*want{} // file -> line -> expectation
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(root, e.Name())
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[name] = map[int]*want{}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex: %v", name, i+1, err)
+				}
+				wants[name][i+1] = &want{re: re}
+			}
+		}
+	}
+	for _, d := range runFixture(t, dir, path) {
+		w := wants[d.file][d.line]
+		if w == nil {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", d.file, d.line, d.analyzer, d.msg)
+			continue
+		}
+		if !w.re.MatchString(d.msg) {
+			t.Errorf("%s:%d: diagnostic %q does not match want %q", d.file, d.line, d.msg, w.re)
+			continue
+		}
+		w.matched = true
+	}
+	for file, lines := range wants {
+		for line, w := range lines {
+			if !w.matched {
+				t.Errorf("%s:%d: want %q not reported", file, line, w.re)
+			}
+		}
+	}
+}
+
+func TestGuardedFireFixture(t *testing.T)   { checkFixture(t, "guardedfire", "m2cc/internal/sched") }
+func TestObsGuardFixture(t *testing.T)      { checkFixture(t, "obsguard", "m2cc/internal/obs") }
+func TestNoTimeFixture(t *testing.T)        { checkFixture(t, "notime", "m2cc/internal/sim") }
+func TestGuardsCommentFixture(t *testing.T) { checkFixture(t, "guardscomment", "m2cc/internal/vm") }
+
+// TestPathExemptions: the path-scoped analyzers stay silent when the
+// fixture is attributed to an exempt or unrelated package.
+func TestPathExemptions(t *testing.T) {
+	cases := []struct {
+		dir, path, analyzer string
+	}{
+		{"guardedfire", "m2cc/internal/event", "guardedfire"},
+		{"obsguard", "m2cc/internal/sched", "obsguard"},
+		{"notime", "m2cc/internal/core", "notime"},
+	}
+	for _, tc := range cases {
+		for _, d := range runFixture(t, tc.dir, tc.path) {
+			if d.analyzer == tc.analyzer {
+				t.Errorf("%s under path %s still reports: %s", tc.analyzer, tc.path, d.msg)
+			}
+		}
+	}
+}
+
+// TestAnalyzerMetadata: every analyzer is named, documented, and
+// runnable on an empty package.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+		pass := &Pass{Analyzer: a, Fset: token.NewFileSet(), Path: "m2cc/internal/obs",
+			Report: func(d Diagnostic) { t.Errorf("%s reported on empty package: %s", a.Name, d.Message) }}
+		if err := a.Run(pass); err != nil {
+			t.Errorf("%s on empty package: %v", a.Name, err)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("expected 4 analyzers, have %d", len(seen))
+	}
+}

@@ -1,0 +1,33 @@
+// Fixture for the guardedfire analyzer.  Parsed (never compiled) by
+// lint_test.go under the synthetic import path m2cc/internal/sched.
+package guardedfire
+
+type Event struct{}
+
+func (*Event) Fire()          {}
+func (*Event) FireWith(n int) {}
+
+type Ctx struct{}
+
+func (*Ctx) FireEvent(ev *Event) {}
+
+func raw(ev *Event) {
+	ev.Fire() // want "raw \.Fire\(\) call"
+}
+
+func sanctioned(ev *Event) {
+	ev.Fire() // vet:allowfire fixture: fired before any TaskCtx exists
+}
+
+func sanctionedAbove(ev *Event) {
+	// vet:allowfire fixture: annotation on the preceding line
+	ev.Fire()
+}
+
+func viaCtx(c *Ctx, ev *Event) {
+	c.FireEvent(ev) // the blessed path: no diagnostic
+}
+
+func withArgs(ev *Event) {
+	ev.FireWith(1) // not a zero-argument Fire: no diagnostic
+}

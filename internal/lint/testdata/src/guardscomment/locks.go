@@ -1,0 +1,24 @@
+// Fixture for the guardscomment analyzer.  Parsed under an arbitrary
+// import path: the convention applies repo-wide.
+package guardscomment
+
+import "sync"
+
+type documented struct {
+	mu   sync.Mutex // guards: count
+	done chan int   // guards: completion — closed when count reaches zero
+	// guards: the published flag; writers hold it for the full publish
+	rw    sync.RWMutex
+	count int
+}
+
+type undocumented struct {
+	mu   sync.Mutex   // want "mutex field mu needs"
+	rw   sync.RWMutex // want "mutex field rw needs"
+	done chan int     // want "chan field done needs"
+	n    int          // plain fields need no annotation
+}
+
+type embedded struct {
+	sync.Mutex // want "mutex field .embedded. needs"
+}

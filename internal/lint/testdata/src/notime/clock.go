@@ -1,0 +1,21 @@
+// Fixture for the notime analyzer.  Parsed under the synthetic import
+// path m2cc/internal/sim.
+package notime
+
+import (
+	"time"
+	wall "time"
+)
+
+func bad() time.Duration {
+	start := time.Now() // want "wall-clock read time.Now"
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func aliased() time.Time {
+	return wall.Now() // want "wall-clock read wall.Now"
+}
+
+func fine() time.Duration {
+	return 3 * time.Second // constants and types are fine; only Now/Since read the clock
+}

@@ -1,0 +1,50 @@
+// Fixture for the obsguard analyzer.  Parsed under the synthetic
+// import path m2cc/internal/obs.
+package obsguard
+
+type Observer struct {
+	n int
+}
+
+func (o *Observer) Guarded() {
+	if o == nil {
+		return
+	}
+	o.n++
+}
+
+func (o *Observer) GuardedFlipped() {
+	if nil == o {
+		return
+	}
+	o.n++
+}
+
+func (o *Observer) GuardedCompound(e *Observer) {
+	if o == nil || e == nil {
+		return
+	}
+	o.n += e.n
+}
+
+func (o *Observer) Delegates() {
+	o.Guarded()
+	o.GuardedFlipped()
+}
+
+func (o *Observer) Bad() { // want "must start with `if o == nil`"
+	o.n++
+}
+
+func (o *Observer) BadMixed() { // want "must start with `if o == nil`"
+	o.Guarded()
+	o.n++ // direct field access alongside delegation: still unsafe
+}
+
+func (o *Observer) unexported() {
+	o.n++ // unexported helpers run behind a caller's guard
+}
+
+func (o Observer) Value() int {
+	return o.n // value receiver: cannot be nil
+}

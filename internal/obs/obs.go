@@ -177,7 +177,7 @@ type Dump struct {
 // concurrent compilation.  All methods are safe for concurrent use and
 // on a nil receiver.
 type Observer struct {
-	mu    sync.Mutex
+	mu    sync.Mutex // guards: every record field below; all methods lock it
 	epoch time.Time
 	ended time.Duration // set by Finish; 0 = still running
 

@@ -62,9 +62,9 @@ type Task struct {
 
 	gatesLeft int
 	started   bool
-	resume    chan struct{}
-	heapIdx   int // index in the runnable heap, -1 when absent
-	obsID     int // observability-layer task ID (0 = unobserved)
+	resume    chan struct{} // guards: slot handoff — one send re-admits this blocked task
+	heapIdx   int           // index in the runnable heap, -1 when absent
+	obsID     int           // observability-layer task ID (0 = unobserved)
 }
 
 // Done returns the event fired when the task finishes.  Other tasks
@@ -162,7 +162,7 @@ func (t *Task) ExternalWait(e *event.Event) bool {
 
 // Supervisor owns the worker slots and the ready queue.
 type Supervisor struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards: all scheduler state below; cond's locker
 	cond     *sync.Cond
 	slots    int
 	free     int
@@ -379,7 +379,7 @@ func (s *Supervisor) runGuarded(t *Task) {
 		}
 		for _, e := range fires {
 			s.Obs.EventForceFired(e)
-			e.Fire()
+			e.Fire() // vet:allowfire forced fire on a dead task's behalf; EventForceFired is the record
 		}
 	}()
 	t.run(t)
@@ -466,7 +466,7 @@ func (s *Supervisor) Wait() {
 				}
 				for _, e := range fires {
 					s.Obs.EventForceFired(e)
-					e.Fire()
+					e.Fire() // vet:allowfire watchdog force-fire; EventForceFired is the record
 				}
 				s.mu.Lock()
 				continue

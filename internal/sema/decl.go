@@ -77,6 +77,29 @@ func NewProcAnalyzer(env *Env, child *ChildProc) *DeclAnalyzer {
 
 func (a *DeclAnalyzer) insert(sym *symtab.Symbol) { a.Env.Insert(a.Scope, sym) }
 
+// warnModuleShadow reports a procedure-local variable whose name hides
+// an imported module.  Only the enclosing implementation-module scope
+// is consulted: its KModule entries are inserted by AnalyzeImports
+// before any child stream's heading event fires, so the probe is
+// deterministic under every schedule.  The concurrently-built .def
+// scopes are deliberately not probed — their import entries may still
+// be in flight — and a module-level clash is a redeclaration error
+// reported by Insert instead.
+func (a *DeclAnalyzer) warnModuleShadow(n ast.Name) {
+	if a.Area >= 0 {
+		return
+	}
+	for sc := a.Scope.Parent; sc != nil; sc = sc.Parent {
+		if sc.Kind != symtab.ModuleScope {
+			continue
+		}
+		if sym := sc.Probe(n.Text); sym != nil && sym.Kind == symtab.KModule {
+			a.Env.Warnf(n.Pos, "variable %s shadows imported module %s", n.Text, n.Text)
+		}
+		return
+	}
+}
+
 // alloc reserves n storage slots in this scope's area or frame.
 func (a *DeclAnalyzer) alloc(n int32) int32 {
 	off := a.NextOff
@@ -151,6 +174,7 @@ func (a *DeclAnalyzer) Analyze(decls []ast.Decl) {
 				slots = int32(t.Slots())
 			}
 			for _, n := range d.Names {
+				a.warnModuleShadow(n)
 				sym := &symtab.Symbol{
 					Name: n.Text, Kind: symtab.KVar, Pos: n.Pos, Type: t,
 					Level: a.Scope.Level, Offset: a.alloc(slots),

@@ -40,6 +40,11 @@ func (e *Env) Errorf(pos token.Pos, format string, args ...any) {
 	e.Diags.Errorf(e.File, pos, format, args...)
 }
 
+// Warnf reports a warning at pos in this task's file.
+func (e *Env) Warnf(pos token.Pos, format string, args ...any) {
+	e.Diags.Warnf(e.File, pos, format, args...)
+}
+
 // report adapts Errorf to the symtab.Scope.Insert callback signature.
 func (e *Env) report(pos token.Pos, format string, args ...any) {
 	e.Errorf(pos, format, args...)

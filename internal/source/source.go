@@ -64,7 +64,7 @@ type Loader interface {
 // MapLoader is an in-memory Loader keyed by "Name.def" / "Name.mod".
 // The zero value is empty and ready to use after the first Add.
 type MapLoader struct {
-	mu    sync.RWMutex
+	mu    sync.RWMutex // guards: files
 	files map[string]string
 }
 
@@ -146,8 +146,8 @@ func (f *File) Label() string { return f.Name + f.Kind.Ext() }
 // tasks register files concurrently; token positions refer to files by
 // ID.  A Set must not be shared between compilations.
 type Set struct {
-	mu    sync.RWMutex
-	files []*File // index = ID-1
+	mu    sync.RWMutex // guards: files
+	files []*File      // index = ID-1
 }
 
 // NewSet returns an empty file set.

@@ -129,7 +129,7 @@ func (o Outcome) String() string {
 // blockage counts and a per-strategy outcome histogram.  Safe for
 // concurrent use.
 type Stats struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards: counts, outcomes
 	counts   map[StatKey]int64
 	outcomes map[Strategy]*[NumOutcomes]int64
 

@@ -131,7 +131,7 @@ type Scope struct {
 	Level  int32 // static nesting level of entities declared here
 	tab    *Table
 
-	mu       sync.Mutex
+	mu       sync.Mutex // guards: syms, order, and the publication state below
 	syms     map[string]*Symbol
 	order    []*Symbol // publication order (deterministic listings)
 	complete bool
@@ -152,7 +152,7 @@ type Scope struct {
 // carries the selected DKY strategy, the Table 2 statistics collector
 // and the optional trace recorder.
 type Table struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards: nextID, prefired
 	nextID   int32
 	prefired map[*Scope]bool
 
@@ -255,7 +255,7 @@ func (s *Scope) Complete(ctx *ctrace.TaskCtx) {
 	// Optimistic handling: traverse the completed table and signal all
 	// unsignaled per-symbol events (§2.3.3).
 	for _, w := range waiters {
-		w.Fire()
+		w.Fire() // vet:allowfire per-symbol micro-event; only the completion event is traced
 	}
 	ctx.FireEvent(s.completion)
 }
@@ -313,7 +313,7 @@ func (s *Scope) Insert(ctx *ctrace.TaskCtx, report func(pos token.Pos, format st
 	fired := s.publishLocked(ctx, sym)
 	s.mu.Unlock()
 	if fired != nil {
-		fired.Fire()
+		fired.Fire() // vet:allowfire per-symbol micro-event; only the completion event is traced
 	}
 	return true
 }
@@ -340,7 +340,7 @@ func (s *Scope) publishQueueLocked(ctx *ctrace.TaskCtx) {
 	}
 	s.queue = nil
 	for _, f := range fires {
-		f.Fire()
+		f.Fire() // vet:allowfire per-symbol micro-event; only the completion event is traced
 	}
 }
 
@@ -405,6 +405,15 @@ func (s *Scope) probeOwner(name string) (sym *Symbol, complete bool) {
 // references with self-scope priority.
 func (s *Scope) OwnerProbe(name string) *Symbol {
 	sym, _ := s.probeOwner(name)
+	return sym
+}
+
+// Probe returns the named published symbol, or nil.  It never blocks,
+// never installs a placeholder and never counts as a DKY lookup; the
+// declaration analyzer's shadow check uses it to consult an enclosing
+// module scope without disturbing the Table 2 statistics.
+func (s *Scope) Probe(name string) *Symbol {
+	sym, _ := s.probe(name)
 	return sym
 }
 

@@ -42,7 +42,7 @@ type Queue struct {
 	blockSize int
 	fire      func(*event.Event) // producer-side fire hook (instrumentation)
 
-	mu     sync.Mutex
+	mu     sync.Mutex // guards: blocks, grown (swapped under it), closed
 	blocks []*Block
 	grown  *event.Event // fired (and replaced) when a block is added or the queue closes
 	closed bool
@@ -55,7 +55,7 @@ func New(blockSize int) *Queue {
 		blockSize = DefaultBlockSize
 	}
 	q := &Queue{blockSize: blockSize, grown: event.New()}
-	q.fire = func(e *event.Event) { e.Fire() }
+	q.fire = func(e *event.Event) { e.Fire() } // vet:allowfire default hook; SetFireHook swaps in FireEvent
 	return q
 }
 

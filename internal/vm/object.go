@@ -61,7 +61,7 @@ type Object struct {
 // order is schedule-dependent, which is why everything observable
 // (listings, link resolution) goes through names instead.
 type Registry struct {
-	mu         sync.Mutex
+	mu         sync.Mutex // guards: module, procs, and the index maps below
 	module     string
 	procs      []*ProcMeta
 	areas      []*Area

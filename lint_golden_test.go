@@ -1,0 +1,92 @@
+package m2cc_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"m2cc"
+)
+
+// exampleLoader reads the shipped example modules, the same tree the
+// `make lint` target points m2lint at.
+func exampleLoader() *m2cc.DirLoader {
+	return &m2cc.DirLoader{Dirs: []string{filepath.Join("examples", "modules")}}
+}
+
+// TestLintGoldenFindings byte-matches the analyzer's output on the
+// LintFindings fixture (one instance of every finding class, including
+// the cross-module unused-export in Shapes.def) against the checked-in
+// golden file, for the sequential analyzer and for the concurrent
+// checker under every DKY strategy.
+func TestLintGoldenFindings(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("examples", "modules", "LintFindings.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(golden)
+	loader := exampleLoader()
+	if got := m2cc.RenderFindings(m2cc.Lint("LintFindings", loader)); got != want {
+		t.Errorf("sequential analyzer diverges from golden file\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	for _, dky := range []string{"avoidance", "pessimistic", "skeptical", "optimistic"} {
+		strategy, err := m2cc.ParseStrategy(dky)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m2cc.Compile("LintFindings", loader, m2cc.Options{
+			Workers: 4, Strategy: strategy, Check: true,
+		})
+		if res.Failed() {
+			t.Fatalf("%s: compile failed:\n%s", dky, res.Diags)
+		}
+		if got := m2cc.RenderFindings(res.Findings); got != want {
+			t.Errorf("%s: concurrent findings diverge from golden file\ngot:\n%s\nwant:\n%s", dky, got, want)
+		}
+	}
+}
+
+// TestLintGoldenClean: the clean fixture produces no findings at all.
+func TestLintGoldenClean(t *testing.T) {
+	loader := exampleLoader()
+	if got := m2cc.RenderFindings(m2cc.Lint("LintClean", loader)); got != "" {
+		t.Errorf("sequential analyzer reports on the clean fixture:\n%s", got)
+	}
+	res := m2cc.Compile("LintClean", loader, m2cc.Options{Workers: 4, Check: true})
+	if res.Failed() {
+		t.Fatalf("compile failed:\n%s", res.Diags)
+	}
+	if got := m2cc.RenderFindings(res.Findings); got != "" {
+		t.Errorf("concurrent checker reports on the clean fixture:\n%s", got)
+	}
+}
+
+// TestLintJSONShape: the JSON export round-trips and mirrors the text
+// rendering's count and order.
+func TestLintJSONShape(t *testing.T) {
+	findings := m2cc.Lint("LintFindings", exampleLoader())
+	var buf bytes.Buffer
+	if err := m2cc.WriteFindingsJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Severity string `json:"severity"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(decoded) != len(findings) {
+		t.Fatalf("JSON has %d findings, analyzer produced %d", len(decoded), len(findings))
+	}
+	for i, d := range decoded {
+		if d.File == "" || d.Line <= 0 || d.Col <= 0 || d.Severity == "" || d.Message == "" {
+			t.Errorf("finding %d incomplete: %+v", i, d)
+		}
+	}
+}

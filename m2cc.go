@@ -42,8 +42,10 @@ import (
 	"io"
 	"sync"
 
+	"m2cc/internal/check"
 	"m2cc/internal/core"
 	"m2cc/internal/ctrace"
+	"m2cc/internal/diag"
 	"m2cc/internal/ifacecache"
 	"m2cc/internal/obs"
 	"m2cc/internal/profile"
@@ -108,6 +110,20 @@ const DefaultStallTimeout = core.DefaultStallTimeout
 
 // Result is a concurrent compilation's outcome.
 type Result = core.Result
+
+// Finding is one static-analysis finding (a warning-severity
+// diagnostic with a line+column span).  Produced by Options.Check
+// (Result.Findings) and by Lint.
+type Finding = diag.Diagnostic
+
+// RenderFindings formats findings one per line, the byte-comparable
+// form the differential tests use.
+func RenderFindings(findings []Finding) string { return check.Render(findings) }
+
+// WriteFindingsJSON emits findings as a JSON array with full spans.
+func WriteFindingsJSON(w io.Writer, findings []Finding) error {
+	return check.WriteJSON(w, findings)
+}
 
 // SeqResult is a sequential compilation's outcome.
 type SeqResult = seq.Result
@@ -202,9 +218,31 @@ func ExportObservedTrace(o *Observer) *Trace {
 func Compile(module string, loader Loader, opts Options) *Result {
 	res := core.Compile(module, loader, opts)
 	if res.Faulted {
-		return sequentialFallback(module, loader, res)
+		fb := sequentialFallback(module, loader, res)
+		if opts.Check {
+			// The faulted attempt's findings (if any) came from a
+			// wounded schedule; recompute them with the sequential
+			// analyzer, which parses afresh from source.
+			fb.Findings = check.Analyze(module, loader)
+			fb.CheckFellBack = true
+		}
+		return fb
+	}
+	if opts.Check && res.Findings == nil {
+		// The lint merge never ran (its task was lost to a shutdown
+		// path that did not poison the result); degrade to the
+		// sequential analyzer rather than report nothing.
+		res.Findings = check.Analyze(module, loader)
+		res.CheckFellBack = true
 	}
 	return res
+}
+
+// Lint runs the sequential static analyzer over the named module and
+// its interface closure without compiling it — the baseline the
+// concurrent checker (Options.Check) byte-matches.
+func Lint(module string, loader Loader) []Finding {
+	return check.Analyze(module, loader)
 }
 
 // sequentialFallback re-runs a faulted concurrent compilation through
