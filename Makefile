@@ -4,15 +4,17 @@ GO ?= go
 # cache, the concurrent driver, the DKY symbol tables, the Supervisor
 # scheduler, the fault-injection plans shared across task goroutines,
 # the observability layer hooked into every task transition, the
-# profiler consuming its dumps while compilations run, and the
-# concurrent static analyzer whose findings must be schedule-independent.
-RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject ./internal/obs ./internal/profile ./internal/check
+# profiler consuming its dumps while compilations run, the concurrent
+# static analyzer whose findings must be schedule-independent, the
+# event primitive's lock-free fired fast path, and the token queues'
+# producer-owned blocks and pooled recycling.
+RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject ./internal/obs ./internal/profile ./internal/check ./internal/event ./internal/tokq
 
 # Seeds for the chaos suite's seeded matrix (see chaos_test.go); the
 # suite also hand-arms every injection point regardless of seeds.
 CHAOS_SEEDS ?= 1,2,3,4,5,6,7,8,13,21,34,55,89,144
 
-.PHONY: check vet build test race chaos smoke profile lint bench obsbench profilebench clean
+.PHONY: check vet build test race chaos smoke profile lint bench obsbench profilebench bench-sched clean
 
 check: vet build test race chaos smoke profile lint
 
@@ -66,6 +68,12 @@ obsbench:
 
 profilebench:
 	$(GO) run ./cmd/m2bench -profile -json BENCH_profile.json
+
+# Scheduler benchmark: steal vs global-queue wall clock, allocations,
+# and blocked-time blame, compared against the committed before
+# snapshot (the single global ready queue and per-token locking).
+bench-sched:
+	$(GO) run ./cmd/m2bench -sched -json BENCH_sched.json -baseline BENCH_sched_before.json
 
 clean:
 	$(GO) clean ./...

@@ -108,8 +108,8 @@ func BenchmarkTable2LookupStats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		stats = h.Table2(8)
 	}
-	b.ReportMetric(float64(stats.Lookups), "lookups")
-	b.ReportMetric(float64(stats.Blocks), "DKY-blocks")
+	b.ReportMetric(float64(stats.Lookups.Load()), "lookups")
+	b.ReportMetric(float64(stats.Blocks.Load()), "DKY-blocks")
 }
 
 // BenchmarkTable3Summary regenerates the full Table 3.

@@ -263,6 +263,12 @@ func TestChaosMatrix(t *testing.T) {
 		{"panic-check", func() *faultinject.Plan {
 			return faultinject.New().Arm(faultinject.PanicCheck, 3)
 		}},
+		{"panic-steal", func() *faultinject.Plan {
+			// Trips the first task dispatched by stealing it from
+			// another worker's local run queue, before its body runs;
+			// recovery must be indistinguishable from any other panic.
+			return faultinject.New().Arm(faultinject.PanicSteal, 1)
+		}},
 	}
 	for strat := m2cc.Avoidance; strat <= m2cc.Optimistic; strat++ {
 		for _, p := range plans {

@@ -56,7 +56,9 @@ func main() {
 		ifcache  = flag.Bool("ifacecache", false, "interface-cache benchmark: cold vs warm batch compilation")
 		obsBench = flag.Bool("obs", false, "observability-layer overhead benchmark (budget: <5%)")
 		profB    = flag.Bool("profile", false, "critical-path profiler overhead benchmark (budget: <5% on top of -obs)")
-		jsonOut  = flag.String("json", "", "with -ifacecache, -obs or -profile: also write the result as JSON to this file")
+		schedB   = flag.Bool("sched", false, "scheduler benchmark: steal vs global-queue dispatch, allocs, blocked-time blame")
+		baseline = flag.String("baseline", "", "with -sched: before-snapshot JSON (e.g. BENCH_sched_before.json) to compare against")
+		jsonOut  = flag.String("json", "", "with -ifacecache, -obs, -profile or -sched: also write the result as JSON to this file")
 		workers  = flag.Int("workers", 8, "worker slots per compilation in the benchmark flags")
 	)
 	flag.Parse()
@@ -64,13 +66,13 @@ func main() {
 	sections := *table1 || *table2 || *table3 || *fig1 || *fig2 || *fig3 || *fig4 ||
 		*fig7 || *overhead || *dky || *headersA || *ordering || *boost
 	benchCount := 0
-	for _, b := range []bool{*ifcache, *obsBench, *profB} {
+	for _, b := range []bool{*ifcache, *obsBench, *profB, *schedB} {
 		if b {
 			benchCount++
 		}
 	}
 	if *jsonOut != "" && benchCount != 1 {
-		fmt.Fprintln(os.Stderr, "-json names one result file: pass exactly one of -ifacecache, -obs or -profile")
+		fmt.Fprintln(os.Stderr, "-json names one result file: pass exactly one of -ifacecache, -obs, -profile or -sched")
 		os.Exit(2)
 	}
 
@@ -114,6 +116,28 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		fmt.Print(r)
+		writeJSON(r)
+	}
+	if *schedB {
+		r, err := bench.SchedBench(bench.Config{Seed: *seed, Scale: *scale}, *runs, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *baseline != "" {
+			data, err := os.ReadFile(*baseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			var before bench.SchedBenchResult
+			if err := json.Unmarshal(data, &before); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", *baseline, err)
+				os.Exit(1)
+			}
+			r.Compare(before)
 		}
 		fmt.Print(r)
 		writeJSON(r)

@@ -98,8 +98,8 @@ func TestQuartileOrderingMatchesPaper(t *testing.T) {
 
 func TestTable2AggregatesSuite(t *testing.T) {
 	stats := harness(t).Table2(8)
-	if stats.Lookups < 1000 {
-		t.Fatalf("suspiciously few lookups: %d", stats.Lookups)
+	if stats.Lookups.Load() < 1000 {
+		t.Fatalf("suspiciously few lookups: %d", stats.Lookups.Load())
 	}
 	text := stats.String()
 	for _, want := range []string{"self", "Builtin", "qualified"} {

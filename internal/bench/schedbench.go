@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"m2cc/internal/core"
+	"m2cc/internal/obs"
+	"m2cc/internal/profile"
+	"m2cc/internal/symtab"
+	"m2cc/internal/workload"
+)
+
+// SchedBenchResult quantifies the Supervisor's scheduling overhead on
+// the standard suite workload: wall clock at the requested worker
+// count, allocations per compiled module, and the blocked-time blame
+// the critical-path profiler assigns to scheduler transitions (queue
+// delay + dispatch latency, as opposed to genuine dependency stalls).
+//
+// Two in-process dispatch disciplines are timed side by side:
+//
+//   - steal: the per-worker local run queues with randomized work
+//     stealing and a global overflow queue (the default);
+//   - global: every push and pop goes through the single shared
+//     priority queue, the pre-work-stealing discipline kept as the
+//     benchmark baseline (core.Options.GlobalQueue).
+//
+// Baseline* fields compare against a committed before-snapshot
+// (BENCH_sched_before.json, captured at the commit before the
+// scheduler overhaul) when one is supplied.  Field tags match
+// BENCH_sched.json.
+type SchedBenchResult struct {
+	Benchmark string  `json:"benchmark"` // "sched"
+	Seed      int64   `json:"seed"`
+	Scale     float64 `json:"scale"`
+	Workers   int     `json:"workers"`
+	Runs      int     `json:"runs"`
+	Programs  int     `json:"programs"`
+
+	WallMs       float64 `json:"wall_ms"`        // best pass, steal dispatch
+	GlobalWallMs float64 `json:"global_wall_ms"` // best pass, global-queue dispatch (0 = mode unavailable)
+	StealVsGlobalX float64 `json:"steal_vs_global_x"` // GlobalWallMs / WallMs
+
+	AllocsPerCompile float64 `json:"allocs_per_compile"` // heap allocations per compiled module
+	BytesPerCompile  float64 `json:"bytes_per_compile"`
+
+	// Blocked-time blame from an observed pass (steal dispatch):
+	// dependency stalls vs scheduler-attributable delay (post-fire
+	// queue time plus spawn-to-dispatch latency on the critical path).
+	TotalBlockedMs  float64 `json:"total_blocked_ms"`
+	TotalQueueMs    float64 `json:"total_queue_ms"`
+	CritQueueMs     float64 `json:"crit_queue_ms"`
+	CritDispatchMs  float64 `json:"crit_dispatch_ms"`
+	SerialFraction  float64 `json:"serial_fraction"`
+	SpeedupBound    float64 `json:"speedup_bound"`
+
+	// Scheduler queue traffic over the observed pass (zero before the
+	// work-stealing overhaul).
+	Sched obs.SchedCounters `json:"sched"`
+
+	// Cross-commit comparison against BENCH_sched_before.json.
+	BaselineWallMs   float64 `json:"baseline_wall_ms,omitempty"`
+	BaselineAllocs   float64 `json:"baseline_allocs_per_compile,omitempty"`
+	BaselineBlockedMs float64 `json:"baseline_total_blocked_ms,omitempty"`
+	ImprovementX     float64 `json:"improvement_x,omitempty"` // baseline wall / steal wall
+}
+
+func (r SchedBenchResult) String() string {
+	s := fmt.Sprintf(
+		"Scheduler benchmark (seed %d, scale %g, %d programs, workers=%d, best of %d):\n"+
+			"  steal dispatch:        %8.1f ms\n",
+		r.Seed, r.Scale, r.Programs, r.Workers, r.Runs, r.WallMs)
+	if r.GlobalWallMs > 0 {
+		s += fmt.Sprintf(
+			"  global-queue dispatch: %8.1f ms  (steal is %.2fx)\n",
+			r.GlobalWallMs, r.StealVsGlobalX)
+	}
+	s += fmt.Sprintf(
+		"  allocations:           %8.0f allocs / %.0f KiB per compiled module\n"+
+			"  blocked-time blame:    %.1f ms blocked (%.1f ms post-fire queue);"+
+			" crit path: %.2f ms queue + %.2f ms dispatch\n"+
+			"  serial fraction %.1f%%, speedup bound %.2fx\n",
+		r.AllocsPerCompile, r.BytesPerCompile/1024,
+		r.TotalBlockedMs, r.TotalQueueMs, r.CritQueueMs, r.CritDispatchMs,
+		100*r.SerialFraction, r.SpeedupBound)
+	if c := r.Sched; c.LocalPops+c.Steals+c.OverflowPops+c.Handoffs > 0 {
+		s += fmt.Sprintf(
+			"  queue traffic:         %d local pops, %d steals, %d overflow pops, %d direct handoffs\n",
+			c.LocalPops, c.Steals, c.OverflowPops, c.Handoffs)
+	}
+	if r.BaselineWallMs > 0 {
+		s += fmt.Sprintf(
+			"  vs committed baseline: %8.1f ms -> %.1f ms  =>  %.2fx wall clock"+
+				" (allocs %.0f -> %.0f, blocked %.1f ms -> %.1f ms)\n",
+			r.BaselineWallMs, r.WallMs, r.ImprovementX,
+			r.BaselineAllocs, r.AllocsPerCompile,
+			r.BaselineBlockedMs, r.TotalBlockedMs)
+	}
+	return s
+}
+
+// SchedBench measures scheduler throughput and blame on the standard
+// suite workload.  Every pass compiles the whole suite at the given
+// worker count; wall clock is best-of-runs.  One additional observed
+// pass (outside the timed comparison) feeds the critical-path profiler
+// for the blocked-time blame, and one pass wrapped in memory-stats
+// reads yields allocations per compiled module.  Any compilation
+// failure or fault aborts the benchmark.
+func SchedBench(cfg Config, runs, workers int) (SchedBenchResult, error) {
+	cfg = cfg.withDefaults()
+	if runs < 1 {
+		runs = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	suite := workload.GenerateSuite(cfg.Seed, cfg.Scale)
+
+	compile := func(o *obs.Observer, global bool) error {
+		for _, p := range suite.Programs {
+			res := core.Compile(p.Name, suite.Loader, core.Options{
+				Workers: workers, Strategy: symtab.Skeptical, Obs: o,
+				GlobalQueue: global,
+			})
+			if res.Failed() || res.Faulted {
+				return fmt.Errorf("sched bench: %s failed to compile (faulted=%v):\n%s",
+					p.Name, res.Faulted, res.Diags)
+			}
+		}
+		return nil
+	}
+
+	best := func(global bool) (time.Duration, error) {
+		b := time.Duration(1 << 62)
+		for r := 0; r < runs; r++ {
+			start := time.Now()
+			if err := compile(nil, global); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); d < b {
+				b = d
+			}
+		}
+		return b, nil
+	}
+
+	steal, err := best(false)
+	if err != nil {
+		return SchedBenchResult{}, err
+	}
+	global, err := best(true)
+	if err != nil {
+		return SchedBenchResult{}, err
+	}
+
+	// Allocation pass: heap churn per compiled module, steal dispatch.
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	if err := compile(nil, false); err != nil {
+		return SchedBenchResult{}, err
+	}
+	runtime.ReadMemStats(&m1)
+	nprog := float64(len(suite.Programs))
+
+	// Blame pass: observed, profiled.
+	o := obs.New()
+	if err := compile(o, false); err != nil {
+		return SchedBenchResult{}, err
+	}
+	o.Finish()
+	dump := o.Dump()
+	p := profile.Build(&dump)
+	var critQ, critD time.Duration
+	for _, seg := range p.Path {
+		switch seg.Kind {
+		case profile.SegQueue:
+			critQ += seg.Dur()
+		case profile.SegDispatch:
+			critD += seg.Dur()
+		}
+	}
+
+	res := SchedBenchResult{
+		Benchmark: "sched",
+		Seed:      cfg.Seed,
+		Scale:     cfg.Scale,
+		Workers:   workers,
+		Runs:      runs,
+		Programs:  len(suite.Programs),
+		WallMs:    float64(steal.Microseconds()) / 1000,
+
+		AllocsPerCompile: float64(m1.Mallocs-m0.Mallocs) / nprog,
+		BytesPerCompile:  float64(m1.TotalAlloc-m0.TotalAlloc) / nprog,
+
+		TotalBlockedMs: float64(p.TotalBlocked.Microseconds()) / 1000,
+		TotalQueueMs:   float64(p.TotalQueue.Microseconds()) / 1000,
+		CritQueueMs:    float64(critQ.Microseconds()) / 1000,
+		CritDispatchMs: float64(critD.Microseconds()) / 1000,
+		SerialFraction: p.SerialFraction,
+		SpeedupBound:   p.SpeedupBound,
+		Sched:          dump.Sched,
+	}
+	res.GlobalWallMs = float64(global.Microseconds()) / 1000
+	if res.WallMs > 0 && res.GlobalWallMs > 0 {
+		res.StealVsGlobalX = res.GlobalWallMs / res.WallMs
+	}
+	return res, nil
+}
+
+// Compare fills the Baseline*/ImprovementX fields from a before
+// snapshot (typically the committed BENCH_sched_before.json).
+func (r *SchedBenchResult) Compare(before SchedBenchResult) {
+	r.BaselineWallMs = before.WallMs
+	r.BaselineAllocs = before.AllocsPerCompile
+	r.BaselineBlockedMs = before.TotalBlockedMs
+	if r.WallMs > 0 && before.WallMs > 0 {
+		r.ImprovementX = before.WallMs / r.WallMs
+	}
+}

@@ -12,6 +12,8 @@
 package codegen
 
 import (
+	"sync"
+
 	"m2cc/internal/ast"
 	"m2cc/internal/ctrace"
 	"m2cc/internal/sema"
@@ -45,6 +47,14 @@ type loopCtx struct {
 	exits []int32 // Jmp indexes to patch to the loop end
 }
 
+// codeArena recycles emission buffers across Compile calls.  The final
+// code segment is retained by the object for the program's lifetime,
+// so emitting straight into a fresh slice pays the append-doubling
+// garbage on every procedure; instead each Compile emits into a pooled
+// arena (which converges on the largest procedure's size) and retains
+// only one exact-size copy.
+var codeArena sync.Pool
+
 // Compile type-checks and generates code for body (and, for functions,
 // verifies a value-return path), storing the segment and the final
 // frame size into meta.  frameBase is the first free frame slot after
@@ -52,6 +62,10 @@ type loopCtx struct {
 func Compile(env *sema.Env, scope *symtab.Scope, meta *vm.ProcMeta, sig *types.Type, frameBase int32, body *ast.StmtList) {
 	g := &Gen{env: env, scope: scope, meta: meta, sig: sig,
 		tempTop: frameBase, maxFrame: frameBase}
+	arena, _ := codeArena.Get().(*[]vm.Instr)
+	if arena != nil {
+		g.code = (*arena)[:0]
+	}
 	g.stmtList(body)
 	if sig != nil && sig.Ret != nil {
 		g.emit(vm.Instr{Op: vm.NoRet, A: int32(meta.Pos.Line)})
@@ -59,7 +73,12 @@ func Compile(env *sema.Env, scope *symtab.Scope, meta *vm.ProcMeta, sig *types.T
 		g.emit(vm.Instr{Op: vm.RetP})
 	}
 	meta.Frame = g.maxFrame
-	meta.Code = g.code
+	meta.Code = append(make([]vm.Instr, 0, len(g.code)), g.code...)
+	if arena == nil {
+		arena = new([]vm.Instr)
+	}
+	*arena = g.code[:0]
+	codeArena.Put(arena)
 }
 
 func (g *Gen) errorf(pos token.Pos, format string, args ...any) {

@@ -160,7 +160,7 @@ func TestCacheWithStatsCountsCachedScopes(t *testing.T) {
 	if res.Failed() {
 		t.Fatalf("warm compile failed:\n%s", res.Diags)
 	}
-	if res.Stats == nil || res.Stats.Lookups == 0 {
+	if res.Stats == nil || res.Stats.Lookups.Load() == 0 {
 		t.Fatalf("warm-cache run collected no lookup statistics: %+v", res.Stats)
 	}
 }

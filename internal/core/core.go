@@ -103,6 +103,12 @@ type Options struct {
 	// Result.Findings.  Lint compilations bypass the interface cache —
 	// a cached interface install carries no ASTs to analyze.
 	Check bool
+	// GlobalQueue selects the pre-work-stealing dispatch discipline:
+	// every runnable task goes through the single shared priority
+	// queue instead of the per-worker local run queues.  Kept as the
+	// benchmark baseline (`m2bench -sched`) and for A/B debugging;
+	// scheduling policy and compiler output are identical either way.
+	GlobalQueue bool
 	// FaultPlan arms the compiler's deterministic fault-injection
 	// points (see internal/faultinject).  Production callers leave it
 	// nil, which reduces every injection site to a pointer check.
@@ -261,6 +267,8 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	d.tab = symtab.NewTable(opts.Strategy, stats, d.rec)
 	d.tab.Inject = d.inject
 	d.sup = sched.New(opts.Workers, d.rec)
+	d.sup.GlobalQueue = opts.GlobalQueue
+	d.sup.Inject = d.inject
 	d.sup.StallTimeout = d.stall
 	d.sup.Obs = d.obs
 	d.sup.OnDeadlock = func(msg string) {
@@ -298,6 +306,7 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 			d.mu.Unlock()
 			d.obs.NoteCache(cc)
 		}
+		d.obs.NoteSched(d.sup.Counters())
 		d.obs.NoteLookups(stats)
 		d.obs.Finish()
 	}
@@ -432,7 +441,9 @@ func (d *driver) newStream() int32 {
 
 func (d *driver) startMainStream() {
 	rawQ := tokq.New(d.opts.BlockSize)
+	rawQ.Retain(2) // Importer + Splitter
 	mainQ := tokq.New(d.opts.BlockSize)
+	mainQ.Retain(1) // ModParse
 	lexStarted := event.New()
 	splitStarted := event.New()
 
@@ -461,6 +472,7 @@ func (d *driver) startMainStream() {
 		sched.Priority(ctrace.KindImporter, 0), []*event.Event{lexStarted}, nil,
 		func(t *sched.Task) {
 			r := rawQ.NewReader(t.BarrierWait)
+			defer r.Detach()
 			impscan.Run(t.Ctx, r, func(name string, pos token.Pos) {
 				d.iface(name, false, t)
 			})
@@ -482,6 +494,7 @@ func (d *driver) startMainStream() {
 			}()
 			t.Ctx.FireEvent(splitStarted)
 			r := rawQ.NewReader(t.BarrierWait)
+			defer r.Detach()
 			splitter.Run(t.Ctx, r, mainQ, d.startProcStream(t),
 				d.opts.Headers == HeaderReprocess)
 		})
@@ -505,6 +518,7 @@ func (d *driver) startProcStream(splitterTask *sched.Task) splitter.StartProc {
 			q:            tokq.New(d.opts.BlockSize),
 			headingReady: event.New(),
 		}
+		ps.q.Retain(1) // ProcParse
 		d.mu.Lock()
 		d.procs[id] = ps
 		d.mu.Unlock()
@@ -548,7 +562,9 @@ func (d *driver) bindChildren(t *sched.Task, a *sema.DeclAnalyzer) {
 // runModParse is the main module's Parser/Declarations-Analyzer task.
 func (d *driver) runModParse(t *sched.Task, mainQ *tokq.Queue, label string) {
 	env := d.env(t, label)
-	p := parser.New(mainQ.NewReader(t.BarrierWait), label, t.Ctx, d.diags)
+	mr := mainQ.NewReader(t.BarrierWait)
+	defer mr.Detach()
+	p := parser.New(mr, label, t.Ctx, d.diags)
 	m := p.ParsePrologue()
 
 	var parent *symtab.Scope
@@ -620,7 +636,9 @@ func (d *driver) runProcParse(t *sched.Task, ps *procStream) {
 		d.rec.NoteScopeGate(t.Ctx.ID, cp.Scope.Parent.CompletionEvent())
 	}
 
-	p := parser.New(ps.q.NewReader(t.BarrierWait), label, t.Ctx, d.diags)
+	pr := ps.q.NewReader(t.BarrierWait)
+	defer pr.Detach()
+	p := parser.New(pr, label, t.Ctx, d.diags)
 	frameBase := cp.FrameBase
 	if d.opts.Headers == HeaderReprocess {
 		// Alternative 3: this stream re-processes its own heading (the
@@ -877,6 +895,7 @@ func (d *driver) startIface(name string, optional bool, ent *ifacecache.Entry) *
 
 	label := name + ".def"
 	q := tokq.New(d.opts.BlockSize)
+	q.Retain(2) // Importer + DefParse
 	lexStarted := event.New()
 
 	d.spawn(ctrace.KindLexor, stream, "Lexor "+label,
@@ -901,6 +920,7 @@ func (d *driver) startIface(name string, optional bool, ent *ifacecache.Entry) *
 		sched.Priority(ctrace.KindImporter, 0), []*event.Event{lexStarted}, nil,
 		func(t *sched.Task) {
 			r := q.NewReader(t.BarrierWait)
+			defer r.Detach()
 			impscan.Run(t.Ctx, r, func(imp string, pos token.Pos) {
 				d.iface(imp, false, t)
 			})
@@ -918,6 +938,7 @@ func (d *driver) startIface(name string, optional bool, ent *ifacecache.Entry) *
 				d.failEntryIfUnresolved(e)
 			}()
 			r := q.NewReader(t.BarrierWait)
+			defer r.Detach()
 			if r.Peek().Kind == token.EOF {
 				// Load failed (or empty file): nothing to analyze; the
 				// failure is reported once the compilation settles.

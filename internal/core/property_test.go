@@ -156,7 +156,7 @@ func TestRealTable2Stats(t *testing.T) {
 		}
 		agg.Add(res.Stats)
 	}
-	if agg.Lookups == 0 {
+	if agg.Lookups.Load() == 0 {
 		t.Fatal("no lookups recorded")
 	}
 	// The paper's headline: the dominant row is First-try/self, and DKY
@@ -172,9 +172,9 @@ func TestRealTable2Stats(t *testing.T) {
 	if float64(selfFirst) < 0.3*float64(total) {
 		t.Errorf("First try/self = %d of %d — suspiciously low\n%s", selfFirst, total, agg)
 	}
-	if float64(agg.Blocks) > 0.05*float64(total) {
+	if float64(agg.Blocks.Load()) > 0.05*float64(total) {
 		t.Errorf("DKY blockages = %d of %d lookups — the paper found them rare\n%s",
-			agg.Blocks, total, agg)
+			agg.Blocks.Load(), total, agg)
 	}
 }
 

@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"m2cc/internal/core"
+	"m2cc/internal/obs"
+	"m2cc/internal/symtab"
+)
+
+// TestStealSchedulerDeterministicOutput pins the tentpole invariant of
+// the work-stealing dispatcher: compiler output is a pure function of
+// the program, never of the dispatch topology.  One worker (where no
+// steal can happen) is the baseline; multi-worker steal mode, the
+// strict GlobalQueue mode, and both header modes must produce
+// byte-identical listings and diagnostics under every DKY strategy.
+// The observer's dispatch counters double-check that each mode really
+// exercised the topology it claims to.
+func TestStealSchedulerDeterministicOutput(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	mods := []string{"Main", "Stacks", "Sorter"}
+
+	for strat := symtab.Avoidance; strat < symtab.NumStrategies; strat++ {
+		base := make(map[string][2]string, len(mods))
+		for _, m := range mods {
+			res := core.Compile(m, loader, core.Options{Workers: 1, Strategy: strat})
+			base[m] = [2]string{res.Object.Listing(), res.Diags.String()}
+		}
+		for _, workers := range []int{2, 8} {
+			for _, global := range []bool{false, true} {
+				for _, hdr := range []core.HeaderMode{core.HeaderShared, core.HeaderReprocess} {
+					name := fmt.Sprintf("%s/w%d/global=%v/hdr%d", strat, workers, global, hdr)
+					t.Run(name, func(t *testing.T) {
+						o := obs.New()
+						o.Begin(workers, strat.String())
+						for _, m := range mods {
+							res := core.Compile(m, loader, core.Options{
+								Workers: workers, Strategy: strat,
+								Headers: hdr, GlobalQueue: global, Obs: o,
+							})
+							if got := res.Object.Listing(); got != base[m][0] {
+								t.Fatalf("%s: listing differs from 1-worker baseline\ngot:\n%s\nwant:\n%s",
+									m, got, base[m][0])
+							}
+							if got := res.Diags.String(); got != base[m][1] {
+								t.Fatalf("%s: diagnostics differ from 1-worker baseline\n got: %q\nwant: %q",
+									m, got, base[m][1])
+							}
+						}
+						o.Finish()
+						c := o.Dump().Sched
+						if global {
+							if c.LocalPushes != 0 || c.LocalPops != 0 || c.Steals != 0 {
+								t.Fatalf("GlobalQueue mode touched local queues: %+v", c)
+							}
+							if c.OverflowPops == 0 {
+								t.Fatalf("GlobalQueue mode dispatched nothing via the overflow queue: %+v", c)
+							}
+						} else {
+							if c.LocalPushes == 0 {
+								t.Fatalf("steal mode never used a local queue: %+v", c)
+							}
+							if c.LocalPops+c.Steals == 0 {
+								t.Fatalf("steal mode dispatched nothing from a local queue: %+v", c)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}

@@ -50,10 +50,19 @@ func (c Counters) Sub(prev Counters) Counters {
 // Event is a one-shot occurrence flag.  The zero value is an unfired
 // event ready for use.  Fire is idempotent; all methods are safe for
 // concurrent use.
+//
+// The fired flag is an atomic published under mu: it transitions
+// false→true exactly once, inside Fire's critical section.  Readers may
+// check it without the lock — once it reads true it stays true, and the
+// sequentially-consistent store/load pair carries the happens-before
+// edge from the producer's writes to the consumer.  Post-fire Fired,
+// Wait, Fire and Subscribe calls (the common warm case on every DKY
+// probe and token fetch) therefore cost one atomic load and never touch
+// the mutex.
 type Event struct {
-	mu    sync.Mutex    // guards: fired, subs; done is closed while holding it
+	mu    sync.Mutex    // guards: subs, done (creation); fired's false→true transition
 	done  chan struct{} // guards: the fired state for waiters — closed exactly once by Fire
-	fired bool
+	fired atomic.Bool   // set while holding mu; read lock-free
 	subs  []func()
 }
 
@@ -63,12 +72,15 @@ func New() *Event { return &Event{} }
 // Fire marks the event as occurred, wakes all waiters, and runs all
 // subscribed callbacks.  Firing an already-fired event is a no-op.
 func (e *Event) Fire() {
+	if e.fired.Load() {
+		return
+	}
 	e.mu.Lock()
-	if e.fired {
+	if e.fired.Load() {
 		e.mu.Unlock()
 		return
 	}
-	e.fired = true
+	e.fired.Store(true)
 	atomic.AddInt64(&totalFires, 1)
 	if e.done != nil {
 		close(e.done)
@@ -83,9 +95,7 @@ func (e *Event) Fire() {
 
 // Fired reports whether the event has occurred.
 func (e *Event) Fired() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.fired
+	return e.fired.Load()
 }
 
 // Done returns a channel that is closed when the event fires.  The same
@@ -95,7 +105,7 @@ func (e *Event) Done() <-chan struct{} {
 	defer e.mu.Unlock()
 	if e.done == nil {
 		e.done = make(chan struct{})
-		if e.fired {
+		if e.fired.Load() {
 			close(e.done)
 		}
 	}
@@ -107,8 +117,12 @@ func (e *Event) Done() <-chan struct{} {
 // The scheduler uses this to move tasks gated on avoided events into the
 // ready queue the moment their last gate fires.
 func (e *Event) Subscribe(f func()) {
+	if e.fired.Load() {
+		f()
+		return
+	}
 	e.mu.Lock()
-	if e.fired {
+	if e.fired.Load() {
 		e.mu.Unlock()
 		f()
 		return
@@ -122,8 +136,9 @@ func (e *Event) Subscribe(f func()) {
 // through the scheduler so their worker slot can be released; Wait is the
 // barrier-style wait used by token-queue consumers (§2.3.3).
 func (e *Event) Wait() {
-	if !e.Fired() {
-		atomic.AddInt64(&totalWaits, 1)
+	if e.fired.Load() {
+		return
 	}
+	atomic.AddInt64(&totalWaits, 1)
 	<-e.Done()
 }

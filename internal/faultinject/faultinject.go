@@ -52,13 +52,19 @@ const (
 	// stream; the checker must degrade to the sequential analyzer
 	// without poisoning the compilation or sibling findings.
 	PanicCheck
+	// PanicSteal panics the Nth task dispatched by stealing it from
+	// another worker's local run queue, before its body runs
+	// (sched.runGuarded), modelling a task crashing on the wrong
+	// worker; panic isolation and force-firing must behave identically
+	// whether a task was dispatched locally or via a steal.
+	PanicSteal
 
 	numPoints
 )
 
 var pointNames = [numPoints]string{
 	"panic-lookup", "stall-leader", "fail-install", "drop-fire",
-	"panic-check",
+	"panic-check", "panic-steal",
 }
 
 func (p Point) String() string {
@@ -70,7 +76,7 @@ func (p Point) String() string {
 
 // Points lists every injection point (for chaos matrices).
 func Points() []Point {
-	return []Point{PanicLookup, StallLeader, FailInstall, DropFire, PanicCheck}
+	return []Point{PanicLookup, StallLeader, FailInstall, DropFire, PanicCheck, PanicSteal}
 }
 
 // Injected is the value an armed PanicLookup point panics with; the

@@ -49,6 +49,12 @@ type Metrics struct {
 	// Cache is the interface-cache traffic, when a cache was attached.
 	Cache *CacheCounters `json:"ifacecache,omitempty"`
 
+	// Sched is the Supervisor's dispatch traffic — which queue each
+	// dispatched task came from (the worker's own local queue, a steal,
+	// the global overflow queue) and how many slot releases handed the
+	// slot straight to the next task — when the scheduler reported it.
+	Sched *SchedCounters `json:"sched,omitempty"`
+
 	// Lookups are the per-strategy DKY tallies (Table 2's collector,
 	// re-used at runtime), when lookup stats were recorded.
 	Lookups *LookupMetrics `json:"lookups,omitempty"`
@@ -119,6 +125,10 @@ func (o *Observer) Snapshot() Metrics {
 	if o.hasCache {
 		c := o.cache
 		m.Cache = &c
+	}
+	if o.sched != (SchedCounters{}) {
+		sc := o.sched
+		m.Sched = &sc
 	}
 	lookups := o.lookups
 	strategy := o.strategy

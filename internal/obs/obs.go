@@ -171,6 +171,7 @@ type Dump struct {
 	Marks    []Mark
 	Fires    []FireEdge
 	Waits    []WaitEdge
+	Sched    SchedCounters // ready-queue traffic (local/steal/overflow/handoff)
 }
 
 // Observer records the runtime behaviour of one (or one batch of)
@@ -213,9 +214,38 @@ type Observer struct {
 	evBase   event.Counters
 	evDelta  event.Counters
 	cache    CacheCounters
+	sched    SchedCounters
 	hasCache bool
 	strategy string
 	lookups  *symtab.Stats
+}
+
+// SchedCounters is the Supervisor's ready-queue traffic for the
+// observed run: where dispatched tasks came from (the finisher's own
+// local queue, a steal from another worker's queue, the global
+// overflow queue) and how many slot releases handed their slot
+// directly to the next task without ever marking it free.  Counters
+// from several compilations of a batch accumulate.
+type SchedCounters struct {
+	LocalPushes    int64 `json:"local_pushes"`    // tasks enqueued on the spawner's local queue
+	OverflowPushes int64 `json:"overflow_pushes"` // tasks enqueued on the global overflow queue
+	LocalPops      int64 `json:"local_pops"`      // dispatches served from the worker's own queue
+	Steals         int64 `json:"steals"`          // dispatches stolen from another worker's queue
+	OverflowPops   int64 `json:"overflow_pops"`   // dispatches served from the overflow queue
+	Handoffs       int64 `json:"handoffs"`        // releases that handed the slot directly onward
+}
+
+// Add accumulates other into c.
+func (c *SchedCounters) Add(other SchedCounters) {
+	if c == nil {
+		return
+	}
+	c.LocalPushes += other.LocalPushes
+	c.OverflowPushes += other.OverflowPushes
+	c.LocalPops += other.LocalPops
+	c.Steals += other.Steals
+	c.OverflowPops += other.OverflowPops
+	c.Handoffs += other.Handoffs
 }
 
 // CacheCounters is the interface-cache traffic attributed to the
@@ -581,6 +611,18 @@ func (o *Observer) NoteCache(c CacheCounters) {
 	o.mu.Unlock()
 }
 
+// NoteSched attributes one Supervisor's ready-queue traffic to the
+// observed run.  Counters from several compilations of a batch
+// accumulate.
+func (o *Observer) NoteSched(c SchedCounters) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.sched.Add(c)
+	o.mu.Unlock()
+}
+
 // NoteLookups attributes DKY lookup tallies to the observed run.
 // Stats from several modules of a batch are merged.
 func (o *Observer) NoteLookups(st *symtab.Stats) {
@@ -689,10 +731,11 @@ func (o *Observer) Dump() Dump {
 	spans, tasks, marks, wall := o.snapshotSpans()
 	fires, waits, events := o.snapshotEdges()
 	o.mu.Lock()
-	workers, strategy := o.workers, o.strategy
+	workers, strategy, sched := o.workers, o.strategy, o.sched
 	o.mu.Unlock()
 	return Dump{
 		Wall: wall, Workers: workers, Strategy: strategy, Events: events,
 		Tasks: tasks, Spans: spans, Marks: marks, Fires: fires, Waits: waits,
+		Sched: sched,
 	}
 }

@@ -133,6 +133,13 @@ type Profile struct {
 	Path   []Segment    // the critical path, earliest first
 	Events []EventBlame // ranked by Blocked+Queue, largest first
 	ByTask []TaskCost   // ranked by Work, largest first
+
+	// Sched is the Supervisor's dispatch traffic for the observed run
+	// (zero when the scheduler reported none): how many dispatches the
+	// queue-delay segments above were served from the worker's own
+	// local queue, a steal, or the overflow queue, and how many slot
+	// releases handed the slot straight onward without a queue trip.
+	Sched obs.SchedCounters
 }
 
 // ival is one execution interval of a task (span minus barrier stalls).
@@ -189,6 +196,7 @@ const epsD = 100 * time.Nanosecond
 func Build(d *obs.Dump) *Profile {
 	p := &Profile{
 		Wall: d.Wall, Workers: d.Workers, Strategy: d.Strategy, Tasks: len(d.Tasks),
+		Sched: d.Sched,
 	}
 	if len(d.Spans) == 0 {
 		return p

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"m2cc/internal/obs"
 )
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -25,6 +27,10 @@ func (p *Profile) Render(maxRows int) string {
 		ms(p.CritLen), ms(p.CritWork), ms(p.CritBlocked), ms(p.CritQueue))
 	fmt.Fprintf(&sb, "  serial fraction %.1f%%   speedup bound at P→∞: %.2fx\n",
 		100*p.SerialFraction, p.SpeedupBound)
+	if c := p.Sched; c.LocalPops+c.Steals+c.OverflowPops+c.Handoffs > 0 {
+		fmt.Fprintf(&sb, "  dispatches: %d local, %d stolen, %d overflow; %d direct slot handoffs\n",
+			c.LocalPops, c.Steals, c.OverflowPops, c.Handoffs)
+	}
 
 	sb.WriteString("\ncritical path (earliest first):\n")
 	for _, seg := range p.Path {
@@ -100,6 +106,7 @@ type jsonProfile struct {
 	CritQueueMs    float64       `json:"crit_queue_ms"`
 	SerialFraction float64       `json:"serial_fraction"`
 	SpeedupBound   float64       `json:"speedup_bound"`
+	Sched          *obs.SchedCounters `json:"sched,omitempty"`
 	Path           []jsonSegment `json:"critical_path"`
 	Events         []jsonBlame   `json:"events"`
 	Tasks_         []jsonTask    `json:"by_task"`
@@ -144,6 +151,10 @@ func (p *Profile) WriteJSON(w io.Writer) error {
 		CritLenMs: ms(p.CritLen), CritWorkMs: ms(p.CritWork),
 		CritBlockedMs: ms(p.CritBlocked), CritQueueMs: ms(p.CritQueue),
 		SerialFraction: p.SerialFraction, SpeedupBound: p.SpeedupBound,
+	}
+	if p.Sched != (obs.SchedCounters{}) {
+		sc := p.Sched
+		jp.Sched = &sc
 	}
 	for _, seg := range p.Path {
 		jp.Path = append(jp.Path, jsonSegment{

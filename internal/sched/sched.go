@@ -1,15 +1,29 @@
 // Package sched implements the Supervisors approach of §2.3.2: one
-// worker slot per (virtual) processor, a priority-ordered ready queue
+// worker slot per (virtual) processor, priority-ordered ready queues
 // searched in the paper's task-class order, and the three event wait
 // disciplines of §2.3.3:
 //
-//   - avoided events gate a task out of the ready queue entirely until
+//   - avoided events gate a task out of the ready queues entirely until
 //     they fire;
 //   - handled events release the task's worker slot while it waits, and
 //     the Supervisor preferentially boosts the task that will fire the
 //     event (§2.3.4);
 //   - barrier events hold the slot (token-queue consumers only; their
 //     producers never block, so progress is guaranteed).
+//
+// Dispatch topology: each worker slot owns a local run queue, and one
+// global overflow queue catches work with no slot affinity.  Tasks are
+// pushed to the queue of the slot that made them ready (the spawner, the
+// producer whose event released them, the slot a re-admitted waiter last
+// ran on); a finishing or blocking slot-holder serves the best of its
+// local queue and the overflow queue — both are priority heaps in the
+// §2.3.4 class-major order, so comparing the two heads bounds priority
+// inversion to what sits in *other* workers' local queues — and steals
+// from another worker's queue (randomized victim order) before giving
+// the slot back.  The handoff path never touches the scheduler's global
+// lock's broadcast machinery, which is what makes finish→start chains
+// cheap.  GlobalQueue restores the single strict global queue for
+// comparison benchmarks.
 //
 // The paper's constraint that a task begun by a worker had to be
 // finished by that worker was an artifact of Topaz thread affinity; here
@@ -25,10 +39,12 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"m2cc/internal/ctrace"
 	"m2cc/internal/event"
+	"m2cc/internal/faultinject"
 	"m2cc/internal/obs"
 )
 
@@ -55,16 +71,27 @@ type Task struct {
 	sup      *Supervisor
 	kind     ctrace.TaskKind
 	stream   int32
-	priority int64
+	priority int64 // written at boost under the owning runQ's mu
 	seq      int64
 	run      func(*Task)
 	done     *event.Event
 
 	gatesLeft int
 	started   bool
+	stolen    bool          // dispatched via a steal before first start (fault-injection site)
 	resume    chan struct{} // guards: slot handoff — one send re-admits this blocked task
-	heapIdx   int           // index in the runnable heap, -1 when absent
+	heapIdx   int           // index in the containing runQ's heap, -1 when absent
 	obsID     int           // observability-layer task ID (0 = unobserved)
+
+	// slot is the worker slot most recently granted to the task (-1
+	// before the first grant).  Written by the granter, read for queue
+	// affinity by spawners and gate fires on other goroutines.
+	slot atomic.Int32
+	// curQ is the run queue currently holding the task, nil when the
+	// task is running, blocked, or in flight between queues.  Written
+	// under the owning queue's mu; the boost path loads it to find
+	// which queue to migrate a producer out of.
+	curQ atomic.Pointer[runQ]
 }
 
 // Done returns the event fired when the task finishes.  Other tasks
@@ -129,13 +156,12 @@ func (t *Task) ExternalWait(e *event.Event) bool {
 		return true
 	}
 	s := t.sup
+	w := int(t.slot.Load())
 	s.mu.Lock()
 	s.Obs.TaskBlocked(t.obsID, obs.BlockExternal, e)
-	s.free++
 	s.external[t] = e
-	s.dispatchLocked()
-	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.handoffOrRelease(w)
 	fired := true
 	if s.StallTimeout > 0 {
 		timer := time.NewTimer(s.StallTimeout)
@@ -152,37 +178,103 @@ func (t *Task) ExternalWait(e *event.Event) bool {
 	}
 	s.mu.Lock()
 	delete(s.external, t)
-	s.makeRunnableLocked(t)
-	s.dispatchLocked()
+	s.pushLocked(t, w)
+	s.kickLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-t.resume
 	return fired
 }
 
-// Supervisor owns the worker slots and the ready queue.
+// runQ is one priority run queue: a binary heap in (priority, seq)
+// order.  Each worker slot owns one, and the Supervisor owns one more
+// as the global overflow queue.
+type runQ struct {
+	mu sync.Mutex // guards: h (and the heapIdx/curQ/priority of the tasks in it)
+	h  taskHeap
+
+	// n mirrors len(h); maintained under mu, read lock-free by the
+	// stall detector, ready-depth samples and steal-victim scans.
+	n atomic.Int32
+}
+
+func (q *runQ) push(t *Task) {
+	q.mu.Lock()
+	heap.Push(&q.h, t)
+	t.curQ.Store(q)
+	q.n.Add(1)
+	q.mu.Unlock()
+}
+
+func (q *runQ) popMin() *Task {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.h) == 0 {
+		return nil
+	}
+	t := heap.Pop(&q.h).(*Task)
+	t.curQ.Store(nil)
+	q.n.Add(-1)
+	return t
+}
+
+// Supervisor owns the worker slots and the run queues.
 type Supervisor struct {
-	mu       sync.Mutex // guards: all scheduler state below; cond's locker
-	cond     *sync.Cond
-	slots    int
-	free     int
-	runnable taskHeap
-	seq      int64
+	mu    sync.Mutex // guards: all scheduler state below (locked before any runQ.mu); cond's locker
+	cond  *sync.Cond
+	slots int
+	free  int
+
+	// slotFree marks which worker slots are unclaimed; mutated only
+	// under mu, so the stall detector's free==slots check is exact.
+	slotFree []bool
+
+	local     []*runQ  // one run queue per worker slot
+	overflow  runQ     // global queue for work with no slot affinity
+	stealRand []uint64 // per-slot xorshift state; touched only by the slot's holder
+
+	seq int64
 
 	producers map[*event.Event]*Task
 	blocked   map[*Task]*event.Event
 	parked    map[*Task][]*event.Event
 	external  map[*Task]*event.Event // waits on events owned by other compilations
 
+	// Gate bookkeeping: one event.Subscribe per distinct gate event,
+	// batching the release of every task it gates into a single
+	// scheduler transaction when it fires.
+	gateWaiters map[*event.Event][]*Task // unfired gate → tasks counting it
+	gateDone    map[*event.Event]bool    // gates whose fire was processed
+	gateSub     map[*event.Event]bool    // gates with a subscription installed
+
 	total    int
 	finished int
 	faults   int // tasks that panicked and were isolated
 
+	// Dispatch-traffic counters (see obs.SchedCounters).
+	nLocalPushes    atomic.Int64
+	nOverflowPushes atomic.Int64
+	nLocalPops      atomic.Int64
+	nSteals         atomic.Int64
+	nOverflowPops   atomic.Int64
+	nHandoffs       atomic.Int64
+
 	rec *ctrace.Recorder
+
+	// GlobalQueue disables the per-slot local queues and work stealing:
+	// every task is pushed to and popped from the single overflow queue
+	// in strict global priority order.  The scheduler benchmark uses it
+	// as the before-topology baseline.  Set before the first Spawn.
+	GlobalQueue bool
+
+	// Inject, when non-nil, arms the PanicSteal fault-injection point:
+	// a stolen task panics before its body runs, exercising panic
+	// isolation on the steal dispatch path.  Set before the first Spawn.
+	Inject *faultinject.Plan
 
 	// OnDeadlock is invoked (outside the lock) with a description when
 	// the watchdog breaks a stall; the driver reports it as an error.
-	// The message includes a full scheduler state dump (runnable heap,
+	// The message includes a full scheduler state dump (run queues,
 	// blocked/parked/external tasks and the producers of the events
 	// they wait on).
 	OnDeadlock func(msg string)
@@ -216,13 +308,38 @@ func New(workers int, rec *ctrace.Recorder) *Supervisor {
 	}
 	s := &Supervisor{
 		slots: workers, free: workers, rec: rec,
-		producers: make(map[*event.Event]*Task),
-		blocked:   make(map[*Task]*event.Event),
-		parked:    make(map[*Task][]*event.Event),
-		external:  make(map[*Task]*event.Event),
+		slotFree:    make([]bool, workers),
+		local:       make([]*runQ, workers),
+		stealRand:   make([]uint64, workers),
+		producers:   make(map[*event.Event]*Task),
+		blocked:     make(map[*Task]*event.Event),
+		parked:      make(map[*Task][]*event.Event),
+		external:    make(map[*Task]*event.Event),
+		gateWaiters: make(map[*event.Event][]*Task),
+		gateDone:    make(map[*event.Event]bool),
+		gateSub:     make(map[*event.Event]bool),
+	}
+	for i := range s.local {
+		s.slotFree[i] = true
+		s.local[i] = &runQ{}
+		// Deterministic per-slot seeds (splitmix64 increments) so steal
+		// orders differ across slots without global randomness.
+		s.stealRand[i] = uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// Counters returns the dispatch-traffic counters accumulated so far.
+func (s *Supervisor) Counters() obs.SchedCounters {
+	return obs.SchedCounters{
+		LocalPushes:    s.nLocalPushes.Load(),
+		OverflowPushes: s.nOverflowPushes.Load(),
+		LocalPops:      s.nLocalPops.Load(),
+		Steals:         s.nSteals.Load(),
+		OverflowPops:   s.nOverflowPops.Load(),
+		Handoffs:       s.nHandoffs.Load(),
+	}
 }
 
 // SetProducer declares that task t is the one that will fire e; the
@@ -236,7 +353,7 @@ func (s *Supervisor) SetProducer(e *event.Event, t *Task) {
 
 // Spawn registers a task.  parent supplies the creation stamp for the
 // trace (nil for the initial tasks).  gates are the task's avoided
-// events: it enters the ready queue only once all have fired.
+// events: it enters a run queue only once all have fired.
 func (s *Supervisor) Spawn(kind ctrace.TaskKind, stream int32, label string,
 	priority int64, gates []*event.Event, parent *ctrace.TaskCtx, run func(*Task)) *Task {
 
@@ -260,6 +377,8 @@ func (s *Supervisor) Spawn(kind ctrace.TaskKind, stream int32, label string,
 		run: run, done: event.New(), resume: make(chan struct{}, 1), heapIdx: -1,
 		obsID: s.Obs.TaskSpawned(kind, stream, label, parentObs, gates),
 	}
+	t.slot.Store(-1)
+	ctx.Owner = t
 	if obsv := s.Obs; obsv != nil && t.obsID != 0 {
 		// Edge capture: every event this task fires through its TaskCtx
 		// is attributed to it, before the fire lands (so waiters' unblock
@@ -273,61 +392,251 @@ func (s *Supervisor) Spawn(kind ctrace.TaskKind, stream int32, label string,
 	s.total++
 	t.seq = s.seq
 	s.seq++
-	// Each gate's Subscribe callback runs exactly once (immediately if
-	// the event already fired), so counting len(gates) and decrementing
-	// per callback is race-free.
-	t.gatesLeft = len(gates)
+	// The task's finish event gains it as producer, so gate releases
+	// and DKY boosts know which slot's queue has affinity with it.
+	s.producers[t.done] = t
+	// Register against each gate that has not yet been seen to fire;
+	// one subscription per distinct event covers every waiter, past and
+	// future, in a single batched release.
+	var fresh []*event.Event
+	for _, g := range gates {
+		if s.gateDone[g] || g.Fired() {
+			continue
+		}
+		t.gatesLeft++
+		s.gateWaiters[g] = append(s.gateWaiters[g], t)
+		if !s.gateSub[g] {
+			s.gateSub[g] = true
+			fresh = append(fresh, g)
+		}
+	}
 	if t.gatesLeft == 0 {
-		s.makeRunnableLocked(t)
-		s.dispatchLocked()
+		s.pushLocked(t, affinitySlot(parent))
+		s.kickLocked()
 		s.mu.Unlock()
 		return t
 	}
 	s.parked[t] = gates
 	s.mu.Unlock()
 
-	for _, g := range gates {
-		g.Subscribe(func() { s.gateFired(t) })
+	for _, g := range fresh {
+		g := g
+		g.Subscribe(func() { s.gatesFired(g) })
 	}
 	return t
 }
 
-func (s *Supervisor) gateFired(t *Task) {
+// affinitySlot names the worker slot whose local queue a fresh spawn
+// should land on: the spawning task's own.  -1 (the overflow queue)
+// when the spawn has no scheduled parent.
+func affinitySlot(parent *ctrace.TaskCtx) int {
+	if parent == nil {
+		return -1
+	}
+	if pt, ok := parent.Owner.(*Task); ok && pt != nil {
+		return int(pt.slot.Load())
+	}
+	return -1
+}
+
+// gatesFired processes one gate event's fire: every task counting it is
+// decremented, and all tasks it releases enter the run queues — pushed
+// to the firing producer's slot for affinity — under a single scheduler
+// transaction.
+func (s *Supervisor) gatesFired(g *event.Event) {
 	s.mu.Lock()
-	t.gatesLeft--
-	if t.gatesLeft == 0 {
-		delete(s.parked, t)
-		s.makeRunnableLocked(t)
-		s.dispatchLocked()
+	s.gateDone[g] = true
+	waiters := s.gateWaiters[g]
+	delete(s.gateWaiters, g)
+	w := -1
+	if p, ok := s.producers[g]; ok {
+		w = int(p.slot.Load())
+	}
+	released := false
+	for _, t := range waiters {
+		t.gatesLeft--
+		if t.gatesLeft == 0 {
+			delete(s.parked, t)
+			s.pushLocked(t, w)
+			released = true
+		}
+	}
+	if released {
+		s.kickLocked()
 		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 }
 
-func (s *Supervisor) makeRunnableLocked(t *Task) {
-	heap.Push(&s.runnable, t)
+// pushLocked enqueues a runnable task, preferring slot w's local queue
+// (-1, an out-of-range slot, or GlobalQueue mode selects the overflow
+// queue).  All pushes happen under s.mu so the stall detector can trust
+// free==slots ∧ queuedLen()==0; pops and steals run outside it.
+func (s *Supervisor) pushLocked(t *Task, w int) {
+	if s.GlobalQueue || w < 0 || w >= len(s.local) {
+		s.overflow.push(t)
+		s.nOverflowPushes.Add(1)
+		return
+	}
+	s.local[w].push(t)
+	s.nLocalPushes.Add(1)
 }
 
-// dispatchLocked hands free slots to the highest-priority runnable
-// tasks.
-func (s *Supervisor) dispatchLocked() {
-	granted := false
-	for s.free > 0 && s.runnable.Len() > 0 {
-		t := heap.Pop(&s.runnable).(*Task)
-		s.free--
-		granted = true
-		if !t.started {
-			t.started = true
-			s.Obs.TaskStarted(t.obsID)
-			go s.body(t)
-		} else {
-			s.Obs.TaskUnblocked(t.obsID)
-			t.resume <- struct{}{}
+// queuedLen is the total number of queued runnable tasks.
+func (s *Supervisor) queuedLen() int {
+	n := int(s.overflow.n.Load())
+	for _, q := range s.local {
+		n += int(q.n.Load())
+	}
+	return n
+}
+
+// claimSlotLocked claims a free worker slot, preferring the one whose
+// local queue is deepest.  Caller holds s.mu and has checked free > 0.
+func (s *Supervisor) claimSlotLocked() int {
+	best, bestN := -1, int32(-1)
+	for w, fr := range s.slotFree {
+		if !fr {
+			continue
+		}
+		if n := s.local[w].n.Load(); n > bestN {
+			best, bestN = w, n
 		}
 	}
-	if granted {
-		s.Obs.ReadySample(s.runnable.Len())
+	s.slotFree[best] = false
+	s.free--
+	return best
+}
+
+func (s *Supervisor) releaseSlotLocked(w int) {
+	s.slotFree[w] = true
+	s.free++
+}
+
+// kickLocked grants free slots to queued tasks until one of them runs
+// out.  Caller holds s.mu.
+func (s *Supervisor) kickLocked() {
+	for s.free > 0 && s.queuedLen() > 0 {
+		w := s.claimSlotLocked()
+		t := s.nextFor(w)
+		if t == nil {
+			// A concurrent handoff drained the queues between the
+			// length check and the pop; the work went somewhere.
+			s.releaseSlotLocked(w)
+			return
+		}
+		s.grant(t, w)
 	}
+}
+
+// nextFor picks the best queued task for slot w: the better of the
+// slot's local head and the overflow head (both heaps are in global
+// priority order, so comparing heads bounds priority inversion), then
+// a steal from another worker's queue.  The caller owns slot w; s.mu
+// may or may not be held (lock order is always s.mu → runQ.mu).
+func (s *Supervisor) nextFor(w int) *Task {
+	if s.GlobalQueue {
+		if t := s.overflow.popMin(); t != nil {
+			s.nOverflowPops.Add(1)
+			return t
+		}
+		return nil
+	}
+	lq := s.local[w]
+	lq.mu.Lock()
+	s.overflow.mu.Lock()
+	var lt, ot *Task
+	if len(lq.h) > 0 {
+		lt = lq.h[0]
+	}
+	if len(s.overflow.h) > 0 {
+		ot = s.overflow.h[0]
+	}
+	switch {
+	case lt != nil && (ot == nil || taskLess(lt, ot)):
+		heap.Pop(&lq.h)
+		lt.curQ.Store(nil)
+		lq.n.Add(-1)
+		s.overflow.mu.Unlock()
+		lq.mu.Unlock()
+		s.nLocalPops.Add(1)
+		return lt
+	case ot != nil:
+		heap.Pop(&s.overflow.h)
+		ot.curQ.Store(nil)
+		s.overflow.n.Add(-1)
+		s.overflow.mu.Unlock()
+		lq.mu.Unlock()
+		s.nOverflowPops.Add(1)
+		return ot
+	}
+	s.overflow.mu.Unlock()
+	lq.mu.Unlock()
+	return s.steal(w)
+}
+
+// steal scans the other workers' local queues in a randomized order
+// and takes the head (best-priority) task of the first non-empty one.
+// Only slot w's holder calls this, so stealRand[w] needs no lock; one
+// victim queue is locked at a time.
+func (s *Supervisor) steal(w int) *Task {
+	n := len(s.local)
+	if n < 2 {
+		return nil
+	}
+	r := s.stealRand[w]
+	r ^= r << 13
+	r ^= r >> 7
+	r ^= r << 17
+	s.stealRand[w] = r
+	start := int(r % uint64(n))
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if v == w || s.local[v].n.Load() == 0 {
+			continue
+		}
+		if t := s.local[v].popMin(); t != nil {
+			s.nSteals.Add(1)
+			if !t.started {
+				t.stolen = true
+			}
+			return t
+		}
+	}
+	return nil
+}
+
+// grant hands slot w to task t, which the caller popped from a queue.
+// The slot stays claimed from pop to grant, so the stall detector never
+// sees an all-free scheduler with a task in flight.
+func (s *Supervisor) grant(t *Task, w int) {
+	t.slot.Store(int32(w))
+	s.Obs.ReadySample(s.queuedLen())
+	if !t.started {
+		t.started = true
+		s.Obs.TaskStarted(t.obsID)
+		go s.body(t)
+	} else {
+		s.Obs.TaskUnblocked(t.obsID)
+		t.resume <- struct{}{}
+	}
+}
+
+// handoffOrRelease passes slot w straight to the next queued task —
+// skipping the free-slot accounting and its broadcast entirely — or,
+// when no work is queued, returns the slot under s.mu.  The re-check
+// under the lock closes the race against a push that saw no free slot.
+func (s *Supervisor) handoffOrRelease(w int) {
+	if t := s.nextFor(w); t != nil {
+		s.nHandoffs.Add(1)
+		s.grant(t, w)
+		return
+	}
+	s.mu.Lock()
+	s.releaseSlotLocked(w)
+	s.kickLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 func (s *Supervisor) body(t *Task) {
@@ -338,13 +647,23 @@ func (s *Supervisor) body(t *Task) {
 		s.rec.FinishTask(t.Ctx.ID, t.Ctx.Units)
 	}
 	// Note the finish (freeing the task's observed lane) before the
-	// slot is returned, so an observer never sees more lanes busy than
+	// slot moves on, so an observer never sees more lanes busy than
 	// slots exist.
 	s.Obs.TaskFinished(t.obsID)
+	w := int(t.slot.Load())
+	if t2 := s.nextFor(w); t2 != nil {
+		s.nHandoffs.Add(1)
+		s.grant(t2, w)
+		s.mu.Lock()
+		s.finished++
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
 	s.mu.Lock()
-	s.free++
+	s.releaseSlotLocked(w)
 	s.finished++
-	s.dispatchLocked()
+	s.kickLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
@@ -367,7 +686,9 @@ func (s *Supervisor) runGuarded(t *Task) {
 		s.faults++
 		var fires []*event.Event
 		for e, p := range s.producers {
-			if p == t && !e.Fired() {
+			// The task's own Done event is excluded: body fires it on
+			// the normal path right after this recovery returns.
+			if p == t && e != t.done && !e.Fired() {
 				fires = append(fires, e)
 			}
 		}
@@ -382,6 +703,11 @@ func (s *Supervisor) runGuarded(t *Task) {
 			e.Fire() // vet:allowfire forced fire on a dead task's behalf; EventForceFired is the record
 		}
 	}()
+	if t.stolen {
+		// Injected: the task crashes on the worker that stole it,
+		// before its body runs; isolation must hold on this path too.
+		s.Inject.Panic(faultinject.PanicSteal, t.Label)
+	}
 	t.run(t)
 }
 
@@ -393,28 +719,67 @@ func (s *Supervisor) Faults() int {
 }
 
 // releaseForWait gives up t's slot because it is about to block on e.
+// The slot is handed straight to the next queued task — preferentially
+// the producer that resolves the blockage, which is boosted into this
+// slot's local queue first (§2.3.4).
 func (s *Supervisor) releaseForWait(t *Task, e *event.Event) {
+	w := int(t.slot.Load())
 	s.mu.Lock()
 	s.Obs.TaskBlocked(t.obsID, obs.BlockHandled, e)
-	s.free++
 	s.blocked[t] = e
-	// Run the task that resolves the blockage next, if it is ready.
-	if p, ok := s.producers[e]; ok && p.heapIdx >= 0 {
-		p.priority = -1 << 62
-		heap.Fix(&s.runnable, p.heapIdx)
+	if p, ok := s.producers[e]; ok {
+		s.boostLocked(p, w)
 	}
-	s.dispatchLocked()
-	s.cond.Broadcast()
 	s.mu.Unlock()
+	s.handoffOrRelease(w)
 }
 
-// reacquire returns t to the runnable queue after its event fired and
-// blocks until a slot is granted.
+// boostLocked promotes a queued producer to run next: its priority is
+// raised above every class and it migrates to slot w's local queue, so
+// the blocked worker's own slot runs the task that unblocks it.  A
+// producer that is already running, blocked, or parked is left alone
+// (it no longer sits in any queue).  Caller holds s.mu, which is what
+// serializes concurrent boosts of the same producer.
+func (s *Supervisor) boostLocked(p *Task, w int) {
+	for {
+		q := p.curQ.Load()
+		if q == nil {
+			return
+		}
+		q.mu.Lock()
+		if p.curQ.Load() != q {
+			// Popped (or migrated) between the load and the lock; the
+			// new queue — if any — is re-read on the next spin.
+			q.mu.Unlock()
+			continue
+		}
+		p.priority = -1 << 62
+		var tq *runQ
+		if !s.GlobalQueue && w >= 0 && w < len(s.local) {
+			tq = s.local[w]
+		}
+		if tq == nil || tq == q {
+			heap.Fix(&q.h, p.heapIdx)
+			q.mu.Unlock()
+			return
+		}
+		heap.Remove(&q.h, p.heapIdx)
+		p.curQ.Store(nil)
+		q.n.Add(-1)
+		q.mu.Unlock()
+		tq.push(p)
+		return
+	}
+}
+
+// reacquire returns t to the run queues after its event fired and
+// blocks until a slot is granted.  The task lands on the queue of the
+// slot it last ran on.
 func (s *Supervisor) reacquire(t *Task) {
 	s.mu.Lock()
 	delete(s.blocked, t)
-	s.makeRunnableLocked(t)
-	s.dispatchLocked()
+	s.pushLocked(t, int(t.slot.Load()))
+	s.kickLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-t.resume
@@ -427,7 +792,7 @@ func (s *Supervisor) reacquire(t *Task) {
 func (s *Supervisor) Wait() {
 	s.mu.Lock()
 	for s.finished < s.total {
-		if s.free == s.slots && s.runnable.Len() == 0 {
+		if s.free == s.slots && s.queuedLen() == 0 {
 			// Nothing is running or runnable, yet tasks remain: a stall.
 			var fires []*event.Event
 			// Tasks parked on foreign (cache) events are woken from
@@ -483,7 +848,7 @@ func (s *Supervisor) Wait() {
 	s.mu.Unlock()
 }
 
-// stateDumpLocked renders the scheduler's full state — runnable heap,
+// stateDumpLocked renders the scheduler's full state — every run queue,
 // blocked/parked/external tasks, and for every awaited event its
 // registered producer — so a DKY deadlock report names the stuck tasks
 // instead of leaving the user to guess.  Lines within each section are
@@ -503,8 +868,16 @@ func (s *Supervisor) stateDumpLocked() string {
 		}
 	}
 	var runnable []string
-	for _, t := range s.runnable {
-		runnable = append(runnable, t.Label)
+	collect := func(q *runQ, where string) {
+		q.mu.Lock()
+		for _, t := range q.h {
+			runnable = append(runnable, fmt.Sprintf("%s (%s)", t.Label, where))
+		}
+		q.mu.Unlock()
+	}
+	collect(&s.overflow, "overflow queue")
+	for w, q := range s.local {
+		collect(q, fmt.Sprintf("local queue %d", w))
 	}
 	section("runnable", runnable)
 	var blocked []string
@@ -541,16 +914,19 @@ func (s *Supervisor) eventDescLocked(e *event.Event) string {
 	return "event with no registered producer"
 }
 
+// taskLess is the run-queue order: priority, then spawn order.
+func taskLess(a, b *Task) bool {
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
 // taskHeap orders runnable tasks by (priority, seq).
 type taskHeap []*Task
 
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
-	if h[i].priority != h[j].priority {
-		return h[i].priority < h[j].priority
-	}
-	return h[i].seq < h[j].seq
-}
+func (h taskHeap) Len() int           { return len(h) }
+func (h taskHeap) Less(i, j int) bool { return taskLess(h[i], h[j]) }
 func (h taskHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].heapIdx = i

@@ -9,6 +9,7 @@ import (
 
 	"m2cc/internal/ctrace"
 	"m2cc/internal/event"
+	"m2cc/internal/faultinject"
 	"m2cc/internal/sched"
 )
 
@@ -449,5 +450,108 @@ func TestDeadlockReportNamesStuckTasks(t *testing.T) {
 		if !strings.Contains(msg, want) {
 			t.Fatalf("deadlock report missing %q:\n%s", want, msg)
 		}
+	}
+}
+
+// TestStealDispatch pins the steal path deterministically: a running
+// task on a two-worker Supervisor spawns a child, which lands on the
+// spawner's local queue; the idle second slot finds its own queue and
+// the overflow queue empty and must steal the child.
+func TestStealDispatch(t *testing.T) {
+	s := sched.New(2, nil)
+	release := make(chan struct{})
+	var childRan atomic.Bool
+	s.Spawn(ctrace.KindSplitter, 0, "parent", sched.Priority(ctrace.KindSplitter, 0),
+		nil, nil, func(p *sched.Task) {
+			// The child is pushed to this slot's local queue (spawn
+			// affinity); this slot stays busy until the child has run,
+			// so only a steal can dispatch it.
+			s.Spawn(ctrace.KindLongStmtCG, 0, "child", sched.Priority(ctrace.KindLongStmtCG, 0),
+				nil, p.Ctx, func(*sched.Task) { childRan.Store(true) })
+			<-release
+		})
+	// The child's spawn transaction hands it to the idle slot via a
+	// steal before Spawn returns, but only the run itself proves it.
+	for i := 0; i < 1000 && !childRan.Load(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	s.Wait()
+	if !childRan.Load() {
+		t.Fatal("stolen child never ran")
+	}
+	if c := s.Counters(); c.Steals != 1 {
+		t.Fatalf("counters %+v, want exactly 1 steal", c)
+	} else if c.LocalPushes != 1 {
+		t.Fatalf("counters %+v, want the child pushed to the spawner's local queue", c)
+	}
+}
+
+// TestGlobalQueueModeUsesNoLocalQueues pins the baseline topology:
+// with GlobalQueue set, every push and pop goes through the overflow
+// queue and nothing is stolen.
+func TestGlobalQueueModeUsesNoLocalQueues(t *testing.T) {
+	s := sched.New(4, nil)
+	s.GlobalQueue = true
+	var n atomic.Int64
+	s.Spawn(ctrace.KindSplitter, 0, "parent", sched.Priority(ctrace.KindSplitter, 0),
+		nil, nil, func(p *sched.Task) {
+			for i := 0; i < 8; i++ {
+				s.Spawn(ctrace.KindLongStmtCG, 0, "child", sched.Priority(ctrace.KindLongStmtCG, 0),
+					nil, p.Ctx, func(*sched.Task) { n.Add(1) })
+			}
+		})
+	s.Wait()
+	if n.Load() != 8 {
+		t.Fatalf("ran %d children, want 8", n.Load())
+	}
+	c := s.Counters()
+	if c.LocalPushes != 0 || c.LocalPops != 0 || c.Steals != 0 {
+		t.Fatalf("global-queue mode touched local queues: %+v", c)
+	}
+	if c.OverflowPushes != 9 || c.OverflowPops != 9 {
+		t.Fatalf("counters %+v, want all 9 tasks through the overflow queue", c)
+	}
+}
+
+// TestPanicStealInjection arms the PanicSteal fault point: the stolen
+// task panics before its body runs, and panic isolation must contain
+// it exactly like any other task fault — Done fires, Wait returns, the
+// fault is counted.
+func TestPanicStealInjection(t *testing.T) {
+	s := sched.New(2, nil)
+	s.Inject = faultinject.New().Arm(faultinject.PanicSteal, 1)
+	var onPanic atomic.Int64
+	s.OnPanic = func(_ *sched.Task, recovered any, _ []byte) {
+		if _, ok := recovered.(*faultinject.Injected); !ok {
+			t.Errorf("recovered %v, want *faultinject.Injected", recovered)
+		}
+		onPanic.Add(1)
+	}
+	release := make(chan struct{})
+	var childRan atomic.Bool
+	var child *sched.Task
+	s.Spawn(ctrace.KindSplitter, 0, "parent", sched.Priority(ctrace.KindSplitter, 0),
+		nil, nil, func(p *sched.Task) {
+			child = s.Spawn(ctrace.KindLongStmtCG, 0, "child", sched.Priority(ctrace.KindLongStmtCG, 0),
+				nil, p.Ctx, func(*sched.Task) { childRan.Store(true) })
+			<-release
+		})
+	for i := 0; i < 1000 && s.Faults() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	s.Wait()
+	if childRan.Load() {
+		t.Fatal("injected steal panic did not stop the child body")
+	}
+	if s.Faults() != 1 || onPanic.Load() != 1 {
+		t.Fatalf("faults %d, OnPanic calls %d; want 1 and 1", s.Faults(), onPanic.Load())
+	}
+	if !child.Done().Fired() {
+		t.Fatal("panicked child's Done event must fire")
+	}
+	if c := s.Counters(); c.Steals != 1 {
+		t.Fatalf("counters %+v, want the child dispatched via a steal", c)
 	}
 }

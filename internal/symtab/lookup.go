@@ -2,9 +2,8 @@ package symtab
 
 import (
 	"fmt"
-	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 
 	"m2cc/internal/ctrace"
 	"m2cc/internal/event"
@@ -125,25 +124,60 @@ func (o Outcome) String() string {
 	return "?"
 }
 
+// numWhen is the number of FoundWhen buckets (Table 2's rows go up to
+// Never).
+const numWhen = int(Never) + 1
+
+// numStatCells is the dense size of the Table 2 count array:
+// Qualified × FoundWhen × Relation × Incomplete.
+const numStatCells = 2 * numWhen * int(ctrace.NumRelations) * 2
+
+// cellIndex flattens a StatKey into its dense array slot.  The index
+// order (simple before qualified, FoundWhen ascending, Relation
+// ascending, complete before incomplete) is exactly Table 2's layout
+// order, so Rows can walk the array in place of a sort.
+func cellIndex(k StatKey) int {
+	i := 0
+	if k.Qualified {
+		i = 1
+	}
+	i = i*numWhen + int(k.When)
+	i = i*int(ctrace.NumRelations) + int(k.Rel)
+	i *= 2
+	if k.Incomplete {
+		i++
+	}
+	return i
+}
+
+// cellKey is cellIndex's inverse.
+func cellKey(i int) StatKey {
+	var k StatKey
+	k.Incomplete = i%2 == 1
+	i /= 2
+	k.Rel = ctrace.Relation(i % int(ctrace.NumRelations))
+	i /= int(ctrace.NumRelations)
+	k.When = FoundWhen(i % numWhen)
+	k.Qualified = i/numWhen == 1
+	return k
+}
+
 // Stats tallies identifier lookups for Table 2 plus aggregate DKY
 // blockage counts and a per-strategy outcome histogram.  Safe for
-// concurrent use.
+// concurrent use.  Every counter is a dense atomic cell — the StatKey
+// coordinate space is tiny and fixed — so the per-lookup instrumented
+// path costs two uncontended atomic adds and no lock, whether or not
+// anyone is observing.
 type Stats struct {
-	mu       sync.Mutex // guards: counts, outcomes
-	counts   map[StatKey]int64
-	outcomes map[Strategy]*[NumOutcomes]int64
+	counts   [numStatCells]atomic.Int64
+	outcomes [NumStrategies][NumOutcomes]atomic.Int64
 
-	Blocks  int64 // DKY blockages (waits actually taken)
-	Lookups int64
+	Blocks  atomic.Int64 // DKY blockages (waits actually taken)
+	Lookups atomic.Int64
 }
 
 // NewStats returns an empty collector.
-func NewStats() *Stats {
-	return &Stats{
-		counts:   make(map[StatKey]int64),
-		outcomes: make(map[Strategy]*[NumOutcomes]int64),
-	}
-}
+func NewStats() *Stats { return &Stats{} }
 
 func (st *Stats) bump(k StatKey) {
 	if st == nil {
@@ -154,10 +188,8 @@ func (st *Stats) bump(k StatKey) {
 	if k.Rel == ctrace.RelSelf || k.Rel == ctrace.RelWith || k.Rel == ctrace.RelBuiltin {
 		k.Incomplete = false
 	}
-	st.mu.Lock()
-	st.counts[k]++
-	st.Lookups++
-	st.mu.Unlock()
+	st.counts[cellIndex(k)].Add(1)
+	st.Lookups.Add(1)
 }
 
 // Bump adds one lookup outcome (exported for the trace-driven
@@ -168,9 +200,7 @@ func (st *Stats) block() {
 	if st == nil {
 		return
 	}
-	st.mu.Lock()
-	st.Blocks++
-	st.mu.Unlock()
+	st.Blocks.Add(1)
 }
 
 // BumpBlock counts one DKY blockage (exported for the simulator).
@@ -180,17 +210,7 @@ func (st *Stats) bumpOutcome(strat Strategy, o Outcome) {
 	if st == nil {
 		return
 	}
-	st.mu.Lock()
-	row := st.outcomes[strat]
-	if row == nil {
-		if st.outcomes == nil {
-			st.outcomes = make(map[Strategy]*[NumOutcomes]int64)
-		}
-		row = new([NumOutcomes]int64)
-		st.outcomes[strat] = row
-	}
-	row[o]++
-	st.mu.Unlock()
+	st.outcomes[strat][o].Add(1)
 }
 
 // BumpOutcome adds one entry to the per-strategy outcome histogram
@@ -208,27 +228,30 @@ func (st *Stats) OutcomeRows() []OutcomeRow {
 	if st == nil {
 		return nil
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	rows := make([]OutcomeRow, 0, len(st.outcomes))
-	for strat, c := range st.outcomes {
-		rows = append(rows, OutcomeRow{Strategy: strat, Counts: *c})
+	var rows []OutcomeRow
+	for strat := range st.outcomes {
+		row := OutcomeRow{Strategy: Strategy(strat)}
+		nonzero := false
+		for o := range st.outcomes[strat] {
+			if c := st.outcomes[strat][o].Load(); c != 0 {
+				row.Counts[o] = c
+				nonzero = true
+			}
+		}
+		if nonzero {
+			rows = append(rows, row)
+		}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Strategy < rows[j].Strategy })
 	return rows
 }
 
-// Totals returns the lookup and DKY-blockage counts under the
-// collector's lock (the exported fields must not be read while other
-// tasks may still be bumping them; the observability layer snapshots
-// through here).
+// Totals returns the lookup and DKY-blockage counts (the observability
+// layer snapshots through here).
 func (st *Stats) Totals() (lookups, blocks int64) {
 	if st == nil {
 		return 0, 0
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.Lookups, st.Blocks
+	return st.Lookups.Load(), st.Blocks.Load()
 }
 
 // Add merges other into st (used to aggregate a whole test suite).
@@ -236,56 +259,36 @@ func (st *Stats) Add(other *Stats) {
 	if st == nil || other == nil {
 		return
 	}
-	other.mu.Lock()
-	defer other.mu.Unlock()
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	for k, v := range other.counts {
-		st.counts[k] += v
+	for i := range other.counts {
+		if v := other.counts[i].Load(); v != 0 {
+			st.counts[i].Add(v)
+		}
 	}
-	for strat, c := range other.outcomes {
-		row := st.outcomes[strat]
-		if row == nil {
-			if st.outcomes == nil {
-				st.outcomes = make(map[Strategy]*[NumOutcomes]int64)
+	for strat := range other.outcomes {
+		for o := range other.outcomes[strat] {
+			if v := other.outcomes[strat][o].Load(); v != 0 {
+				st.outcomes[strat][o].Add(v)
 			}
-			row = new([NumOutcomes]int64)
-			st.outcomes[strat] = row
-		}
-		for i, v := range c {
-			row[i] += v
 		}
 	}
-	st.Blocks += other.Blocks
-	st.Lookups += other.Lookups
+	st.Blocks.Add(other.Blocks.Load())
+	st.Lookups.Add(other.Lookups.Load())
 }
 
-// Rows returns the nonzero rows sorted in Table 2's layout order.
+// Rows returns the nonzero rows in Table 2's layout order (the dense
+// array's index order).
 func (st *Stats) Rows() []StatRow {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	rows := make([]StatRow, 0, len(st.counts))
+	rows := make([]StatRow, 0, 16)
 	var total int64
-	for k, v := range st.counts {
-		rows = append(rows, StatRow{Key: k, Count: v})
-		total += v
+	for i := range st.counts {
+		if v := st.counts[i].Load(); v != 0 {
+			rows = append(rows, StatRow{Key: cellKey(i), Count: v})
+			total += v
+		}
 	}
 	for i := range rows {
 		rows[i].Percent = 100 * float64(rows[i].Count) / float64(max64(total, 1))
 	}
-	sort.Slice(rows, func(i, j int) bool {
-		a, b := rows[i].Key, rows[j].Key
-		if a.Qualified != b.Qualified {
-			return !a.Qualified
-		}
-		if a.When != b.When {
-			return a.When < b.When
-		}
-		if a.Rel != b.Rel {
-			return a.Rel < b.Rel
-		}
-		return !a.Incomplete && b.Incomplete
-	})
 	return rows
 }
 
@@ -327,9 +330,7 @@ func (st *Stats) String() string {
 		sb.WriteString(r.String())
 		sb.WriteByte('\n')
 	}
-	st.mu.Lock()
-	fmt.Fprintf(&sb, "lookups: %d   DKY blockages: %d\n", st.Lookups, st.Blocks)
-	st.mu.Unlock()
+	fmt.Fprintf(&sb, "lookups: %d   DKY blockages: %d\n", st.Lookups.Load(), st.Blocks.Load())
 	if rows := st.OutcomeRows(); len(rows) > 0 {
 		fmt.Fprintf(&sb, "\n%-12s  %8s  %8s  %8s  %9s\n", "strategy", "found", "blocked", "guessed", "retracted")
 		for _, r := range rows {

@@ -19,6 +19,7 @@ package symtab
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"m2cc/internal/ctrace"
 	"m2cc/internal/event"
@@ -136,6 +137,16 @@ type Scope struct {
 	order    []*Symbol // publication order (deterministic listings)
 	complete bool
 
+	// sealed is the lock-free probe fast path: Complete publishes the
+	// finished syms map here (placeholders already stripped) after its
+	// last write, inside the critical section.  Once a scope seals, its
+	// map is never written again — Insert is owner-only and precedes
+	// Complete, and probeOrPlaceholder declines to install placeholders
+	// in complete scopes — so concurrent searchers may read the map
+	// without the mutex.  A non-nil load implies complete, and the
+	// sequentially-consistent store/load pair publishes every entry.
+	sealed atomic.Pointer[map[string]*Symbol]
+
 	// Owner-task bookkeeping for the atomic-publication rule: while
 	// fixups > 0, newly inserted symbols wait in queue.
 	fixups int
@@ -251,6 +262,7 @@ func (s *Scope) Complete(ctx *ctrace.TaskCtx) {
 			delete(s.syms, name)
 		}
 	}
+	s.sealed.Store(&s.syms)
 	s.mu.Unlock()
 	// Optimistic handling: traverse the completed table and signal all
 	// unsignaled per-symbol events (§2.3.3).
@@ -262,6 +274,9 @@ func (s *Scope) Complete(ctx *ctrace.TaskCtx) {
 
 // Completed reports whether the scope's table is complete.
 func (s *Scope) Completed() bool {
+	if s.sealed.Load() != nil {
+		return true
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.complete
@@ -367,8 +382,13 @@ func (s *Scope) ResolveFixup(ctx *ctrace.TaskCtx) {
 
 // probe searches the scope's published symbols.  It reports the
 // completion state observed atomically with the search.  Placeholders
-// are invisible to probes.
+// are invisible to probes.  Sealed scopes (the hot path: every probe of
+// an imported interface or a finished outer scope) answer from the
+// atomically-published map without taking the mutex.
 func (s *Scope) probe(name string) (sym *Symbol, complete bool) {
+	if m := s.sealed.Load(); m != nil {
+		return (*m)[name], true
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sym = s.syms[name]
@@ -382,6 +402,10 @@ func (s *Scope) probe(name string) (sym *Symbol, complete bool) {
 // serves self-scope searches by the scope's owning task, which must see
 // its own declarations regardless of publication state.
 func (s *Scope) probeOwner(name string) (sym *Symbol, complete bool) {
+	if m := s.sealed.Load(); m != nil {
+		// The fixup queue is empty once the scope seals.
+		return (*m)[name], true
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sym = s.syms[name]
@@ -422,6 +446,9 @@ func (s *Scope) Probe(name string) *Symbol {
 // event is installed (or an existing one reused) and returned for the
 // caller to wait on.
 func (s *Scope) probeOrPlaceholder(name string) (sym *Symbol, complete bool, wait *event.Event) {
+	if m := s.sealed.Load(); m != nil {
+		return (*m)[name], true, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cur := s.syms[name]

@@ -96,7 +96,7 @@ func TestBuiltinLookupWithoutChaining(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("builtin lookup blocked on an incomplete outer scope")
 	}
-	if stats.Blocks != 0 {
+	if stats.Blocks.Load() != 0 {
 		t.Fatal("builtin lookup must not count DKY blocks")
 	}
 }
@@ -112,7 +112,7 @@ func TestSkepticalFindsInIncompleteTable(t *testing.T) {
 	if res.Sym == nil {
 		t.Fatal("skeptical must search incomplete tables")
 	}
-	if stats.Blocks != 0 {
+	if stats.Blocks.Load() != 0 {
 		t.Fatal("no block may be taken for a hit in an incomplete table")
 	}
 	rows := stats.Rows()
@@ -147,8 +147,8 @@ func TestSkepticalBlocksThenFinds(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("searcher never woke")
 	}
-	if stats.Blocks != 1 {
-		t.Fatalf("blocks = %d, want 1", stats.Blocks)
+	if stats.Blocks.Load() != 1 {
+		t.Fatalf("blocks = %d, want 1", stats.Blocks.Load())
 	}
 	foundAfter := false
 	for _, r := range stats.Rows() {
@@ -181,8 +181,8 @@ func TestPessimisticBlocksBeforeSearching(t *testing.T) {
 	if r.Sym == nil {
 		t.Fatal("symbol must be found after completion")
 	}
-	if stats.Blocks != 1 {
-		t.Fatalf("blocks = %d, want 1", stats.Blocks)
+	if stats.Blocks.Load() != 1 {
+		t.Fatalf("blocks = %d, want 1", stats.Blocks.Load())
 	}
 }
 
@@ -355,8 +355,8 @@ func TestStatsAddMerges(t *testing.T) {
 	b.Bump(symtab.StatKey{When: symtab.FirstTry, Rel: ctrace.RelSelf})
 	b.BumpBlock()
 	a.Add(b)
-	if a.Lookups != 2 || a.Blocks != 1 {
-		t.Fatalf("merge wrong: %d lookups %d blocks", a.Lookups, a.Blocks)
+	if a.Lookups.Load() != 2 || a.Blocks.Load() != 1 {
+		t.Fatalf("merge wrong: %d lookups %d blocks", a.Lookups.Load(), a.Blocks.Load())
 	}
 	if rows := a.Rows(); len(rows) != 1 || rows[0].Count != 2 {
 		t.Fatal("row counts wrong after merge")

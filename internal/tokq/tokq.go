@@ -14,10 +14,19 @@
 // worker is not rescheduled, it simply waits, which is deadlock-free
 // because token consumers are only started once their producers have
 // begun and producers never block.
+//
+// Synchronization is block-granular, not token-granular.  The producer
+// owns the open tail block and appends to it without a lock; readers
+// never touch a block's tokens before its Ready event fires, and a block
+// is frozen from the moment Ready fires (full, flushed, or closed), so
+// the event's fire/wait pair is the only happens-before edge needed.
+// The queue mutex is taken once per block — on publication, and by each
+// reader on block acquisition — instead of once per token.
 package tokq
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"m2cc/internal/event"
 	"m2cc/internal/token"
@@ -36,16 +45,46 @@ type Block struct {
 	Ready *event.Event
 }
 
+// blockPool recycles Block structs and their token storage across
+// compilations.  Ready events are never reused: the observability layer
+// keys its bookkeeping by *event.Event identity, so a recycled block
+// always gets a fresh event (events are small; the win is the token
+// array, blockSize × sizeof(Token) per block).
+var blockPool sync.Pool
+
+// newBlock returns a block with a fresh Ready event and token storage of
+// at least the given capacity, reusing pooled storage when possible.
+func newBlock(size int) *Block {
+	if v := blockPool.Get(); v != nil {
+		b := v.(*Block)
+		if cap(b.Toks) >= size {
+			b.Toks = b.Toks[:0]
+			b.Ready = event.New()
+			return b
+		}
+	}
+	return &Block{Toks: make([]token.Token, 0, size), Ready: event.New()}
+}
+
 // Queue is a block-granularity token stream with one producer and many
 // readers.  The zero value is not ready; use New.
 type Queue struct {
 	blockSize int
 	fire      func(*event.Event) // producer-side fire hook (instrumentation)
 
-	mu     sync.Mutex // guards: blocks, grown (swapped under it), closed
+	// open is the producer-owned unsealed tail block (also the last
+	// element of blocks).  Only the producer reads or writes it, and
+	// readers wait on its Ready event before touching its tokens, so no
+	// lock covers the per-token append.
+	open *Block
+
+	closed  atomic.Bool  // set under mu; read lock-free by Append's no-op guard
+	readers atomic.Int32 // Retain-declared readers not yet detached
+	managed atomic.Bool  // Retain was called: block recycling is armed
+
+	mu     sync.Mutex // guards: blocks, grown (swapped under it); closed's false→true transition
 	blocks []*Block
 	grown  *event.Event // fired (and replaced) when a block is added or the queue closes
-	closed bool
 }
 
 // New returns an empty queue with the given block size (<= 0 selects
@@ -64,6 +103,36 @@ func New(blockSize int) *Queue {
 // Must be set before the first Append and only by the producer.
 func (q *Queue) SetFireHook(f func(*event.Event)) { q.fire = f }
 
+// Retain declares n future readers.  Once every declared reader has
+// called Detach and the queue is closed, the queue's blocks are returned
+// to the package block pool for the next compilation to reuse.  The
+// spawning driver must declare every reader it will ever create before
+// the count can reach zero; queues that never Retain simply skip
+// recycling.  A late reader of a recycled queue degrades safely (it sees
+// an empty closed stream and reads EOF), but gets no tokens — Retain
+// counts must cover all readers.
+func (q *Queue) Retain(n int) {
+	q.readers.Add(int32(n))
+	q.managed.Store(true)
+}
+
+// maybeRecycle returns all blocks to the pool once the queue is closed
+// and the last declared reader has detached.
+func (q *Queue) maybeRecycle() {
+	if !q.managed.Load() || !q.closed.Load() || q.readers.Load() != 0 {
+		return
+	}
+	q.mu.Lock()
+	blocks := q.blocks
+	q.blocks = nil
+	q.mu.Unlock()
+	for _, b := range blocks {
+		b.Ready = nil // events are never reused (obs identity); let GC take them
+		b.Toks = b.Toks[:0]
+		blockPool.Put(b)
+	}
+}
+
 // Append adds one token produced by the lexer or splitter and reports
 // whether it was accepted.  When the current block fills, its Ready
 // event fires and a new block opens.  Append must be called from a
@@ -72,27 +141,31 @@ func (q *Queue) SetFireHook(f func(*event.Event)) { q.fire = f }
 // cleanup can race the closing of a queue another path already sealed,
 // and that race must not take down the compilation.
 func (q *Queue) Append(t token.Token) bool {
-	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
+	if q.closed.Load() {
 		return false
 	}
-	n := len(q.blocks)
-	if n == 0 || len(q.blocks[n-1].Toks) == q.blockSize {
-		b := &Block{Toks: make([]token.Token, 0, q.blockSize), Ready: event.New()}
+	b := q.open
+	if b == nil {
+		b = newBlock(q.blockSize)
+		q.mu.Lock()
+		if q.closed.Load() {
+			// Lost the race against a concurrent sealing path; drop the
+			// token as the contract requires.
+			q.mu.Unlock()
+			return false
+		}
+		q.open = b
 		q.blocks = append(q.blocks, b)
 		grown := q.grown
 		q.grown = event.New()
-		n++
 		q.mu.Unlock()
 		q.fire(grown)
-		q.mu.Lock()
 	}
-	b := q.blocks[n-1]
 	b.Toks = append(b.Toks, t)
-	full := len(b.Toks) == q.blockSize
-	q.mu.Unlock()
-	if full {
+	if len(b.Toks) == q.blockSize {
+		// Seal the full block: freeze-then-fire is the publication edge
+		// readers rely on.
+		q.open = nil
 		q.fire(b.Ready)
 	}
 	return true
@@ -105,28 +178,13 @@ func (q *Queue) Append(t token.Token) bool {
 // that release procedure streams, §2.4) flowing at heading granularity
 // rather than block granularity.
 func (q *Queue) Flush() {
-	q.mu.Lock()
-	var last *Block
-	if n := len(q.blocks); n > 0 && len(q.blocks[n-1].Toks) > 0 {
-		last = q.blocks[n-1]
-		// Seal the block: the next Append starts a new one.
-		if len(last.Toks) < q.blockSize {
-			q.blocks = append(q.blocks, &Block{
-				Toks:  make([]token.Token, 0, q.blockSize),
-				Ready: event.New(),
-			})
-			grown := q.grown
-			q.grown = event.New()
-			q.mu.Unlock()
-			q.fire(last.Ready)
-			q.fire(grown)
-			return
-		}
+	b := q.open
+	if b == nil || len(b.Toks) == 0 {
+		return
 	}
-	q.mu.Unlock()
-	if last != nil {
-		q.fire(last.Ready)
-	}
+	// Seal the block: the next Append starts a new one.
+	q.open = nil
+	q.fire(b.Ready)
 }
 
 // Close marks the end of the token stream.  The final partial block's
@@ -134,29 +192,23 @@ func (q *Queue) Flush() {
 // token.EOF token before closing; Readers return that EOF forever after.
 func (q *Queue) Close() {
 	q.mu.Lock()
-	if q.closed {
+	if q.closed.Load() {
 		q.mu.Unlock()
 		return
 	}
-	q.closed = true
-	var last *Block
-	if n := len(q.blocks); n > 0 {
-		last = q.blocks[n-1]
-	}
+	q.closed.Store(true)
 	grown := q.grown
 	q.mu.Unlock()
-	if last != nil {
-		q.fire(last.Ready)
+	if b := q.open; b != nil {
+		q.open = nil
+		q.fire(b.Ready)
 	}
 	q.fire(grown)
+	q.maybeRecycle()
 }
 
 // Closed reports whether the producer has closed the queue.
-func (q *Queue) Closed() bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.closed
-}
+func (q *Queue) Closed() bool { return q.closed.Load() }
 
 // Len returns the total number of tokens appended so far.  Intended for
 // statistics once the queue is closed.
@@ -176,9 +228,9 @@ func (q *Queue) state(i int) (b *Block, ok bool, grown *event.Event, closed bool
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if i < len(q.blocks) {
-		return q.blocks[i], true, nil, q.closed
+		return q.blocks[i], true, nil, q.closed.Load()
 	}
-	return nil, false, q.grown, q.closed
+	return nil, false, q.grown, q.closed.Load()
 }
 
 // WaitFunc performs a barrier wait on an event.  The scheduler supplies
@@ -193,11 +245,13 @@ type Reader struct {
 	q    *Queue
 	wait WaitFunc
 
-	blk    int
-	off    int
-	buf    []token.Token // lookahead of already-read tokens
-	sawEOF token.Token
-	atEOF  bool
+	cur      *Block // acquired block (Ready fired; tokens frozen)
+	blk      int
+	off      int
+	buf      []token.Token // lookahead of already-read tokens
+	sawEOF   token.Token
+	atEOF    bool
+	detached bool
 }
 
 // NewReader returns a reader positioned at the start of q.  wait may be
@@ -209,20 +263,32 @@ func (q *Queue) NewReader(wait WaitFunc) *Reader {
 	return &Reader{q: q, wait: wait}
 }
 
+// Detach releases the reader's claim on the queue's blocks.  The owning
+// task must call it (typically deferred) when it is done reading; after
+// the queue closes and its last declared reader detaches, the blocks
+// are recycled.  The reader must not be used again.  Detach on an
+// undeclared (never-Retained) queue is a harmless no-op.
+func (r *Reader) Detach() {
+	if r == nil || r.detached {
+		return
+	}
+	r.detached = true
+	r.cur = nil
+	if r.q.managed.Load() && r.q.readers.Add(-1) == 0 {
+		r.q.maybeRecycle()
+	}
+}
+
 // fetch pulls the next token from the queue, performing barrier waits as
 // needed.  After the stream ends it returns the EOF token indefinitely.
+// The acquired block is cached on the reader, so the per-token path is
+// a bounds check and an index — the queue lock is taken once per block.
 func (r *Reader) fetch() token.Token {
 	if r.atEOF {
 		return r.sawEOF
 	}
 	for {
-		b, ok, grown, closed := r.q.state(r.blk)
-		if ok {
-			// Acquire the block: the wait function records the
-			// dependency (and blocks only if the block is not ready).
-			if r.off == 0 {
-				r.wait(b.Ready)
-			}
+		if b := r.cur; b != nil {
 			if r.off < len(b.Toks) {
 				t := b.Toks[r.off]
 				r.off++
@@ -234,8 +300,16 @@ func (r *Reader) fetch() token.Token {
 			}
 			// Block exhausted; move on.  A block is only readable once
 			// Ready fired, and after that its Toks never change.
+			r.cur = nil
 			r.blk++
 			r.off = 0
+		}
+		b, ok, grown, closed := r.q.state(r.blk)
+		if ok {
+			// Acquire the block: the wait function records the
+			// dependency (and blocks only if the block is not ready).
+			r.wait(b.Ready)
+			r.cur = b
 			continue
 		}
 		if closed {

@@ -175,3 +175,71 @@ func TestAppendAfterCloseIsSafeNoOp(t *testing.T) {
 		t.Fatal("queue contents corrupted by post-Close Appends")
 	}
 }
+
+func TestRetainDetachRecycles(t *testing.T) {
+	// Compile-shaped lifecycle: declare readers, produce, close, read,
+	// detach.  The blocks go back to the pool; a second queue built
+	// right after must still deliver its own tokens intact.
+	for round := 0; round < 3; round++ {
+		q := tokq.New(4)
+		q.Retain(2)
+		go fill(q, 9)
+		a, b := q.NewReader(nil), q.NewReader(nil)
+		na, nb := 0, 0
+		for a.Next().Kind != token.EOF {
+			na++
+		}
+		a.Detach()
+		a.Detach() // idempotent
+		for b.Next().Kind != token.EOF {
+			nb++
+		}
+		b.Detach()
+		if na != 9 || nb != 9 {
+			t.Fatalf("round %d: saw %d/%d tokens, want 9/9", round, na, nb)
+		}
+	}
+}
+
+// BenchmarkAppendRead measures the producer→consumer hot path: one
+// queue per iteration, filled and drained, with the Retain/Detach
+// lifecycle armed so block storage recycles through the pool.  The
+// -benchmem allocs/op figure is the witness for the pooled-allocation
+// claim (each iteration would otherwise allocate every block's token
+// array afresh).
+func BenchmarkAppendRead(b *testing.B) {
+	const tokens = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := tokq.New(0)
+		q.Retain(1)
+		for j := 0; j < tokens; j++ {
+			q.Append(token.Token{Kind: token.Ident, Text: "x"})
+		}
+		q.Append(token.Token{Kind: token.EOF})
+		q.Close()
+		r := q.NewReader(nil)
+		for r.Next().Kind != token.EOF {
+		}
+		r.Detach()
+	}
+}
+
+// BenchmarkAppendReadNoPool is the same workload without Retain/Detach:
+// recycling never arms, so every block's token storage is allocated
+// fresh.  The gap to BenchmarkAppendRead is the pool's contribution.
+func BenchmarkAppendReadNoPool(b *testing.B) {
+	const tokens = 4096
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := tokq.New(0)
+		for j := 0; j < tokens; j++ {
+			q.Append(token.Token{Kind: token.Ident, Text: "x"})
+		}
+		q.Append(token.Token{Kind: token.EOF})
+		q.Close()
+		r := q.NewReader(nil)
+		for r.Next().Kind != token.EOF {
+		}
+	}
+}
