@@ -8,15 +8,15 @@ GO ?= go
 # static analyzer whose findings must be schedule-independent, the
 # event primitive's lock-free fired fast path, and the token queues'
 # producer-owned blocks and pooled recycling.
-RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject ./internal/obs ./internal/profile ./internal/check ./internal/event ./internal/tokq
+RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject ./internal/obs ./internal/profile ./internal/check ./internal/event ./internal/tokq ./cmd/m2cd ./cmd/m2load
 
 # Seeds for the chaos suite's seeded matrix (see chaos_test.go); the
 # suite also hand-arms every injection point regardless of seeds.
 CHAOS_SEEDS ?= 1,2,3,4,5,6,7,8,13,21,34,55,89,144
 
-.PHONY: check vet build test race chaos smoke profile lint bench obsbench profilebench bench-sched clean
+.PHONY: check vet build test race chaos smoke serve-smoke profile lint bench obsbench profilebench bench-sched clean
 
-check: vet build test race chaos smoke profile lint
+check: vet build test race chaos smoke serve-smoke profile lint
 
 # Standard vet, then the repo's own concurrency-invariant analyzers
 # (internal/lint) via the go vet vettool protocol: raw event fires,
@@ -44,6 +44,14 @@ chaos:
 smoke:
 	$(GO) run ./cmd/m2c -I examples/modules -q -trace /tmp/m2c_smoke_trace.json Demo
 	$(GO) run ./cmd/tracecheck /tmp/m2c_smoke_trace.json
+
+# End-to-end serving smoke: start the m2cd daemon on an ephemeral
+# port, saturate it with an m2load burst (byte-identity enforced,
+# overload shed with 429), then SIGTERM mid-load and assert the
+# healthz/readyz flip, a clean drain (exit 0), the final metrics
+# snapshot, and a schema-valid BENCH_serve.json.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # End-to-end profiler smoke: compile an example module with the
 # critical-path profiler and the what-if replay, then cross-check the

@@ -56,6 +56,8 @@ func main() {
 		astMode = flag.Bool("ast", false, "print the canonical source render of the parse tree")
 		nocache = flag.Bool("nocache", false, "disable the shared interface cache in batch modes (-run)")
 		quiet   = flag.Bool("q", false, "suppress the success message")
+		stall   = flag.Duration("stall-timeout", m2cc.DefaultStallTimeout,
+			"bound on waits for a foreign interface-cache leader before self-compiling (0 selects the default; must not be negative)")
 
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON `file` of the live schedule (open in Perfetto)")
 		metrics  = flag.Bool("metrics", false, "print the observability metrics snapshot as JSON")
@@ -82,9 +84,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if *stall < 0 {
+		fmt.Fprintf(os.Stderr, "m2c: -stall-timeout must not be negative (got %v); a negative bound would wait forever on a wedged cache leader\n", *stall)
+		os.Exit(2)
+	}
 	opts := m2cc.Options{
-		Workers:  *workers,
-		Strategy: strategy,
+		Workers:      *workers,
+		Strategy:     strategy,
+		StallTimeout: *stall,
 		// -metrics piggybacks on the Table 2 collector for its
 		// per-strategy lookup section.
 		CollectStats: *stats || *metrics,

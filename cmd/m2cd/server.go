@@ -1,0 +1,661 @@
+// m2cd's server: admission control, deadlines, per-client circuit
+// breakers, and the HTTP surface.
+//
+// The daemon multiplexes many concurrent compile/lint requests onto
+// one process-wide interface cache and a bounded pool of in-flight
+// compilations.  Robustness is the organising principle:
+//
+//   - Admission control: at most maxInflight compilations run at once
+//     (a semaphore), at most queueDepth more may wait for a slot.
+//     Beyond that the daemon sheds load with 429 + Retry-After derived
+//     from the observed service time, instead of queueing unboundedly.
+//   - Deadlines: every request carries a deadline (defaulted and
+//     capped by the server).  Its context's Done channel is passed to
+//     the compiler as Options.Cancel, so an expired request releases
+//     its Supervisor slots and cache leaderships promptly instead of
+//     finishing work nobody will read.
+//   - Circuit breaker: a client whose requests keep faulting the
+//     concurrent pipeline is routed to the sequential compiler
+//     (slower, byte-identical output) until a cooldown passes, keeping
+//     one pathological workload from thrashing the shared pool.
+//   - Graceful drain: SIGTERM stops admission (readyz flips to 503),
+//     in-flight requests finish under the drain deadline, and the
+//     final metrics snapshot is flushed before exit.
+//
+// Response bodies are a pure function of the request: routing
+// metadata (concurrent vs sequential, stream counts, fallback) rides
+// in X-M2cd-* headers so that the body of any two successful responses
+// to the same request is byte-identical — across fault injection,
+// breaker state, and scheduling. The chaos tests rely on this.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"m2cc"
+	"m2cc/internal/faultinject"
+)
+
+// config carries the daemon's tunables; main fills it from flags.
+type config struct {
+	addr            string
+	workers         int
+	strategy        m2cc.Strategy
+	maxInflight     int
+	queueDepth      int
+	defaultDeadline time.Duration
+	maxDeadline     time.Duration
+	drainTimeout    time.Duration
+	stallTimeout    time.Duration
+	breakerTrips    int
+	breakerCooldown time.Duration
+	slowDelay       time.Duration // latency injected by an armed SlowRequest point
+	plan            *faultinject.Plan
+	metricsOut      string
+	readyFile       string
+}
+
+// validate rejects nonsensical knob settings with a clear error
+// before the daemon binds a socket.
+func (c *config) validate() error {
+	if c.workers < 1 {
+		return fmt.Errorf("-workers must be >= 1 (got %d)", c.workers)
+	}
+	if c.maxInflight < 1 {
+		return fmt.Errorf("-max-inflight must be >= 1 (got %d)", c.maxInflight)
+	}
+	if c.queueDepth < 0 {
+		return fmt.Errorf("-queue must be >= 0 (got %d)", c.queueDepth)
+	}
+	if c.stallTimeout < 0 {
+		return fmt.Errorf("-stall-timeout must be >= 0 (got %v); the daemon never waits forever on a foreign cache leader", c.stallTimeout)
+	}
+	if c.defaultDeadline <= 0 || c.maxDeadline <= 0 {
+		return fmt.Errorf("-deadline and -max-deadline must be positive")
+	}
+	if c.defaultDeadline > c.maxDeadline {
+		return fmt.Errorf("-deadline (%v) must not exceed -max-deadline (%v)", c.defaultDeadline, c.maxDeadline)
+	}
+	if c.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive")
+	}
+	if c.breakerTrips < 1 {
+		return fmt.Errorf("-breaker-trips must be >= 1 (got %d)", c.breakerTrips)
+	}
+	return nil
+}
+
+// server is the daemon's shared state: one interface cache, one
+// admission semaphore, one breaker registry, one metrics ledger.
+type server struct {
+	cfg   config
+	cache *m2cc.Cache
+	start time.Time
+
+	sem     chan struct{} // guards: in-flight capacity — holds maxInflight tokens; a compile runs only while holding one
+	drainCh chan struct{} // guards: admission shutdown — closed by startDrain; selects racing on sem abort here
+
+	waiting  atomic.Int64 // requests admitted past the capacity check, not yet holding a slot (includes running)
+	draining atomic.Bool
+	drainOne sync.Once
+
+	breakers breakerSet
+	met      metrics
+}
+
+func newServer(cfg config) *server {
+	s := &server{
+		cfg:     cfg,
+		cache:   m2cc.NewCache(),
+		start:   time.Now(),
+		sem:     make(chan struct{}, cfg.maxInflight),
+		drainCh: make(chan struct{}),
+	}
+	s.breakers.trips = cfg.breakerTrips
+	s.breakers.cooldown = cfg.breakerCooldown
+	s.breakers.m = make(map[string]*breakerState)
+	s.met.byStatus = make(map[int]int64)
+	return s
+}
+
+// handler builds the daemon's routing table.  Every compile/lint
+// handler is wrapped in recoverPanic so a crashed handler goroutine
+// becomes a well-formed 500 instead of a dropped connection.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.recoverPanic(func(w http.ResponseWriter, r *http.Request) {
+		s.handleCompile(w, r, false)
+	}))
+	mux.HandleFunc("/lint", s.recoverPanic(func(w http.ResponseWriter, r *http.Request) {
+		s.handleCompile(w, r, true)
+	}))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// startDrain flips the daemon into draining: admission stops (new and
+// queued requests get 503), readyz reports 503, healthz reports
+// "draining".  Idempotent; in-flight requests are unaffected — the
+// caller is responsible for http.Server.Shutdown, which waits for
+// them.
+func (s *server) startDrain() {
+	s.drainOne.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// ---- request/response schema ----
+
+type srcFile struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "def" or "mod"
+	Text string `json:"text"`
+}
+
+type compileRequest struct {
+	Module     string    `json:"module"`
+	Sources    []srcFile `json:"sources"`
+	Workers    int       `json:"workers,omitempty"`
+	Strategy   string    `json:"strategy,omitempty"`
+	DeadlineMS int64     `json:"deadline_ms,omitempty"`
+	Trace      bool      `json:"trace,omitempty"`
+	Client     string    `json:"client,omitempty"`
+}
+
+// compileResponse is deliberately a pure function of the request:
+// listing, diagnostics, and findings are byte-identical however the
+// request was served (concurrent, sequential-breaker, fallback).
+// Schedule-dependent metadata travels in X-M2cd-* headers instead.
+type compileResponse struct {
+	Module   string          `json:"module"`
+	OK       bool            `json:"ok"`
+	Listing  string          `json:"listing,omitempty"`
+	Diags    string          `json:"diags,omitempty"`
+	Findings json.RawMessage `json:"findings,omitempty"`
+	Trace    json.RawMessage `json:"trace,omitempty"`
+}
+
+type errorResponse struct {
+	Error        string `json:"error"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// ---- handlers ----
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+// recoverPanic converts a handler panic (including an armed
+// PanicHandler injection) into a well-formed 500 response.  Admission
+// slots are released by the handler's own defers as the panic unwinds,
+// so a crashed request never leaks capacity.
+func (s *server) recoverPanic(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.mu.Lock()
+				s.met.handlerPanics++
+				s.met.mu.Unlock()
+				s.writeError(w, http.StatusInternalServerError,
+					fmt.Sprintf("internal: handler panic: %v", rec), 0)
+			}
+		}()
+		h(w, r)
+	}
+}
+
+func (s *server) handleCompile(w http.ResponseWriter, r *http.Request, lint bool) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required", 0)
+		return
+	}
+	var req compileRequest
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request: "+err.Error(), 0)
+		return
+	}
+	if req.Module == "" || len(req.Sources) == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad request: module and sources are required", 0)
+		return
+	}
+	loader := m2cc.NewMapLoader()
+	for _, f := range req.Sources {
+		var kind m2cc.FileKind
+		switch strings.ToLower(f.Kind) {
+		case "def":
+			kind = m2cc.Def
+		case "mod":
+			kind = m2cc.Impl
+		default:
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad request: source %q has unknown kind %q (want def or mod)", f.Name, f.Kind), 0)
+			return
+		}
+		loader.Add(f.Name, kind, f.Text)
+	}
+	strategy := s.cfg.strategy
+	if req.Strategy != "" {
+		var err error
+		if strategy, err = m2cc.ParseStrategy(req.Strategy); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad request: "+err.Error(), 0)
+			return
+		}
+	}
+	workers := s.cfg.workers
+	if req.Workers > 0 && req.Workers < workers {
+		workers = req.Workers
+	}
+
+	// Deadline: requested, defaulted, and capped.  The context carries
+	// it into the compiler as a cancellation channel.
+	deadline := s.cfg.defaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	if deadline > s.cfg.maxDeadline {
+		deadline = s.cfg.maxDeadline
+	}
+	// The request context already propagates client disconnect; the
+	// timeout adds the service deadline.
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	// ---- admission ----
+	if s.draining.Load() {
+		s.met.mu.Lock()
+		s.met.rejectedDraining++
+		s.met.mu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, "draining", 0)
+		return
+	}
+	if n := s.waiting.Add(1); n > int64(s.cfg.maxInflight+s.cfg.queueDepth) {
+		s.waiting.Add(-1)
+		retry := s.retryAfter()
+		s.met.mu.Lock()
+		s.met.shedQueueFull++
+		s.met.mu.Unlock()
+		s.writeError(w, http.StatusTooManyRequests, "overloaded: admission queue full", retry)
+		return
+	}
+	defer s.waiting.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.met.mu.Lock()
+		s.met.deadlineCanceled++
+		s.met.mu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, "deadline exceeded while queued", s.retryAfter())
+		return
+	case <-s.drainCh:
+		s.met.mu.Lock()
+		s.met.rejectedDraining++
+		s.met.mu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, "draining", 0)
+		return
+	}
+	defer func() { <-s.sem }()
+	s.met.mu.Lock()
+	s.met.admitted++
+	s.met.mu.Unlock()
+
+	// Fault-injection points, post-admission: the deferred slot
+	// release above must survive both.
+	s.cfg.plan.Panic(faultinject.PanicHandler, r.URL.Path)
+	if s.cfg.plan.Hit(faultinject.SlowRequest) && s.cfg.slowDelay > 0 {
+		t := time.NewTimer(s.cfg.slowDelay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+
+	// ---- service ----
+	began := time.Now()
+	client := req.Client
+	if client == "" {
+		client = r.Header.Get("X-Client")
+	}
+	if client == "" {
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			client = host
+		} else {
+			client = r.RemoteAddr
+		}
+	}
+
+	if s.breakers.sequential(client, time.Now()) {
+		s.serveSequential(w, req, loader, lint)
+		s.observeService(time.Since(began))
+		return
+	}
+
+	opts := m2cc.Options{
+		Workers:      workers,
+		Strategy:     strategy,
+		Cache:        s.cache,
+		StallTimeout: s.cfg.stallTimeout,
+		Check:        lint,
+		FaultPlan:    s.cfg.plan,
+		Cancel:       ctx.Done(),
+	}
+	var observer *m2cc.Observer
+	if req.Trace {
+		observer = m2cc.NewObserver()
+		opts.Obs = observer
+	}
+	res := m2cc.Compile(req.Module, loader, opts)
+	s.observeService(time.Since(began))
+
+	if res.Canceled {
+		s.met.mu.Lock()
+		s.met.deadlineCanceled++
+		s.met.mu.Unlock()
+		s.writeError(w, http.StatusServiceUnavailable, "deadline exceeded", s.retryAfter())
+		return
+	}
+	s.met.mu.Lock()
+	s.met.completed++
+	if res.Faulted {
+		s.met.compileFaults++
+	}
+	s.met.mu.Unlock()
+	if s.breakers.record(client, res.Faulted, time.Now()) {
+		s.met.mu.Lock()
+		s.met.breakerOpens++
+		s.met.mu.Unlock()
+	}
+
+	resp := compileResponse{
+		Module: req.Module,
+		OK:     !res.Failed(),
+		Diags:  res.Diags.String(),
+	}
+	if res.Object != nil && !res.Failed() && !lint {
+		resp.Listing = res.Object.Listing()
+	}
+	if lint {
+		var buf bytes.Buffer
+		if err := m2cc.WriteFindingsJSON(&buf, res.Findings); err != nil {
+			s.writeError(w, http.StatusInternalServerError, "internal: encode findings: "+err.Error(), 0)
+			return
+		}
+		resp.Findings = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	if observer != nil {
+		var buf bytes.Buffer
+		if err := observer.WriteChromeTrace(&buf); err == nil {
+			resp.Trace = json.RawMessage(buf.Bytes())
+		}
+	}
+	w.Header().Set("X-M2cd-Path", "concurrent")
+	w.Header().Set("X-M2cd-Streams", strconv.Itoa(res.Streams))
+	if res.FellBack {
+		w.Header().Set("X-M2cd-Fellback", "1")
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// serveSequential answers a breaker-tripped client through the
+// sequential compiler: slower, no concurrency to fault, byte-identical
+// listing and diagnostics.
+func (s *server) serveSequential(w http.ResponseWriter, req compileRequest, loader m2cc.Loader, lint bool) {
+	s.met.mu.Lock()
+	s.met.sequentialServed++
+	s.met.completed++
+	s.met.mu.Unlock()
+	sres := m2cc.CompileSequentialCached(req.Module, loader, s.cache)
+	resp := compileResponse{
+		Module: req.Module,
+		OK:     !sres.Failed(),
+		Diags:  sres.Diags.String(),
+	}
+	if sres.Object != nil && !sres.Failed() && !lint {
+		resp.Listing = sres.Object.Listing()
+	}
+	if lint {
+		var buf bytes.Buffer
+		if err := m2cc.WriteFindingsJSON(&buf, m2cc.Lint(req.Module, loader)); err != nil {
+			s.writeError(w, http.StatusInternalServerError, "internal: encode findings: "+err.Error(), 0)
+			return
+		}
+		resp.Findings = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	w.Header().Set("X-M2cd-Path", "sequential")
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- response plumbing ----
+
+// writeJSON marshals v fully before touching the ResponseWriter, so a
+// response is either complete or absent — never truncated JSON.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	s.countStatus(status)
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "internal: encode response", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)+1))
+	w.WriteHeader(status)
+	w.Write(buf)
+	w.Write([]byte("\n"))
+}
+
+// writeError emits a JSON error body; retry > 0 adds Retry-After (in
+// whole seconds, floored at 1) plus the precise retry_after_ms field.
+func (s *server) writeError(w http.ResponseWriter, status int, msg string, retry time.Duration) {
+	e := errorResponse{Error: msg}
+	if retry > 0 {
+		secs := int64((retry + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		e.RetryAfterMS = retry.Milliseconds()
+	}
+	s.writeJSON(w, status, e)
+}
+
+// ---- metrics ----
+
+type metrics struct {
+	mu               sync.Mutex // guards: every field below
+	admitted         int64
+	completed        int64
+	shedQueueFull    int64
+	rejectedDraining int64
+	deadlineCanceled int64
+	handlerPanics    int64
+	compileFaults    int64
+	sequentialServed int64
+	breakerOpens     int64
+	byStatus         map[int]int64
+	ewmaMS           float64 // exponentially weighted service time
+}
+
+func (s *server) countStatus(code int) {
+	s.met.mu.Lock()
+	s.met.byStatus[code]++
+	s.met.mu.Unlock()
+}
+
+// observeService folds one completed request's service time into the
+// EWMA that Retry-After estimates are derived from.
+func (s *server) observeService(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.met.mu.Lock()
+	if s.met.ewmaMS == 0 {
+		s.met.ewmaMS = ms
+	} else {
+		const alpha = 0.2
+		s.met.ewmaMS = alpha*ms + (1-alpha)*s.met.ewmaMS
+	}
+	s.met.mu.Unlock()
+}
+
+// retryAfter estimates when a shed client should retry: the observed
+// service time scaled by how many service turns the backlog represents.
+func (s *server) retryAfter() time.Duration {
+	s.met.mu.Lock()
+	ewma := s.met.ewmaMS
+	s.met.mu.Unlock()
+	if ewma <= 0 {
+		ewma = 250 // no completions yet; a deliberate guess
+	}
+	turns := float64(s.waiting.Load())/float64(s.cfg.maxInflight) + 1
+	d := time.Duration(ewma*turns) * time.Millisecond
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+// metricsSnapshot is the /metrics response and the drain-time flush.
+type metricsSnapshot struct {
+	UptimeMS         int64            `json:"uptime_ms"`
+	Draining         bool             `json:"draining"`
+	Waiting          int64            `json:"waiting"`
+	Admitted         int64            `json:"admitted"`
+	Completed        int64            `json:"completed"`
+	ShedQueueFull    int64            `json:"shed_queue_full"`
+	RejectedDraining int64            `json:"rejected_draining"`
+	DeadlineCanceled int64            `json:"deadline_canceled"`
+	HandlerPanics    int64            `json:"handler_panics"`
+	CompileFaults    int64            `json:"compile_faults"`
+	SequentialServed int64            `json:"sequential_served"`
+	BreakerOpens     int64            `json:"breaker_opens"`
+	ByStatus         map[string]int64 `json:"by_status"`
+	ServiceEWMAMS    float64          `json:"service_ewma_ms"`
+	RetryAfterMS     int64            `json:"retry_after_ms"`
+	Cache            m2cc.CacheStats  `json:"cache"`
+}
+
+func (s *server) snapshot() metricsSnapshot {
+	retry := s.retryAfter()
+	s.met.mu.Lock()
+	snap := metricsSnapshot{
+		UptimeMS:         time.Since(s.start).Milliseconds(),
+		Draining:         s.draining.Load(),
+		Waiting:          s.waiting.Load(),
+		Admitted:         s.met.admitted,
+		Completed:        s.met.completed,
+		ShedQueueFull:    s.met.shedQueueFull,
+		RejectedDraining: s.met.rejectedDraining,
+		DeadlineCanceled: s.met.deadlineCanceled,
+		HandlerPanics:    s.met.handlerPanics,
+		CompileFaults:    s.met.compileFaults,
+		SequentialServed: s.met.sequentialServed,
+		BreakerOpens:     s.met.breakerOpens,
+		ByStatus:         make(map[string]int64, len(s.met.byStatus)),
+		ServiceEWMAMS:    s.met.ewmaMS,
+		RetryAfterMS:     retry.Milliseconds(),
+	}
+	for code, n := range s.met.byStatus {
+		snap.ByStatus[strconv.Itoa(code)] = n
+	}
+	s.met.mu.Unlock()
+	snap.Cache = s.cache.Stats()
+	return snap
+}
+
+// ---- per-client circuit breaker ----
+
+// breakerSet tracks consecutive concurrent-pipeline faults per client.
+// After trips consecutive faults the client's breaker opens for
+// cooldown: its requests are served by the sequential compiler (same
+// bytes, no shared-pool thrash).  The first post-cooldown request
+// probes the concurrent path half-open — one more fault re-opens
+// immediately, a clean result closes the breaker.
+type breakerSet struct {
+	mu       sync.Mutex // guards: m and each *breakerState inside it
+	trips    int
+	cooldown time.Duration
+	m        map[string]*breakerState
+}
+
+type breakerState struct {
+	fails     int       // consecutive faults
+	openUntil time.Time // zero when closed
+	halfOpen  bool      // probing after cooldown
+}
+
+// sequential reports whether this client's next request must take the
+// sequential path.  A cooled-down breaker transitions to half-open and
+// lets the request probe the concurrent path.
+func (b *breakerSet) sequential(client string, now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.m[client]
+	if st == nil || st.openUntil.IsZero() {
+		return false
+	}
+	if now.Before(st.openUntil) {
+		return true
+	}
+	// Cooldown over: half-open probe.
+	st.openUntil = time.Time{}
+	st.halfOpen = true
+	st.fails = 0
+	return false
+}
+
+// record folds one concurrent-path outcome into the client's breaker
+// and reports whether the breaker opened on this call.
+func (b *breakerSet) record(client string, faulted bool, now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.m[client]
+	if st == nil {
+		st = &breakerState{}
+		b.m[client] = st
+	}
+	if !faulted {
+		st.fails = 0
+		st.halfOpen = false
+		return false
+	}
+	st.fails++
+	if st.halfOpen || st.fails >= b.trips {
+		st.openUntil = now.Add(b.cooldown)
+		st.halfOpen = false
+		st.fails = 0
+		return true
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"m2cc/internal/core"
+	"m2cc/internal/faultinject"
+	"m2cc/internal/ifacecache"
+	"m2cc/internal/symtab"
+)
+
+// closedChan returns an already-closed cancel channel.
+func closedChan() <-chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// TestCancelBeforeStartAllStrategies pre-cancels a compilation under
+// every DKY strategy: Compile must return promptly with Canceled set,
+// every Supervisor slot released (evidenced by Compile returning at
+// all), and a fresh compilation over the same loader must still
+// produce clean output.
+func TestCancelBeforeStartAllStrategies(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	for strat := symtab.Avoidance; strat < symtab.NumStrategies; strat++ {
+		t.Run(strat.String(), func(t *testing.T) {
+			res := core.Compile("Main", loader, core.Options{
+				Workers: 4, Strategy: strat, Cancel: closedChan(),
+			})
+			if !res.Canceled {
+				t.Fatal("pre-canceled compilation must be marked Canceled")
+			}
+			clean := core.Compile("Main", loader, core.Options{Workers: 4, Strategy: strat})
+			if clean.Failed() || clean.Faulted || clean.Canceled {
+				t.Fatalf("follow-up compile wounded by earlier cancellation:\n%s", clean.Diags)
+			}
+		})
+	}
+}
+
+// TestCancelMidCompileReleasesCacheLeadership wedges an interface-cache
+// leader at a deterministic point (the StallLeader injection site in
+// finishEntry), cancels the compilation while it is wedged, and then
+// verifies the two request-level invariants the daemon depends on:
+//
+//  1. the canceled Compile call returns (all Supervisor slots released,
+//     no goroutine holds the batch open), and
+//  2. the shared cache is left uncorrupted — no leaked leaders: a
+//     follow-up compilation against the same cache resolves every
+//     interface (self-compiling any abandoned entry via the PR 2 stall
+//     path) and produces output byte-identical to an uncached compile.
+//
+// Run under -race via the core package's RACE_PKGS membership.
+func TestCancelMidCompileReleasesCacheLeadership(t *testing.T) {
+	for strat := symtab.Avoidance; strat < symtab.NumStrategies; strat++ {
+		t.Run(strat.String(), func(t *testing.T) {
+			loader := testLoader(multiModuleProgram)
+			cache := ifacecache.New()
+			plan := faultinject.New().Arm(faultinject.StallLeader, 1)
+			cancel := make(chan struct{})
+			done := make(chan *core.Result, 1)
+			go func() {
+				done <- core.Compile("Main", loader, core.Options{
+					Workers: 4, Strategy: strat, Cache: cache,
+					FaultPlan: plan, Cancel: cancel,
+					// Short stall bound so abandoned waits resolve fast.
+					StallTimeout: 100 * time.Millisecond,
+				})
+			}()
+			// The leader is wedged inside finishEntry: the compilation is
+			// provably mid-flight, with cache leadership held.
+			select {
+			case <-plan.Stalled():
+			case res := <-done:
+				t.Fatalf("compilation finished before the leader stalled (faulted=%v)", res.Faulted)
+			}
+			close(cancel)
+			// The stalled injection point blocks outside the Supervisor's
+			// jurisdiction; release it so the task can unwind.
+			plan.Release()
+			var res *core.Result
+			select {
+			case res = <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("canceled compilation did not terminate: slots leaked")
+			}
+			if !res.Canceled {
+				t.Fatal("mid-flight cancellation must mark the result Canceled")
+			}
+
+			// No leaked leaders: the same cache must serve a fresh
+			// compilation without stranding it, and the output must be
+			// byte-identical to an uncached compile.
+			warm := core.Compile("Main", loader, core.Options{
+				Workers: 4, Strategy: strat, Cache: cache,
+				StallTimeout: 500 * time.Millisecond,
+			})
+			if warm.Failed() || warm.Faulted || warm.Canceled {
+				t.Fatalf("cache corrupted by canceled leader:\n%s", warm.Diags)
+			}
+			cold := core.Compile("Main", loader, core.Options{Workers: 4, Strategy: strat})
+			if got, want := warm.Object.Listing(), cold.Object.Listing(); got != want {
+				t.Fatalf("cached listing differs after cancellation\ngot:\n%s\nwant:\n%s", got, want)
+			}
+			if got, want := warm.Diags.String(), cold.Diags.String(); got != want {
+				t.Fatalf("cached diags differ after cancellation\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestCancelRacingCompletion closes the cancel channel at staggered
+// delays while compilations run, across all strategies: whichever side
+// wins, the result must be either cleanly complete or cleanly canceled
+// — never a hang, never a fault — and a shared cache stays usable.
+func TestCancelRacingCompletion(t *testing.T) {
+	loader := testLoader(multiModuleProgram)
+	cache := ifacecache.New()
+	delays := []time.Duration{0, 200 * time.Microsecond, time.Millisecond, 5 * time.Millisecond}
+	for strat := symtab.Avoidance; strat < symtab.NumStrategies; strat++ {
+		for _, delay := range delays {
+			cancel := make(chan struct{})
+			timer := time.AfterFunc(delay, func() { close(cancel) })
+			res := core.Compile("Main", loader, core.Options{
+				Workers: 4, Strategy: strat, Cache: cache, Cancel: cancel,
+				StallTimeout: 500 * time.Millisecond,
+			})
+			timer.Stop()
+			if res.Canceled {
+				continue
+			}
+			if res.Failed() || res.Faulted {
+				t.Fatalf("%v/%v: uncanceled result not clean:\n%s", strat, delay, res.Diags)
+			}
+		}
+	}
+	// The cache survived every race above.
+	final := core.Compile("Main", loader, core.Options{
+		Workers: 4, Cache: cache, StallTimeout: 500 * time.Millisecond,
+	})
+	if final.Failed() || final.Faulted || final.Canceled {
+		t.Fatalf("cache unusable after cancel races:\n%s", final.Diags)
+	}
+}

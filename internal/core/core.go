@@ -119,6 +119,16 @@ type Options struct {
 	// Observer may span a whole CompileBatch.  Nil costs a pointer
 	// check per scheduler transition.
 	Obs *obs.Observer
+	// Cancel, when non-nil, aborts the compilation when the channel is
+	// closed — guards: nothing itself; it is a read-only broadcast
+	// (pass a context's Done channel to propagate a deadline):
+	// no new stream does work, blocked tasks unwind through the
+	// panic-isolation teardown, every worker slot is released, and any
+	// interface-cache entries this compilation led are failed so
+	// waiters in other sessions retry instead of stranding.  The
+	// Result comes back with Canceled set and must be discarded —
+	// cancellation asks the compiler to stop, not to answer.
+	Cancel <-chan struct{}
 }
 
 // Result is the outcome of one concurrent compilation.
@@ -140,6 +150,11 @@ type Result struct {
 	// fallback after a faulted concurrent attempt (set by m2cc, never
 	// by core.Compile itself).
 	FellBack bool
+	// Canceled reports that Options.Cancel fired before the
+	// compilation finished: the object and diagnostics are partial and
+	// must be discarded.  Canceled results never take the sequential
+	// fallback — the request was abandoned, not wounded.
+	Canceled bool
 
 	// Findings holds the static-analysis findings (Options.Check),
 	// sorted and deduplicated; byte-identical to the sequential
@@ -186,6 +201,7 @@ type driver struct {
 	mainKind   ast.ModKind
 	poisoned   bool                    // deadlock watchdog fired; publish nothing
 	faulted    bool                    // a stream task panicked and was isolated
+	canceled   bool                    // Options.Cancel fired; result is abandoned
 	resolving  map[string]*event.Event // per-name guard for in-flight cache resolution
 }
 
@@ -286,6 +302,21 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 			t.Kind(), t.Label, t.Stream(), recovered)
 	}
 
+	if opts.Cancel != nil {
+		// The cancel watcher lives exactly as long as this call: the
+		// deferred close retires it whether the compilation finished,
+		// faulted, or was torn down by the cancellation itself.
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-opts.Cancel:
+				d.cancelNow()
+			case <-watchDone:
+			}
+		}()
+	}
+
 	d.startMainStream()
 	// Optimistic prefetch of the module's own interface (§3).
 	d.iface(module, true, nil)
@@ -310,6 +341,19 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 		d.obs.NoteLookups(stats)
 		d.obs.Finish()
 	}
+	// Final cancellation check: the watcher goroutine races the
+	// compilation's own completion, so a Cancel that fired before this
+	// point may not have been delivered yet.  Context semantics decide
+	// the tie — a request whose deadline expired is canceled even if
+	// the work happened to finish, so callers see a deterministic
+	// Canceled bit instead of a scheduling coin flip.
+	if opts.Cancel != nil {
+		select {
+		case <-opts.Cancel:
+			d.cancelNow()
+		default:
+		}
+	}
 	res := &Result{
 		Object: d.reg.Object(),
 		Diags:  d.diags,
@@ -319,6 +363,7 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	d.mu.Lock()
 	res.Streams = int(d.nstream) + 1
 	res.Faulted = d.poisoned || d.faulted
+	res.Canceled = d.canceled
 	res.Findings = d.findings
 	res.CheckFellBack = d.checkFell
 	d.mu.Unlock()
@@ -326,6 +371,22 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 		res.Trace = d.rec.Trace()
 	}
 	return res
+}
+
+// cancelNow marks the compilation abandoned and tells the Supervisor:
+// tasks not yet started are discharged unrun, blocked waits unwind
+// through the panic-isolation teardown (whose deferred seals close the
+// token queues), and the end-of-compilation sweeps (failUnpublished)
+// still run, so no cache waiter in another session is stranded.
+func (d *driver) cancelNow() {
+	d.mu.Lock()
+	if d.canceled {
+		d.mu.Unlock()
+		return
+	}
+	d.canceled = true
+	d.mu.Unlock()
+	d.sup.Cancel()
 }
 
 // spawn registers a task with the Supervisor and tracks it for the
@@ -697,7 +758,9 @@ func (d *driver) iface(name string, optional bool, t *sched.Task) *ifaceEntry {
 			d.mu.Unlock()
 			return e
 		}
-		if d.cache == nil {
+		if d.cache == nil || d.canceled {
+			// No cache — or an abandoned compilation, which must not
+			// take cache leadership it would only fail at the sweep.
 			d.mu.Unlock()
 			return d.startIface(name, optional, nil)
 		}
@@ -796,7 +859,8 @@ func obsTaskID(t *sched.Task) int {
 func (d *driver) extWait(t *sched.Task, ev *event.Event) bool {
 	if t == nil {
 		// The prefetch from the main goroutine waits inline, under the
-		// same deadline discipline as supervised tasks.
+		// same deadline and cancellation discipline as supervised tasks
+		// (a nil Cancel channel never fires).
 		if d.stall > 0 {
 			timer := time.NewTimer(d.stall)
 			defer timer.Stop()
@@ -805,10 +869,16 @@ func (d *driver) extWait(t *sched.Task, ev *event.Event) bool {
 				return true
 			case <-timer.C:
 				return ev.Fired()
+			case <-d.opts.Cancel:
+				return ev.Fired()
 			}
 		}
-		ev.Wait()
-		return true
+		select {
+		case <-ev.WaitChan():
+			return true
+		case <-d.opts.Cancel:
+			return ev.Fired()
+		}
 	}
 	return t.ExternalWait(ev)
 }

@@ -131,6 +131,18 @@ func (e *Event) Subscribe(f func()) {
 	e.mu.Unlock()
 }
 
+// WaitChan returns the channel Wait would block on, counting the wait
+// in the process-wide tallies exactly as Wait does when the event is
+// unfired.  Use it when the wait must be combined with other signals in
+// a select (the scheduler's cancellation-aware waits); plain blocking
+// waits should call Wait.
+func (e *Event) WaitChan() <-chan struct{} {
+	if !e.fired.Load() {
+		atomic.AddInt64(&totalWaits, 1)
+	}
+	return e.Done()
+}
+
 // Wait blocks the calling goroutine until the event fires.  Tasks under
 // the Supervisor must not call Wait directly for handled events — they go
 // through the scheduler so their worker slot can be released; Wait is the

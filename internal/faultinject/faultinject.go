@@ -58,13 +58,23 @@ const (
 	// worker; panic isolation and force-firing must behave identically
 	// whether a task was dispatched locally or via a steal.
 	PanicSteal
+	// SlowRequest marks the Nth request admitted by the m2cd daemon
+	// for an injected service delay (the daemon chooses the latency):
+	// it must push the request toward its deadline and the admission
+	// queue toward shedding without ever corrupting a response.
+	SlowRequest
+	// PanicHandler panics inside the m2cd daemon's Nth request handler
+	// after admission, modelling a crashed handler goroutine; the
+	// recovery middleware must convert it into a well-formed 500
+	// response and release the request's admission slot.
+	PanicHandler
 
 	numPoints
 )
 
 var pointNames = [numPoints]string{
 	"panic-lookup", "stall-leader", "fail-install", "drop-fire",
-	"panic-check", "panic-steal",
+	"panic-check", "panic-steal", "slow-request", "panic-handler",
 }
 
 func (p Point) String() string {
@@ -76,7 +86,20 @@ func (p Point) String() string {
 
 // Points lists every injection point (for chaos matrices).
 func Points() []Point {
-	return []Point{PanicLookup, StallLeader, FailInstall, DropFire, PanicCheck, PanicSteal}
+	return []Point{PanicLookup, StallLeader, FailInstall, DropFire, PanicCheck, PanicSteal,
+		SlowRequest, PanicHandler}
+}
+
+// ParsePoint converts a point name (as printed by Point.String, e.g.
+// "slow-request") back to the Point; the m2cd daemon's -inject flag
+// uses it to hand-arm plans from the command line.
+func ParsePoint(name string) (Point, error) {
+	for p := Point(0); p < numPoints; p++ {
+		if pointNames[p] == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown injection point %q", name)
 }
 
 // Injected is the value an armed PanicLookup point panics with; the

@@ -34,6 +34,7 @@ package sched
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"runtime/debug"
 	"sort"
@@ -47,6 +48,14 @@ import (
 	"m2cc/internal/faultinject"
 	"m2cc/internal/obs"
 )
+
+// ErrCanceled is the sentinel a task's wait raises when the compilation
+// it belongs to has been canceled (Supervisor.Cancel).  It unwinds the
+// task through the same panic-isolation path as a real fault — deferred
+// queue seals run, produced events are force-fired so dependents never
+// wedge — but is recognized in runGuarded and excluded from the fault
+// count and the OnPanic report: cancellation is a request, not a bug.
+var ErrCanceled = errors.New("compilation canceled")
 
 // Priority computes a task's ready-queue priority: class-major (the
 // §2.3.4 queue order), then larger sizes first within a class (code is
@@ -119,9 +128,21 @@ func (t *Task) BarrierWait(e *event.Event) {
 	if e.Fired() {
 		return
 	}
-	t.sup.Obs.TaskBarrierBlocked(t.obsID, e)
-	e.Wait()
-	t.sup.Obs.TaskBarrierUnblocked(t.obsID)
+	s := t.sup
+	if s.canceled.Load() {
+		// The producer this wait depends on may already have been
+		// discharged unrun; unwind instead of blocking a slot forever.
+		panic(ErrCanceled)
+	}
+	s.Obs.TaskBarrierBlocked(t.obsID, e)
+	select {
+	case <-e.WaitChan():
+	case <-s.cancelCh:
+	}
+	s.Obs.TaskBarrierUnblocked(t.obsID)
+	if !e.Fired() {
+		panic(ErrCanceled)
+	}
 }
 
 // HandledWait performs a handled-event wait: the slot is released so
@@ -132,9 +153,19 @@ func (t *Task) HandledWait(e *event.Event) {
 	if e.Fired() {
 		return
 	}
-	t.sup.releaseForWait(t, e)
-	e.Wait()
-	t.sup.reacquire(t)
+	s := t.sup
+	s.releaseForWait(t, e)
+	select {
+	case <-e.WaitChan():
+	case <-s.cancelCh:
+	}
+	// Reacquire before unwinding so the slot accounting stays exact:
+	// the cancellation panic is raised from inside the task body, where
+	// the normal finish path releases the slot.
+	s.reacquire(t)
+	if !e.Fired() {
+		panic(ErrCanceled)
+	}
 }
 
 // ExternalWait parks t on an event owned by *another* compilation (an
@@ -171,10 +202,18 @@ func (t *Task) ExternalWait(e *event.Event) bool {
 			// The fire may have raced the deadline; a fired event is
 			// never reported as a stall.
 			fired = e.Fired()
+		case <-s.cancelCh:
+			// Canceled: abandon the foreign dependency immediately; the
+			// caller's fallback work is discharged unrun anyway.
+			fired = e.Fired()
 		}
 		timer.Stop()
 	} else {
-		e.Wait()
+		select {
+		case <-e.WaitChan():
+		case <-s.cancelCh:
+			fired = e.Fired()
+		}
 	}
 	s.mu.Lock()
 	delete(s.external, t)
@@ -250,6 +289,16 @@ type Supervisor struct {
 	total    int
 	finished int
 	faults   int // tasks that panicked and were isolated
+	skips    int // tasks discharged unrun after cancellation
+
+	// canceled flips once when Cancel is called; checked lock-free on
+	// every dispatch and wait so an abandoned compilation stops doing
+	// work at the next task boundary.
+	canceled atomic.Bool
+	// cancelCh guards: cancellation broadcast — closed exactly once by
+	// Cancel; every bounded wait selects on it so blocked tasks unwind
+	// promptly instead of waiting for events that will never fire.
+	cancelCh chan struct{}
 
 	// Dispatch-traffic counters (see obs.SchedCounters).
 	nLocalPushes    atomic.Int64
@@ -308,6 +357,7 @@ func New(workers int, rec *ctrace.Recorder) *Supervisor {
 	}
 	s := &Supervisor{
 		slots: workers, free: workers, rec: rec,
+		cancelCh:    make(chan struct{}),
 		slotFree:    make([]bool, workers),
 		local:       make([]*runQ, workers),
 		stealRand:   make([]uint64, workers),
@@ -340,6 +390,36 @@ func (s *Supervisor) Counters() obs.SchedCounters {
 		OverflowPops:   s.nOverflowPops.Load(),
 		Handoffs:       s.nHandoffs.Load(),
 	}
+}
+
+// Cancel abandons the compilation: tasks not yet started are discharged
+// without running (their produced events force-fired so nothing wedges),
+// and every blocked wait unwinds at its next opportunity through the
+// panic-isolation teardown (ErrCanceled).  Tasks already executing run
+// to their next wait or to completion — cancellation is cooperative at
+// task boundaries, never preemptive mid-mutation.  Wait still drains
+// every registered task, so by the time it returns all worker slots are
+// released and all led cache entries have been failed by the driver's
+// end-of-compilation sweep.  Idempotent and safe from any goroutine.
+func (s *Supervisor) Cancel() {
+	if s.canceled.Swap(true) {
+		return
+	}
+	close(s.cancelCh)
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Canceled reports whether Cancel has been called.
+func (s *Supervisor) Canceled() bool { return s.canceled.Load() }
+
+// Skipped reports how many tasks were discharged unrun after
+// cancellation.
+func (s *Supervisor) Skipped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skips
 }
 
 // SetProducer declares that task t is the one that will fire e; the
@@ -681,34 +761,63 @@ func (s *Supervisor) runGuarded(t *Task) {
 		if r == nil {
 			return
 		}
+		if r == ErrCanceled {
+			// A cooperative cancellation unwind, not a fault: the
+			// deferred seals already ran during the unwind; force-fire
+			// what the task still owed and let body finish it normally.
+			s.mu.Lock()
+			s.skips++
+			s.mu.Unlock()
+			s.forceFireProduced(t)
+			return
+		}
 		stack := debug.Stack()
 		s.mu.Lock()
 		s.faults++
-		var fires []*event.Event
-		for e, p := range s.producers {
-			// The task's own Done event is excluded: body fires it on
-			// the normal path right after this recovery returns.
-			if p == t && e != t.done && !e.Fired() {
-				fires = append(fires, e)
-			}
-		}
 		cb := s.OnPanic
 		s.mu.Unlock()
 		s.Obs.TaskPanicked(t.obsID)
 		if cb != nil {
 			cb(t, r, stack)
 		}
-		for _, e := range fires {
-			s.Obs.EventForceFired(e)
-			e.Fire() // vet:allowfire forced fire on a dead task's behalf; EventForceFired is the record
-		}
+		s.forceFireProduced(t)
 	}()
+	if s.canceled.Load() {
+		// Granted after cancellation: discharge without running the
+		// body.  Produced events are force-fired so dependents that
+		// started before the cancellation never wedge on this task.
+		s.mu.Lock()
+		s.skips++
+		s.mu.Unlock()
+		s.forceFireProduced(t)
+		return
+	}
 	if t.stolen {
 		// Injected: the task crashes on the worker that stole it,
 		// before its body runs; isolation must hold on this path too.
 		s.Inject.Panic(faultinject.PanicSteal, t.Label)
 	}
 	t.run(t)
+}
+
+// forceFireProduced force-fires every unfired event the task was
+// registered (via SetProducer) to produce, so sibling streams blocked
+// on them resume instead of wedging until the deadlock watchdog.  The
+// task's own Done event is excluded: body fires it on the normal path.
+// Shared by the panic-isolation and cancellation-discharge teardowns.
+func (s *Supervisor) forceFireProduced(t *Task) {
+	s.mu.Lock()
+	var fires []*event.Event
+	for e, p := range s.producers {
+		if p == t && e != t.done && !e.Fired() {
+			fires = append(fires, e)
+		}
+	}
+	s.mu.Unlock()
+	for _, e := range fires {
+		s.Obs.EventForceFired(e)
+		e.Fire() // vet:allowfire forced fire on a dead or discharged task's behalf; EventForceFired is the record
+	}
 }
 
 // Faults reports how many tasks panicked and were isolated.
@@ -822,10 +931,22 @@ func (s *Supervisor) Wait() {
 			}
 			if len(fires) > 0 {
 				cb := s.OnDeadlock
-				msg := "DKY deadlock broken: compilation cannot make progress (cyclic imports or missing declarations)\n" +
-					s.stateDumpLocked()
+				var msg string
+				wedged := !s.canceled.Load()
+				if wedged {
+					msg = "DKY deadlock broken: compilation cannot make progress (cyclic imports or missing declarations)\n" +
+						s.stateDumpLocked()
+				} else {
+					// Canceled teardown: residual gates are expected (their
+					// producers were discharged unrun); force-fire them so
+					// the drain completes, but report no deadlock — the
+					// result is already marked canceled by the driver.
+					cb = nil
+				}
 				s.mu.Unlock()
-				s.Obs.WatchdogFired()
+				if wedged {
+					s.Obs.WatchdogFired()
+				}
 				if cb != nil {
 					cb(msg)
 				}

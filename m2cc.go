@@ -215,8 +215,19 @@ func ExportObservedTrace(o *Observer) *Trace {
 // compiler, so the result is either a correct object program or
 // ordinary source diagnostics — never a crash and never a poisoned
 // object.  Such results carry Faulted and FellBack set.
+//
+// Set Options.Cancel (a context's Done channel) to abandon the
+// compilation early: the result comes back promptly with Canceled set
+// and must be discarded — canceled compilations take no fallback.
 func Compile(module string, loader Loader, opts Options) *Result {
 	res := core.Compile(module, loader, opts)
+	if res.Canceled {
+		// An abandoned request (Options.Cancel fired): no sequential
+		// fallback and no lint recomputation — the caller asked the
+		// compilation to stop, not to produce an answer.  The partial
+		// result must be discarded.
+		return res
+	}
 	if res.Faulted {
 		fb := sequentialFallback(module, loader, res)
 		if opts.Check {

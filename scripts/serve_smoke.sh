@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end drill of the m2cd compile daemon and the
+# m2load generator.
+#
+#   1. Start m2cd on an ephemeral port with deliberately small
+#      admission capacity, and confirm healthz/readyz report serving.
+#   2. Saturate it with a closed-loop m2load burst at ~4x capacity
+#      with -expect-identical: every 200 body must be byte-identical,
+#      overload must be answered with 429/503, and the report
+#      (BENCH_serve.json) must be schema-valid.
+#   3. Send SIGTERM mid-load and verify the graceful drain: healthz
+#      flips to "draining", readyz flips to 503 while the listener is
+#      still up (the -drain-grace window), in-flight work finishes,
+#      the final metrics snapshot is written, and the daemon exits 0.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TMP=$(mktemp -d)
+DPID=""
+cleanup() {
+    [ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
+
+go build -o "$TMP/m2cd" ./cmd/m2cd
+go build -o "$TMP/m2load" ./cmd/m2load
+
+"$TMP/m2cd" -addr 127.0.0.1:0 -ready-file "$TMP/addr" \
+    -max-inflight 2 -queue 2 -workers 4 \
+    -drain-grace 2s -drain-timeout 10s \
+    -metrics-out "$TMP/metrics.json" 2>"$TMP/m2cd.log" &
+DPID=$!
+
+for _ in $(seq 1 100); do [ -s "$TMP/addr" ] && break; sleep 0.1; done
+[ -s "$TMP/addr" ] || fail "daemon never wrote its ready file (log: $(cat "$TMP/m2cd.log"))"
+ADDR=$(head -n1 "$TMP/addr")
+
+# 1. Liveness and readiness while serving.
+[ "$(curl -fsS "http://$ADDR/healthz")" = "ok" ] || fail "healthz != ok"
+[ "$(curl -fsS "http://$ADDR/readyz")" = "ready" ] || fail "readyz != ready"
+
+# 2. Saturating burst: 8 workers against capacity 4 (2 in flight + 2
+#    queued).  Byte-identity of every 200 body is enforced by m2load.
+"$TMP/m2load" -addr "$ADDR" -n 60 -c 8 -clients 3 -expect-identical \
+    -out BENCH_serve.json || fail "m2load burst failed"
+
+python3 - BENCH_serve.json <<'EOF' || fail "BENCH_serve.json schema invalid"
+import json, sys
+r = json.load(open(sys.argv[1]))
+for k in ("target", "mode", "concurrency", "duration_ms", "sent", "ok",
+          "shed", "unavail", "errors", "mismatch", "by_status",
+          "throughput_rps", "latency_ms"):
+    assert k in r, f"missing field {k!r}"
+for k in ("mean", "p50", "p90", "p99", "p999", "max"):
+    assert k in r["latency_ms"], f"missing latency field {k!r}"
+assert r["ok"] > 0, "no successful responses"
+assert r["mismatch"] == 0, "byte-identity violated"
+assert r["sent"] == 60, f"sent {r['sent']} != 60"
+EOF
+
+# 3. Graceful drain under load: a background burst keeps requests in
+#    flight while SIGTERM lands.
+"$TMP/m2load" -addr "$ADDR" -n 0 -duration 4s -c 4 \
+    -out "$TMP/drain_burst.json" >/dev/null 2>&1 &
+LPID=$!
+sleep 0.5
+kill -TERM "$DPID"
+sleep 0.3  # inside the 2s drain-grace window: probes must still answer
+[ "$(curl -fsS "http://$ADDR/healthz")" = "draining" ] || fail "healthz did not flip to draining"
+READY_CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/readyz")
+[ "$READY_CODE" = "503" ] || fail "readyz during drain returned $READY_CODE, want 503"
+
+wait "$DPID" && DCODE=0 || DCODE=$?
+DPID=""
+[ "$DCODE" = "0" ] || fail "daemon exit code $DCODE, want 0 (clean drain); log: $(cat "$TMP/m2cd.log")"
+wait "$LPID" 2>/dev/null || true
+
+[ -s "$TMP/metrics.json" ] || fail "final metrics snapshot missing"
+python3 - "$TMP/metrics.json" <<'EOF' || fail "final metrics snapshot invalid"
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["draining"] is True, "snapshot not marked draining"
+assert m["admitted"] > 0, "no requests admitted"
+for k in ("completed", "shed_queue_full", "deadline_canceled",
+          "handler_panics", "by_status", "cache"):
+    assert k in m, f"missing field {k!r}"
+EOF
+
+echo "serve-smoke: ok ($(python3 -c 'import json; r = json.load(open("BENCH_serve.json")); print("%d ok / %d shed / p99 %.0fms" % (r["ok"], r["shed"], r["latency_ms"]["p99"]))'))"
