@@ -1,20 +1,21 @@
 GO ?= go
 
 # Packages where races would be silent correctness bugs: the interface
-# cache, the concurrent driver, the DKY symbol tables, the Supervisor
-# scheduler, the fault-injection plans shared across task goroutines,
-# the observability layer hooked into every task transition, the
-# profiler consuming its dumps while compilations run, the concurrent
-# static analyzer whose findings must be schedule-independent, the
-# event primitive's lock-free fired fast path, and the token queues'
+# cache, the stream cache shared across concurrent compilations, the
+# concurrent driver, the DKY symbol tables, the Supervisor scheduler,
+# the fault-injection plans shared across task goroutines, the
+# observability layer hooked into every task transition, the profiler
+# consuming its dumps while compilations run, the concurrent static
+# analyzer whose findings must be schedule-independent, the event
+# primitive's lock-free fired fast path, and the token queues'
 # producer-owned blocks and pooled recycling.
-RACE_PKGS = ./internal/ifacecache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject ./internal/obs ./internal/profile ./internal/check ./internal/event ./internal/tokq ./cmd/m2cd ./cmd/m2load
+RACE_PKGS = ./internal/ifacecache ./internal/streamcache ./internal/core ./internal/symtab ./internal/sched ./internal/faultinject ./internal/obs ./internal/profile ./internal/check ./internal/event ./internal/tokq ./cmd/m2cd ./cmd/m2load
 
 # Seeds for the chaos suite's seeded matrix (see chaos_test.go); the
 # suite also hand-arms every injection point regardless of seeds.
 CHAOS_SEEDS ?= 1,2,3,4,5,6,7,8,13,21,34,55,89,144
 
-.PHONY: check vet build test race chaos smoke serve-smoke profile lint bench obsbench profilebench bench-sched clean
+.PHONY: check vet build test race chaos smoke serve-smoke profile lint bench obsbench profilebench bench-sched bench-incr clean
 
 check: vet build test race chaos smoke serve-smoke profile lint
 
@@ -82,6 +83,13 @@ profilebench:
 # snapshot (the single global ready queue and per-token locking).
 bench-sched:
 	$(GO) run ./cmd/m2bench -sched -json BENCH_sched.json -baseline BENCH_sched_before.json
+
+# Incremental recompilation benchmark: one-procedure-edit warm rebuild
+# against the stream cache vs a cold build of the same edited text.
+# m2bench exits non-zero if the warm speedup falls below the 3x floor
+# (bench.IncrBenchMinSpeedup); best-of-5 rides out scheduling noise.
+bench-incr:
+	$(GO) run ./cmd/m2bench -incr -runs 5 -json BENCH_incr.json
 
 clean:
 	$(GO) clean ./...

@@ -182,6 +182,18 @@ func runChaos(t *testing.T, loader m2cc.Loader, module string, strat m2cc.Strate
 		opts.Cache = cache
 	}
 
+	// PanicInstall crashes a cached-stream install task, which only
+	// runs on a stream-cache hit: warm a stream cache first so the
+	// point has arrivals.
+	if plan.Trigger(faultinject.PanicInstall) > 0 {
+		scache := m2cc.NewStreamCache(0)
+		warm := m2cc.Compile(module, loader, m2cc.Options{Workers: 4, Strategy: strat, StreamCache: scache, Check: opts.Check})
+		if warm.Failed() || warm.Faulted {
+			t.Fatalf("stream-cache warm-up failed:\n%s", warm.Diags)
+		}
+		opts.StreamCache = scache
+	}
+
 	// StallLeader wedges a leader publishing into a shared cache; give
 	// the session a cache to lead so the point has arrivals.
 	if plan.Trigger(faultinject.StallLeader) > 0 && opts.Cache == nil {
@@ -262,6 +274,12 @@ func TestChaosMatrix(t *testing.T) {
 		}},
 		{"panic-check", func() *faultinject.Plan {
 			return faultinject.New().Arm(faultinject.PanicCheck, 3)
+		}},
+		{"panic-install", func() *faultinject.Plan {
+			// Crashes a warm stream-cache install mid-flight: the
+			// half-installed compilation must fault and recover through
+			// the sequential fallback, byte-identical.
+			return faultinject.New().Arm(faultinject.PanicInstall, 1)
 		}},
 		{"panic-steal", func() *faultinject.Plan {
 			// Trips the first task dispatched by stealing it from

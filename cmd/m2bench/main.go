@@ -54,6 +54,7 @@ func main() {
 		ordering = flag.Bool("longshort", false, "§2.3.4: long-before-short ordering ablation")
 		boost    = flag.Bool("boost", false, "§2.3.4: DKY-resolver preference ablation")
 		ifcache  = flag.Bool("ifacecache", false, "interface-cache benchmark: cold vs warm batch compilation")
+		incrB    = flag.Bool("incr", false, "incremental-recompilation benchmark: cold build vs one-procedure-edit warm rebuild")
 		obsBench = flag.Bool("obs", false, "observability-layer overhead benchmark (budget: <5%)")
 		profB    = flag.Bool("profile", false, "critical-path profiler overhead benchmark (budget: <5% on top of -obs)")
 		schedB   = flag.Bool("sched", false, "scheduler benchmark: steal vs global-queue dispatch, allocs, blocked-time blame")
@@ -66,13 +67,13 @@ func main() {
 	sections := *table1 || *table2 || *table3 || *fig1 || *fig2 || *fig3 || *fig4 ||
 		*fig7 || *overhead || *dky || *headersA || *ordering || *boost
 	benchCount := 0
-	for _, b := range []bool{*ifcache, *obsBench, *profB, *schedB} {
+	for _, b := range []bool{*ifcache, *incrB, *obsBench, *profB, *schedB} {
 		if b {
 			benchCount++
 		}
 	}
 	if *jsonOut != "" && benchCount != 1 {
-		fmt.Fprintln(os.Stderr, "-json names one result file: pass exactly one of -ifacecache, -obs, -profile or -sched")
+		fmt.Fprintln(os.Stderr, "-json names one result file: pass exactly one of -ifacecache, -incr, -obs, -profile or -sched")
 		os.Exit(2)
 	}
 
@@ -101,6 +102,20 @@ func main() {
 		}
 		fmt.Print(r)
 		writeJSON(r)
+	}
+	if *incrB {
+		r, err := bench.IncrBench(bench.Config{Seed: *seed, Scale: *scale}, *runs, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(r)
+		writeJSON(r)
+		if r.Speedup < bench.IncrBenchMinSpeedup {
+			fmt.Fprintf(os.Stderr, "warm rebuild speedup %.2fx is below the %.1fx floor\n",
+				r.Speedup, bench.IncrBenchMinSpeedup)
+			os.Exit(1)
+		}
 	}
 	if *obsBench {
 		r, err := bench.ObsBench(bench.Config{Seed: *seed, Scale: *scale}, *runs, *workers)

@@ -55,6 +55,7 @@ func main() {
 		watch   = flag.Bool("watch", false, "render a WatchTool-style processor activity view")
 		astMode = flag.Bool("ast", false, "print the canonical source render of the parse tree")
 		nocache = flag.Bool("nocache", false, "disable the shared interface cache in batch modes (-run)")
+		incr    = flag.Bool("incr", false, "attach a stream cache and verify a warm rebuild replays unchanged streams byte-identically")
 		quiet   = flag.Bool("q", false, "suppress the success message")
 		stall   = flag.Duration("stall-timeout", m2cc.DefaultStallTimeout,
 			"bound on waits for a foreign interface-cache leader before self-compiling (0 selects the default; must not be negative)")
@@ -98,6 +99,9 @@ func main() {
 	}
 	if *headers {
 		opts.Headers = m2cc.HeaderReprocess
+	}
+	if *incr {
+		opts.StreamCache = m2cc.NewStreamCache(0)
 	}
 	if *lintF || *lintJSON {
 		opts.Check = true
@@ -316,6 +320,21 @@ func main() {
 		}
 		if *stats && res.Stats != nil {
 			fmt.Print(res.Stats)
+		}
+		if *incr {
+			// Warm rebuild against the stream cache the cold build just
+			// populated: every unchanged stream must replay, and the
+			// output must be byte-identical.
+			warm := m2cc.Compile(module, loader, opts)
+			if warm.Diags.String() != res.Diags.String() ||
+				(!warm.Failed() && warm.Object.Listing() != res.Object.Listing()) {
+				fmt.Fprintln(os.Stderr, "m2c: incremental rebuild diverged from the cold build")
+				os.Exit(1)
+			}
+			if ta := warm.StreamCache; ta != nil && !*quiet {
+				fmt.Printf("%s: warm rebuild: %d/%d stream probes hit (%d installed, %d covered, %d recompiled)\n",
+					module, ta.Hits, ta.Probed, ta.Installed, ta.Covered, ta.Misses)
+			}
 		}
 	}
 }

@@ -62,6 +62,8 @@ func run() int {
 		stall      = flag.Duration("stall-timeout", m2cc.DefaultStallTimeout, "bound on waits for a foreign interface-cache leader (must be >= 0)")
 		trips      = flag.Int("breaker-trips", 3, "consecutive faults before a client's circuit breaker opens")
 		cooldown   = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker routes a client sequentially")
+		ifaceCap   = flag.Int("iface-cap", 0, "interface-cache entry cap before LRU eviction (0 = unbounded)")
+		streamCap  = flag.Int("stream-cap", 0, "stream-cache entry cap before LRU eviction (0 = unbounded)")
 		injectSpec = flag.String("inject", "", "arm fault-injection points: \"point:N[,point:N...]\" (see -list-inject)")
 		listInject = flag.Bool("list-inject", false, "list injection point names and exit")
 		slowDelay  = flag.Duration("inject-slow", 250*time.Millisecond, "latency added by an armed slow-request point")
@@ -100,6 +102,8 @@ func run() int {
 		breakerTrips:    *trips,
 		breakerCooldown: *cooldown,
 		slowDelay:       *slowDelay,
+		ifaceCap:        *ifaceCap,
+		streamCap:       *streamCap,
 		plan:            plan,
 		metricsOut:      *metricsOut,
 		readyFile:       *readyFile,

@@ -60,6 +60,8 @@ type config struct {
 	breakerTrips    int
 	breakerCooldown time.Duration
 	slowDelay       time.Duration // latency injected by an armed SlowRequest point
+	ifaceCap        int           // interface-cache entry cap (0 = unbounded)
+	streamCap       int           // stream-cache entry cap (0 = unbounded)
 	plan            *faultinject.Plan
 	metricsOut      string
 	readyFile       string
@@ -92,15 +94,22 @@ func (c *config) validate() error {
 	if c.breakerTrips < 1 {
 		return fmt.Errorf("-breaker-trips must be >= 1 (got %d)", c.breakerTrips)
 	}
+	if c.ifaceCap < 0 {
+		return fmt.Errorf("-iface-cap must be >= 0 (got %d); 0 means unbounded", c.ifaceCap)
+	}
+	if c.streamCap < 0 {
+		return fmt.Errorf("-stream-cap must be >= 0 (got %d); 0 means unbounded", c.streamCap)
+	}
 	return nil
 }
 
 // server is the daemon's shared state: one interface cache, one
 // admission semaphore, one breaker registry, one metrics ledger.
 type server struct {
-	cfg   config
-	cache *m2cc.Cache
-	start time.Time
+	cfg    config
+	cache  *m2cc.Cache
+	scache *m2cc.StreamCache // process-wide incremental stream cache
+	start  time.Time
 
 	sem     chan struct{} // guards: in-flight capacity — holds maxInflight tokens; a compile runs only while holding one
 	drainCh chan struct{} // guards: admission shutdown — closed by startDrain; selects racing on sem abort here
@@ -117,10 +126,12 @@ func newServer(cfg config) *server {
 	s := &server{
 		cfg:     cfg,
 		cache:   m2cc.NewCache(),
+		scache:  m2cc.NewStreamCache(cfg.streamCap),
 		start:   time.Now(),
 		sem:     make(chan struct{}, cfg.maxInflight),
 		drainCh: make(chan struct{}),
 	}
+	s.cache.SetLimit(cfg.ifaceCap)
 	s.breakers.trips = cfg.breakerTrips
 	s.breakers.cooldown = cfg.breakerCooldown
 	s.breakers.m = make(map[string]*breakerState)
@@ -281,7 +292,15 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request, lint bool
 	}
 
 	// Deadline: requested, defaulted, and capped.  The context carries
-	// it into the compiler as a cancellation channel.
+	// it into the compiler as a cancellation channel.  A negative
+	// deadline is a client bug, not a request for "no deadline" — were
+	// it silently defaulted the client would believe its bound was
+	// honored (mirrors m2c's -stall-timeout rejection).
+	if req.DeadlineMS < 0 {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bad request: deadline_ms must not be negative (got %d); a negative deadline would never expire", req.DeadlineMS), 0)
+		return
+	}
 	deadline := s.cfg.defaultDeadline
 	if req.DeadlineMS > 0 {
 		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
@@ -368,6 +387,7 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request, lint bool
 		Workers:      workers,
 		Strategy:     strategy,
 		Cache:        s.cache,
+		StreamCache:  s.scache,
 		StallTimeout: s.cfg.stallTimeout,
 		Check:        lint,
 		FaultPlan:    s.cfg.plan,
@@ -424,6 +444,13 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request, lint bool
 	}
 	w.Header().Set("X-M2cd-Path", "concurrent")
 	w.Header().Set("X-M2cd-Streams", strconv.Itoa(res.Streams))
+	if res.StreamCache != nil {
+		// Schedule-independent cache traffic rides in headers like the
+		// rest of the routing metadata: the body stays a pure function
+		// of the request, warm or cold.
+		w.Header().Set("X-M2cd-Stream-Hits", strconv.Itoa(res.StreamCache.Hits))
+		w.Header().Set("X-M2cd-Stream-Misses", strconv.Itoa(res.StreamCache.Misses))
+	}
 	if res.FellBack {
 		w.Header().Set("X-M2cd-Fellback", "1")
 	}
@@ -548,22 +575,23 @@ func (s *server) retryAfter() time.Duration {
 
 // metricsSnapshot is the /metrics response and the drain-time flush.
 type metricsSnapshot struct {
-	UptimeMS         int64            `json:"uptime_ms"`
-	Draining         bool             `json:"draining"`
-	Waiting          int64            `json:"waiting"`
-	Admitted         int64            `json:"admitted"`
-	Completed        int64            `json:"completed"`
-	ShedQueueFull    int64            `json:"shed_queue_full"`
-	RejectedDraining int64            `json:"rejected_draining"`
-	DeadlineCanceled int64            `json:"deadline_canceled"`
-	HandlerPanics    int64            `json:"handler_panics"`
-	CompileFaults    int64            `json:"compile_faults"`
-	SequentialServed int64            `json:"sequential_served"`
-	BreakerOpens     int64            `json:"breaker_opens"`
-	ByStatus         map[string]int64 `json:"by_status"`
-	ServiceEWMAMS    float64          `json:"service_ewma_ms"`
-	RetryAfterMS     int64            `json:"retry_after_ms"`
-	Cache            m2cc.CacheStats  `json:"cache"`
+	UptimeMS         int64                 `json:"uptime_ms"`
+	Draining         bool                  `json:"draining"`
+	Waiting          int64                 `json:"waiting"`
+	Admitted         int64                 `json:"admitted"`
+	Completed        int64                 `json:"completed"`
+	ShedQueueFull    int64                 `json:"shed_queue_full"`
+	RejectedDraining int64                 `json:"rejected_draining"`
+	DeadlineCanceled int64                 `json:"deadline_canceled"`
+	HandlerPanics    int64                 `json:"handler_panics"`
+	CompileFaults    int64                 `json:"compile_faults"`
+	SequentialServed int64                 `json:"sequential_served"`
+	BreakerOpens     int64                 `json:"breaker_opens"`
+	ByStatus         map[string]int64      `json:"by_status"`
+	ServiceEWMAMS    float64               `json:"service_ewma_ms"`
+	RetryAfterMS     int64                 `json:"retry_after_ms"`
+	Cache            m2cc.CacheStats       `json:"cache"`
+	StreamCache      m2cc.StreamCacheStats `json:"streamcache"`
 }
 
 func (s *server) snapshot() metricsSnapshot {
@@ -591,6 +619,7 @@ func (s *server) snapshot() metricsSnapshot {
 	}
 	s.met.mu.Unlock()
 	snap.Cache = s.cache.Stats()
+	snap.StreamCache = s.scache.Stats()
 	return snap
 }
 

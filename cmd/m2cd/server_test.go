@@ -123,10 +123,18 @@ func TestCompileEndToEnd(t *testing.T) {
 	if cr.Listing != want {
 		t.Fatalf("daemon listing differs from local compile\ngot:\n%s\nwant:\n%s", cr.Listing, want)
 	}
-	// A second, cache-warm request returns the identical body.
-	_, body2 := post(t, ts, "/compile", req)
+	// A second, cache-warm request returns the identical body, served
+	// largely from the process-wide stream cache.
+	resp2, body2 := post(t, ts, "/compile", req)
 	if !bytes.Equal(body, body2) {
 		t.Fatalf("cache-warm response differs from cold response\ncold: %s\nwarm: %s", body, body2)
+	}
+	if hits := resp2.Header.Get("X-M2cd-Stream-Hits"); hits == "" || hits == "0" {
+		t.Fatalf("warm request reported no stream-cache hits (X-M2cd-Stream-Hits=%q)", hits)
+	}
+	snap := s.snapshot()
+	if snap.StreamCache.Hits == 0 || snap.StreamCache.Entries == 0 {
+		t.Fatalf("warm stream-cache traffic missing from /metrics: %+v", snap.StreamCache)
 	}
 }
 
@@ -175,6 +183,18 @@ func TestBadRequests(t *testing.T) {
 		if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
 			t.Errorf("%s: malformed error body %s", tc.name, body)
 		}
+	}
+	// A negative deadline is rejected outright, not silently treated as
+	// "no deadline" — the client asked for a bound the daemon cannot
+	// honor.
+	neg := compileRequest{Module: "Demo", Sources: exampleSources(t), DeadlineMS: -1}
+	resp0, body0 := post(t, ts, "/compile", neg)
+	if resp0.StatusCode != http.StatusBadRequest {
+		t.Fatalf("deadline_ms=-1: status %d, want 400 (%s)", resp0.StatusCode, body0)
+	}
+	var er0 errorResponse
+	if err := json.Unmarshal(body0, &er0); err != nil || !strings.Contains(er0.Error, "deadline_ms must not be negative") {
+		t.Fatalf("deadline_ms=-1: unclear error body %s", body0)
 	}
 	// Non-POST methods are rejected.
 	resp, err := ts.Client().Get(ts.URL + "/compile")
@@ -554,6 +574,8 @@ func TestConfigValidate(t *testing.T) {
 		"deadline>max":  func(c *config) { c.defaultDeadline = 2 * c.maxDeadline },
 		"drain":         func(c *config) { c.drainTimeout = 0 },
 		"breaker-trips": func(c *config) { c.breakerTrips = 0 },
+		"iface-cap":     func(c *config) { c.ifaceCap = -1 },
+		"stream-cap":    func(c *config) { c.streamCap = -1 },
 	} {
 		c := ok
 		mutate(&c)

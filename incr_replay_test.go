@@ -1,0 +1,127 @@
+package m2cc_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"m2cc"
+)
+
+// incrSources reads the examples/modules edit-replay fixture: Demo
+// imports Fib; Shapes is independent of both.
+func incrSources(t *testing.T) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, name := range []string{"Demo.mod", "Fib.def", "Fib.mod", "Shapes.def", "Shapes.mod"} {
+		b, err := os.ReadFile(filepath.Join("examples", "modules", name))
+		if err != nil {
+			t.Fatalf("fixture: %v", err)
+		}
+		out[name] = string(b)
+	}
+	return out
+}
+
+func incrLoader(t *testing.T, sources map[string]string) *m2cc.MapLoader {
+	t.Helper()
+	loader := m2cc.NewMapLoader()
+	for name, text := range sources {
+		if base, ok := strings.CutSuffix(name, ".def"); ok {
+			loader.Add(base, m2cc.Def, text)
+		} else if base, ok := strings.CutSuffix(name, ".mod"); ok {
+			loader.Add(base, m2cc.Impl, text)
+		}
+	}
+	return loader
+}
+
+// editedOnce clones sources and applies one substitution, failing
+// loudly if the fixture drifted and the substring is gone.
+func editedOnce(t *testing.T, sources map[string]string, file, old, new string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(sources))
+	for k, v := range sources {
+		out[k] = v
+	}
+	if !strings.Contains(out[file], old) {
+		t.Fatalf("fixture drift: %q not found in %s", old, file)
+	}
+	out[file] = strings.Replace(out[file], old, new, 1)
+	return out
+}
+
+// TestEditReplayExamples drives the ISSUE's scripted edit sequence over
+// examples/modules/ through the public API: every warm rebuild must be
+// byte-identical to a cold build of the same text, with the expected
+// per-module cache traffic.  (Fib.mod and Shapes.mod have no BEGIN
+// body, so their always-probed body key is a permanent miss; the hit
+// expectations below account for that.)
+func TestEditReplayExamples(t *testing.T) {
+	base := incrSources(t)
+	mods := []string{"Demo", "Fib", "Shapes"}
+	type traffic struct{ probed, hits int }
+	steps := []struct {
+		name    string
+		sources map[string]string
+		want    map[string]traffic
+	}{
+		{"noop", base, map[string]traffic{
+			"Demo": {1, 1}, "Fib": {2, 1}, "Shapes": {4, 3},
+		}},
+		// A line-preserving edit inside Fib.Nth: Fib recompiles (the
+		// body key covers the whole file), Demo and Shapes stay warm.
+		{"edit-proc", editedOnce(t, base, "Fib.mod",
+			"RETURN Nth(n-1) + Nth(n-2)", "RETURN Nth(n-2) + Nth(n-1)"),
+			map[string]traffic{
+				"Demo": {1, 1}, "Fib": {2, 0}, "Shapes": {4, 3},
+			}},
+		// A .def edit changes the interface closure of everything that
+		// imports Fib — including Fib's own implementation — but leaves
+		// Shapes warm.
+		{"edit-def", editedOnce(t, base, "Fib.def",
+			"PROCEDURE Nth(n: INTEGER): INTEGER;", "PROCEDURE Nth(m: INTEGER): INTEGER;"),
+			map[string]traffic{
+				"Demo": {1, 0}, "Fib": {2, 0}, "Shapes": {4, 3},
+			}},
+		// Reverting restores the original keys, recorded by the seed.
+		{"revert", base, map[string]traffic{
+			"Demo": {1, 1}, "Fib": {2, 1}, "Shapes": {4, 3},
+		}},
+	}
+
+	cache := m2cc.NewStreamCache(0)
+	// Seed the cache with the unedited program.
+	for _, m := range mods {
+		res := m2cc.Compile(m, incrLoader(t, base), m2cc.Options{Workers: 4, StreamCache: cache})
+		if res.Failed() {
+			t.Fatalf("seed %s failed:\n%s", m, res.Diags)
+		}
+	}
+	for _, step := range steps {
+		loader := incrLoader(t, step.sources)
+		for _, m := range mods {
+			warm := m2cc.Compile(m, loader, m2cc.Options{Workers: 4, StreamCache: cache})
+			cold := m2cc.Compile(m, loader, m2cc.Options{Workers: 4})
+			if warm.Failed() || cold.Failed() {
+				t.Fatalf("%s/%s: compile failed\nwarm: %s\ncold: %s", step.name, m, warm.Diags, cold.Diags)
+			}
+			if g, w := warm.Object.Listing(), cold.Object.Listing(); g != w {
+				t.Fatalf("%s/%s: warm listing differs from cold\ngot:\n%s\nwant:\n%s", step.name, m, g, w)
+			}
+			if g, w := warm.Diags.String(), cold.Diags.String(); g != w {
+				t.Fatalf("%s/%s: warm diagnostics differ from cold\ngot: %q\nwant: %q", step.name, m, g, w)
+			}
+			ta := warm.StreamCache
+			if ta == nil {
+				t.Fatalf("%s/%s: no stream-cache tally", step.name, m)
+			}
+			want := step.want[m]
+			if ta.Probed != want.probed || ta.Hits != want.hits {
+				t.Fatalf("%s/%s: probed=%d hits=%d, want probed=%d hits=%d (tally %+v)",
+					step.name, m, ta.Probed, ta.Hits, want.probed, want.hits, *ta)
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"m2cc/internal/core"
+	"m2cc/internal/source"
+	"m2cc/internal/streamcache"
+)
+
+// IncrBenchResult quantifies the stream cache on its target workload:
+// the warm editor loop.  One module with many procedures is compiled
+// cold (no cache), then recompiled after a one-procedure,
+// line-preserving edit against a cache seeded with the pre-edit build —
+// the paper's edit-one-procedure rebuild at stream granularity.  Field
+// tags match BENCH_incr.json.
+type IncrBenchResult struct {
+	Benchmark string  `json:"benchmark"`
+	Profile   string  `json:"profile"`
+	Seed      int64   `json:"seed"`
+	Scale     float64 `json:"scale"`
+	Workers   int     `json:"workers"`
+	Runs      int     `json:"runs"`
+	Procs     int     `json:"procs"`
+	ColdMs    float64 `json:"cold_ms"`
+	WarmMs    float64 `json:"warm_ms"`
+	Speedup   float64 `json:"speedup"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+}
+
+func (r IncrBenchResult) String() string {
+	return fmt.Sprintf(
+		"Incremental recompilation benchmark (%s; workers=%d, best of %d):\n"+
+			"  cold (no cache):             %8.1f ms\n"+
+			"  warm (one-procedure edit):   %8.1f ms\n"+
+			"  speedup:                     %8.2fx\n"+
+			"  cache: %d hits, %d misses\n",
+		r.Profile, r.Workers, r.Runs, r.ColdMs, r.WarmMs, r.Speedup, r.Hits, r.Misses)
+}
+
+// IncrBenchMinSpeedup is the CI floor on the warm rebuild's speedup; a
+// regression below it fails make bench-incr.
+const IncrBenchMinSpeedup = 3.0
+
+// IncrBenchProcs is the procedure count of the benchmark module.
+const IncrBenchProcs = 48
+
+// incrModule generates the benchmark module: procs procedures with
+// nested control flow, expression-heavy designators, and
+// cross-procedure calls (so parse, codegen, and lint carry realistic
+// weight relative to lexing), each statement line carrying a
+// per-procedure marker constant (so an edit to one procedure is a
+// unique, line-preserving substitution), and a module body summing all
+// of them.
+func incrModule(procs, stmts int) string {
+	var sb strings.Builder
+	sb.WriteString("MODULE IncrBench;\nVAR total: INTEGER;\n")
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&sb, "\nPROCEDURE P%02d(x, y: INTEGER): INTEGER;\nVAR a, b, c, i: INTEGER;\nBEGIN\n  a := x; b := y; c := %d;\n", p, p)
+		for i := 0; i < stmts; i++ {
+			fmt.Fprintf(&sb, "  FOR i := 1 TO 8 DO IF (a + b * %d) MOD 3 = 0 THEN c := c + ((a * b + i) DIV (b MOD 5 + 1)) ELSE c := c - P%02d(a - 1, b) END END;\n",
+				p*1000+i, (p+procs-1)%procs)
+		}
+		fmt.Fprintf(&sb, "  RETURN a + b + c\nEND P%02d;\n", p)
+	}
+	sb.WriteString("\nBEGIN\n  total := 0;\n")
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&sb, "  total := total + P%02d(%d, %d);\n", p, p+1, p+2)
+	}
+	sb.WriteString("  WriteInt(total, 0); WriteLn\nEND IncrBench.\n")
+	return sb.String()
+}
+
+// IncrBench measures the cold build against the one-procedure-edit warm
+// rebuild.  Each measured warm pass edits a marker constant inside one
+// procedure (line-preserving, a distinct value per pass so no pass
+// benefits from a previous pass's recording): exactly that procedure's
+// stream and the module body recompile, every other stream replays from
+// the cache.  The cold side compiles the identical edited text with no
+// cache.  Both sides take the best of runs repetitions.
+func IncrBench(cfg Config, runs, workers int) (IncrBenchResult, error) {
+	cfg = cfg.withDefaults()
+	if runs < 1 {
+		runs = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stmts := int(40 * cfg.Scale)
+	if stmts < 8 {
+		stmts = 8
+	}
+	base := incrModule(IncrBenchProcs, stmts)
+	// The edit target: procedure P24's first marker statement.
+	target := IncrBenchProcs / 2 * 1000
+	marker := fmt.Sprintf("b * %d)", target)
+	if !strings.Contains(base, marker) {
+		return IncrBenchResult{}, fmt.Errorf("internal: edit marker %q not generated", marker)
+	}
+	edited := func(r int) string {
+		return strings.Replace(base, marker, fmt.Sprintf("b * %d)", target+500+r), 1)
+	}
+
+	compile := func(text string, cache *streamcache.Cache) (time.Duration, error) {
+		loader := source.NewMapLoader()
+		loader.Add("IncrBench", source.Impl, text)
+		start := time.Now()
+		res := core.Compile("IncrBench", loader, core.Options{
+			Workers: workers, StreamCache: cache, Check: true,
+		})
+		if res.Failed() {
+			return 0, fmt.Errorf("IncrBench failed to compile:\n%s", res.Diags)
+		}
+		return time.Since(start), nil
+	}
+
+	best := func(cache *streamcache.Cache) (time.Duration, error) {
+		lo := time.Duration(1 << 62)
+		for r := 0; r < runs; r++ {
+			d, err := compile(edited(r), cache)
+			if err != nil {
+				return 0, err
+			}
+			if d < lo {
+				lo = d
+			}
+		}
+		return lo, nil
+	}
+
+	cold, err := best(nil)
+	if err != nil {
+		return IncrBenchResult{}, err
+	}
+
+	cache := streamcache.New(0)
+	if _, err := compile(base, cache); err != nil { // seeding pass, not measured
+		return IncrBenchResult{}, err
+	}
+	warm, err := best(cache)
+	if err != nil {
+		return IncrBenchResult{}, err
+	}
+
+	s := cache.Stats()
+	return IncrBenchResult{
+		Benchmark: "streamcache",
+		Profile:   fmt.Sprintf("%d-procedure module with lint, one-procedure line-preserving edit", IncrBenchProcs),
+		Seed:      cfg.Seed,
+		Scale:     cfg.Scale,
+		Workers:   workers,
+		Runs:      runs,
+		Procs:     IncrBenchProcs,
+		ColdMs:    float64(cold.Microseconds()) / 1000,
+		WarmMs:    float64(warm.Microseconds()) / 1000,
+		Speedup:   float64(cold) / float64(warm),
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+	}, nil
+}

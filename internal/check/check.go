@@ -70,35 +70,95 @@ type Unit struct {
 	Body     *ast.StmtList
 }
 
-// facts is one unit's published fact table: the identifier mention set
-// consumed by the cross-module passes, plus the intraprocedural
-// findings computed stream-locally.
-type facts struct {
-	unit     *Unit
-	mentions map[string]bool
-	findings []diag.Diagnostic
-	nodes    int // AST nodes visited (deterministic analysis cost)
+// ImportFact is one imported name as the cross-module passes see it:
+// the name (with its source position, for the warning anchor) and
+// whether it came from a FROM import (an identifier) or a plain IMPORT
+// (a module name).
+type ImportFact struct {
+	Name ast.Name
+	From bool
 }
 
-// analyzeUnit runs the per-stream passes on one unit.
-func analyzeUnit(u *Unit) *facts {
+// Facts is one unit's published fact table: the identifier mention set
+// consumed by the cross-module passes, the intraprocedural findings
+// computed stream-locally, and every AST-derived datum the merge's
+// cross-module rules need.  A Facts value deliberately holds no AST
+// pointers — everything is extracted at analysis time — so the stream
+// cache (internal/streamcache) can store a procedure stream's table and
+// replay it on a later compilation whose stream never parsed at all.
+type Facts struct {
+	Kind     UnitKind
+	File     string // file label, e.g. "M.mod"
+	Module   string
+	Path     string   // deterministic scope path (Unit.Path)
+	ProcName string   // procedure's simple name (ProcUnit)
+	HeadName ast.Name // heading name with position (ProcUnit with a head)
+	HasHead  bool
+
+	Mentions map[string]bool
+	Findings []diag.Diagnostic
+
+	Locals    []ast.Name   // ProcUnit: declared local variable names
+	Params    []ast.Name   // ProcUnit: declared parameter names
+	Imports   []ImportFact // imported names, FROM-ness preserved
+	DeclNames []ast.Name   // DefUnit: exported top-level names
+	ProcDecls []string     // DefUnit: exported procedure names (reachability roots)
+
+	Nodes int // AST nodes visited (deterministic analysis cost)
+}
+
+// analyzeUnit runs the per-stream passes on one unit and extracts the
+// AST-free fact table.
+func analyzeUnit(u *Unit) *Facts {
 	w := newWalker()
 	w.decls(u.Decls)
 	w.stmts(u.Body)
-	f := &facts{unit: u, mentions: w.mentions, nodes: w.nodes}
+	f := &Facts{
+		Kind: u.Kind, File: u.File, Module: u.Module, Path: u.Path,
+		ProcName: u.ProcName, Mentions: w.mentions, Nodes: w.nodes,
+	}
+	if u.Head != nil {
+		f.HasHead = true
+		f.HeadName = u.Head.Name
+	}
 	unreachable(u.Body, func(pos token.Pos) {
-		f.findings = append(f.findings, diag.Diagnostic{
+		f.Findings = append(f.Findings, diag.Diagnostic{
 			Sev: diag.Warning, Pos: pos, File: u.File, Msg: "unreachable statement",
 		})
 	})
 	if u.Body != nil {
 		g := buildCFG(u)
 		g.solve(func(name string, pos token.Pos) {
-			f.findings = append(f.findings, diag.Diagnostic{
+			f.Findings = append(f.Findings, diag.Diagnostic{
 				Sev: diag.Warning, Pos: pos, End: nameEnd(name, pos), File: u.File,
 				Msg: fmt.Sprintf("variable %s may be used before initialization", name),
 			})
 		})
+	}
+	if u.Kind == ProcUnit {
+		for _, d := range u.Decls {
+			if vd, ok := d.(*ast.VarDecl); ok {
+				f.Locals = append(f.Locals, vd.Names...)
+			}
+		}
+		if u.Head != nil {
+			for _, sec := range u.Head.Params {
+				f.Params = append(f.Params, sec.Names...)
+			}
+		}
+	}
+	for _, imp := range u.Imports {
+		for _, n := range imp.Names {
+			f.Imports = append(f.Imports, ImportFact{Name: n, From: imp.From.Text != ""})
+		}
+	}
+	if u.Kind == DefUnit {
+		for _, d := range u.Decls {
+			f.DeclNames = append(f.DeclNames, declNames(d)...)
+			if pd, ok := d.(*ast.ProcDecl); ok {
+				f.ProcDecls = append(f.ProcDecls, pd.Head.Name.Text)
+			}
+		}
 	}
 	return f
 }
@@ -117,7 +177,7 @@ func nameEnd(name string, pos token.Pos) token.Pos {
 // the single-pass baseline the concurrent checker must byte-match, and
 // the degraded path a faulted checker falls back to.
 func Run(units []*Unit) []diag.Diagnostic {
-	fs := make([]*facts, 0, len(units))
+	fs := make([]*Facts, 0, len(units))
 	for _, u := range units {
 		fs = append(fs, analyzeUnit(u))
 	}
@@ -131,9 +191,10 @@ func Run(units []*Unit) []diag.Diagnostic {
 type Checker struct {
 	inject *faultinject.Plan
 
-	mu      sync.Mutex // guards: units, fs, faulted
+	mu      sync.Mutex // guards: units, fs, pinned, faulted
 	units   []*Unit
-	fs      []*facts
+	fs      []*Facts
+	pinned  []*Facts // cached streams' replayed tables (streamcache); survive a faulted re-analysis
 	faulted bool
 }
 
@@ -152,13 +213,15 @@ func (c *Checker) AddUnit(u *Unit) {
 }
 
 // RunUnit is the analysis task body: analyze one unit and publish its
-// fact table.  A panic (including an injected PanicCheck) is recovered
-// here — before the Supervisor's isolation layer sees it — so a dead
-// lint stream marks the checker faulted instead of poisoning the
-// compilation.
-func (c *Checker) RunUnit(ctx *ctrace.TaskCtx, u *Unit) {
+// fact table, which is also returned so the stream cache can record it
+// (nil when the analysis panicked).  A panic (including an injected
+// PanicCheck) is recovered here — before the Supervisor's isolation
+// layer sees it — so a dead lint stream marks the checker faulted
+// instead of poisoning the compilation.
+func (c *Checker) RunUnit(ctx *ctrace.TaskCtx, u *Unit) (out *Facts) {
 	defer func() {
 		if r := recover(); r != nil {
+			out = nil
 			c.mu.Lock()
 			c.faulted = true
 			c.mu.Unlock()
@@ -166,9 +229,21 @@ func (c *Checker) RunUnit(ctx *ctrace.TaskCtx, u *Unit) {
 	}()
 	c.inject.Panic(faultinject.PanicCheck, u.Path)
 	f := analyzeUnit(u)
-	ctx.Add(float64(f.nodes) * ctrace.CostAnalysisNode)
+	ctx.Add(float64(f.Nodes) * ctrace.CostAnalysisNode)
 	c.mu.Lock()
 	c.fs = append(c.fs, f)
+	c.mu.Unlock()
+	return f
+}
+
+// AddPinned registers a fact table replayed from the stream cache for a
+// stream that never parsed this compilation.  Pinned tables join the
+// merge alongside freshly computed ones and — unlike them — survive a
+// faulted checker's sequential re-analysis, which can only re-run units
+// that have ASTs.
+func (c *Checker) AddPinned(f *Facts) {
+	c.mu.Lock()
+	c.pinned = append(c.pinned, f)
 	c.mu.Unlock()
 }
 
@@ -187,17 +262,19 @@ func (c *Checker) Faulted() bool {
 func (c *Checker) Merge(ctx *ctrace.TaskCtx) []diag.Diagnostic {
 	c.mu.Lock()
 	faulted := c.faulted
-	fs := append([]*facts(nil), c.fs...)
+	fs := append([]*Facts(nil), c.fs...)
 	units := append([]*Unit(nil), c.units...)
+	pinned := append([]*Facts(nil), c.pinned...)
 	c.mu.Unlock()
 	if faulted {
 		fs = fs[:0]
 		for _, u := range units {
 			f := analyzeUnit(u)
-			ctx.Add(float64(f.nodes) * ctrace.CostAnalysisNode)
+			ctx.Add(float64(f.Nodes) * ctrace.CostAnalysisNode)
 			fs = append(fs, f)
 		}
 	}
+	fs = append(fs, pinned...)
 	out := mergeFacts(fs)
 	ctx.Add(float64(len(fs)+len(out)) * ctrace.CostAnalysisFact)
 	return out
@@ -205,11 +282,13 @@ func (c *Checker) Merge(ctx *ctrace.TaskCtx) []diag.Diagnostic {
 
 // mergeFacts runs the cross-module passes over the fact tables and
 // returns the sorted, deduplicated findings.  Every rule is a set
-// membership test, so the result is independent of table order.
-func mergeFacts(fs []*facts) []diag.Diagnostic {
+// membership test, so the result is independent of table order; every
+// rule reads the Facts fields alone, never an AST, so cached tables
+// (streamcache) merge exactly like fresh ones.
+func mergeFacts(fs []*Facts) []diag.Diagnostic {
 	out := []diag.Diagnostic{}
 	for _, f := range fs {
-		out = append(out, f.findings...)
+		out = append(out, f.Findings...)
 	}
 
 	warn := func(file string, n ast.Name, format string, args ...any) {
@@ -222,8 +301,8 @@ func mergeFacts(fs []*facts) []diag.Diagnostic {
 	// descendant scope (nested procedure streams).
 	mentionedUnder := func(name, path string) bool {
 		for _, f := range fs {
-			if f.unit.Path == path || strings.HasPrefix(f.unit.Path, path+":") {
-				if f.mentions[name] {
+			if f.Path == path || strings.HasPrefix(f.Path, path+":") {
+				if f.Mentions[name] {
 					return true
 				}
 			}
@@ -232,7 +311,7 @@ func mergeFacts(fs []*facts) []diag.Diagnostic {
 	}
 	mentionedByModule := func(name, module string) bool {
 		for _, f := range fs {
-			if f.unit.Module == module && f.mentions[name] {
+			if f.Module == module && f.Mentions[name] {
 				return true
 			}
 		}
@@ -240,65 +319,52 @@ func mergeFacts(fs []*facts) []diag.Diagnostic {
 	}
 	mentionedOutsideModule := func(name, module string) bool {
 		for _, f := range fs {
-			if f.unit.Module != module && f.mentions[name] {
+			if f.Module != module && f.Mentions[name] {
 				return true
 			}
 		}
 		return false
 	}
 
-	var root *facts
+	var root *Facts
 	for _, f := range fs {
-		if f.unit.Kind == ModuleUnit {
+		if f.Kind == ModuleUnit {
 			root = f
 		}
 	}
 	rootModule := ""
 	if root != nil {
-		rootModule = root.unit.Module
+		rootModule = root.Module
 	}
 
 	for _, f := range fs {
-		u := f.unit
 		// Unused locals and parameters (procedure streams).  A name is
 		// "used" if mentioned anywhere in the procedure or a nested
 		// procedure — conservative under shadowing, so never a false
 		// positive.
-		if u.Kind == ProcUnit {
-			for _, d := range u.Decls {
-				vd, ok := d.(*ast.VarDecl)
-				if !ok {
-					continue
-				}
-				for _, n := range vd.Names {
-					if !mentionedUnder(n.Text, u.Path) {
-						warn(u.File, n, "local variable %s is declared but never used", n.Text)
-					}
+		if f.Kind == ProcUnit {
+			for _, n := range f.Locals {
+				if !mentionedUnder(n.Text, f.Path) {
+					warn(f.File, n, "local variable %s is declared but never used", n.Text)
 				}
 			}
-			if u.Head != nil {
-				for _, sec := range u.Head.Params {
-					for _, n := range sec.Names {
-						if !mentionedUnder(n.Text, u.Path) {
-							warn(u.File, n, "parameter %s is declared but never used", n.Text)
-						}
-					}
+			for _, n := range f.Params {
+				if !mentionedUnder(n.Text, f.Path) {
+					warn(f.File, n, "parameter %s is declared but never used", n.Text)
 				}
 			}
 		}
 		// Unused imports.  Checked against the whole importing module
 		// (a .def's imports are visible to its implementation through
 		// the scope chain).
-		for _, imp := range u.Imports {
-			for _, n := range imp.Names {
-				if mentionedByModule(n.Text, u.Module) {
-					continue
-				}
-				if imp.From.Text != "" {
-					warn(u.File, n, "imported identifier %s is never used", n.Text)
-				} else {
-					warn(u.File, n, "import %s is never used", n.Text)
-				}
+		for _, imp := range f.Imports {
+			if mentionedByModule(imp.Name.Text, f.Module) {
+				continue
+			}
+			if imp.From {
+				warn(f.File, imp.Name, "imported identifier %s is never used", imp.Name.Text)
+			} else {
+				warn(f.File, imp.Name, "import %s is never used", imp.Name.Text)
 			}
 		}
 	}
@@ -309,15 +375,12 @@ func mergeFacts(fs []*facts) []diag.Diagnostic {
 	// module's own interface is exempt — its clients are outside this
 	// compilation.
 	for _, f := range fs {
-		u := f.unit
-		if u.Kind != DefUnit || u.Module == rootModule {
+		if f.Kind != DefUnit || f.Module == rootModule {
 			continue
 		}
-		for _, d := range u.Decls {
-			for _, n := range declNames(d) {
-				if !mentionedOutsideModule(n.Text, u.Module) {
-					warn(u.File, n, "exported %s is never referenced in this compilation", n.Text)
-				}
+		for _, n := range f.DeclNames {
+			if !mentionedOutsideModule(n.Text, f.Module) {
+				warn(f.File, n, "exported %s is never referenced in this compilation", n.Text)
 			}
 		}
 	}
@@ -328,26 +391,22 @@ func mergeFacts(fs []*facts) []diag.Diagnostic {
 	// name-based graph over-approximates calls, so "never called" has
 	// no false positives.
 	if root != nil {
-		byName := map[string][]*facts{}
-		var procs []*facts
+		byName := map[string][]*Facts{}
+		var procs []*Facts
 		for _, f := range fs {
-			if f.unit.Kind == ProcUnit && f.unit.Module == rootModule {
+			if f.Kind == ProcUnit && f.Module == rootModule {
 				procs = append(procs, f)
-				byName[f.unit.ProcName] = append(byName[f.unit.ProcName], f)
+				byName[f.ProcName] = append(byName[f.ProcName], f)
 			}
 		}
-		reached := map[*facts]bool{}
+		reached := map[*Facts]bool{}
 		var queue []string
-		for name := range root.mentions {
+		for name := range root.Mentions {
 			queue = append(queue, name)
 		}
 		for _, f := range fs {
-			if f.unit.Kind == DefUnit && f.unit.Module == rootModule {
-				for _, d := range f.unit.Decls {
-					if pd, ok := d.(*ast.ProcDecl); ok {
-						queue = append(queue, pd.Head.Name.Text)
-					}
-				}
+			if f.Kind == DefUnit && f.Module == rootModule {
+				queue = append(queue, f.ProcDecls...)
 			}
 		}
 		for len(queue) > 0 {
@@ -358,14 +417,14 @@ func mergeFacts(fs []*facts) []diag.Diagnostic {
 					continue
 				}
 				reached[p] = true
-				for m := range p.mentions {
+				for m := range p.Mentions {
 					queue = append(queue, m)
 				}
 			}
 		}
 		for _, p := range procs {
-			if !reached[p] && p.unit.Head != nil {
-				warn(p.unit.File, p.unit.Head.Name, "procedure %s is declared but never called", p.unit.ProcName)
+			if !reached[p] && p.HasHead {
+				warn(p.File, p.HeadName, "procedure %s is declared but never called", p.ProcName)
 			}
 		}
 	}

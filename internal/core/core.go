@@ -35,6 +35,7 @@ import (
 	"m2cc/internal/sema"
 	"m2cc/internal/source"
 	"m2cc/internal/splitter"
+	"m2cc/internal/streamcache"
 	"m2cc/internal/symtab"
 	"m2cc/internal/token"
 	"m2cc/internal/tokq"
@@ -89,6 +90,18 @@ type Options struct {
 	// compiled interfaces back.  Caching is correctness-transparent —
 	// diagnostics and listings are byte-identical with or without it.
 	Cache *ifacecache.Cache
+	// StreamCache, when non-nil, enables incremental recompilation at
+	// stream granularity: each procedure stream (and the module body)
+	// is keyed by a content hash of its token layout, its enclosing
+	// declarations, and the compilation's interface closure; hits
+	// replay the stream's cached object code, diagnostics, and lint
+	// facts instead of re-running its parse/analysis/codegen tasks,
+	// and fresh streams are published back.  Caching is correctness-
+	// transparent — output is byte-identical to a cold build.  Unlike
+	// Cache, the stream cache composes with Check (fact tables are
+	// part of the cached payload).  The sequential compiler ignores
+	// it.
+	StreamCache *streamcache.Cache
 	// StallTimeout bounds how long any task may wait on an event owned
 	// by a foreign compilation (another session's interface-cache
 	// leader).  On expiry the waiter abandons the cache entry and
@@ -156,6 +169,10 @@ type Result struct {
 	// fallback — the request was abandoned, not wounded.
 	Canceled bool
 
+	// StreamCache is this compilation's stream-cache traffic
+	// (Options.StreamCache); nil when no stream cache was attached.
+	StreamCache *streamcache.Tally
+
 	// Findings holds the static-analysis findings (Options.Check),
 	// sorted and deduplicated; byte-identical to the sequential
 	// analyzer's output under every strategy and worker count.
@@ -189,6 +206,15 @@ type driver struct {
 
 	check *check.Checker // non-nil when Options.Check
 
+	// Stream-cache machinery (Options.StreamCache; all nil/zero when
+	// disabled).  scache, keyer, verdictEv and scacheBase are set before
+	// any task spawns and immutable after; the per-stream verdict state
+	// below lives under d.mu.
+	scache     *streamcache.Cache
+	keyer      *streamcache.Keyer
+	verdictEv  *event.Event      // fired by the CacheProbe task; gates every ProcParse and the body StmtCG
+	scacheBase streamcache.Stats // shared-cache counters at compilation start (eviction delta)
+
 	mu         sync.Mutex             // guards: every driver field below, mutated from task goroutines
 	cacheSeen  obs.CacheCounters      // this compilation's own Acquire outcomes
 	ifaces     map[string]*ifaceEntry // the once-only table (§3)
@@ -203,6 +229,27 @@ type driver struct {
 	faulted    bool                    // a stream task panicked and was isolated
 	canceled   bool                    // Options.Cancel fired; result is abandoned
 	resolving  map[string]*event.Event // per-name guard for in-flight cache resolution
+
+	// Stream-cache verdict state (under d.mu).
+	mainFileID int32                         // source.File.ID of the main .mod (position replay target)
+	closureOK  bool                          // the probe derived keys (closure hashed, split complete)
+	verdicts   map[int32]*streamcache.Entry  // stream id → hit entry (absent = miss)
+	procKeys   map[int32]streamcache.Key     // stream id → cache key (for recording misses)
+	bodyKey    streamcache.Key               // module-body cache key
+	bodyEnt    *streamcache.Entry            // module-body hit entry
+	bodyMeta   *vm.ProcMeta                  // module-body registry meta (for recording)
+	bodyBag    *diag.Bag                     // module-body diagnostic tee (fresh codegen)
+	covered    map[int32]bool                // streams installed via an ancestor's hit entry
+	pending    []pendingInstall              // cached code awaiting fixup application at merge
+	tally      streamcache.Tally             // this compilation's stream-cache traffic
+}
+
+// pendingInstall is one cached code segment adopted by this compilation;
+// the Merge task re-resolves its symbolic fixups against the current
+// registry and attaches the result to meta.
+type pendingInstall struct {
+	meta *vm.ProcMeta
+	rec  *streamcache.ProcRecord
 }
 
 // ifaceEntry is one once-only table entry for a definition module.
@@ -233,6 +280,12 @@ type procStream struct {
 	// or as soon as the heading entries exist (alt 3).
 	headingReady *event.Event
 	child        *sema.ChildProc // set before headingReady fires
+
+	// Stream-cache capture for fresh streams (under d.mu): the stream's
+	// own diagnostics (a Bag child teeing into the compilation bag) and
+	// its published lint fact table.
+	tee   *diag.Bag
+	facts *check.Facts
 }
 
 // Compile runs the concurrent compiler on the named module.
@@ -264,6 +317,15 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	}
 	if d.cache != nil {
 		d.resolving = make(map[string]*event.Event)
+	}
+	if opts.StreamCache != nil {
+		d.scache = opts.StreamCache
+		d.keyer = streamcache.NewKeyer()
+		d.verdictEv = event.New()
+		d.verdicts = make(map[int32]*streamcache.Entry)
+		d.procKeys = make(map[int32]streamcache.Key)
+		d.covered = make(map[int32]bool)
+		d.scacheBase = d.scache.Stats()
 	}
 	if opts.Check {
 		d.check = check.NewChecker(d.inject)
@@ -326,6 +388,7 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	d.runMerge()
 	d.sup.Wait()
 	d.failUnpublished()
+	d.recordStreams()
 
 	if d.obs != nil {
 		if d.cache != nil {
@@ -336,6 +399,18 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 			cc := d.cacheSeen
 			d.mu.Unlock()
 			d.obs.NoteCache(cc)
+		}
+		if d.scache != nil {
+			d.mu.Lock()
+			ta := d.tally
+			d.mu.Unlock()
+			delta := d.scache.Stats().Sub(d.scacheBase)
+			d.obs.NoteStreams(obs.StreamCounters{
+				Probed: int64(ta.Probed), Hits: int64(ta.Hits),
+				Misses: int64(ta.Misses), Installed: int64(ta.Installed),
+				Covered: int64(ta.Covered), Recorded: int64(ta.Recorded),
+				Evictions: delta.Evictions,
+			})
 		}
 		d.obs.NoteSched(d.sup.Counters())
 		d.obs.NoteLookups(stats)
@@ -366,6 +441,10 @@ func Compile(module string, loader source.Loader, opts Options) *Result {
 	res.Canceled = d.canceled
 	res.Findings = d.findings
 	res.CheckFellBack = d.checkFell
+	if d.scache != nil {
+		ta := d.tally
+		res.StreamCache = &ta
+	}
 	d.mu.Unlock()
 	if d.rec != nil {
 		res.Trace = d.rec.Trace()
@@ -404,14 +483,19 @@ func (d *driver) spawn(kind ctrace.TaskKind, stream int32, label string,
 // The unit's ASTs are complete when this is called, so the task is
 // ungated; its kind ranks it behind code generation, so lint work
 // never delays the compile proper.
-func (d *driver) spawnCheck(stream int32, parent *ctrace.TaskCtx, u *check.Unit) {
+func (d *driver) spawnCheck(stream int32, parent *ctrace.TaskCtx, u *check.Unit, sink func(*check.Facts)) {
 	if d.check == nil {
 		return
 	}
 	d.check.AddUnit(u)
 	t := d.spawn(ctrace.KindAnalysis, stream, "Lint "+u.Path,
 		sched.Priority(ctrace.KindAnalysis, 0), nil, parent,
-		func(t *sched.Task) { d.check.RunUnit(t.Ctx, u) })
+		func(t *sched.Task) {
+			out := d.check.RunUnit(t.Ctx, u)
+			if sink != nil && out != nil {
+				sink(out)
+			}
+		})
 	d.mu.Lock()
 	d.checkTasks = append(d.checkTasks, t)
 	d.mu.Unlock()
@@ -444,11 +528,18 @@ func (d *driver) runCheckMerge() {
 
 // env builds a per-task analysis environment.
 func (d *driver) env(t *sched.Task, file string) *sema.Env {
+	return d.envBag(t, file, d.diags)
+}
+
+// envBag is env with an explicit diagnostic bag — stream-cached
+// compilations give each procedure stream a Bag child so its own
+// diagnostics can be recorded alongside its code.
+func (d *driver) envBag(t *sched.Task, file string, bag *diag.Bag) *sema.Env {
 	return &sema.Env{
 		Tab:    d.tab,
 		Search: &symtab.Searcher{Tab: d.tab, Ctx: t.Ctx, Wait: t.HandledWait},
 		Ctx:    t.Ctx,
-		Diags:  d.diags,
+		Diags:  bag,
 		File:   file,
 		Reg:    d.reg,
 	}
@@ -525,6 +616,11 @@ func (d *driver) startMainStream() {
 				return
 			}
 			f := d.files.Add(d.module, source.Impl, text)
+			if d.scache != nil {
+				d.mu.Lock()
+				d.mainFileID = f.ID
+				d.mu.Unlock()
+			}
 			lexer.Run(f, t.Ctx, d.diags, rawQ)
 		})
 
@@ -540,7 +636,7 @@ func (d *driver) startMainStream() {
 		})
 
 	// Splitter: divides the stream into procedure streams (§2.1).
-	d.spawn(ctrace.KindSplitter, 0, "Splitter "+label,
+	splitTask := d.spawn(ctrace.KindSplitter, 0, "Splitter "+label,
 		sched.Priority(ctrace.KindSplitter, 0), []*event.Event{lexStarted}, nil,
 		func(t *sched.Task) {
 			defer func() {
@@ -556,9 +652,27 @@ func (d *driver) startMainStream() {
 			t.Ctx.FireEvent(splitStarted)
 			r := rawQ.NewReader(t.BarrierWait)
 			defer r.Detach()
-			splitter.Run(t.Ctx, r, mainQ, d.startProcStream(t),
-				d.opts.Headers == HeaderReprocess)
+			if d.keyer != nil {
+				splitter.RunObserved(t.Ctx, r, mainQ, d.startProcStream(t),
+					d.opts.Headers == HeaderReprocess, d.keyer)
+			} else {
+				splitter.Run(t.Ctx, r, mainQ, d.startProcStream(t),
+					d.opts.Headers == HeaderReprocess)
+			}
 		})
+
+	if d.scache != nil {
+		// CacheProbe: once the split settles, hash every stream's layout,
+		// look the keys up, and fire the verdict event the proc-parse and
+		// body tasks are gated on.  A panicked splitter still completes
+		// its Done event, so the probe always runs; an incomplete split
+		// simply yields an all-miss verdict.
+		probe := d.spawn(ctrace.KindImporter, 0, "CacheProbe "+label,
+			sched.Priority(ctrace.KindImporter, 0),
+			[]*event.Event{splitTask.Done()}, nil,
+			func(t *sched.Task) { d.runCacheProbe(t) })
+		d.sup.SetProducer(d.verdictEv, probe)
+	}
 
 	// Module Parser / Declarations Analyzer (priority class 5).
 	d.spawn(ctrace.KindModParseDecl, 0, "ModParse "+label,
@@ -584,9 +698,15 @@ func (d *driver) startProcStream(splitterTask *sched.Task) splitter.StartProc {
 		d.procs[id] = ps
 		d.mu.Unlock()
 
+		gates := []*event.Event{ps.headingReady}
+		if d.scache != nil {
+			// The stream must not parse before the probe's verdict: a hit
+			// replays the cached compilation instead.
+			gates = append(gates, d.verdictEv)
+		}
 		d.spawn(ctrace.KindProcParseDecl, id, "ProcParse "+name,
 			sched.Priority(ctrace.KindProcParseDecl, 0),
-			[]*event.Event{ps.headingReady}, splitterTask.Ctx,
+			gates, splitterTask.Ctx,
 			func(t *sched.Task) { d.runProcParse(t, ps) })
 		return id, ps.q
 	}
@@ -663,7 +783,7 @@ func (d *driver) runModParse(t *sched.Task, mainQ *tokq.Queue, label string) {
 	d.spawnCheck(0, t.Ctx, &check.Unit{
 		Kind: check.ModuleUnit, File: label, Module: d.module, Path: label,
 		Imports: m.Imports, Decls: decls, Body: m.Body,
-	})
+	}, nil)
 
 	if m.Body != nil {
 		size := int64(mainQ.Len())
@@ -672,18 +792,76 @@ func (d *driver) runModParse(t *sched.Task, mainQ *tokq.Queue, label string) {
 			kind = ctrace.KindLongStmtCG
 		}
 		bodyMeta := sema.NewBodyMeta(env)
+		var gates []*event.Event
+		if d.scache != nil {
+			d.mu.Lock()
+			d.bodyMeta = bodyMeta
+			d.mu.Unlock()
+			gates = []*event.Event{d.verdictEv}
+		}
 		d.spawn(kind, 0, "StmtCG "+label+" body",
-			sched.Priority(kind, size), nil, t.Ctx, func(t2 *sched.Task) {
+			sched.Priority(kind, size), gates, t.Ctx, func(t2 *sched.Task) {
+				if d.scache != nil {
+					d.runBodyStmtCG(t2, scope, bodyMeta, m.Body, label)
+					return
+				}
 				env2 := d.env(t2, label)
 				codegen.Compile(env2, scope, bodyMeta, nil, 0, m.Body)
 			})
 	}
 }
 
+// runBodyStmtCG is the module body's code-generation task under a
+// stream cache: a verdict hit replays the cached body, a miss runs the
+// generator with a diagnostic tee so the body can be recorded.
+func (d *driver) runBodyStmtCG(t *sched.Task, scope *symtab.Scope, bodyMeta *vm.ProcMeta, body *ast.StmtList, label string) {
+	d.mu.Lock()
+	ent := d.bodyEnt
+	fileID := d.mainFileID
+	d.mu.Unlock()
+	if ent != nil {
+		rec := &ent.Records[0]
+		bodyMeta.Frame = rec.Frame
+		d.addPending(bodyMeta, rec)
+		d.replayRecord(rec, fileID)
+		d.mu.Lock()
+		d.tally.Installed++
+		d.mu.Unlock()
+		t.Ctx.Add(ctrace.CostMergeSegment)
+		return
+	}
+	bag := d.diags.Child()
+	d.mu.Lock()
+	d.bodyBag = bag
+	d.mu.Unlock()
+	env := d.envBag(t, label, bag)
+	codegen.Compile(env, scope, bodyMeta, nil, 0, body)
+}
+
 // runProcParse is a procedure stream's Parser/Declarations-Analyzer
 // task (§3, right column of Figure 5).
 func (d *driver) runProcParse(t *sched.Task, ps *procStream) {
 	cp := ps.child
+	if d.scache != nil {
+		d.mu.Lock()
+		cov := d.covered[ps.id]
+		ent := d.verdicts[ps.id]
+		d.mu.Unlock()
+		if cov {
+			// An ancestor's hit entry already installed this stream's
+			// compilation; drain the queue for recycle accounting.
+			r := ps.q.NewReader(t.BarrierWait)
+			r.Detach()
+			d.mu.Lock()
+			d.tally.Covered++
+			d.mu.Unlock()
+			return
+		}
+		if ent != nil && cp != nil {
+			d.installStream(t, ps, ent)
+			return
+		}
+	}
 	if cp == nil {
 		// The heading never arrived (its producer faulted or the fire
 		// was dropped) and the watchdog force-fired our gate; the
@@ -691,7 +869,17 @@ func (d *driver) runProcParse(t *sched.Task, ps *procStream) {
 		return
 	}
 	label := cp.Meta.Module + ".mod"
-	env := d.env(t, label)
+	bag := d.diags
+	if d.scache != nil {
+		// Tee the stream's own diagnostics so a recorded entry can
+		// replay them; the child forwards to the compilation bag, so
+		// user-visible behavior is unchanged.
+		bag = d.diags.Child()
+		d.mu.Lock()
+		ps.tee = bag
+		d.mu.Unlock()
+	}
+	env := d.envBag(t, label, bag)
 	d.sup.SetProducer(cp.Scope.CompletionEvent(), t)
 	if d.rec != nil && cp.Scope.Parent != nil {
 		d.rec.NoteScopeGate(t.Ctx.ID, cp.Scope.Parent.CompletionEvent())
@@ -699,7 +887,7 @@ func (d *driver) runProcParse(t *sched.Task, ps *procStream) {
 
 	pr := ps.q.NewReader(t.BarrierWait)
 	defer pr.Detach()
-	p := parser.New(pr, label, t.Ctx, d.diags)
+	p := parser.New(pr, label, t.Ctx, bag)
 	frameBase := cp.FrameBase
 	if d.opts.Headers == HeaderReprocess {
 		// Alternative 3: this stream re-processes its own heading (the
@@ -718,11 +906,19 @@ func (d *driver) runProcParse(t *sched.Task, ps *procStream) {
 	a.ResolveForwardRefs()
 	cp.Scope.Complete(t.Ctx)
 	tail := p.ParseProcTail(ps.name)
+	var sink func(*check.Facts)
+	if d.scache != nil {
+		sink = func(f *check.Facts) {
+			d.mu.Lock()
+			ps.facts = f
+			d.mu.Unlock()
+		}
+	}
 	d.spawnCheck(ps.id, t.Ctx, &check.Unit{
 		Kind: check.ProcUnit, File: label, Module: cp.Meta.Module, Path: cp.ScopePath,
 		ProcName: cp.Decl.Head.Name.Text, Head: cp.Decl.Head,
 		Decls: decls, Body: tail.Body,
-	})
+	}, sink)
 
 	size := int64(ps.q.Len())
 	kind := ctrace.KindShortStmtCG
@@ -732,9 +928,136 @@ func (d *driver) runProcParse(t *sched.Task, ps *procStream) {
 	frameAfterDecls := a.NextOff
 	d.spawn(kind, ps.id, "StmtCG "+cp.Meta.FullName(),
 		sched.Priority(kind, size), nil, t.Ctx, func(t2 *sched.Task) {
-			env2 := d.env(t2, label)
+			env2 := d.envBag(t2, label, bag)
 			codegen.Compile(env2, cp.Scope, cp.Meta, cp.Sym.Type, frameAfterDecls, tail.Body)
 		})
+}
+
+// installStream replays a hit entry in place of parsing the stream: the
+// procedure's registry meta (created by the parent's heading analysis)
+// adopts the cached frame and code, descendant procedures are
+// re-registered from their records, every record's diagnostics and lint
+// facts are replayed with positions rebased onto the current main file,
+// and the descendants' streams are marked covered and released.
+func (d *driver) installStream(t *sched.Task, ps *procStream, ent *streamcache.Entry) {
+	cp := ps.child
+	r := ps.q.NewReader(t.BarrierWait)
+	r.Detach()
+	d.sup.SetProducer(cp.Scope.CompletionEvent(), t)
+	d.inject.Panic(faultinject.PanicInstall, ps.name)
+	// The scope completes empty: only this procedure's descendants could
+	// search it, and they are covered below, never analyzed.
+	cp.Scope.Complete(t.Ctx)
+
+	d.mu.Lock()
+	fileID := d.mainFileID
+	d.mu.Unlock()
+
+	own := &ent.Records[0]
+	cp.Meta.Frame = own.Frame
+	d.addPending(cp.Meta, own)
+	d.replayRecord(own, fileID)
+	for i := 1; i < len(ent.Records); i++ {
+		rec := &ent.Records[i]
+		pos := rec.Pos
+		reFile(&pos, fileID)
+		meta := d.reg.NewProc(rec.Name, rec.Exported, rec.IsBody,
+			rec.Level, rec.ArgSlots, rec.HasRet, pos)
+		meta.Frame = rec.Frame
+		d.addPending(meta, rec)
+		d.replayRecord(rec, fileID)
+	}
+
+	// Release the covered descendants: nobody will ever bind their
+	// headings, so their gates are fired here (their parse tasks see
+	// covered and return).
+	desc := d.keyer.Descendants(ps.id)
+	var fire []*event.Event
+	d.mu.Lock()
+	for _, id := range desc {
+		d.covered[id] = true
+		if dps := d.procs[id]; dps != nil {
+			fire = append(fire, dps.headingReady)
+		}
+	}
+	d.tally.Installed++
+	d.mu.Unlock()
+	for _, ev := range fire {
+		t.Ctx.FireEvent(ev)
+	}
+	t.Ctx.Add(float64(len(ent.Records)) * ctrace.CostMergeSegment)
+}
+
+// replayRecord re-emits a cached record's diagnostics into the
+// compilation bag and re-pins its lint facts, rebasing every stored
+// position (file index 0) onto the current main file.
+func (d *driver) replayRecord(rec *streamcache.ProcRecord, fileID int32) {
+	for _, dg := range rec.Diags {
+		reFile(&dg.Pos, fileID)
+		reFile(&dg.End, fileID)
+		d.diags.Add(dg)
+	}
+	if d.check != nil && rec.Facts != nil {
+		d.check.AddPinned(rewriteFacts(rec.Facts, fileID))
+	}
+}
+
+// addPending queues one cached code segment for fixup application by
+// the Merge task.
+func (d *driver) addPending(meta *vm.ProcMeta, rec *streamcache.ProcRecord) {
+	d.mu.Lock()
+	d.pending = append(d.pending, pendingInstall{meta: meta, rec: rec})
+	d.mu.Unlock()
+}
+
+// reFile retargets a position's file index, leaving invalid (zero)
+// positions untouched so replayed diagnostics stay struct-identical to
+// freshly produced ones.
+func reFile(p *token.Pos, fileID int32) {
+	if p.IsValid() {
+		p.File = fileID
+	}
+}
+
+// copyNames returns ns with every valid position retargeted to fileID.
+func copyNames(ns []ast.Name, fileID int32) []ast.Name {
+	if ns == nil {
+		return nil
+	}
+	out := make([]ast.Name, len(ns))
+	for i, n := range ns {
+		reFile(&n.Pos, fileID)
+		out[i] = n
+	}
+	return out
+}
+
+// rewriteFacts deep-copies a fact table's position-bearing fields with
+// their file index retargeted — to 0 when recording, to the current
+// main file when replaying.  The Mentions set carries no positions and
+// is shared read-only.
+func rewriteFacts(f *check.Facts, fileID int32) *check.Facts {
+	g := *f
+	reFile(&g.HeadName.Pos, fileID)
+	g.Locals = copyNames(f.Locals, fileID)
+	g.Params = copyNames(f.Params, fileID)
+	g.DeclNames = copyNames(f.DeclNames, fileID)
+	if f.Imports != nil {
+		g.Imports = make([]check.ImportFact, len(f.Imports))
+		for i, imp := range f.Imports {
+			reFile(&imp.Name.Pos, fileID)
+			g.Imports[i] = imp
+		}
+	}
+	if f.Findings != nil {
+		g.Findings = make([]diag.Diagnostic, len(f.Findings))
+		for i, dg := range f.Findings {
+			reFile(&dg.Pos, fileID)
+			reFile(&dg.End, fileID)
+			g.Findings[i] = dg
+		}
+	}
+	return &g
 }
 
 // ---------------------------------------------------------------------
@@ -1040,7 +1363,7 @@ func (d *driver) startIface(name string, optional bool, ent *ifacecache.Entry) *
 			d.spawnCheck(stream, t.Ctx, &check.Unit{
 				Kind: check.DefUnit, File: label, Module: name, Path: label,
 				Imports: m.Imports, Decls: decls,
-			})
+			}, nil)
 		})
 	d.sup.SetProducer(scope.CompletionEvent(), parseTask)
 	return e
@@ -1168,7 +1491,232 @@ func (d *driver) runMerge() {
 	d.mu.Unlock()
 	d.spawn(ctrace.KindMerge, 0, "Merge "+d.module,
 		sched.Priority(ctrace.KindMerge, 0), gates, nil, func(t *sched.Task) {
+			d.applyPendingInstalls()
 			obj := d.reg.Object()
 			t.Ctx.Add(float64(len(obj.Procs)) * ctrace.CostMergeSegment)
 		})
+}
+
+// ---------------------------------------------------------------------
+// Stream cache: probe, install fixups, record
+
+// runCacheProbe derives every stream's cache key from the completed
+// split and looks the keys up; runProcParse and the body task act on
+// the verdicts once verdictEv fires (deferred, so a panic here still
+// releases the gated tasks into the cold path).
+func (d *driver) runCacheProbe(t *sched.Task) {
+	defer t.Ctx.FireEvent(d.verdictEv)
+	if !d.keyer.Complete() {
+		return // split faulted: cold-compile everything, record nothing
+	}
+	// Closure roots: the module's own interface (when present) plus
+	// every import named anywhere in the split, in stream order.
+	var roots []string
+	seen := make(map[string]bool)
+	addRoot := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			roots = append(roots, name)
+		}
+	}
+	if _, err := d.loader.Load(d.module, source.Def); err == nil {
+		addRoot(d.module)
+	}
+	ids := d.keyer.ProcStreams()
+	for _, id := range append([]int32{0}, ids...) {
+		for _, imp := range d.keyer.Imports(id) {
+			addRoot(imp)
+		}
+	}
+	closure, ok := d.scache.ClosureHash(d.loader, roots)
+	if !ok {
+		return // unhashable closure (load failure or import cycle): uncacheable
+	}
+	kp := streamcache.KeyParams{
+		Reprocess: d.opts.Headers == HeaderReprocess,
+		Check:     d.opts.Check,
+		Closure:   closure,
+	}
+	verdicts := make(map[int32]*streamcache.Entry, len(ids))
+	keys := make(map[int32]streamcache.Key, len(ids))
+	var ta streamcache.Tally
+	for _, id := range ids {
+		k := d.keyer.ProcKey(id, kp)
+		keys[id] = k
+		ta.Probed++
+		if ent, hit := d.scache.Get(k); hit {
+			verdicts[id] = ent
+			ta.Hits++
+		} else {
+			ta.Misses++
+		}
+	}
+	bodyKey := d.keyer.BodyKey(kp)
+	ta.Probed++
+	bodyEnt, bodyHit := d.scache.Get(bodyKey)
+	if bodyHit {
+		ta.Hits++
+	} else {
+		ta.Misses++
+	}
+	d.mu.Lock()
+	d.closureOK = true
+	d.verdicts = verdicts
+	d.procKeys = keys
+	d.bodyKey = bodyKey
+	d.bodyEnt = bodyEnt
+	d.tally = ta
+	d.mu.Unlock()
+	t.Ctx.Add(float64(len(ids)+1) * ctrace.CostMergeSegment)
+}
+
+// applyPendingInstalls re-resolves every adopted cached code segment's
+// symbolic fixups against this compilation's registry and attaches the
+// rewritten code.  Runs inside the Merge task, after every stream task
+// has completed (so the registry's name tables are final).
+func (d *driver) applyPendingInstalls() {
+	d.mu.Lock()
+	pending := d.pending
+	d.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	obj := d.reg.Object()
+	byName := make(map[string]int32, len(obj.Procs))
+	for _, p := range obj.Procs {
+		byName[p.FullName()] = p.Idx
+	}
+	procIdx := func(name string) (int32, bool) {
+		i, ok := byName[name]
+		return i, ok
+	}
+	for _, pi := range pending {
+		code, ok := streamcache.ApplyFixups(pi.rec.Code, pi.rec.Fixups,
+			procIdx, d.reg.AreaIdx, d.reg.ExcIdx)
+		if !ok {
+			d.mu.Lock()
+			d.faulted = true
+			d.mu.Unlock()
+			d.diags.Errorf(d.module+".mod", token.Pos{},
+				"internal: cached stream %s references unknown procedure", pi.rec.Name)
+			return
+		}
+		pi.meta.Code = code
+	}
+}
+
+// recordStreams publishes every freshly compiled stream back to the
+// cache: one entry per missed, uncovered stream holding its own record
+// plus its whole subtree (descendant subtrees that were themselves hits
+// contribute their cached records unchanged).  Runs on the main
+// goroutine after all tasks have settled; a wounded compilation —
+// faulted, poisoned, canceled, incomplete split, failed closure hash,
+// or a degraded checker — publishes nothing.
+func (d *driver) recordStreams() {
+	if d.scache == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.closureOK || d.faulted || d.poisoned || d.canceled ||
+		!d.keyer.Complete() || (d.check != nil && d.checkFell) {
+		return
+	}
+	obj := d.reg.Object()
+	procName := func(i int32) string { return obj.Procs[i].FullName() }
+	areaName := func(i int32) string { return obj.Areas[i].Name }
+	excName := func(i int32) string { return obj.Excs[i] }
+
+	memo := make(map[int32][]streamcache.ProcRecord)
+	var collect func(id int32) []streamcache.ProcRecord
+	collect = func(id int32) []streamcache.ProcRecord {
+		if rs, ok := memo[id]; ok {
+			return rs
+		}
+		var rs []streamcache.ProcRecord
+		if ent := d.verdicts[id]; ent != nil {
+			rs = ent.Records
+		} else if rec, ok := d.makeRecord(id, procName, areaName, excName); ok {
+			rs = []streamcache.ProcRecord{rec}
+			for _, c := range d.keyer.Children(id) {
+				crs := collect(c)
+				if crs == nil {
+					rs = nil
+					break
+				}
+				rs = append(rs, crs...)
+			}
+		}
+		memo[id] = rs
+		return rs
+	}
+	for _, id := range d.keyer.ProcStreams() {
+		if d.verdicts[id] != nil || d.covered[id] {
+			continue
+		}
+		rs := collect(id)
+		if rs == nil {
+			continue
+		}
+		d.scache.Put(d.procKeys[id], &streamcache.Entry{Records: rs})
+		d.tally.Recorded++
+	}
+	if d.bodyEnt == nil && d.bodyMeta != nil {
+		rec := streamcache.ProcRecord{
+			Name: d.bodyMeta.Name, Exported: d.bodyMeta.Exported,
+			IsBody: true, Level: d.bodyMeta.Level,
+			ArgSlots: d.bodyMeta.ArgSlots, Frame: d.bodyMeta.Frame,
+			HasRet: d.bodyMeta.HasRet, Pos: normPos(d.bodyMeta.Pos),
+			Code:   d.bodyMeta.Code,
+			Fixups: streamcache.ExtractFixups(d.bodyMeta.Code, procName, areaName, excName),
+			Diags:  normDiags(d.bodyBag),
+		}
+		d.scache.Put(d.bodyKey, &streamcache.Entry{Records: []streamcache.ProcRecord{rec}})
+		d.tally.Recorded++
+	}
+}
+
+// makeRecord captures one freshly compiled procedure stream.  Caller
+// holds d.mu (all tasks have settled, so nothing contends).
+func (d *driver) makeRecord(id int32, procName, areaName, excName func(int32) string) (streamcache.ProcRecord, bool) {
+	ps := d.procs[id]
+	if ps == nil || ps.child == nil || ps.tee == nil {
+		return streamcache.ProcRecord{}, false
+	}
+	meta := ps.child.Meta
+	if d.check != nil && ps.facts == nil {
+		return streamcache.ProcRecord{}, false
+	}
+	rec := streamcache.ProcRecord{
+		Name: meta.Name, Exported: meta.Exported, IsBody: meta.IsBody,
+		Level: meta.Level, ArgSlots: meta.ArgSlots, Frame: meta.Frame,
+		HasRet: meta.HasRet, Pos: normPos(meta.Pos),
+		Code:   meta.Code,
+		Fixups: streamcache.ExtractFixups(meta.Code, procName, areaName, excName),
+		Diags:  normDiags(ps.tee),
+	}
+	if ps.facts != nil {
+		rec.Facts = rewriteFacts(ps.facts, 0)
+	}
+	return rec, true
+}
+
+// normPos returns p with its file index normalized to 0 for storage.
+func normPos(p token.Pos) token.Pos {
+	reFile(&p, 0)
+	return p
+}
+
+// normDiags snapshots a stream tee's diagnostics with positions
+// normalized for storage.
+func normDiags(bag *diag.Bag) []diag.Diagnostic {
+	if bag == nil {
+		return nil
+	}
+	ds := bag.Recorded()
+	for i := range ds {
+		reFile(&ds[i].Pos, 0)
+		reFile(&ds[i].End, 0)
+	}
+	return ds
 }

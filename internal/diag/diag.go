@@ -63,13 +63,31 @@ type Bag struct {
 	mu     sync.Mutex // guards: diags, errors
 	diags  []Diagnostic
 	errors int
-	limit  int // 0 = unlimited
+	limit  int  // 0 = unlimited
+	fwd    *Bag // tee target: every add is also forwarded (see Child)
 }
 
 // NewBag returns a Bag that stops recording after limit errors
 // (0 = unlimited).  The error count keeps increasing past the limit so
 // HasErrors stays accurate.
 func NewBag(limit int) *Bag { return &Bag{limit: limit} }
+
+// Child returns a tee bag: every diagnostic added to it is recorded
+// locally (unlimited) and forwarded to b, so global behavior — error
+// counts, the recording limit, the final sorted report — is unchanged
+// while the child keeps an isolated per-stream transcript.  The stream
+// cache records each procedure stream's diagnostics this way so a
+// cached stream can replay them verbatim on a later compilation.
+func (b *Bag) Child() *Bag { return &Bag{fwd: b} }
+
+// Recorded returns a snapshot of the diagnostics recorded in this bag,
+// in insertion order (the stream cache's payload capture; callers
+// wanting the user-facing report use Sorted).
+func (b *Bag) Recorded() []Diagnostic {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Diagnostic(nil), b.diags...)
+}
 
 // Errorf records an error at pos in the given file.
 func (b *Bag) Errorf(file string, pos token.Pos, format string, args ...any) {
@@ -87,14 +105,22 @@ func (b *Bag) Add(d Diagnostic) { b.add(d) }
 
 func (b *Bag) add(d Diagnostic) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if d.Sev == Error {
 		b.errors++
 		if b.limit > 0 && b.errors > b.limit {
+			b.mu.Unlock()
+			if b.fwd != nil {
+				b.fwd.add(d)
+			}
 			return
 		}
 	}
 	b.diags = append(b.diags, d)
+	fwd := b.fwd
+	b.mu.Unlock()
+	if fwd != nil {
+		fwd.add(d)
+	}
 }
 
 // HasErrors reports whether at least one error has been recorded.

@@ -68,6 +68,12 @@ const (
 	// recovery middleware must convert it into a well-formed 500
 	// response and release the request's admission slot.
 	PanicHandler
+	// PanicInstall panics the Nth cached-stream install (core's
+	// stream-cache hit path), modelling corruption discovered while
+	// replaying a warm procedure stream; panic isolation must poison
+	// the compilation and recover via the sequential fallback, never
+	// via a half-installed stream.
+	PanicInstall
 
 	numPoints
 )
@@ -75,6 +81,7 @@ const (
 var pointNames = [numPoints]string{
 	"panic-lookup", "stall-leader", "fail-install", "drop-fire",
 	"panic-check", "panic-steal", "slow-request", "panic-handler",
+	"panic-install",
 }
 
 func (p Point) String() string {
@@ -87,7 +94,7 @@ func (p Point) String() string {
 // Points lists every injection point (for chaos matrices).
 func Points() []Point {
 	return []Point{PanicLookup, StallLeader, FailInstall, DropFire, PanicCheck, PanicSteal,
-		SlowRequest, PanicHandler}
+		SlowRequest, PanicHandler, PanicInstall}
 }
 
 // ParsePoint converts a point name (as printed by Point.String, e.g.

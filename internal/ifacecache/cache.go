@@ -32,6 +32,7 @@
 package ifacecache
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"sync"
 
@@ -114,6 +115,8 @@ type Entry struct {
 	deps      []Dep
 	cost      float64
 	depsLeft  int
+
+	elem *list.Element // guards: under Cache.mu — LRU position; nil once evicted
 }
 
 // Name returns the definition module's name.
@@ -296,6 +299,7 @@ type Stats struct {
 	Waits     int64 // Acquire parked behind another compilation's leader
 	Bypasses  int64 // uncacheable requests (load failure / import cycle)
 	Abandoned int64 // waiters that timed out on a wedged leader (NoteAbandoned)
+	Evictions int64 // entries dropped by the LRU cap (SetLimit)
 }
 
 // Sub returns s - prev, the cache traffic between two snapshots; the
@@ -308,6 +312,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		Waits:     s.Waits - prev.Waits,
 		Bypasses:  s.Bypasses - prev.Bypasses,
 		Abandoned: s.Abandoned - prev.Abandoned,
+		Evictions: s.Evictions - prev.Evictions,
 	}
 }
 
@@ -315,17 +320,58 @@ func (s Stats) Sub(prev Stats) Stats {
 // any number of concurrent compilations.  The zero value is not
 // usable; call New.
 type Cache struct {
-	mu      sync.Mutex // guards: entries, scans
-	entries map[key]*Entry
-	scans   map[source.Hash][]string // content hash → direct import names
-	stats   Stats
+	mu       sync.Mutex // guards: entries, lru, limit, scans, closures, stats
+	entries  map[key]*Entry
+	lru      *list.List // MRU at front; element values are *Entry
+	limit    int        // max entries; 0 = unbounded
+	scans    map[source.Hash][]string // content hash → direct import names
+	closures map[string]*closureMemo  // module name → validated closure-hash memo
+	stats    Stats
 }
 
-// New returns an empty cache.
+// New returns an empty, unbounded cache (see SetLimit).
 func New() *Cache {
 	return &Cache{
-		entries: make(map[key]*Entry),
-		scans:   make(map[source.Hash][]string),
+		entries:  make(map[key]*Entry),
+		lru:      list.New(),
+		scans:    make(map[source.Hash][]string),
+		closures: make(map[string]*closureMemo),
+	}
+}
+
+// SetLimit caps the cache at n entries (0 = unbounded).  When an
+// insert pushes the cache past the cap, the least-recently-used
+// evictable entries are dropped.  Entries that are still leading or
+// sealing have live waiters parked on their ready event and are never
+// evicted — the cache may temporarily exceed the cap while such
+// entries exist.
+func (c *Cache) SetLimit(n int) {
+	c.mu.Lock()
+	c.limit = n
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// evictLocked drops ready/failed entries from the LRU tail until the
+// cache is within its limit.  Caller holds c.mu.
+func (c *Cache) evictLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	el := c.lru.Back()
+	for el != nil && len(c.entries) > c.limit {
+		prev := el.Prev()
+		e := el.Value.(*Entry)
+		e.mu.Lock()
+		st := e.state
+		e.mu.Unlock()
+		if st == stateReady || st == stateFailed {
+			delete(c.entries, e.key)
+			c.lru.Remove(el)
+			e.elem = nil
+			c.stats.Evictions++
+		}
+		el = prev
 	}
 }
 
@@ -378,8 +424,13 @@ func (c *Cache) Acquire(name string, loader source.Loader) (ent *Entry, ev *even
 	if e == nil {
 		e = &Entry{cache: c, name: name, key: k, state: stateLeading, ready: event.New()}
 		c.entries[k] = e
+		e.elem = c.lru.PushFront(e)
 		c.stats.Misses++
+		c.evictLocked()
 		return e, nil, Lead
+	}
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -406,32 +457,148 @@ func (c *Cache) Acquire(name string, loader source.Loader) (ent *Entry, ev *even
 	}
 }
 
+// closureMemo records one module's validated transitive closure hash:
+// the content hash of the module's own .def, the name and content hash
+// of every other closure member, and the combined closure hash those
+// contents produced.  A later request revalidates by re-hashing each
+// member's current text — if every content hash matches, the import
+// structure is necessarily unchanged (imports are a function of
+// content), so the stored closure hash is still correct.
+type closureMemo struct {
+	own  source.Hash
+	deps []depHash
+	hash source.Hash
+}
+
+type depHash struct {
+	name string
+	hash source.Hash
+}
+
+// closureScratch is the per-recomputation working state, pooled so a
+// warm batch does not allocate two maps per Acquire (the closureKey
+// hot path the streamcache leans on).
+type closureScratch struct {
+	memo     map[string]source.Hash // name → closure hash (this walk)
+	content  map[string]source.Hash // name → content hash (this walk)
+	visiting map[string]bool
+	order    []string // completion order; the root is last
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &closureScratch{
+		memo:     make(map[string]source.Hash),
+		content:  make(map[string]source.Hash),
+		visiting: make(map[string]bool),
+	}
+}}
+
+func (s *closureScratch) reset() {
+	clear(s.memo)
+	clear(s.content)
+	clear(s.visiting)
+	s.order = s.order[:0]
+}
+
 // closureKey computes the cache key for name: a hash combining the
 // content of name.def and, recursively, of every .def it imports.  A
 // load failure or an import cycle anywhere in the closure makes the
 // module uncacheable (ok=false) — the real compilation will produce
 // the diagnostics.
 func (c *Cache) closureKey(name string, loader source.Loader) (key, bool) {
-	memo := make(map[string]source.Hash)
-	visiting := make(map[string]bool)
-	h, ok := c.closureHash(name, loader, memo, visiting)
+	h, ok := c.rootClosureHash(name, loader)
 	if !ok {
 		return key{}, false
 	}
 	return key{name: name, hash: h}, true
 }
 
-func (c *Cache) closureHash(name string, loader source.Loader,
-	memo map[string]source.Hash, visiting map[string]bool) (source.Hash, bool) {
+// ClosureHash combines the transitive .def closure hashes of roots
+// into one content hash, in root order.  The stream cache keys every
+// procedure stream with it: any textual change to any interface the
+// compilation can see yields a different hash.  ok is false when any
+// root is unloadable or its closure contains an import cycle — such a
+// compilation is uncacheable at stream granularity too.
+func (c *Cache) ClosureHash(loader source.Loader, roots []string) (source.Hash, bool) {
+	hasher := sha256.New()
+	for _, name := range roots {
+		h, ok := c.rootClosureHash(name, loader)
+		if !ok {
+			return source.Hash{}, false
+		}
+		hasher.Write([]byte{0})
+		hasher.Write([]byte(name))
+		hasher.Write([]byte{0})
+		hasher.Write(h[:])
+	}
+	var out source.Hash
+	hasher.Sum(out[:0])
+	return out, true
+}
 
-	if h, ok := memo[name]; ok {
+// rootClosureHash returns the transitive closure hash of name,
+// consulting (and maintaining) the per-name memo: a memo hit needs one
+// Load+HashText per closure member and no lexing, recursion, or map
+// allocation; a miss or a stale memo falls back to the full walk.
+func (c *Cache) rootClosureHash(name string, loader source.Loader) (source.Hash, bool) {
+	text, err := loader.Load(name, source.Def)
+	if err != nil {
+		return source.Hash{}, false
+	}
+	own := source.HashText(text)
+
+	c.mu.Lock()
+	m := c.closures[name]
+	c.mu.Unlock()
+	if m != nil && m.own == own && c.memoValid(m, loader) {
+		return m.hash, true
+	}
+
+	s := scratchPool.Get().(*closureScratch)
+	s.reset()
+	h, ok := c.closureHash(name, loader, s)
+	if ok {
+		// Record a fresh memo for the root: every visited member except
+		// the root itself becomes a validation dep.
+		nm := &closureMemo{own: own, hash: h}
+		for _, dep := range s.order {
+			if dep == name {
+				continue
+			}
+			nm.deps = append(nm.deps, depHash{name: dep, hash: s.content[dep]})
+		}
+		c.mu.Lock()
+		c.closures[name] = nm
+		c.mu.Unlock()
+	}
+	scratchPool.Put(s)
+	if !ok {
+		return source.Hash{}, false
+	}
+	return h, true
+}
+
+// memoValid reports whether every recorded closure member still loads
+// to the recorded content.
+func (c *Cache) memoValid(m *closureMemo, loader source.Loader) bool {
+	for _, d := range m.deps {
+		text, err := loader.Load(d.name, source.Def)
+		if err != nil || source.HashText(text) != d.hash {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cache) closureHash(name string, loader source.Loader, s *closureScratch) (source.Hash, bool) {
+	if h, ok := s.memo[name]; ok {
 		return h, true
 	}
-	if visiting[name] {
+	if s.visiting[name] {
 		return source.Hash{}, false // import cycle
 	}
-	visiting[name] = true
-	defer delete(visiting, name)
+	s.visiting[name] = true
+	defer delete(s.visiting, name)
 
 	text, err := loader.Load(name, source.Def)
 	if err != nil {
@@ -443,7 +610,7 @@ func (c *Cache) closureHash(name string, loader source.Loader,
 	hasher := sha256.New()
 	hasher.Write(content[:])
 	for _, imp := range imports {
-		sub, ok := c.closureHash(imp, loader, memo, visiting)
+		sub, ok := c.closureHash(imp, loader, s)
 		if !ok {
 			return source.Hash{}, false
 		}
@@ -454,7 +621,9 @@ func (c *Cache) closureHash(name string, loader source.Loader,
 	}
 	var combined source.Hash
 	hasher.Sum(combined[:0])
-	memo[name] = combined
+	s.memo[name] = combined
+	s.content[name] = content
+	s.order = append(s.order, name)
 	return combined, true
 }
 

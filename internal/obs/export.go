@@ -49,6 +49,10 @@ type Metrics struct {
 	// Cache is the interface-cache traffic, when a cache was attached.
 	Cache *CacheCounters `json:"ifacecache,omitempty"`
 
+	// Streams is the stream-cache (incremental recompilation) traffic,
+	// when a stream cache was attached.
+	Streams *StreamCounters `json:"streamcache,omitempty"`
+
 	// Sched is the Supervisor's dispatch traffic — which queue each
 	// dispatched task came from (the worker's own local queue, a steal,
 	// the global overflow queue) and how many slot releases handed the
@@ -125,6 +129,10 @@ func (o *Observer) Snapshot() Metrics {
 	if o.hasCache {
 		c := o.cache
 		m.Cache = &c
+	}
+	if o.hasStream {
+		sc := o.streams
+		m.Streams = &sc
 	}
 	if o.sched != (SchedCounters{}) {
 		sc := o.sched

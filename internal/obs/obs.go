@@ -211,13 +211,15 @@ type Observer struct {
 	waits    []WaitEdge
 	openWait map[int]int // task ID → index of its open wait in waits
 
-	evBase   event.Counters
-	evDelta  event.Counters
-	cache    CacheCounters
-	sched    SchedCounters
-	hasCache bool
-	strategy string
-	lookups  *symtab.Stats
+	evBase    event.Counters
+	evDelta   event.Counters
+	cache     CacheCounters
+	streams   StreamCounters
+	sched     SchedCounters
+	hasCache  bool
+	hasStream bool
+	strategy  string
+	lookups   *symtab.Stats
 }
 
 // SchedCounters is the Supervisor's ready-queue traffic for the
@@ -256,6 +258,19 @@ type CacheCounters struct {
 	Waits     int64 `json:"waits"` // single-flight waits behind a foreign leader
 	Bypasses  int64 `json:"bypasses"`
 	Abandoned int64 `json:"abandoned"` // stall-timeout abandonments of wedged leaders
+}
+
+// StreamCounters is the stream-cache (incremental recompilation)
+// traffic attributed to the observed compilation: per-stream probe
+// outcomes plus the shared store's eviction count.
+type StreamCounters struct {
+	Probed    int64 `json:"probed"`    // streams whose key was looked up
+	Hits      int64 `json:"hits"`      // probes that found a cached entry
+	Misses    int64 `json:"misses"`    // probes that found nothing
+	Installed int64 `json:"installed"` // hit entries installed (topmost hits + body)
+	Covered   int64 `json:"covered"`   // streams skipped under an ancestor's installed entry
+	Recorded  int64 `json:"recorded"`  // fresh streams published back to the store
+	Evictions int64 `json:"evictions"` // store entries dropped by the LRU cap (delta)
 }
 
 // New returns an Observer with its epoch set to now.
@@ -608,6 +623,25 @@ func (o *Observer) NoteCache(c CacheCounters) {
 	o.cache.Waits += c.Waits
 	o.cache.Bypasses += c.Bypasses
 	o.cache.Abandoned += c.Abandoned
+	o.mu.Unlock()
+}
+
+// NoteStreams attributes stream-cache (incremental recompilation)
+// traffic to the observed run.  Deltas from several modules of a batch
+// accumulate.
+func (o *Observer) NoteStreams(c StreamCounters) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.hasStream = true
+	o.streams.Probed += c.Probed
+	o.streams.Hits += c.Hits
+	o.streams.Misses += c.Misses
+	o.streams.Installed += c.Installed
+	o.streams.Covered += c.Covered
+	o.streams.Recorded += c.Recorded
+	o.streams.Evictions += c.Evictions
 	o.mu.Unlock()
 }
 

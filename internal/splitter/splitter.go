@@ -26,6 +26,24 @@ import (
 // and its token queue.
 type StartProc func(name string, pos token.Pos, parent int32) (int32, *tokq.Queue)
 
+// Sink observes the token traffic of a split, stream by stream, from
+// the splitter task's own goroutine (no synchronization needed by
+// implementations).  The stream cache's keyer implements it to hash
+// exactly what each stream's parser will see: StartStream announces a
+// new stream under its parent, Heading delivers the heading tokens of
+// a procedure stream (always, in both header modes, so heading layout
+// is part of the key even when only the parent parses it), Token
+// mirrors every token appended to a stream's queue, EndStream marks a
+// stream's queue closed, and Done marks the split complete — a split
+// that panics never calls Done, leaving the observer incomplete.
+type Sink interface {
+	StartStream(id, parent int32, name string)
+	Heading(id int32, toks []token.Token)
+	Token(id int32, t token.Token)
+	EndStream(id int32)
+	Done()
+}
+
 // output is one entry of the splitter's stream stack.
 type output struct {
 	stream int32
@@ -44,16 +62,35 @@ type output struct {
 // careful to close every stream even for malformed input, so no
 // consumer can wait forever.
 func Run(ctx *ctrace.TaskCtx, in *tokq.Reader, mainOut *tokq.Queue, start StartProc, copyHeadings bool) {
+	RunObserved(ctx, in, mainOut, start, copyHeadings, nil)
+}
+
+// RunObserved is Run with an optional Sink mirroring the split's token
+// traffic (nil = unobserved).  The sink is invoked synchronously from
+// the splitter goroutine, in exactly the order tokens are appended.
+func RunObserved(ctx *ctrace.TaskCtx, in *tokq.Reader, mainOut *tokq.Queue, start StartProc, copyHeadings bool, sink Sink) {
 	mainOut.SetFireHook(ctx.FireEvent)
 	stack := []*output{{stream: 0, q: mainOut}}
 	top := func() *output { return stack[len(stack)-1] }
+	if sink != nil {
+		sink.StartStream(0, -1, "")
+	}
+	emit := func(o *output, t token.Token) {
+		o.q.Append(t)
+		if sink != nil {
+			sink.Token(o.stream, t)
+		}
+	}
 
 	// closeAll closes every open stream (defensively appending EOF) so
 	// consumers always terminate.
 	closeAll := func(eof token.Token) {
 		for i := len(stack) - 1; i >= 0; i-- {
-			stack[i].q.Append(eof)
+			emit(stack[i], eof)
 			stack[i].q.Close()
+			if sink != nil {
+				sink.EndStream(stack[i].stream)
+			}
 		}
 	}
 
@@ -63,6 +100,9 @@ func Run(ctx *ctrace.TaskCtx, in *tokq.Reader, mainOut *tokq.Queue, start StartP
 		switch {
 		case t.Kind == token.EOF:
 			closeAll(t)
+			if sink != nil {
+				sink.Done()
+			}
 			return
 
 		case t.Kind == token.PROCEDURE && in.Peek().Kind == token.Ident:
@@ -71,11 +111,15 @@ func Run(ctx *ctrace.TaskCtx, in *tokq.Reader, mainOut *tokq.Queue, start StartP
 			name := in.Peek().Text
 			heading := collectHeading(ctx, t, in)
 			for _, h := range heading {
-				parent.q.Append(h)
+				emit(parent, h)
 			}
 			stream, q := start(name, t.Pos, parent.stream)
 			q.SetFireHook(ctx.FireEvent)
-			parent.q.Append(token.Token{
+			if sink != nil {
+				sink.StartStream(stream, parent.stream, name)
+				sink.Heading(stream, heading)
+			}
+			emit(parent, token.Token{
 				Kind: token.BodyRef, Pos: t.Pos, Text: strconv.Itoa(int(stream)),
 			})
 			// Let the parent's parser see the heading (and fire the
@@ -84,7 +128,7 @@ func Run(ctx *ctrace.TaskCtx, in *tokq.Reader, mainOut *tokq.Queue, start StartP
 			child := &output{stream: stream, q: q, depth: 1}
 			if copyHeadings {
 				for _, h := range heading {
-					q.Append(h)
+					emit(child, h)
 				}
 			}
 			stack = append(stack, child)
@@ -92,17 +136,20 @@ func Run(ctx *ctrace.TaskCtx, in *tokq.Reader, mainOut *tokq.Queue, start StartP
 		case t.Kind == token.END && len(stack) > 1:
 			cur := top()
 			cur.depth--
-			cur.q.Append(t)
+			emit(cur, t)
 			if cur.depth == 0 {
 				// "END name" closes this procedure; the name goes to the
 				// child, the following ";" flows to the parent normally.
 				if in.Peek().Kind == token.Ident {
 					name := in.Next()
 					ctx.Add(ctrace.CostSplitToken)
-					cur.q.Append(name)
+					emit(cur, name)
 				}
-				cur.q.Append(token.Token{Kind: token.EOF, Pos: t.Pos})
+				emit(cur, token.Token{Kind: token.EOF, Pos: t.Pos})
 				cur.q.Close()
+				if sink != nil {
+					sink.EndStream(cur.stream)
+				}
 				stack = stack[:len(stack)-1]
 			}
 
@@ -110,7 +157,7 @@ func Run(ctx *ctrace.TaskCtx, in *tokq.Reader, mainOut *tokq.Queue, start StartP
 			if t.Kind.OpensEnd() && len(stack) > 1 {
 				top().depth++
 			}
-			top().q.Append(t)
+			emit(top(), t)
 		}
 	}
 }

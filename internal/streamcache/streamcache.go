@@ -1,0 +1,314 @@
+// Package streamcache implements incremental recompilation at the
+// paper's stream granularity: a shared, content-hash-keyed cache of
+// completed per-procedure (and module-body) stream compilations.
+//
+// The splitter's decomposition into one stream per procedure is a
+// natural incremental-build unit.  Each stream is keyed by a content
+// hash covering everything that can influence its output — its own
+// token layout, its heading, the declaration text of every enclosing
+// stream, and the transitive interface closure of the compilation
+// (reusing internal/ifacecache's closure-key machinery).  A recompile
+// after a one-procedure edit re-runs only the changed streams; hits
+// replay the stream's object code, diagnostics, and lint fact table
+// verbatim, and the Merge task concatenates cached and fresh segments
+// exactly as the paper does.
+//
+// Keying is by ABSOLUTE layout: token line/column positions are part
+// of the key, so a cached artifact's positions are correct by
+// construction and replay verbatim (no position rebasing).  The cost
+// is coarser invalidation — an edit that shifts later lines
+// invalidates the streams on those lines — but an edit that preserves
+// line structure (the common editor case the daemon serves) keeps
+// every untouched stream warm.  The only per-compilation rewrite is
+// the source-file index (token.Pos.File), which is assigned in
+// schedule-dependent registration order and is normalized to zero in
+// stored records.
+//
+// Object code is stored with symbolic fixups: procedure, global-area,
+// and exception indices are registry-assignment-ordered (schedule-
+// dependent), so each such operand is recorded by name and re-resolved
+// against the current compilation's registry at merge time.  Segment-
+// relative jump targets and line-number operands replay verbatim.
+package streamcache
+
+import (
+	"container/list"
+	"sync"
+
+	"m2cc/internal/check"
+	"m2cc/internal/diag"
+	"m2cc/internal/ifacecache"
+	"m2cc/internal/source"
+	"m2cc/internal/token"
+	"m2cc/internal/vm"
+)
+
+// Key identifies one cached stream compilation (see Keyer).
+type Key = source.Hash
+
+// FixKind classifies one symbolic operand of a cached instruction.
+type FixKind uint8
+
+const (
+	// FixProc: operand A is a same-module procedure index (Call, and
+	// PushProc with an empty S field).
+	FixProc FixKind = iota
+	// FixArea: operand A is a global storage-area index (LdGlb, StGlb,
+	// LdaGlb).
+	FixArea
+	// FixExc: operand A is an exception index (Raise, ExcIs).
+	FixExc
+)
+
+// Fixup records one schedule-dependent operand of a cached code
+// segment by name, to be re-resolved against the installing
+// compilation's registry.
+type Fixup struct {
+	Index int // instruction index within the record's Code
+	Kind  FixKind
+	Name  string // proc FullName / area name / exception name
+}
+
+// ProcRecord is one procedure's (or the module body's) cached
+// compilation: the registry metadata needed to re-create its ProcMeta,
+// its object code with symbolic fixups, the diagnostics its stream
+// produced, and its lint fact table.  Records are immutable once
+// published — installers copy before rewriting.
+type ProcRecord struct {
+	Name     string // dotted path within the module ("Sort.Partition")
+	Exported bool
+	IsBody   bool
+	Level    int32
+	ArgSlots int32
+	Frame    int32
+	HasRet   bool
+	Pos      token.Pos // declaration position; File normalized to 0
+
+	Code   []vm.Instr // shared, read-only; fixup application copies
+	Fixups []Fixup
+
+	Diags []diag.Diagnostic // stream's own diagnostics; Pos/End File normalized to 0
+	Facts *check.Facts      // lint fact table (nil unless recorded under Check)
+}
+
+// Entry is one cached stream compilation: the stream's own record
+// first, then every descendant stream's record in pre-order, so a hit
+// installs the whole subtree without touching the descendants' keys.
+type Entry struct {
+	Records []ProcRecord
+}
+
+// Stats is a snapshot of a cache's cumulative counters.
+type Stats struct {
+	Hits      int64 // Get found an entry
+	Misses    int64 // Get found nothing
+	Evictions int64 // entries dropped by the LRU cap
+	Entries   int   // current entry count
+}
+
+// Sub returns s - prev (traffic between two snapshots); Entries is
+// carried from s unchanged, being a level rather than a counter.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Evictions: s.Evictions - prev.Evictions,
+		Entries:   s.Entries,
+	}
+}
+
+// Tally is one compilation's stream-cache traffic (Result.StreamCache).
+type Tally struct {
+	Probed    int // streams whose key was looked up
+	Hits      int // probes that found an entry
+	Misses    int // probes that found nothing
+	Installed int // hit entries actually installed (topmost hits + body)
+	Covered   int // streams skipped because an ancestor's entry covered them
+	Recorded  int // fresh streams published back to the cache
+}
+
+// cacheEnt is one LRU node.
+type cacheEnt struct {
+	key Key
+	ent *Entry
+}
+
+// Cache is a concurrency-safe stream-compilation cache shared by any
+// number of compilations (the m2cd daemon holds one per process).
+// There is no single-flight machinery: two concurrent compilations
+// that miss on the same key both compile and both publish — the
+// second Put overwrites the first with an identical entry, which is
+// benign.  Consequently no entry ever has waiters, and the LRU cap
+// can evict any entry.
+type Cache struct {
+	mu    sync.Mutex // guards: entries, lru, limit, stats
+	limit int        // max entries; 0 = unbounded
+	lru   *list.List // MRU at front; element values are *cacheEnt
+	byKey map[Key]*list.Element
+	stats Stats
+
+	// hasher computes interface-closure hashes for key derivation.  It
+	// is a private ifacecache used purely for its memoized closure-key
+	// machinery — compilations never Acquire through it, so it works
+	// even when the compilation itself runs without an interface cache
+	// (Options.Check forces Cache to nil; the stream cache must not).
+	hasher *ifacecache.Cache
+}
+
+// New returns an empty cache capped at limit entries (0 = unbounded).
+func New(limit int) *Cache {
+	return &Cache{
+		limit:  limit,
+		lru:    list.New(),
+		byKey:  make(map[Key]*list.Element),
+		hasher: ifacecache.New(),
+	}
+}
+
+// ClosureHash combines the transitive interface closure of roots into
+// one hash (ok=false if any interface fails to load or the closure is
+// cyclic).  Closure hashes are memoized across compilations and
+// revalidated against interface content hashes on each call.
+func (c *Cache) ClosureHash(loader source.Loader, roots []string) (source.Hash, bool) {
+	return c.hasher.ClosureHash(loader, roots)
+}
+
+// SetLimit changes the entry cap (0 = unbounded), evicting immediately
+// if the cache is over the new cap.
+func (c *Cache) SetLimit(n int) {
+	c.mu.Lock()
+	c.limit = n
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// Get looks up a stream key, marking the entry most recently used.
+func (c *Cache) Get(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEnt).ent, true
+}
+
+// Put publishes a stream compilation under its key, evicting from the
+// LRU tail if the cap is exceeded.  Re-publishing an existing key
+// replaces the entry (a racing sibling computed the same thing).
+func (c *Cache) Put(k Key, e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*cacheEnt).ent = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.lru.PushFront(&cacheEnt{key: k, ent: e})
+	c.evictLocked()
+}
+
+// evictLocked drops LRU-tail entries until within the cap.  Caller
+// holds c.mu.
+func (c *Cache) evictLocked() {
+	if c.limit <= 0 {
+		return
+	}
+	for len(c.byKey) > c.limit {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		ce := el.Value.(*cacheEnt)
+		delete(c.byKey, ce.key)
+		c.lru.Remove(el)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.byKey)
+	return s
+}
+
+// ExtractFixups scans a completed code segment for schedule-dependent
+// operands (see FixKind) and returns their symbolic forms, resolving
+// indices through the supplied name tables (a registry Object
+// snapshot).  The code itself is not modified.
+func ExtractFixups(code []vm.Instr, procName func(int32) string,
+	areaName func(int32) string, excName func(int32) string) []Fixup {
+
+	var out []Fixup
+	for i, ins := range code {
+		switch ins.Op {
+		case vm.Call:
+			out = append(out, Fixup{Index: i, Kind: FixProc, Name: procName(ins.A)})
+		case vm.PushProc:
+			if ins.S == "" {
+				out = append(out, Fixup{Index: i, Kind: FixProc, Name: procName(ins.A)})
+			}
+		case vm.LdGlb, vm.StGlb, vm.LdaGlb:
+			out = append(out, Fixup{Index: i, Kind: FixArea, Name: areaName(ins.A)})
+		case vm.Raise, vm.ExcIs:
+			out = append(out, Fixup{Index: i, Kind: FixExc, Name: excName(ins.A)})
+		}
+	}
+	return out
+}
+
+// ApplyFixups re-resolves every symbolic operand of a cached code
+// segment against the installing compilation's registry.  The copy is
+// made lazily, on the first operand that actually differs: when the
+// registry assigned every name the same index as the recording
+// compilation did (the common warm-rebuild case — same module, same
+// discovery order), the cached segment itself is returned.  Sharing is
+// safe because the recording path already aliases the segment between
+// the cache and the recording compilation's result — object code is
+// immutable once installed.  procIdx reports ok=false for an unknown
+// procedure name — impossible when the key matched, but surfaced as a
+// failed install rather than silently wrong code.
+func ApplyFixups(code []vm.Instr, fixups []Fixup,
+	procIdx func(string) (int32, bool),
+	areaIdx func(string) int32, excIdx func(string) int32) ([]vm.Instr, bool) {
+
+	out := code
+	copied := false
+	for _, f := range fixups {
+		var idx int32
+		switch f.Kind {
+		case FixProc:
+			i, ok := procIdx(f.Name)
+			if !ok {
+				return nil, false
+			}
+			idx = i
+		case FixArea:
+			idx = areaIdx(f.Name)
+		case FixExc:
+			idx = excIdx(f.Name)
+		}
+		if out[f.Index].A == idx {
+			continue
+		}
+		if !copied {
+			out = append([]vm.Instr(nil), code...)
+			copied = true
+		}
+		out[f.Index].A = idx
+	}
+	return out, true
+}

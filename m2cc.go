@@ -52,6 +52,7 @@ import (
 	"m2cc/internal/seq"
 	"m2cc/internal/sim"
 	"m2cc/internal/source"
+	"m2cc/internal/streamcache"
 	"m2cc/internal/symtab"
 	"m2cc/internal/vm"
 )
@@ -161,6 +162,29 @@ type CacheStats = ifacecache.Stats
 
 // NewCache returns an empty shared interface cache.
 func NewCache() *Cache { return ifacecache.New() }
+
+// StreamCache is a shared incremental-recompilation cache at the
+// paper's stream granularity: each procedure stream (and module body)
+// is keyed by a content hash of its token layout, its enclosing
+// declarations and the compilation's interface closure; a recompile
+// after a one-procedure edit re-runs only the changed streams and
+// replays the rest — object code, diagnostics and lint facts — from the
+// cache.  Attach one via Options.StreamCache; output is byte-identical
+// to a cold build.  One StreamCache may serve any number of
+// compilations (the m2cd daemon shares one per process).
+type StreamCache = streamcache.Cache
+
+// StreamCacheStats is a snapshot of a StreamCache's cumulative
+// hit/miss/eviction counters.
+type StreamCacheStats = streamcache.Stats
+
+// StreamTally is one compilation's stream-cache traffic
+// (Result.StreamCache).
+type StreamTally = streamcache.Tally
+
+// NewStreamCache returns an empty stream cache capped at limit entries
+// (0 = unbounded) with LRU eviction.
+func NewStreamCache(limit int) *StreamCache { return streamcache.New(limit) }
 
 // Observer is the live-observability layer: attach one via
 // Options.Obs to record wall-clock spans for every Supervisor task and
