@@ -125,6 +125,11 @@ func main() {
 		}
 		fmt.Print(r)
 		writeJSON(r)
+		if r.Serve != nil && r.Serve.OverheadPct > bench.ServeObsMaxOverheadPct {
+			fmt.Fprintf(os.Stderr, "serve-mode sampled tracing overhead %.1f%% exceeds the %.0f%% budget\n",
+				r.Serve.OverheadPct, bench.ServeObsMaxOverheadPct)
+			os.Exit(1)
+		}
 	}
 	if *profB {
 		r, err := bench.ProfileBench(bench.Config{Seed: *seed, Scale: *scale}, *runs, *workers)

@@ -8,7 +8,23 @@
 //	POST /lint     same request; responds with static-analysis findings
 //	GET  /healthz  200 "ok" while serving, 200 "draining" during drain
 //	GET  /readyz   200 "ready" while admitting, 503 once draining
-//	GET  /metrics  JSON counters (admission, shedding, faults, cache)
+//	GET  /metrics  JSON counters; ?format=prometheus for text exposition
+//
+// Telemetry plane (PR 9): every admitted request gets a trace ID
+// (X-M2cd-Trace request header honored, response header always set);
+// -trace=sampled|all records a per-request Observer retrievable as
+// Perfetto JSON.  Structured JSON request logs go to stderr (-quiet
+// suppresses them).
+//
+//	GET  /debug/trace          index of held traces
+//	GET  /debug/trace/{id}     Chrome/Perfetto trace-event JSON
+//	GET  /debug/trace/{id}/profile  critical-path + blame (?format=json)
+//	GET  /debug/vars           rolling windows + histograms, JSON
+//	GET  /debug/live           ~1 Hz SSE feed (occupancy, shed, hit rates)
+//
+// -rate-limit/-rate-burst arm a per-client token bucket (429 +
+// Retry-After); -debug-addr serves net/http/pprof on a second
+// listener.
 //
 // Robustness knobs (see server.go for the semantics): -max-inflight
 // and -queue bound admission; -deadline/-max-deadline bound each
@@ -33,6 +49,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"strconv"
@@ -42,6 +59,7 @@ import (
 
 	"m2cc"
 	"m2cc/internal/faultinject"
+	"m2cc/internal/obs"
 )
 
 func main() {
@@ -69,6 +87,15 @@ func run() int {
 		slowDelay  = flag.Duration("inject-slow", 250*time.Millisecond, "latency added by an armed slow-request point")
 		metricsOut = flag.String("metrics-out", "", "file to write the final metrics snapshot to at drain (default stderr)")
 		readyFile  = flag.String("ready-file", "", "file to write the bound listen address to once serving (for scripts)")
+
+		traceFlag   = flag.String("trace", "off", "per-request tracing: off|sampled|all (see /debug/trace)")
+		traceKeep   = flag.Int("trace-keep", 64, "finished request traces kept in the LRU ring")
+		traceSample = flag.Int("trace-sample", 8, "in sampled mode, trace 1 in N admitted requests")
+		rateLimit   = flag.Float64("rate-limit", 0, "per-client request rate in req/s (token bucket; 0 = unlimited)")
+		rateBurst   = flag.Int("rate-burst", 4, "per-client token-bucket burst")
+		debugAddr   = flag.String("debug-addr", "", "separate listener for net/http/pprof (host:port; empty = off)")
+		livePeriod  = flag.Duration("live-period", time.Second, "interval between /debug/live SSE frames")
+		quiet       = flag.Bool("quiet", false, "suppress per-request JSON log lines on stderr")
 	)
 	flag.Parse()
 
@@ -85,6 +112,11 @@ func run() int {
 		return 2
 	}
 	plan, err := parseInject(*injectSpec)
+	if err != nil {
+		log.Printf("m2cd: %v", err)
+		return 2
+	}
+	traceMode, err := obs.ParseTraceMode(*traceFlag)
 	if err != nil {
 		log.Printf("m2cd: %v", err)
 		return 2
@@ -107,6 +139,12 @@ func run() int {
 		plan:            plan,
 		metricsOut:      *metricsOut,
 		readyFile:       *readyFile,
+		traceMode:       traceMode,
+		traceKeep:       *traceKeep,
+		traceSample:     *traceSample,
+		rateLimit:       *rateLimit,
+		rateBurst:       *rateBurst,
+		livePeriod:      *livePeriod,
 	}
 	if err := cfg.validate(); err != nil {
 		log.Printf("m2cd: %v", err)
@@ -118,10 +156,27 @@ func run() int {
 	}
 
 	s := newServer(cfg)
+	if !*quiet {
+		s.logw = os.Stderr
+	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		log.Printf("m2cd: listen: %v", err)
 		return 1
+	}
+	if *debugAddr != "" {
+		// pprof rides a second listener so profiling traffic never
+		// competes with (or gets exposed on) the serving address.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Printf("m2cd: debug listen: %v", err)
+			ln.Close()
+			return 1
+		}
+		dsrv := &http.Server{Handler: http.DefaultServeMux}
+		go dsrv.Serve(dln)
+		defer dsrv.Close()
+		log.Printf("m2cd: pprof on %s", dln.Addr())
 	}
 	bound := ln.Addr().String()
 	if cfg.readyFile != "" {

@@ -34,6 +34,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -44,6 +45,7 @@ import (
 
 	"m2cc"
 	"m2cc/internal/faultinject"
+	"m2cc/internal/obs"
 )
 
 // config carries the daemon's tunables; main fills it from flags.
@@ -65,6 +67,13 @@ type config struct {
 	plan            *faultinject.Plan
 	metricsOut      string
 	readyFile       string
+
+	traceMode   obs.TraceMode // which admissions get a recording observer
+	traceKeep   int           // LRU cap on held traces
+	traceSample int           // 1-in-N sampling in sampled mode
+	rateLimit   float64       // per-client tokens/sec; 0 disables
+	rateBurst   int           // per-client token-bucket burst
+	livePeriod  time.Duration // SSE frame period (0 = 1s); tests shorten it
 }
 
 // validate rejects nonsensical knob settings with a clear error
@@ -100,6 +109,25 @@ func (c *config) validate() error {
 	if c.streamCap < 0 {
 		return fmt.Errorf("-stream-cap must be >= 0 (got %d); 0 means unbounded", c.streamCap)
 	}
+	if c.traceMode != obs.TraceOff {
+		// The knobs only bind when tracing is on; a zero-value config
+		// (tracing off) stays valid.
+		if c.traceKeep < 1 {
+			return fmt.Errorf("-trace-keep must be >= 1 (got %d)", c.traceKeep)
+		}
+		if c.traceSample < 1 {
+			return fmt.Errorf("-trace-sample must be >= 1 (got %d); 1 traces every admission", c.traceSample)
+		}
+	}
+	if c.rateLimit < 0 {
+		return fmt.Errorf("-rate-limit must be >= 0 (got %g); 0 disables the limiter", c.rateLimit)
+	}
+	if c.rateLimit > 0 && c.rateBurst < 1 {
+		return fmt.Errorf("-rate-burst must be >= 1 (got %d)", c.rateBurst)
+	}
+	if c.livePeriod < 0 {
+		return fmt.Errorf("-live-period must not be negative (got %v)", c.livePeriod)
+	}
 	return nil
 }
 
@@ -120,6 +148,13 @@ type server struct {
 
 	breakers breakerSet
 	met      metrics
+
+	traces *obs.TraceStore // per-request trace plane (/debug/trace)
+	tel    *telemetry      // histograms + rolling windows
+	limits *limiterSet     // per-client token buckets
+
+	logw  io.Writer  // structured request-log sink; nil disables logging
+	logMu sync.Mutex // guards: interleaving of request-log lines on logw
 }
 
 func newServer(cfg config) *server {
@@ -136,6 +171,9 @@ func newServer(cfg config) *server {
 	s.breakers.cooldown = cfg.breakerCooldown
 	s.breakers.m = make(map[string]*breakerState)
 	s.met.byStatus = make(map[int]int64)
+	s.traces = obs.NewTraceStore(cfg.traceMode, cfg.traceSample, cfg.traceKeep)
+	s.tel = newTelemetry()
+	s.limits = newLimiterSet(cfg.rateLimit, cfg.rateBurst)
 	return s
 }
 
@@ -144,15 +182,20 @@ func newServer(cfg config) *server {
 // becomes a well-formed 500 instead of a dropped connection.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/compile", s.recoverPanic(func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/compile", s.instrumented(s.recoverPanic(func(w http.ResponseWriter, r *http.Request) {
 		s.handleCompile(w, r, false)
-	}))
-	mux.HandleFunc("/lint", s.recoverPanic(func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("/lint", s.instrumented(s.recoverPanic(func(w http.ResponseWriter, r *http.Request) {
 		s.handleCompile(w, r, true)
-	}))
+	})))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTraceIndex)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTraceGet)
+	mux.HandleFunc("GET /debug/trace/{id}/profile", s.handleTraceProfile)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /debug/live", s.handleLive)
 	return mux
 }
 
@@ -226,6 +269,10 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.writePrometheus(w)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, s.snapshot())
 }
 
@@ -313,12 +360,41 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request, lint bool
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
+	// Client identity, resolved before admission: the rate limiter and
+	// the circuit breaker key on it, and the request log reports it even
+	// for shed requests.
+	client := req.Client
+	if client == "" {
+		client = r.Header.Get("X-Client")
+	}
+	if client == "" {
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			client = host
+		} else {
+			client = r.RemoteAddr
+		}
+	}
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.client = client
+	}
+
 	// ---- admission ----
 	if s.draining.Load() {
 		s.met.mu.Lock()
 		s.met.rejectedDraining++
 		s.met.mu.Unlock()
 		s.writeError(w, http.StatusServiceUnavailable, "draining", 0)
+		return
+	}
+	// Connection-level rate limit, before the shared queue: a client
+	// over its budget is shed without consuming queue capacity, with a
+	// Retry-After saying when its next token refills.
+	if ok, retry := s.limits.allow(client, time.Now()); !ok {
+		s.met.mu.Lock()
+		s.met.rateLimited++
+		s.met.mu.Unlock()
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("rate limited: client %q over %g req/s", client, s.cfg.rateLimit), retry)
 		return
 	}
 	if n := s.waiting.Add(1); n > int64(s.cfg.maxInflight+s.cfg.queueDepth) {
@@ -351,6 +427,23 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request, lint bool
 	s.met.admitted++
 	s.met.mu.Unlock()
 
+	// Telemetry at the admission edge: every admitted request gets a
+	// trace ID (client-chosen via X-M2cd-Trace or generated); sampling
+	// decides whether an Observer records it.  The ID rides back in the
+	// response header — never the body, which stays a pure function of
+	// the request.  The instrumented middleware finishes the entry on
+	// every exit path, including panics unwinding through this frame.
+	traceID, tentry := s.traces.Admit(r.Header.Get("X-M2cd-Trace"))
+	if traceID != "" {
+		w.Header().Set("X-M2cd-Trace", traceID)
+	}
+	occupied := len(s.sem)
+	queued := int(s.waiting.Load()) - occupied
+	if queued < 0 {
+		queued = 0
+	}
+	s.tel.observeAdmission(queued, occupied)
+
 	// Fault-injection points, post-admission: the deferred slot
 	// release above must survive both.
 	s.cfg.plan.Panic(faultinject.PanicHandler, r.URL.Path)
@@ -365,18 +458,6 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request, lint bool
 
 	// ---- service ----
 	began := time.Now()
-	client := req.Client
-	if client == "" {
-		client = r.Header.Get("X-Client")
-	}
-	if client == "" {
-		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
-			client = host
-		} else {
-			client = r.RemoteAddr
-		}
-	}
-
 	if s.breakers.sequential(client, time.Now()) {
 		s.serveSequential(w, req, loader, lint)
 		s.observeService(time.Since(began))
@@ -393,9 +474,17 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request, lint bool
 		FaultPlan:    s.cfg.plan,
 		Cancel:       ctx.Done(),
 	}
+	// One observer serves both consumers: the stored trace entry (when
+	// this admission was sampled) and the response's inline trace (when
+	// the client asked for one).  Sharing it keeps the recording cost to
+	// a single hook path.
 	var observer *m2cc.Observer
-	if req.Trace {
+	if tentry != nil {
+		observer = tentry.Obs
+	} else if req.Trace {
 		observer = m2cc.NewObserver()
+	}
+	if observer != nil {
 		opts.Obs = observer
 	}
 	res := m2cc.Compile(req.Module, loader, opts)
@@ -436,7 +525,10 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request, lint bool
 		}
 		resp.Findings = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
 	}
-	if observer != nil {
+	// The inline trace is gated on the *client's* request alone — a
+	// server-side sampling decision must never change the body, or two
+	// identical requests would stop being byte-identical.
+	if req.Trace && observer != nil {
 		var buf bytes.Buffer
 		if err := observer.WriteChromeTrace(&buf); err == nil {
 			resp.Trace = json.RawMessage(buf.Bytes())
@@ -532,6 +624,7 @@ type metrics struct {
 	compileFaults    int64
 	sequentialServed int64
 	breakerOpens     int64
+	rateLimited      int64
 	byStatus         map[int]int64
 	ewmaMS           float64 // exponentially weighted service time
 }
@@ -587,11 +680,15 @@ type metricsSnapshot struct {
 	CompileFaults    int64                 `json:"compile_faults"`
 	SequentialServed int64                 `json:"sequential_served"`
 	BreakerOpens     int64                 `json:"breaker_opens"`
+	RateLimited      int64                 `json:"rate_limited"`
 	ByStatus         map[string]int64      `json:"by_status"`
 	ServiceEWMAMS    float64               `json:"service_ewma_ms"`
 	RetryAfterMS     int64                 `json:"retry_after_ms"`
 	Cache            m2cc.CacheStats       `json:"cache"`
 	StreamCache      m2cc.StreamCacheStats `json:"streamcache"`
+	TraceMode        string                `json:"trace_mode"`
+	TracesHeld       int                   `json:"traces_held"`
+	TraceAdmitted    uint64                `json:"trace_admitted"`
 }
 
 func (s *server) snapshot() metricsSnapshot {
@@ -610,6 +707,7 @@ func (s *server) snapshot() metricsSnapshot {
 		CompileFaults:    s.met.compileFaults,
 		SequentialServed: s.met.sequentialServed,
 		BreakerOpens:     s.met.breakerOpens,
+		RateLimited:      s.met.rateLimited,
 		ByStatus:         make(map[string]int64, len(s.met.byStatus)),
 		ServiceEWMAMS:    s.met.ewmaMS,
 		RetryAfterMS:     retry.Milliseconds(),
@@ -620,6 +718,9 @@ func (s *server) snapshot() metricsSnapshot {
 	s.met.mu.Unlock()
 	snap.Cache = s.cache.Stats()
 	snap.StreamCache = s.scache.Stats()
+	snap.TraceMode = s.traces.Mode().String()
+	snap.TracesHeld = s.traces.Held()
+	snap.TraceAdmitted = s.traces.Admitted()
 	return snap
 }
 

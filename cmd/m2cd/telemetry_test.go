@@ -1,0 +1,680 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"m2cc/internal/faultinject"
+	"m2cc/internal/obs"
+)
+
+// chromeTrace is the subset of the trace-event schema the endpoint
+// tests validate; tracecheck (driven by serve_smoke.sh) checks the
+// full cross-reference rules.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := copyAll(&buf, resp); err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp, []byte(buf.String())
+}
+
+func copyAll(dst *strings.Builder, resp *http.Response) (int64, error) {
+	var n int64
+	buf := make([]byte, 4096)
+	for {
+		k, err := resp.Body.Read(buf)
+		dst.Write(buf[:k])
+		n += int64(k)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+}
+
+// TestTraceLifecycleUnderLoad drives concurrent traced requests with a
+// keep cap smaller than the concurrency: every response still carries
+// a trace ID, every fetched trace is well-formed JSON, and the store
+// settles at the cap once the burst finishes (eviction never broke an
+// in-flight request — run under -race this also proves no observer was
+// torn down while recording).
+func TestTraceLifecycleUnderLoad(t *testing.T) {
+	cfg := testConfig()
+	cfg.traceMode = obs.TraceAll
+	cfg.traceKeep = 2
+	cfg.traceSample = 1
+	cfg.queueDepth = 16
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	req := compileRequest{Module: "Demo", Sources: exampleSources(t), Client: "lifecycle"}
+	const n = 10
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := post(t, ts, "/compile", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			ids[i] = resp.Header.Get("X-M2cd-Trace")
+		}(i)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if id == "" {
+			t.Fatalf("request %d completed without a trace ID", i)
+		}
+	}
+	if held := s.traces.Held(); held != cfg.traceKeep {
+		t.Fatalf("store holds %d traces after the burst, want the cap %d", held, cfg.traceKeep)
+	}
+	// The most recent summaries must be finished, and fetchable as
+	// parseable trace JSON with at least one complete span.
+	sums := s.traces.Summaries()
+	if len(sums) != cfg.traceKeep {
+		t.Fatalf("summaries = %d, want %d", len(sums), cfg.traceKeep)
+	}
+	for _, sum := range sums {
+		if !sum.Done || sum.Status != http.StatusOK {
+			t.Fatalf("retained trace not finished cleanly: %+v", sum)
+		}
+		resp, body := get(t, ts, "/debug/trace/"+sum.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET trace %s: status %d", sum.ID, resp.StatusCode)
+		}
+		var tr chromeTrace
+		if err := json.Unmarshal(body, &tr); err != nil {
+			t.Fatalf("trace %s is not valid JSON: %v", sum.ID, err)
+		}
+		spans := 0
+		for _, ev := range tr.TraceEvents {
+			if ev.Ph == "X" {
+				spans++
+			}
+		}
+		if spans == 0 {
+			t.Fatalf("trace %s has no complete spans", sum.ID)
+		}
+	}
+}
+
+// TestSampledDeterministicEndToEnd pins sampling to the admission
+// sequence through the HTTP surface: with 1-in-3, the 1st, 4th and 7th
+// serial requests are retrievable, the rest 404.
+func TestSampledDeterministicEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.traceMode = obs.TraceSampled
+	cfg.traceKeep = 16
+	cfg.traceSample = 3
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	req := compileRequest{Module: "Demo", Sources: exampleSources(t), Client: "sampled"}
+	var ids []string
+	for i := 0; i < 7; i++ {
+		resp, body := post(t, ts, "/compile", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		ids = append(ids, resp.Header.Get("X-M2cd-Trace"))
+	}
+	for i, id := range ids {
+		resp, _ := get(t, ts, "/debug/trace/"+id)
+		wantTraced := i%3 == 0 // admissions 1, 4, 7 (0-based 0, 3, 6)
+		if wantTraced && resp.StatusCode != http.StatusOK {
+			t.Fatalf("admission %d should be sampled; GET %s = %d", i+1, id, resp.StatusCode)
+		}
+		if !wantTraced && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("admission %d should not be sampled; GET %s = %d", i+1, id, resp.StatusCode)
+		}
+	}
+}
+
+// TestClientChosenTraceID round-trips an X-M2cd-Trace request header
+// into the store and back out through /debug/trace.
+func TestClientChosenTraceID(t *testing.T) {
+	cfg := testConfig()
+	cfg.traceMode = obs.TraceAll
+	cfg.traceKeep = 4
+	cfg.traceSample = 1
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	buf, _ := json.Marshal(compileRequest{Module: "Demo", Sources: exampleSources(t), Client: "chosen"})
+	hreq, _ := http.NewRequest(http.MethodPost, ts.URL+"/compile", strings.NewReader(string(buf)))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-M2cd-Trace", "my-run.42")
+	resp, err := ts.Client().Do(hreq)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-M2cd-Trace"); got != "my-run.42" {
+		t.Fatalf("clean client trace ID not echoed: %q", got)
+	}
+	if tr, _ := get(t, ts, "/debug/trace/my-run.42"); tr.StatusCode != http.StatusOK {
+		t.Fatalf("client-chosen ID not retrievable: %d", tr.StatusCode)
+	}
+}
+
+// TestTraceProfileBlameSums fetches a sampled request's blame report
+// and pins the PR 4 invariant through the endpoint: per-event blame
+// sums to the request's total measured blocked time.
+func TestTraceProfileBlameSums(t *testing.T) {
+	cfg := testConfig()
+	cfg.traceMode = obs.TraceAll
+	cfg.traceKeep = 4
+	cfg.traceSample = 1
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, body := post(t, ts, "/compile", compileRequest{Module: "Demo", Sources: exampleSources(t), Client: "blame"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-M2cd-Trace")
+
+	presp, pbody := get(t, ts, "/debug/trace/"+id+"/profile?format=json")
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("profile status %d: %s", presp.StatusCode, pbody)
+	}
+	var prof struct {
+		TotalBlockedMs float64 `json:"total_blocked_ms"`
+		Events         []struct {
+			BlockedMs float64 `json:"blocked_ms"`
+			QueueMs   float64 `json:"queue_ms"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(pbody, &prof); err != nil {
+		t.Fatalf("profile JSON: %v\n%s", err, pbody)
+	}
+	// Each wait edge splits at its event's fire: dependency stall
+	// (blocked) before, queue delay after.  The PR 4 invariant is over
+	// the sum of both shares.
+	var blamed float64
+	for _, e := range prof.Events {
+		blamed += e.BlockedMs + e.QueueMs
+	}
+	// Blame rows are rounded to µs precision independently; allow that
+	// much slack per rounded field.
+	tol := 0.002*float64(len(prof.Events)) + 0.001
+	if diff := blamed - prof.TotalBlockedMs; diff > tol || diff < -tol {
+		t.Fatalf("blame sums to %.3f ms, total blocked %.3f ms (tol %.3f)",
+			blamed, prof.TotalBlockedMs, tol)
+	}
+
+	// The text rendering serves too.
+	tresp, tbody := get(t, ts, "/debug/trace/"+id+"/profile")
+	if tresp.StatusCode != http.StatusOK || len(tbody) == 0 {
+		t.Fatalf("text profile: status %d, %d bytes", tresp.StatusCode, len(tbody))
+	}
+}
+
+// TestCanceledTraceWellFormed cancels a traced request via its
+// deadline and checks the trace is finished, marked 503, and still
+// parses — a canceled request must not leave a pinned, half-open
+// entry behind.
+func TestCanceledTraceWellFormed(t *testing.T) {
+	cfg := testConfig()
+	cfg.traceMode = obs.TraceAll
+	cfg.traceKeep = 4
+	cfg.traceSample = 1
+	cfg.plan = faultinject.New().Arm(faultinject.SlowRequest, 1)
+	cfg.slowDelay = 300 * time.Millisecond
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	req := compileRequest{Module: "Demo", Sources: exampleSources(t), Client: "cancel", DeadlineMS: 50}
+	resp, body := post(t, ts, "/compile", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get("X-M2cd-Trace")
+	if id == "" {
+		t.Fatal("canceled request has no trace ID")
+	}
+	var sum obs.TraceSummary
+	for _, c := range s.traces.Summaries() {
+		if c.ID == id {
+			sum = c
+		}
+	}
+	if !sum.Done || sum.Status != http.StatusServiceUnavailable {
+		t.Fatalf("canceled trace not finished as 503: %+v", sum)
+	}
+	tresp, tbody := get(t, ts, "/debug/trace/"+id)
+	if tresp.StatusCode != http.StatusOK {
+		t.Fatalf("canceled trace not retrievable: %d", tresp.StatusCode)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(tbody, &tr); err != nil {
+		t.Fatalf("canceled trace is not valid JSON: %v", err)
+	}
+}
+
+// TestPanickedTraceFinished crashes a traced handler and checks the
+// instrumented middleware still finished the entry as a 500 — a panic
+// must not pin the trace (and its observer) in the LRU ring forever.
+func TestPanickedTraceFinished(t *testing.T) {
+	cfg := testConfig()
+	cfg.traceMode = obs.TraceAll
+	cfg.traceKeep = 4
+	cfg.traceSample = 1
+	cfg.plan = faultinject.New().Arm(faultinject.PanicHandler, 1)
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, _ := post(t, ts, "/compile", compileRequest{Module: "Demo", Sources: exampleSources(t), Client: "boom"})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-M2cd-Trace")
+	if id == "" {
+		t.Fatal("panicked request has no trace ID")
+	}
+	for _, sum := range s.traces.Summaries() {
+		if sum.ID == id {
+			if !sum.Done || sum.Status != http.StatusInternalServerError {
+				t.Fatalf("panicked trace not finished as 500: %+v", sum)
+			}
+			return
+		}
+	}
+	t.Fatalf("panicked trace %s missing from the store", id)
+}
+
+// TestBodyIdenticalTracingOnOff pins the acceptance criterion: for
+// every DKY strategy, the 200 body is byte-identical whether the
+// daemon traces the request or not.
+func TestBodyIdenticalTracingOnOff(t *testing.T) {
+	for _, strategy := range []string{"avoidance", "pessimistic", "skeptical", "optimistic"} {
+		t.Run(strategy, func(t *testing.T) {
+			bodies := make([][]byte, 2)
+			for i, mode := range []obs.TraceMode{obs.TraceOff, obs.TraceAll} {
+				cfg := testConfig()
+				cfg.traceMode = mode
+				cfg.traceKeep = 4
+				cfg.traceSample = 1
+				s := newServer(cfg)
+				ts := httptest.NewServer(s.handler())
+				req := compileRequest{
+					Module: "Demo", Sources: exampleSources(t),
+					Client: "identical", Strategy: strategy,
+				}
+				resp, body := post(t, ts, "/compile", req)
+				ts.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("mode %v: status %d: %s", mode, resp.StatusCode, body)
+				}
+				bodies[i] = body
+			}
+			if string(bodies[0]) != string(bodies[1]) {
+				t.Fatalf("200 body differs between trace=off and trace=all:\n%s\n----\n%s",
+					bodies[0], bodies[1])
+			}
+		})
+	}
+}
+
+// TestPrometheusExposition is the golden test for the text format: the
+// family set and order are pinned exactly, histogram buckets must be
+// monotone with le="+Inf" equal to the count, and the counters must
+// reflect the one request served.
+func TestPrometheusExposition(t *testing.T) {
+	cfg := testConfig()
+	cfg.traceMode = obs.TraceSampled
+	cfg.traceKeep = 4
+	cfg.traceSample = 1
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	if resp, body := post(t, ts, "/compile", compileRequest{Module: "Demo", Sources: exampleSources(t), Client: "prom"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: %d %s", resp.StatusCode, body)
+	}
+	resp, body := get(t, ts, "/metrics?format=prometheus")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q is not the text exposition format", ct)
+	}
+	text := string(body)
+
+	// Golden family list, in exposition order.
+	wantFamilies := []string{
+		"m2cd_uptime_seconds gauge",
+		"m2cd_draining gauge",
+		"m2cd_waiting gauge",
+		"m2cd_service_ewma_ms gauge",
+		"m2cd_admitted_total counter",
+		"m2cd_completed_total counter",
+		"m2cd_shed_queue_full_total counter",
+		"m2cd_rate_limited_total counter",
+		"m2cd_rejected_draining_total counter",
+		"m2cd_deadline_canceled_total counter",
+		"m2cd_handler_panics_total counter",
+		"m2cd_compile_faults_total counter",
+		"m2cd_sequential_served_total counter",
+		"m2cd_breaker_opens_total counter",
+		"m2cd_responses_total counter",
+		"m2cd_iface_cache_hits_total counter",
+		"m2cd_iface_cache_misses_total counter",
+		"m2cd_iface_cache_waits_total counter",
+		"m2cd_iface_cache_evictions_total counter",
+		"m2cd_stream_cache_hits_total counter",
+		"m2cd_stream_cache_misses_total counter",
+		"m2cd_stream_cache_evictions_total counter",
+		"m2cd_stream_cache_entries gauge",
+		"m2cd_traces_held gauge",
+		"m2cd_trace_admitted_total counter",
+		"m2cd_request_duration_ms histogram",
+		"m2cd_queue_depth histogram",
+		"m2cd_worker_occupancy histogram",
+		"m2cd_stream_hit_ratio histogram",
+	}
+	var gotFamilies []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			gotFamilies = append(gotFamilies, strings.TrimPrefix(line, "# TYPE "))
+		}
+	}
+	if fmt.Sprint(gotFamilies) != fmt.Sprint(wantFamilies) {
+		t.Fatalf("family set/order drifted:\ngot  %v\nwant %v", gotFamilies, wantFamilies)
+	}
+
+	for _, want := range []string{
+		"m2cd_admitted_total 1",
+		"m2cd_completed_total 1",
+		`m2cd_responses_total{code="200"} 1`,
+		"m2cd_trace_admitted_total 1",
+		"m2cd_traces_held 1",
+		"m2cd_request_duration_ms_count 1",
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	checkHistogram(t, text, "m2cd_request_duration_ms")
+	checkHistogram(t, text, "m2cd_queue_depth")
+	checkHistogram(t, text, "m2cd_worker_occupancy")
+	checkHistogram(t, text, "m2cd_stream_hit_ratio")
+}
+
+// checkHistogram asserts bucket monotonicity and the +Inf == _count
+// identity for one family in the exposition text.
+func checkHistogram(t *testing.T, text, name string) {
+	t.Helper()
+	bucketRe := regexp.MustCompile(`^` + name + `_bucket\{le="([^"]+)"\} (\d+)$`)
+	var last int64 = -1
+	var inf int64 = -1
+	buckets := 0
+	for _, line := range strings.Split(text, "\n") {
+		if m := bucketRe.FindStringSubmatch(line); m != nil {
+			v, err := strconv.ParseInt(m[2], 10, 64)
+			if err != nil {
+				t.Fatalf("%s: bad bucket value %q", name, m[2])
+			}
+			if v < last {
+				t.Fatalf("%s: bucket le=%s count %d below previous %d (not cumulative)", name, m[1], v, last)
+			}
+			last = v
+			buckets++
+			if m[1] == "+Inf" {
+				inf = v
+			}
+		}
+		if strings.HasPrefix(line, name+"_count ") {
+			count, _ := strconv.ParseInt(strings.TrimPrefix(line, name+"_count "), 10, 64)
+			if inf != count {
+				t.Fatalf("%s: le=\"+Inf\" bucket %d != count %d", name, inf, count)
+			}
+		}
+	}
+	if buckets < 2 || inf < 0 {
+		t.Fatalf("%s: exposition incomplete (%d buckets, inf=%d)", name, buckets, inf)
+	}
+}
+
+// TestDebugVars spot-checks the rolling-window endpoint after traffic.
+func TestDebugVars(t *testing.T) {
+	cfg := testConfig()
+	cfg.traceMode = obs.TraceAll
+	cfg.traceKeep = 4
+	cfg.traceSample = 1
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	post(t, ts, "/compile", compileRequest{Module: "Demo", Sources: exampleSources(t), Client: "vars"})
+	resp, body := get(t, ts, "/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var vars struct {
+		Trace struct {
+			Mode     string `json:"mode"`
+			Admitted uint64 `json:"admitted"`
+		} `json:"trace"`
+		Windows    map[string]obs.RollingSnapshot   `json:"windows"`
+		Histograms map[string]obs.HistogramSnapshot `json:"histograms"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("vars JSON: %v\n%s", err, body)
+	}
+	if vars.Trace.Mode != "all" || vars.Trace.Admitted != 1 {
+		t.Fatalf("trace vars wrong: %+v", vars.Trace)
+	}
+	if vars.Histograms["latency_ms"].Count != 1 {
+		t.Fatalf("latency histogram count = %d, want 1", vars.Histograms["latency_ms"].Count)
+	}
+	var n int64
+	for _, p := range vars.Windows["latency_ms"].Points {
+		n += p.Count
+	}
+	if n != 1 {
+		t.Fatalf("latency window holds %d points, want 1", n)
+	}
+}
+
+// TestSSEDrainCleanliness attaches a live dashboard stream and then
+// drains the daemon: the stream must say goodbye and close promptly,
+// not hold Shutdown open for the drain timeout.
+func TestSSEDrainCleanliness(t *testing.T) {
+	cfg := testConfig()
+	cfg.livePeriod = 20 * time.Millisecond
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/live")
+	if err != nil {
+		t.Fatalf("GET /debug/live: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sawLive, sawBye := false, false
+	deadline := time.AfterFunc(5*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	drained := false
+	start := time.Now()
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") && !sawLive {
+			var frame liveSample
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &frame); err != nil {
+				t.Fatalf("live frame is not JSON: %v (%q)", err, line)
+			}
+			sawLive = true
+			s.startDrain()
+			drained = true
+		}
+		if line == "event: bye" {
+			sawBye = true
+		}
+	}
+	if !sawLive || !drained {
+		t.Fatal("never received a live frame")
+	}
+	if !sawBye {
+		t.Fatal("drain closed the stream without the goodbye event")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("stream took %v to close after drain", elapsed)
+	}
+}
+
+// TestRateLimit exhausts one client's token bucket and checks the 429
+// carries Retry-After, counters move, and other clients are untouched.
+func TestRateLimit(t *testing.T) {
+	cfg := testConfig()
+	cfg.rateLimit = 0.001 // no refill within the test
+	cfg.rateBurst = 2
+	s := newServer(cfg)
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	req := compileRequest{Module: "Demo", Sources: exampleSources(t), Client: "greedy"}
+	for i := 0; i < 2; i++ {
+		if resp, body := post(t, ts, "/compile", req); resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := post(t, ts, "/compile", req)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request: status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("rate-limit 429 without Retry-After")
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.RetryAfterMS <= 0 {
+		t.Fatalf("429 body lacks retry_after_ms: %s", body)
+	}
+
+	// An unrelated client still gets through.
+	other := req
+	other.Client = "patient"
+	if resp, body := post(t, ts, "/compile", other); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client: status %d: %s", resp.StatusCode, body)
+	}
+
+	snap := s.snapshot()
+	if snap.RateLimited != 1 {
+		t.Fatalf("rate_limited = %d, want 1", snap.RateLimited)
+	}
+}
+
+func TestLimiterRefill(t *testing.T) {
+	l := newLimiterSet(10, 1) // 10 tokens/sec, burst 1
+	base := time.Unix(1000, 0)
+	if ok, _ := l.allow("c", base); !ok {
+		t.Fatal("first request must pass on a full bucket")
+	}
+	ok, retry := l.allow("c", base)
+	if ok {
+		t.Fatal("empty bucket allowed a request")
+	}
+	if retry <= 0 || retry > 200*time.Millisecond {
+		t.Fatalf("retry = %v, want ~100ms", retry)
+	}
+	if ok, _ := l.allow("c", base.Add(150*time.Millisecond)); !ok {
+		t.Fatal("bucket did not refill after the advertised wait")
+	}
+	var nilSet *limiterSet
+	if ok, _ := nilSet.allow("c", base); !ok {
+		t.Fatal("nil limiter must be a no-op allow")
+	}
+}
+
+// TestRequestLog checks the structured log line joins status, client,
+// trace ID, serving path, and stream tally for one request.
+func TestRequestLog(t *testing.T) {
+	cfg := testConfig()
+	cfg.traceMode = obs.TraceAll
+	cfg.traceKeep = 4
+	cfg.traceSample = 1
+	s := newServer(cfg)
+	var logBuf syncBuffer
+	s.logw = &logBuf
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	resp, _ := post(t, ts, "/compile", compileRequest{Module: "Demo", Sources: exampleSources(t), Client: "logged"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	line := strings.TrimSpace(logBuf.String())
+	var entry requestLog
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, line)
+	}
+	if entry.Client != "logged" || entry.Status != http.StatusOK ||
+		entry.Path != "/compile" || entry.Serve != "concurrent" {
+		t.Fatalf("log entry fields wrong: %+v", entry)
+	}
+	if entry.Trace == "" || entry.Trace != resp.Header.Get("X-M2cd-Trace") {
+		t.Fatalf("log trace %q does not match header %q", entry.Trace, resp.Header.Get("X-M2cd-Trace"))
+	}
+	if entry.DurMS <= 0 || entry.Streams < 1 {
+		t.Fatalf("log entry missing measurements: %+v", entry)
+	}
+}
+
+// syncBuffer is a mutex-guarded string buffer for capturing log lines.
+type syncBuffer struct {
+	mu sync.Mutex // guards: b
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -20,6 +20,13 @@
 // endpoint must be byte-identical — the daemon's correctness
 // contract under load, shedding, and fault injection; mismatches are
 // counted and fail the run (exit 1).
+//
+// Every response's X-M2cd-Trace header is recorded alongside its
+// latency.  With -fetch-slowest N the generator ends the run by
+// pulling the daemon's traces for the N slowest successful requests
+// (when the daemon sampled them) and saving each as Perfetto JSON
+// beside the report — a perf regression arrives with its evidence
+// attached.
 package main
 
 import (
@@ -68,6 +75,16 @@ type report struct {
 	ByStatus     map[string]int64 `json:"by_status"`
 	ThroughputPS float64          `json:"throughput_rps"` // successful responses per second
 	Latency      latencySummary   `json:"latency_ms"`
+	Slowest      []slowTrace      `json:"slowest_traces,omitempty"` // -fetch-slowest
+}
+
+// slowTrace is one of the run's slowest successful requests, with the
+// daemon-side trace when it could be fetched (the daemon only holds
+// traces for sampled admissions, and its LRU ring may have moved on).
+type slowTrace struct {
+	TraceID   string  `json:"trace_id"`
+	LatencyMS float64 `json:"latency_ms"`
+	File      string  `json:"file,omitempty"` // saved Perfetto JSON, beside the report
 }
 
 type latencySummary struct {
@@ -97,6 +114,7 @@ func run() int {
 		clients  = flag.Int("clients", 4, "number of distinct client identities to spread requests over")
 		identic  = flag.Bool("expect-identical", false, "fail if any two 200 bodies differ")
 		out      = flag.String("out", "BENCH_serve.json", "report file")
+		slowest  = flag.Int("fetch-slowest", 0, "after the run, fetch the daemon traces of the N slowest requests (saved beside -out)")
 	)
 	flag.Parse()
 
@@ -142,6 +160,9 @@ func run() int {
 	elapsed := time.Since(began)
 
 	rep := g.report(*target, *rate, *c, elapsed)
+	if *slowest > 0 {
+		rep.Slowest = g.fetchSlowest(*target, *slowest, filepath.Dir(*out))
+	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Printf("m2load: %v", err)
@@ -207,12 +228,19 @@ type generator struct {
 
 	seq atomic.Int64 // request sequence; also spreads client identities
 
-	mu        sync.Mutex // guards: byStatus, latencies, goldBody, mismatches, errors
-	byStatus  map[int]int64
-	latencies []float64 // milliseconds, successful (200) only
-	goldBody  []byte    // first 200 body (-expect-identical)
-	mismatch  int64
-	errs      int64
+	mu       sync.Mutex // guards: byStatus, samples, goldBody, mismatches, errors
+	byStatus map[int]int64
+	samples  []sample // successful (200) requests only
+	goldBody []byte   // first 200 body (-expect-identical)
+	mismatch int64
+	errs     int64
+}
+
+// sample is one successful request: its latency and the trace ID the
+// daemon assigned it (empty before PR 9 daemons).
+type sample struct {
+	ms    float64
+	trace string
 }
 
 // fire issues one request and records its outcome.
@@ -246,7 +274,7 @@ func (g *generator) fire() {
 	}
 	g.byStatus[resp.StatusCode]++
 	if resp.StatusCode == http.StatusOK {
-		g.latencies = append(g.latencies, elapsed)
+		g.samples = append(g.samples, sample{ms: elapsed, trace: resp.Header.Get("X-M2cd-Trace")})
 		if g.identic {
 			if g.goldBody == nil {
 				g.goldBody = body
@@ -332,8 +360,12 @@ func (g *generator) report(target string, rate float64, c int, elapsed time.Dura
 		Mismatches:  g.mismatch,
 		Errors:      g.errs,
 		ByStatus:    make(map[string]int64, len(g.byStatus)),
-		Latency:     summarize(g.latencies),
 	}
+	ms := make([]float64, len(g.samples))
+	for i, s := range g.samples {
+		ms[i] = s.ms
+	}
+	rep.Latency = summarize(ms)
 	for code, count := range g.byStatus {
 		rep.ByStatus[fmt.Sprintf("%d", code)] = count
 		rep.Sent += count
@@ -353,6 +385,42 @@ func (g *generator) report(target string, rate float64, c int, elapsed time.Dura
 		rep.ThroughputPS = float64(rep.OK) / secs
 	}
 	return rep
+}
+
+// fetchSlowest pulls the daemon-side traces for the n slowest
+// successful requests and saves each as trace-<id>.json in dir.  A
+// request whose admission the daemon did not sample (404) is still
+// listed — its latency is evidence even without a trace file.
+func (g *generator) fetchSlowest(target string, n int, dir string) []slowTrace {
+	g.mu.Lock()
+	ranked := append([]sample(nil), g.samples...)
+	g.mu.Unlock()
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].ms > ranked[j].ms })
+	seen := make(map[string]bool)
+	var out []slowTrace
+	for _, s := range ranked {
+		if len(out) >= n {
+			break
+		}
+		if s.trace == "" || seen[s.trace] {
+			continue
+		}
+		seen[s.trace] = true
+		st := slowTrace{TraceID: s.trace, LatencyMS: s.ms}
+		resp, err := g.client.Get("http://" + target + "/debug/trace/" + s.trace)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				path := filepath.Join(dir, "trace-"+s.trace+".json")
+				if os.WriteFile(path, body, 0o644) == nil {
+					st.File = path
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 // summarize computes the latency distribution of ms samples.

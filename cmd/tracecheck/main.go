@@ -66,6 +66,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// A zero-length file is the signature of a fetch that never wrote a
+	// body (curl against a dead daemon, a truncated copy) — name the
+	// condition instead of surfacing json's "unexpected end of input".
+	if len(data) == 0 {
+		fail("empty trace file (0 bytes); the trace was never written or the fetch returned no body")
+	}
 	var tf traceFile
 	if err := json.Unmarshal(data, &tf); err != nil {
 		fail("not valid trace-event JSON: %v", err)

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	// le=1 → {0.5, 1}; le=5 → +{3}; le=10 → +{7}; +Inf → +{100}.
+	want := []int64{2, 3, 4, 5}
+	if len(s.Cumulative) != len(want) {
+		t.Fatalf("cumulative len %d, want %d", len(s.Cumulative), len(want))
+	}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, s.Cumulative[i], w, s.Cumulative)
+		}
+	}
+	if s.Sum != 111.5 {
+		t.Fatalf("sum = %g, want 111.5", s.Sum)
+	}
+	// Monotone nondecreasing, +Inf equals count — the property the
+	// Prometheus exposition (and its smoke check) relies on.
+	for i := 1; i < len(s.Cumulative); i++ {
+		if s.Cumulative[i] < s.Cumulative[i-1] {
+			t.Fatalf("cumulative not monotone at %d: %v", i, s.Cumulative)
+		}
+	}
+	if s.Cumulative[len(s.Cumulative)-1] != s.Count {
+		t.Fatalf("+Inf bucket %d != count %d", s.Cumulative[len(s.Cumulative)-1], s.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBucketsMS)
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(float64(i % 50))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*each {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*each)
+	}
+}
+
+func TestHistogramNil(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil snapshot count = %d", s.Count)
+	}
+}
+
+func TestRollingWindowAgesOut(t *testing.T) {
+	r := NewRolling(4, time.Second)
+	// Drive the ring by tick directly: tick 0 gets two values, tick 5
+	// (more than a full ring later) gets one — tick 0 must be gone.
+	r.mu.Lock()
+	r.addAtLocked(0, 10)
+	r.addAtLocked(0, 20)
+	r.addAtLocked(5, 7)
+	r.mu.Unlock()
+
+	// Snapshot computes "now" from the wall clock, so read the ring
+	// directly for the aging assertion.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot0 := int(0 % int64(len(r.ticks)))
+	if r.ticks[slot0] == 0 {
+		// slot for tick 0 is index 0; tick 4 also maps there but was
+		// never written, so tick 0's stale data may remain — the
+		// snapshot's tick check is what hides it.  Write tick 4 to
+		// force the overwrite path instead.
+		r.addAtLocked(4, 1)
+		if r.ticks[slot0] != 4 || r.counts[slot0] != 1 {
+			t.Fatalf("slot not recycled: tick=%d count=%d", r.ticks[slot0], r.counts[slot0])
+		}
+	}
+	slot5 := int(5 % int64(len(r.ticks)))
+	if r.ticks[slot5] != 5 || r.counts[slot5] != 1 || r.sums[slot5] != 7 {
+		t.Fatalf("tick 5 slot wrong: tick=%d count=%d sum=%g", r.ticks[slot5], r.counts[slot5], r.sums[slot5])
+	}
+}
+
+func TestRollingSnapshotLive(t *testing.T) {
+	r := NewRolling(8, 50*time.Millisecond)
+	r.Add(3)
+	r.Add(5)
+	s := r.Snapshot()
+	if len(s.Points) == 0 {
+		t.Fatal("no points in a freshly written window")
+	}
+	var count int64
+	var sum, max float64
+	for _, p := range s.Points {
+		count += p.Count
+		sum += p.Sum
+		if p.Max > max {
+			max = p.Max
+		}
+	}
+	if count != 2 || sum != 8 || max != 5 {
+		t.Fatalf("window totals count=%d sum=%g max=%g, want 2/8/5", count, sum, max)
+	}
+	if r.Rate() <= 0 {
+		t.Fatal("rate of a non-empty window must be positive")
+	}
+}
+
+func TestRollingNil(t *testing.T) {
+	var r *Rolling
+	r.Add(1)
+	if s := r.Snapshot(); len(s.Points) != 0 {
+		t.Fatal("nil rolling snapshot non-empty")
+	}
+	if r.Rate() != 0 {
+		t.Fatal("nil rolling rate non-zero")
+	}
+}

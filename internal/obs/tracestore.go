@@ -1,0 +1,297 @@
+package obs
+
+// TraceStore is the per-request trace plane for the compile daemon:
+// every admitted request gets a trace ID; for a deterministically
+// sampled subset (or all, or none — TraceMode) the request also gets
+// its own Observer recording the full span/fire/wait capture, kept in
+// a bounded LRU ring for later retrieval through the daemon's
+// /debug/trace endpoints.
+//
+// Two properties the endpoint tests pin down:
+//
+//   - Sampling is deterministic in the admission sequence: with
+//     sample N, admissions 1, N+1, 2N+1, … are traced, independent of
+//     scheduling.  Two runs that admit the same requests in the same
+//     order trace the same requests.
+//   - Eviction never drops an in-flight request's observer.  Entries
+//     are pinned from Admit to Finish; the LRU walk skips pinned
+//     entries, temporarily exceeding the cap rather than tearing an
+//     Observer out from under the Supervisor hooks writing to it.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TraceMode selects which admitted requests get a recording Observer.
+type TraceMode uint8
+
+const (
+	// TraceOff records nothing; requests still get trace IDs for log
+	// correlation, but /debug/trace knows none of them.
+	TraceOff TraceMode = iota
+	// TraceSampled records every Nth admission (deterministic 1-in-N).
+	TraceSampled
+	// TraceAll records every admission.
+	TraceAll
+)
+
+func (m TraceMode) String() string {
+	switch m {
+	case TraceSampled:
+		return "sampled"
+	case TraceAll:
+		return "all"
+	default:
+		return "off"
+	}
+}
+
+// ParseTraceMode converts a -trace flag value to a TraceMode.
+func ParseTraceMode(s string) (TraceMode, error) {
+	switch s {
+	case "off":
+		return TraceOff, nil
+	case "sampled":
+		return TraceSampled, nil
+	case "all":
+		return TraceAll, nil
+	}
+	return TraceOff, fmt.Errorf("unknown trace mode %q (want off, sampled or all)", s)
+}
+
+// TraceEntry is one traced request: its Observer plus the request
+// metadata Finish stamps in.  Fields other than ID, Seq and Obs are
+// owned by the store's lock until Done is set, after which the entry
+// is immutable.
+type TraceEntry struct {
+	ID  string
+	Seq uint64 // 1-based admission number that sampled this request
+	Obs *Observer
+
+	Client   string
+	Endpoint string  // request path, e.g. /compile
+	Path     string  // serving path: concurrent | sequential
+	Status   int     // HTTP status of the response
+	DurMS    float64 // service time
+	Streams  int
+	Done     bool
+
+	prev, next *TraceEntry // LRU ring links (store-lock owned)
+	inflight   bool
+}
+
+// TraceSummary is one /debug/trace index row.
+type TraceSummary struct {
+	ID       string  `json:"id"`
+	Seq      uint64  `json:"seq"`
+	Client   string  `json:"client,omitempty"`
+	Endpoint string  `json:"endpoint,omitempty"`
+	Path     string  `json:"path,omitempty"`
+	Status   int     `json:"status,omitempty"`
+	DurMS    float64 `json:"dur_ms,omitempty"`
+	Done     bool    `json:"done"`
+}
+
+// TraceStore holds the daemon's recent request traces.
+type TraceStore struct {
+	mu      sync.Mutex // guards: everything below, and non-Obs TraceEntry fields until Done
+	mode    TraceMode
+	sampleN uint64
+	keep    int
+	seq     uint64 // admissions seen (sampling domain), traced or not
+	byID    map[string]*TraceEntry
+	// LRU ring sentinel: head.next is most recent, head.prev oldest.
+	head TraceEntry
+	held int // entries in the ring
+}
+
+// NewTraceStore returns a store in the given mode keeping at most keep
+// finished traces (minimum 1), sampling 1-in-sampleN admissions in
+// TraceSampled mode (minimum 1, i.e. every request).
+func NewTraceStore(mode TraceMode, sampleN, keep int) *TraceStore {
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	s := &TraceStore{
+		mode:    mode,
+		sampleN: uint64(sampleN),
+		keep:    keep,
+		byID:    make(map[string]*TraceEntry),
+	}
+	s.head.prev, s.head.next = &s.head, &s.head
+	return s
+}
+
+// Mode reports the store's trace mode.
+func (s *TraceStore) Mode() TraceMode {
+	if s == nil {
+		return TraceOff
+	}
+	return s.mode
+}
+
+// Admit assigns the admission its trace ID — requested (a sanitized
+// client-chosen X-M2cd-Trace value) or generated — and, when the mode
+// and sampling select this request, an entry with a fresh recording
+// Observer.  The entry is pinned against eviction until Finish.  A nil
+// entry means the request is not traced; the ID is still valid for
+// logging.
+func (s *TraceStore) Admit(requested string) (id string, e *TraceEntry) {
+	if s == nil {
+		return "", nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	id = sanitizeTraceID(requested)
+	if id == "" {
+		id = fmt.Sprintf("t%06d", s.seq)
+	}
+	traced := s.mode == TraceAll ||
+		(s.mode == TraceSampled && (s.seq-1)%s.sampleN == 0)
+	if !traced {
+		return id, nil
+	}
+	e = &TraceEntry{ID: id, Seq: s.seq, Obs: New(), inflight: true}
+	if old := s.byID[id]; old != nil {
+		// A reused ID (client-chosen) supersedes the old trace.  The
+		// old entry stays in the ring if still pinned — its observer is
+		// live — and is unlinked immediately otherwise.
+		if !old.inflight {
+			s.unlinkLocked(old)
+		} else {
+			delete(s.byID, id) // superseded; evictable once finished
+		}
+	}
+	s.byID[id] = e
+	s.linkFrontLocked(e)
+	s.evictLocked()
+	return id, e
+}
+
+// Finish stamps the entry's request metadata, unpins it, and applies
+// the LRU cap.  Safe to call once per entry; nil entries no-op so
+// untraced requests need no branch at the call site.
+func (s *TraceStore) Finish(e *TraceEntry, client, endpoint, path string, status int, durMS float64, streams int) {
+	if s == nil || e == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.Client, e.Endpoint, e.Path = client, endpoint, path
+	e.Status, e.DurMS, e.Streams = status, durMS, streams
+	e.Done = true
+	e.inflight = false
+	s.evictLocked()
+}
+
+// Get returns the entry for id, refreshing its LRU position; nil when
+// the ID was never traced or has been evicted.  In-flight entries are
+// returned too — their Observer snapshots are always coherent.
+func (s *TraceStore) Get(id string) *TraceEntry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.byID[id]
+	if e != nil {
+		s.unlinkLocked(e)
+		s.byID[e.ID] = e // unlinkLocked removed the mapping; restore it
+		s.linkFrontLocked(e)
+	}
+	return e
+}
+
+// Held reports how many traces the ring currently holds (pinned
+// entries may push this above the keep cap transiently).
+func (s *TraceStore) Held() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.held
+}
+
+// Admitted reports how many requests passed through Admit (the
+// sampling domain), traced or not.
+func (s *TraceStore) Admitted() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Summaries lists the held traces, most recently used first.
+func (s *TraceStore) Summaries() []TraceSummary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceSummary, 0, s.held)
+	for e := s.head.next; e != &s.head; e = e.next {
+		out = append(out, TraceSummary{
+			ID: e.ID, Seq: e.Seq, Client: e.Client, Endpoint: e.Endpoint,
+			Path: e.Path, Status: e.Status, DurMS: e.DurMS, Done: e.Done,
+		})
+	}
+	return out
+}
+
+func (s *TraceStore) linkFrontLocked(e *TraceEntry) {
+	e.prev, e.next = &s.head, s.head.next
+	s.head.next.prev = e
+	s.head.next = e
+	s.held++
+}
+
+func (s *TraceStore) unlinkLocked(e *TraceEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+	s.held--
+	if s.byID[e.ID] == e {
+		delete(s.byID, e.ID)
+	}
+}
+
+// evictLocked trims the ring to the keep cap, oldest first, skipping
+// pinned (in-flight) entries: a live request's observer is never torn
+// down, even if that means transiently holding more than keep traces.
+func (s *TraceStore) evictLocked() {
+	e := s.head.prev
+	for s.held > s.keep && e != &s.head {
+		prev := e.prev
+		if !e.inflight {
+			s.unlinkLocked(e)
+		}
+		e = prev
+	}
+}
+
+// sanitizeTraceID accepts a client-supplied trace ID when it is short
+// and unambiguous in logs and URLs (alphanumerics plus - _ . only, at
+// most 64 bytes); anything else returns "" and a server ID is
+// generated instead.
+func sanitizeTraceID(id string) string {
+	if id == "" || len(id) > 64 {
+		return ""
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}

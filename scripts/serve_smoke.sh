@@ -3,15 +3,28 @@
 # m2load generator.
 #
 #   1. Start m2cd on an ephemeral port with deliberately small
-#      admission capacity, and confirm healthz/readyz report serving.
-#   2. Saturate it with a closed-loop m2load burst at ~4x capacity
+#      admission capacity and sampled tracing, and confirm
+#      healthz/readyz report serving.
+#   2. Fetch the first admission's trace (always sampled) through
+#      /debug/trace and validate it with tracecheck; check its
+#      /profile blame report parses.
+#   3. Saturate it with a closed-loop m2load burst at ~4x capacity
 #      with -expect-identical: every 200 body must be byte-identical,
 #      overload must be answered with 429/503, and the report
-#      (BENCH_serve.json) must be schema-valid.
-#   3. Send SIGTERM mid-load and verify the graceful drain: healthz
+#      (BENCH_serve.json) must be schema-valid.  A second short burst
+#      exercises -fetch-slowest trace capture.
+#   4. Scrape /metrics?format=prometheus and check the exposition:
+#      histogram buckets cumulative-monotone, le="+Inf" == _count,
+#      and the serving counters moved.
+#   5. Send SIGTERM mid-load and verify the graceful drain: healthz
 #      flips to "draining", readyz flips to 503 while the listener is
 #      still up (the -drain-grace window), in-flight work finishes,
 #      the final metrics snapshot is written, and the daemon exits 0.
+#   6. Re-measure the sampled-tracing overhead budget: m2bench -obs
+#      exits non-zero if the serve section exceeds +5%, failing the
+#      smoke (and CI) loudly.  Runs at full scale: tiny -scale values
+#      shrink request bodies until fixed per-request hook costs
+#      dominate and the percentage is meaningless.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,10 +40,13 @@ fail() { echo "serve-smoke: FAIL: $*" >&2; exit 1; }
 
 go build -o "$TMP/m2cd" ./cmd/m2cd
 go build -o "$TMP/m2load" ./cmd/m2load
+go build -o "$TMP/tracecheck" ./cmd/tracecheck
+go build -o "$TMP/m2bench" ./cmd/m2bench
 
 "$TMP/m2cd" -addr 127.0.0.1:0 -ready-file "$TMP/addr" \
     -max-inflight 2 -queue 2 -workers 4 \
     -drain-grace 2s -drain-timeout 10s \
+    -trace sampled -trace-sample 4 -trace-keep 16 -quiet \
     -metrics-out "$TMP/metrics.json" 2>"$TMP/m2cd.log" &
 DPID=$!
 
@@ -42,10 +58,72 @@ ADDR=$(head -n1 "$TMP/addr")
 [ "$(curl -fsS "http://$ADDR/healthz")" = "ok" ] || fail "healthz != ok"
 [ "$(curl -fsS "http://$ADDR/readyz")" = "ready" ] || fail "readyz != ready"
 
-# 2. Saturating burst: 8 workers against capacity 4 (2 in flight + 2
+# 2. Request-scoped tracing end to end.  The first admission is always
+#    sampled (1-in-N starts at sequence 1), and the client-chosen
+#    X-M2cd-Trace header names the trace, so the fetch is deterministic.
+python3 - examples/modules > "$TMP/req.json" <<'EOF' || fail "could not build compile request"
+import json, pathlib, sys
+d = pathlib.Path(sys.argv[1])
+srcs = [{"name": p.stem, "kind": p.suffix[1:], "text": p.read_text()}
+        for p in (d / n for n in ("Demo.mod", "Fib.def", "Fib.mod"))]
+json.dump({"module": "Demo", "sources": srcs, "client": "smoke"}, sys.stdout)
+EOF
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -H 'X-M2cd-Trace: smoke-trace' --data @"$TMP/req.json" \
+    "http://$ADDR/compile" -o /dev/null || fail "traced compile request failed"
+curl -fsS "http://$ADDR/debug/trace/smoke-trace" -o "$TMP/trace.json" \
+    || fail "sampled trace not retrievable from /debug/trace"
+"$TMP/tracecheck" "$TMP/trace.json" || fail "fetched trace failed tracecheck"
+curl -fsS "http://$ADDR/debug/trace/smoke-trace/profile?format=json" \
+    -o "$TMP/blame.json" || fail "trace profile endpoint failed"
+python3 - "$TMP/blame.json" <<'EOF' || fail "blame report invalid"
+import json, sys
+p = json.load(open(sys.argv[1]))
+assert "total_blocked_ms" in p and "events" in p, "profile missing blame fields"
+EOF
+
+# 3. Saturating burst: 8 workers against capacity 4 (2 in flight + 2
 #    queued).  Byte-identity of every 200 body is enforced by m2load.
 "$TMP/m2load" -addr "$ADDR" -n 60 -c 8 -clients 3 -expect-identical \
     -out BENCH_serve.json || fail "m2load burst failed"
+
+#    A second, small burst exercises slowest-trace capture: the report
+#    must record per-request trace IDs and save any fetchable traces
+#    beside its output.
+"$TMP/m2load" -addr "$ADDR" -n 12 -c 2 -fetch-slowest 3 \
+    -out "$TMP/slow.json" >/dev/null || fail "m2load -fetch-slowest burst failed"
+python3 - "$TMP/slow.json" <<'EOF' || fail "slowest-trace report invalid"
+import json, sys
+r = json.load(open(sys.argv[1]))
+slow = r.get("slowest_traces") or []
+assert len(slow) == 3, f"expected 3 slowest entries, got {len(slow)}"
+for s in slow:
+    assert s["trace_id"], "slowest entry without a trace ID"
+    assert s["latency_ms"] > 0, "slowest entry without a latency"
+EOF
+
+# 4. Prometheus exposition: text format, cumulative-monotone histogram
+#    buckets, +Inf bucket equal to the count, counters moved.
+curl -fsS "http://$ADDR/metrics?format=prometheus" > "$TMP/prom.txt" \
+    || fail "prometheus scrape failed"
+python3 - "$TMP/prom.txt" <<'EOF' || fail "prometheus exposition invalid"
+import re, sys
+text = open(sys.argv[1]).read()
+assert re.search(r'^m2cd_admitted_total [1-9]', text, re.M), "admitted_total never moved"
+assert re.search(r'^m2cd_responses_total\{code="200"\} [1-9]', text, re.M), "no 200s counted"
+assert re.search(r'^m2cd_trace_admitted_total [1-9]', text, re.M), "no traces admitted"
+fams = re.findall(r'^# TYPE (\S+) histogram$', text, re.M)
+assert "m2cd_request_duration_ms" in fams, "latency histogram family missing"
+for fam in fams:
+    buckets = [(le, int(v)) for le, v in
+               re.findall(r'^%s_bucket\{le="([^"]+)"\} (\d+)$' % fam, text, re.M)]
+    assert buckets, f"{fam}: no buckets"
+    counts = [v for _, v in buckets]
+    assert counts == sorted(counts), f"{fam}: buckets not cumulative-monotone"
+    count = int(re.search(r'^%s_count (\d+)$' % fam, text, re.M).group(1))
+    inf = dict(buckets)["+Inf"]
+    assert inf == count, f"{fam}: +Inf bucket {inf} != count {count}"
+EOF
 
 python3 - BENCH_serve.json <<'EOF' || fail "BENCH_serve.json schema invalid"
 import json, sys
@@ -61,7 +139,7 @@ assert r["mismatch"] == 0, "byte-identity violated"
 assert r["sent"] == 60, f"sent {r['sent']} != 60"
 EOF
 
-# 3. Graceful drain under load: a background burst keeps requests in
+# 5. Graceful drain under load: a background burst keeps requests in
 #    flight while SIGTERM lands.
 "$TMP/m2load" -addr "$ADDR" -n 0 -duration 4s -c 4 \
     -out "$TMP/drain_burst.json" >/dev/null 2>&1 &
@@ -88,5 +166,10 @@ for k in ("completed", "shed_queue_full", "deadline_canceled",
           "handler_panics", "by_status", "cache"):
     assert k in m, f"missing field {k!r}"
 EOF
+
+# 6. Sampled-tracing overhead budget, measured at full scale and
+#    enforced by m2bench's exit code (serve section must stay <= +5%).
+"$TMP/m2bench" -obs -json BENCH_obs.json > "$TMP/obs.txt" 2>&1 \
+    || fail "sampled tracing overhead exceeds budget: $(tail -n3 "$TMP/obs.txt")"
 
 echo "serve-smoke: ok ($(python3 -c 'import json; r = json.load(open("BENCH_serve.json")); print("%d ok / %d shed / p99 %.0fms" % (r["ok"], r["shed"], r["latency_ms"]["p99"]))'))"
