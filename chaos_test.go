@@ -163,11 +163,12 @@ func runChaos(t *testing.T, loader m2cc.Loader, module string, strat m2cc.Strate
 
 	opts := m2cc.Options{Workers: 4, Strategy: strat, FaultPlan: plan}
 
-	// PanicCheck kills a static-analysis task, so it only has arrivals
-	// when lint streams run.  Check disables the interface cache, which
-	// would starve the cache points of arrivals, so it is enabled only
-	// for plans that arm PanicCheck.
-	if plan.Trigger(faultinject.PanicCheck) > 0 {
+	// PanicCheck kills a static-analysis task and PanicConcMerge kills
+	// the merge barrier's interprocedural fixed point, so they only have
+	// arrivals when lint streams run.  Check disables the interface
+	// cache, which would starve the cache points of arrivals, so it is
+	// enabled only for plans that arm one of them.
+	if plan.Trigger(faultinject.PanicCheck) > 0 || plan.Trigger(faultinject.PanicConcMerge) > 0 {
 		opts.Check = true
 	}
 
@@ -244,6 +245,9 @@ func runChaos(t *testing.T, loader m2cc.Loader, module string, strat m2cc.Strate
 		if plan.Tripped(faultinject.PanicCheck) > 0 && !res.CheckFellBack {
 			t.Fatal("tripped PanicCheck but CheckFellBack not set")
 		}
+		if plan.Tripped(faultinject.PanicConcMerge) > 0 && !res.CheckFellBack {
+			t.Fatal("tripped PanicConcMerge but CheckFellBack not set")
+		}
 		want := m2cc.RenderFindings(m2cc.Lint(module, loader))
 		if got := m2cc.RenderFindings(res.Findings); got != want {
 			t.Fatalf("findings diverge from sequential analyzer\ngot:\n%s\nwant:\n%s", got, want)
@@ -274,6 +278,13 @@ func TestChaosMatrix(t *testing.T) {
 		}},
 		{"panic-check", func() *faultinject.Plan {
 			return faultinject.New().Arm(faultinject.PanicCheck, 3)
+		}},
+		{"panic-conc-merge", func() *faultinject.Plan {
+			// Kills the merge barrier's interprocedural lockset fixed
+			// point mid-flight: the checker must discard the concurrent
+			// fact tables and self-recover via the sequential analyzer
+			// (CheckFellBack) with byte-identical findings.
+			return faultinject.New().Arm(faultinject.PanicConcMerge, 1)
 		}},
 		{"panic-install", func() *faultinject.Plan {
 			// Crashes a warm stream-cache install mid-flight: the

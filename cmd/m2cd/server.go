@@ -37,6 +37,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -171,6 +172,7 @@ func newServer(cfg config) *server {
 	s.breakers.cooldown = cfg.breakerCooldown
 	s.breakers.m = make(map[string]*breakerState)
 	s.met.byStatus = make(map[int]int64)
+	s.met.lintFindings = make(map[string]int64)
 	s.traces = obs.NewTraceStore(cfg.traceMode, cfg.traceSample, cfg.traceKeep)
 	s.tel = newTelemetry()
 	s.limits = newLimiterSet(cfg.rateLimit, cfg.rateBurst)
@@ -524,6 +526,9 @@ func (s *server) handleCompile(w http.ResponseWriter, r *http.Request, lint bool
 			return
 		}
 		resp.Findings = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+		if hdr := s.countFindings(res.Findings); hdr != "" {
+			w.Header().Set("X-M2cd-Findings", hdr)
+		}
 	}
 	// The inline trace is gated on the *client's* request alone — a
 	// server-side sampling decision must never change the body, or two
@@ -567,12 +572,16 @@ func (s *server) serveSequential(w http.ResponseWriter, req compileRequest, load
 		resp.Listing = sres.Object.Listing()
 	}
 	if lint {
+		findings := m2cc.Lint(req.Module, loader)
 		var buf bytes.Buffer
-		if err := m2cc.WriteFindingsJSON(&buf, m2cc.Lint(req.Module, loader)); err != nil {
+		if err := m2cc.WriteFindingsJSON(&buf, findings); err != nil {
 			s.writeError(w, http.StatusInternalServerError, "internal: encode findings: "+err.Error(), 0)
 			return
 		}
 		resp.Findings = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+		if hdr := s.countFindings(findings); hdr != "" {
+			w.Header().Set("X-M2cd-Findings", hdr)
+		}
 	}
 	w.Header().Set("X-M2cd-Path", "sequential")
 	s.writeJSON(w, http.StatusOK, resp)
@@ -626,7 +635,45 @@ type metrics struct {
 	breakerOpens     int64
 	rateLimited      int64
 	byStatus         map[int]int64
+	lintFindings     map[string]int64 // finding-family code -> total reported
 	ewmaMS           float64 // exponentially weighted service time
+}
+
+// countFindings folds one lint report into the per-family counters and
+// returns the X-M2cd-Findings header value: sorted family=count pairs
+// (e.g. "conc-guard=2,uninit=1"), empty when the report is clean.  Like
+// the other X-M2cd-* headers this is routing/telemetry metadata — the
+// response body stays a pure function of the request.
+func (s *server) countFindings(findings []m2cc.Finding) string {
+	if len(findings) == 0 {
+		return ""
+	}
+	perFamily := map[string]int64{}
+	for _, f := range findings {
+		code := f.Code
+		if code == "" {
+			code = "uncoded"
+		}
+		perFamily[code]++
+	}
+	s.met.mu.Lock()
+	for code, n := range perFamily {
+		s.met.lintFindings[code] += n
+	}
+	s.met.mu.Unlock()
+	codes := make([]string, 0, len(perFamily))
+	for code := range perFamily {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	var b strings.Builder
+	for i, code := range codes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", code, perFamily[code])
+	}
+	return b.String()
 }
 
 func (s *server) countStatus(code int) {
@@ -682,6 +729,7 @@ type metricsSnapshot struct {
 	BreakerOpens     int64                 `json:"breaker_opens"`
 	RateLimited      int64                 `json:"rate_limited"`
 	ByStatus         map[string]int64      `json:"by_status"`
+	LintFindings     map[string]int64      `json:"lint_findings"`
 	ServiceEWMAMS    float64               `json:"service_ewma_ms"`
 	RetryAfterMS     int64                 `json:"retry_after_ms"`
 	Cache            m2cc.CacheStats       `json:"cache"`
@@ -709,11 +757,15 @@ func (s *server) snapshot() metricsSnapshot {
 		BreakerOpens:     s.met.breakerOpens,
 		RateLimited:      s.met.rateLimited,
 		ByStatus:         make(map[string]int64, len(s.met.byStatus)),
+		LintFindings:     make(map[string]int64, len(s.met.lintFindings)),
 		ServiceEWMAMS:    s.met.ewmaMS,
 		RetryAfterMS:     retry.Milliseconds(),
 	}
 	for code, n := range s.met.byStatus {
 		snap.ByStatus[strconv.Itoa(code)] = n
+	}
+	for family, n := range s.met.lintFindings {
+		snap.LintFindings[family] = n
 	}
 	s.met.mu.Unlock()
 	snap.Cache = s.cache.Stats()

@@ -160,6 +160,47 @@ func TestLintEndpoint(t *testing.T) {
 	}
 }
 
+// TestLintFindingsTelemetry: a findings-bearing lint request reports
+// per-family counts in the X-M2cd-Findings header and accumulates them
+// into the lint_findings snapshot and the Prometheus counter.
+func TestLintFindingsTelemetry(t *testing.T) {
+	s := newServer(testConfig())
+	ts := httptest.NewServer(s.handler())
+	defer ts.Close()
+
+	b, err := os.ReadFile(filepath.Join("..", "..", "examples", "modules", "ConcFindings.mod"))
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	req := compileRequest{
+		Module:  "ConcFindings",
+		Sources: []srcFile{{Name: "ConcFindings", Kind: "mod", Text: string(b)}},
+		Client:  "lint-telemetry",
+	}
+	resp, body := post(t, ts, "/lint", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	const wantHdr = "conc-deadlock=1,conc-double-lock=1,conc-guard=2"
+	if got := resp.Header.Get("X-M2cd-Findings"); got != wantHdr {
+		t.Fatalf("X-M2cd-Findings = %q, want %q", got, wantHdr)
+	}
+
+	_, metBody := get(t, ts, "/metrics")
+	var snap metricsSnapshot
+	if err := json.Unmarshal(metBody, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if snap.LintFindings["conc-guard"] != 2 || snap.LintFindings["conc-deadlock"] != 1 || snap.LintFindings["conc-double-lock"] != 1 {
+		t.Fatalf("lint_findings = %v", snap.LintFindings)
+	}
+
+	_, prom := get(t, ts, "/metrics?format=prometheus")
+	if !strings.Contains(string(prom), `m2cd_lint_findings_total{family="conc-guard"} 2`) {
+		t.Fatalf("prometheus exposition missing conc-guard counter:\n%s", prom)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	s := newServer(testConfig())
 	ts := httptest.NewServer(s.handler())

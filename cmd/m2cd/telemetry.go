@@ -404,6 +404,19 @@ func (s *server) writePrometheus(w http.ResponseWriter) {
 		fmt.Fprintf(w, "m2cd_responses_total{code=%q} %d\n", code, snap.ByStatus[code])
 	}
 
+	// Lint findings by family code, same discipline as the response
+	// codes: HELP/TYPE are unconditional so the family list is stable,
+	// label values are sorted for a deterministic exposition.
+	fmt.Fprint(w, "# HELP m2cd_lint_findings_total Lint findings reported, by finding-family code.\n# TYPE m2cd_lint_findings_total counter\n")
+	families := make([]string, 0, len(snap.LintFindings))
+	for f := range snap.LintFindings {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, f := range families {
+		fmt.Fprintf(w, "m2cd_lint_findings_total{family=%q} %d\n", f, snap.LintFindings[f])
+	}
+
 	promCounter(w, "m2cd_iface_cache_hits_total", "Interface-cache hits.", snap.Cache.Hits)
 	promCounter(w, "m2cd_iface_cache_misses_total", "Interface-cache misses (leader compilations).", snap.Cache.Misses)
 	promCounter(w, "m2cd_iface_cache_waits_total", "Interface-cache waits behind a leader.", snap.Cache.Waits)

@@ -394,6 +394,7 @@ func TestPrometheusExposition(t *testing.T) {
 		"m2cd_sequential_served_total counter",
 		"m2cd_breaker_opens_total counter",
 		"m2cd_responses_total counter",
+		"m2cd_lint_findings_total counter",
 		"m2cd_iface_cache_hits_total counter",
 		"m2cd_iface_cache_misses_total counter",
 		"m2cd_iface_cache_waits_total counter",

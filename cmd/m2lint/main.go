@@ -3,14 +3,27 @@
 //
 // Usage:
 //
-//	m2lint [-I path] [-json] [-seq] [-werror] Module...
+//	m2lint [-I path] [-json] [-seq] [-werror] [-enable codes] [-disable codes] Module...
 //
 // By default each module is compiled concurrently with the analysis
 // streams enabled (the same supervisor schedule as m2c -lint); -seq
 // runs the sequential single-pass analyzer instead — the two are
 // byte-identical by construction, which the test suite enforces.
-// Findings are warnings: the exit status is 0 unless a module fails to
-// compile, or -werror is set and any finding is reported.
+//
+// -enable and -disable take comma-separated finding codes (as printed
+// in brackets after each message, e.g. conc-deadlock) and filter the
+// report: -enable keeps only the listed families, -disable drops them;
+// -disable wins when a code appears in both.  Unknown codes are a
+// usage error.  Filtering applies after analysis, so it never changes
+// what the analyzer computes — only what is reported and what -werror
+// counts.
+//
+// Exit status:
+//
+//	0  every module compiled; no findings reported, or -werror unset
+//	1  a module failed to compile, or -werror is set and at least one
+//	   finding survived the -enable/-disable filters
+//	2  usage error (bad flag, unknown strategy or finding code)
 package main
 
 import (
@@ -22,6 +35,49 @@ import (
 	"m2cc"
 )
 
+// parseCodes splits a comma-separated code list and validates every
+// entry against the analyzer's registry.
+func parseCodes(list string) (map[string]bool, error) {
+	if list == "" {
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, c := range m2cc.FindingCodes() {
+		known[c] = true
+	}
+	out := map[string]bool{}
+	for _, c := range strings.Split(list, ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			continue
+		}
+		if !known[c] {
+			return nil, fmt.Errorf("unknown finding code %q (known: %s)",
+				c, strings.Join(m2cc.FindingCodes(), ", "))
+		}
+		out[c] = true
+	}
+	return out, nil
+}
+
+// filterFindings applies the -enable/-disable sets; -disable wins.
+func filterFindings(fs []m2cc.Finding, enable, disable map[string]bool) []m2cc.Finding {
+	if enable == nil && disable == nil {
+		return fs
+	}
+	out := fs[:0]
+	for _, f := range fs {
+		if enable != nil && !enable[f.Code] {
+			continue
+		}
+		if disable[f.Code] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
 func main() {
 	var (
 		include = flag.String("I", ".", "colon-separated include path for .def/.mod files")
@@ -30,6 +86,8 @@ func main() {
 		workers = flag.Int("workers", 8, "worker slots for the concurrent analyzer")
 		dky     = flag.String("dky", "skeptical", "DKY strategy: avoidance|pessimistic|skeptical|optimistic")
 		werror  = flag.Bool("werror", false, "exit nonzero when any finding is reported")
+		enable  = flag.String("enable", "", "comma-separated finding codes to report exclusively")
+		disable = flag.String("disable", "", "comma-separated finding codes to suppress")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -38,6 +96,16 @@ func main() {
 		os.Exit(2)
 	}
 	strategy, err := m2cc.ParseStrategy(*dky)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	enableSet, err := parseCodes(*enable)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	disableSet, err := parseCodes(*disable)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -61,6 +129,7 @@ func main() {
 			}
 			findings = res.Findings
 		}
+		findings = filterFindings(findings, enableSet, disableSet)
 		if *jsonOut {
 			all = append(all, findings...)
 		} else {

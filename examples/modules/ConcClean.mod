@@ -1,0 +1,30 @@
+(* ConcClean: golden fixture for the concurrency analyzer — a module
+   whose locking discipline is consistent: every access to the shared
+   counter holds mu, nested acquisitions always order io before mu, and
+   no mutex is re-acquired.  The test suite asserts zero findings. *)
+MODULE ConcClean;
+VAR mu, io: MUTEX;
+VAR hits: INTEGER;
+
+PROCEDURE Bump;
+BEGIN
+  LOCK mu DO
+    hits := hits + 1
+  END
+END Bump;
+
+PROCEDURE Show;
+BEGIN
+  LOCK io DO
+    LOCK mu DO
+      WriteInt(hits, 0)
+    END;
+    WriteLn
+  END
+END Show;
+
+BEGIN
+  hits := 0;
+  Bump;
+  Show
+END ConcClean.

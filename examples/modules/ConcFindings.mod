@@ -1,0 +1,72 @@
+(* ConcFindings: golden fixture for the concurrency analyzer — one
+   instance of every conc finding family, byte-matched against
+   ConcFindings.golden by the test suite.  The defects are deliberate;
+   do not "fix" them.
+
+   counter is guarded by mu in Incr but touched bare in Peek and Reset
+   (conc-guard); Forward orders fwd before rev while Backward reaches
+   rev before fwd through Inner — a cross-procedure acquisition cycle
+   (conc-deadlock); Stutter re-acquires the non-reentrant again
+   (conc-double-lock). *)
+MODULE ConcFindings;
+VAR mu, fwd, rev, again: MUTEX;
+VAR counter: INTEGER;
+
+PROCEDURE Incr;
+BEGIN
+  LOCK mu DO
+    counter := counter + 1
+  END
+END Incr;
+
+PROCEDURE Peek(): INTEGER;
+BEGIN
+  RETURN counter
+END Peek;
+
+PROCEDURE Reset;
+BEGIN
+  counter := 0
+END Reset;
+
+PROCEDURE Forward;
+BEGIN
+  LOCK fwd DO
+    LOCK rev DO
+      Incr
+    END
+  END
+END Forward;
+
+PROCEDURE Inner;
+BEGIN
+  LOCK fwd DO
+    Incr
+  END
+END Inner;
+
+PROCEDURE Backward;
+BEGIN
+  LOCK rev DO
+    Inner
+  END
+END Backward;
+
+PROCEDURE Stutter;
+BEGIN
+  LOCK again DO
+    LOCK again DO
+      Reset
+    END
+  END
+END Stutter;
+
+BEGIN
+  counter := 0;
+  Incr;
+  Forward;
+  Backward;
+  Stutter;
+  Reset;
+  WriteInt(Peek(), 0); WriteLn
+END ConcFindings.

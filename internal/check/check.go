@@ -104,6 +104,8 @@ type Facts struct {
 	DeclNames []ast.Name   // DefUnit: exported top-level names
 	ProcDecls []string     // DefUnit: exported procedure names (reachability roots)
 
+	Conc *ConcFacts // concurrency summary for the interprocedural lockset pass
+
 	Nodes int // AST nodes visited (deterministic analysis cost)
 }
 
@@ -124,6 +126,7 @@ func analyzeUnit(u *Unit) *Facts {
 	unreachable(u.Body, func(pos token.Pos) {
 		f.Findings = append(f.Findings, diag.Diagnostic{
 			Sev: diag.Warning, Pos: pos, File: u.File, Msg: "unreachable statement",
+			Code: CodeUnreachable,
 		})
 	})
 	if u.Body != nil {
@@ -131,10 +134,12 @@ func analyzeUnit(u *Unit) *Facts {
 		g.solve(func(name string, pos token.Pos) {
 			f.Findings = append(f.Findings, diag.Diagnostic{
 				Sev: diag.Warning, Pos: pos, End: nameEnd(name, pos), File: u.File,
-				Msg: fmt.Sprintf("variable %s may be used before initialization", name),
+				Msg:  fmt.Sprintf("variable %s may be used before initialization", name),
+				Code: CodeUninit,
 			})
 		})
 	}
+	f.Conc = concAnalyze(u)
 	if u.Kind == ProcUnit {
 		for _, d := range u.Decls {
 			if vd, ok := d.(*ast.VarDecl); ok {
@@ -256,9 +261,12 @@ func (c *Checker) Faulted() bool {
 }
 
 // Merge joins the published fact tables into the final findings.  If
-// any analysis task faulted, the concurrent tables are discarded and
-// every registered unit is re-analyzed sequentially, so sibling
-// findings survive a crashed stream intact.  Never returns nil.
+// any analysis task faulted — or the merge's own interprocedural fixed
+// point panics mid-flight (injected PanicConcMerge) — the concurrent
+// tables are discarded and every registered unit is re-analyzed
+// sequentially with a clean merge, so a crashed stream or a crashed
+// barrier both degrade to the sequential analyzer with byte-identical
+// output.  Never returns nil.
 func (c *Checker) Merge(ctx *ctrace.TaskCtx) []diag.Diagnostic {
 	c.mu.Lock()
 	faulted := c.faulted
@@ -266,18 +274,38 @@ func (c *Checker) Merge(ctx *ctrace.TaskCtx) []diag.Diagnostic {
 	units := append([]*Unit(nil), c.units...)
 	pinned := append([]*Facts(nil), c.pinned...)
 	c.mu.Unlock()
-	if faulted {
-		fs = fs[:0]
-		for _, u := range units {
-			f := analyzeUnit(u)
-			ctx.Add(float64(f.Nodes) * ctrace.CostAnalysisNode)
-			fs = append(fs, f)
+	if !faulted {
+		if out, ok := c.tryMerge(ctx, append(fs, pinned...)); ok {
+			return out
 		}
+		c.mu.Lock()
+		c.faulted = true
+		c.mu.Unlock()
+	}
+	fs = fs[:0]
+	for _, u := range units {
+		f := analyzeUnit(u)
+		ctx.Add(float64(f.Nodes) * ctrace.CostAnalysisNode)
+		fs = append(fs, f)
 	}
 	fs = append(fs, pinned...)
 	out := mergeFacts(fs)
 	ctx.Add(float64(len(fs)+len(out)) * ctrace.CostAnalysisFact)
 	return out
+}
+
+// tryMerge runs the merge with the checker's injection plan armed,
+// converting a panic inside the merge barrier into a faulted signal
+// instead of letting it poison the compilation.
+func (c *Checker) tryMerge(ctx *ctrace.TaskCtx, fs []*Facts) (out []diag.Diagnostic, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, ok = nil, false
+		}
+	}()
+	out = mergeFactsPlan(fs, c.inject)
+	ctx.Add(float64(len(fs)+len(out)) * ctrace.CostAnalysisFact)
+	return out, true
 }
 
 // mergeFacts runs the cross-module passes over the fact tables and
@@ -286,15 +314,21 @@ func (c *Checker) Merge(ctx *ctrace.TaskCtx) []diag.Diagnostic {
 // rule reads the Facts fields alone, never an AST, so cached tables
 // (streamcache) merge exactly like fresh ones.
 func mergeFacts(fs []*Facts) []diag.Diagnostic {
+	return mergeFactsPlan(fs, nil)
+}
+
+// mergeFactsPlan is mergeFacts with a fault-injection plan supplying
+// the PanicConcMerge point inside the interprocedural fixed point.
+func mergeFactsPlan(fs []*Facts, plan *faultinject.Plan) []diag.Diagnostic {
 	out := []diag.Diagnostic{}
 	for _, f := range fs {
 		out = append(out, f.Findings...)
 	}
 
-	warn := func(file string, n ast.Name, format string, args ...any) {
+	warn := func(code, file string, n ast.Name, format string, args ...any) {
 		out = append(out, diag.Diagnostic{
 			Sev: diag.Warning, Pos: n.Pos, End: nameEnd(n.Text, n.Pos),
-			File: file, Msg: fmt.Sprintf(format, args...),
+			File: file, Msg: fmt.Sprintf(format, args...), Code: code,
 		})
 	}
 	// mentionedUnder: name is mentioned by the unit at path or any
@@ -345,12 +379,12 @@ func mergeFacts(fs []*Facts) []diag.Diagnostic {
 		if f.Kind == ProcUnit {
 			for _, n := range f.Locals {
 				if !mentionedUnder(n.Text, f.Path) {
-					warn(f.File, n, "local variable %s is declared but never used", n.Text)
+					warn(CodeUnusedLocal, f.File, n, "local variable %s is declared but never used", n.Text)
 				}
 			}
 			for _, n := range f.Params {
 				if !mentionedUnder(n.Text, f.Path) {
-					warn(f.File, n, "parameter %s is declared but never used", n.Text)
+					warn(CodeUnusedParam, f.File, n, "parameter %s is declared but never used", n.Text)
 				}
 			}
 		}
@@ -362,9 +396,9 @@ func mergeFacts(fs []*Facts) []diag.Diagnostic {
 				continue
 			}
 			if imp.From {
-				warn(f.File, imp.Name, "imported identifier %s is never used", imp.Name.Text)
+				warn(CodeUnusedImport, f.File, imp.Name, "imported identifier %s is never used", imp.Name.Text)
 			} else {
-				warn(f.File, imp.Name, "import %s is never used", imp.Name.Text)
+				warn(CodeUnusedImport, f.File, imp.Name, "import %s is never used", imp.Name.Text)
 			}
 		}
 	}
@@ -380,7 +414,7 @@ func mergeFacts(fs []*Facts) []diag.Diagnostic {
 		}
 		for _, n := range f.DeclNames {
 			if !mentionedOutsideModule(n.Text, f.Module) {
-				warn(f.File, n, "exported %s is never referenced in this compilation", n.Text)
+				warn(CodeUnusedExport, f.File, n, "exported %s is never referenced in this compilation", n.Text)
 			}
 		}
 	}
@@ -424,11 +458,12 @@ func mergeFacts(fs []*Facts) []diag.Diagnostic {
 		}
 		for _, p := range procs {
 			if !reached[p] && p.HasHead {
-				warn(p.File, p.HeadName, "procedure %s is declared but never called", p.ProcName)
+				warn(CodeNeverCalled, p.File, p.HeadName, "procedure %s is declared but never called", p.ProcName)
 			}
 		}
 	}
 
+	out = append(out, concMerge(fs, plan)...)
 	return diag.SortDedup(out)
 }
 

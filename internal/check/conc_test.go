@@ -1,0 +1,226 @@
+package check_test
+
+import (
+	"strings"
+	"testing"
+
+	"m2cc/internal/check"
+	"m2cc/internal/core"
+	"m2cc/internal/faultinject"
+	"m2cc/internal/source"
+	"m2cc/internal/symtab"
+)
+
+// concProgram exercises every concurrency finding family through the
+// interprocedural machinery: shared is guarded by m in Guarded but
+// touched bare in Sloppy and in BA's exception handler (whose lockset
+// is the lockset at the TRY statement — the LOCK b inside the body is
+// released during the unwind); AB orders a before b while BA reaches
+// b before a through Helper (a cross-procedure acquisition cycle);
+// Again re-enters Guarded's LOCK m with m already held (a double
+// acquire visible only through the calling context).
+var concProgram = map[string]string{
+	"Conc.mod": `
+MODULE Conc;
+EXCEPTION Oops;
+VAR a, b, m: MUTEX;
+VAR shared: INTEGER;
+
+PROCEDURE Guarded;
+BEGIN
+  LOCK m DO
+    shared := shared + 1
+  END
+END Guarded;
+
+PROCEDURE Sloppy(): INTEGER;
+BEGIN
+  RETURN shared
+END Sloppy;
+
+PROCEDURE Helper;
+BEGIN
+  LOCK a DO
+    Guarded
+  END
+END Helper;
+
+PROCEDURE AB;
+BEGIN
+  LOCK a DO
+    LOCK b DO
+      Guarded
+    END
+  END
+END AB;
+
+PROCEDURE BA;
+BEGIN
+  TRY
+    LOCK b DO
+      Helper;
+      RAISE Oops
+    END
+  EXCEPT
+    Oops: shared := 0
+  END
+END BA;
+
+PROCEDURE Again;
+BEGIN
+  LOCK m DO
+    Guarded
+  END
+END Again;
+
+BEGIN
+  Guarded;
+  AB;
+  BA;
+  Again;
+  WriteInt(Sloppy(), 0); WriteLn
+END Conc.
+`,
+}
+
+func concLoader() *source.MapLoader {
+	loader := source.NewMapLoader()
+	for name, text := range concProgram {
+		if base, ok := strings.CutSuffix(name, ".mod"); ok {
+			loader.Add(base, source.Impl, text)
+		}
+	}
+	return loader
+}
+
+// TestConcSequentialFindings pins the interprocedural lockset pass's
+// behavior on the fixture: which family fires where, and which
+// disciplined accesses stay silent.
+func TestConcSequentialFindings(t *testing.T) {
+	got := check.Render(check.Analyze("Conc", concLoader()))
+	for _, w := range []string{
+		// Sloppy's bare read and the handler's bare write, both blamed
+		// on the m discipline established in Guarded.
+		"module variable shared is accessed without holding mutex m",
+		"[conc-guard]",
+		// The cross-procedure cycle, with both witnessing acquisitions.
+		"potential deadlock: lock-order cycle a -> b -> a",
+		"b acquired under a",
+		"a acquired under b",
+		"[conc-deadlock]",
+		// Guarded's LOCK m re-entered from Again's LOCK m.
+		"mutex m is acquired while already held",
+		"[conc-double-lock]",
+	} {
+		if !strings.Contains(got, w) {
+			t.Errorf("findings missing %q\ngot:\n%s", w, got)
+		}
+	}
+	// Two conc-guard sites: Sloppy's RETURN and the handler assignment.
+	if n := strings.Count(got, "[conc-guard]"); n != 2 {
+		t.Errorf("want 2 conc-guard findings, got %d:\n%s", n, got)
+	}
+	if n := strings.Count(got, "[conc-deadlock]"); n != 1 {
+		t.Errorf("want 1 conc-deadlock finding, got %d:\n%s", n, got)
+	}
+	if n := strings.Count(got, "[conc-double-lock]"); n != 1 {
+		t.Errorf("want 1 conc-double-lock finding, got %d:\n%s", n, got)
+	}
+	// Guarded's own accesses are disciplined — no finding may anchor
+	// inside it (its LOCK is at line 10; the double-lock finding blames
+	// that line, which is correct, but no conc-guard may).
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "[conc-guard]") && strings.Contains(line, "shared := shared") {
+			t.Errorf("guarded access reported bare: %s", line)
+		}
+	}
+}
+
+// TestConcDifferential is the tentpole property for the new pass: the
+// concurrency findings are byte-identical to the sequential analyzer's
+// under every DKY strategy, both heading modes and several worker
+// counts.
+func TestConcDifferential(t *testing.T) {
+	loader := concLoader()
+	want := check.Render(check.Analyze("Conc", loader))
+	if !strings.Contains(want, "[conc-") {
+		t.Fatalf("fixture produced no concurrency findings:\n%s", want)
+	}
+	for strat := symtab.Avoidance; strat <= symtab.Optimistic; strat++ {
+		for _, workers := range []int{1, 4, 8} {
+			for _, headers := range []core.HeaderMode{core.HeaderShared, core.HeaderReprocess} {
+				strat, workers, headers := strat, workers, headers
+				name := strat.String() + "/w" + string(rune('0'+workers))
+				if headers == core.HeaderReprocess {
+					name += "/reprocess"
+				}
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					res := core.Compile("Conc", loader, core.Options{
+						Workers: workers, Strategy: strat, Headers: headers, Check: true,
+					})
+					if res.Failed() {
+						t.Fatalf("compile failed:\n%s", res.Diags)
+					}
+					if res.Faulted || res.CheckFellBack {
+						t.Fatalf("unexpected fault: Faulted=%v CheckFellBack=%v", res.Faulted, res.CheckFellBack)
+					}
+					if got := check.Render(res.Findings); got != want {
+						t.Fatalf("concurrent findings diverge from sequential baseline\ngot:\n%s\nwant:\n%s", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConcMergePanicDegrades arms the PanicConcMerge injection point:
+// the merge barrier's fixed point dies mid-flight, the checker discards
+// the concurrent tables and re-runs the sequential analyzer, and the
+// findings stay byte-identical.
+func TestConcMergePanicDegrades(t *testing.T) {
+	loader := concLoader()
+	want := check.Render(check.Analyze("Conc", loader))
+	plan := faultinject.New().Arm(faultinject.PanicConcMerge, 1)
+	res := core.Compile("Conc", loader, core.Options{
+		Workers: 4, Check: true, FaultPlan: plan,
+	})
+	if res.Failed() {
+		t.Fatalf("compile failed:\n%s", res.Diags)
+	}
+	if res.Faulted {
+		t.Fatal("a merge panic poisoned the compilation")
+	}
+	if plan.Tripped(faultinject.PanicConcMerge) != 1 {
+		t.Fatalf("point tripped %d times", plan.Tripped(faultinject.PanicConcMerge))
+	}
+	if !res.CheckFellBack {
+		t.Fatal("checker did not report the sequential fallback")
+	}
+	if got := check.Render(res.Findings); got != want {
+		t.Fatalf("degraded findings diverge\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestFindingCodes: the registry lists every family exactly once and
+// every rendered finding carries a bracketed code from it.
+func TestFindingCodes(t *testing.T) {
+	codes := check.FindingCodes()
+	seen := map[string]bool{}
+	for _, c := range codes {
+		if seen[c] {
+			t.Errorf("duplicate code %q", c)
+		}
+		seen[c] = true
+	}
+	for _, c := range []string{"conc-guard", "conc-deadlock", "conc-double-lock", "uninit"} {
+		if !seen[c] {
+			t.Errorf("registry missing %q", c)
+		}
+	}
+	for _, d := range check.Analyze("Conc", concLoader()) {
+		if !seen[d.Code] {
+			t.Errorf("finding carries unregistered code %q: %s", d.Code, d.String())
+		}
+	}
+}

@@ -28,6 +28,7 @@ type jsonFinding struct {
 	EndCol   int32  `json:"end_col,omitempty"`
 	Severity string `json:"severity"`
 	Message  string `json:"message"`
+	Code     string `json:"code,omitempty"`
 }
 
 // WriteJSON emits findings as an indented JSON array with full
@@ -37,7 +38,7 @@ func WriteJSON(w io.Writer, findings []diag.Diagnostic) error {
 	for _, d := range findings {
 		jf := jsonFinding{
 			File: d.File, Line: d.Pos.Line, Col: d.Pos.Col,
-			Severity: d.Sev.String(), Message: d.Msg,
+			Severity: d.Sev.String(), Message: d.Msg, Code: d.Code,
 		}
 		if d.End.IsValid() {
 			jf.EndLine = d.End.Line

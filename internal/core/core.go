@@ -1057,6 +1057,32 @@ func rewriteFacts(f *check.Facts, fileID int32) *check.Facts {
 			g.Findings[i] = dg
 		}
 	}
+	if f.Conc != nil {
+		c := *f.Conc
+		c.ModuleVars = copyNames(f.Conc.ModuleVars, fileID)
+		if f.Conc.Acquires != nil {
+			c.Acquires = make([]check.ConcAcquire, len(f.Conc.Acquires))
+			for i, a := range f.Conc.Acquires {
+				reFile(&a.Pos, fileID)
+				c.Acquires[i] = a // Held is canonical and shared read-only
+			}
+		}
+		if f.Conc.Accesses != nil {
+			c.Accesses = make([]check.ConcAccess, len(f.Conc.Accesses))
+			for i, a := range f.Conc.Accesses {
+				reFile(&a.Pos, fileID)
+				c.Accesses[i] = a
+			}
+		}
+		if f.Conc.Calls != nil {
+			c.Calls = make([]check.ConcCall, len(f.Conc.Calls))
+			for i, a := range f.Conc.Calls {
+				reFile(&a.Pos, fileID)
+				c.Calls[i] = a
+			}
+		}
+		g.Conc = &c
+	}
 	return &g
 }
 

@@ -37,13 +37,17 @@ func (s Severity) String() string {
 // the human-readable file label (e.g. "Sort.mod") so messages are
 // self-contained after streams are merged.  End, when valid, extends the
 // anchor to a full line+column span; a zero End means "point diagnostic"
-// and renders exactly as before spans existed.
+// and renders exactly as before spans existed.  Code, when set, names
+// the finding family (e.g. "uninit", "conc-deadlock") — the stable key
+// m2lint's -enable/-disable filters and the daemon's per-family counts
+// select on; compiler errors carry no code and render unchanged.
 type Diagnostic struct {
 	Sev  Severity
 	Pos  token.Pos
 	End  token.Pos // exclusive end of the span; zero = point diagnostic
 	File string
 	Msg  string
+	Code string // finding family, "" for plain compiler diagnostics
 }
 
 func (d Diagnostic) String() string {
@@ -51,10 +55,14 @@ func (d Diagnostic) String() string {
 	if d.End.IsValid() && d.End != d.Pos {
 		loc = fmt.Sprintf("%s-%s", d.Pos, d.End)
 	}
-	if d.File == "" {
-		return fmt.Sprintf("%s: %s: %s", loc, d.Sev, d.Msg)
+	msg := d.Msg
+	if d.Code != "" {
+		msg = fmt.Sprintf("%s [%s]", d.Msg, d.Code)
 	}
-	return fmt.Sprintf("%s:%s: %s: %s", d.File, loc, d.Sev, d.Msg)
+	if d.File == "" {
+		return fmt.Sprintf("%s: %s: %s", loc, d.Sev, msg)
+	}
+	return fmt.Sprintf("%s:%s: %s: %s", d.File, loc, d.Sev, msg)
 }
 
 // Bag accumulates diagnostics from concurrent tasks.  The zero value is
@@ -166,7 +174,8 @@ func (b *Bag) Sorted() []Diagnostic {
 }
 
 // SortDedup sorts ds in place by (file, position, end, severity,
-// message) and removes exact duplicates, returning the trimmed slice.
+// message, code) and removes exact duplicates, returning the trimmed
+// slice.
 func SortDedup(ds []Diagnostic) []Diagnostic {
 	sort.Slice(ds, func(i, j int) bool {
 		if ds[i].File != ds[j].File {
@@ -181,7 +190,10 @@ func SortDedup(ds []Diagnostic) []Diagnostic {
 		if ds[i].Sev != ds[j].Sev {
 			return ds[i].Sev < ds[j].Sev
 		}
-		return ds[i].Msg < ds[j].Msg
+		if ds[i].Msg != ds[j].Msg {
+			return ds[i].Msg < ds[j].Msg
+		}
+		return ds[i].Code < ds[j].Code
 	})
 	w := 0
 	for i, d := range ds {

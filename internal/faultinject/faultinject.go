@@ -74,6 +74,12 @@ const (
 	// the compilation and recover via the sequential fallback, never
 	// via a half-installed stream.
 	PanicInstall
+	// PanicConcMerge panics inside the merge barrier's interprocedural
+	// lockset fixed point (check.concMerge), modelling a crashed merge
+	// task; the checker must discard the concurrent tables and degrade
+	// to the sequential analyzer (Result.CheckFellBack) with
+	// byte-identical findings.
+	PanicConcMerge
 
 	numPoints
 )
@@ -81,7 +87,7 @@ const (
 var pointNames = [numPoints]string{
 	"panic-lookup", "stall-leader", "fail-install", "drop-fire",
 	"panic-check", "panic-steal", "slow-request", "panic-handler",
-	"panic-install",
+	"panic-install", "panic-conc-merge",
 }
 
 func (p Point) String() string {
@@ -94,7 +100,7 @@ func (p Point) String() string {
 // Points lists every injection point (for chaos matrices).
 func Points() []Point {
 	return []Point{PanicLookup, StallLeader, FailInstall, DropFire, PanicCheck, PanicSteal,
-		SlowRequest, PanicHandler, PanicInstall}
+		SlowRequest, PanicHandler, PanicInstall, PanicConcMerge}
 }
 
 // ParsePoint converts a point name (as printed by Point.String, e.g.

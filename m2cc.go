@@ -126,6 +126,11 @@ func WriteFindingsJSON(w io.Writer, findings []Finding) error {
 	return check.WriteJSON(w, findings)
 }
 
+// FindingCodes lists every finding-family code the analyzer can emit
+// (diag.Diagnostic.Code), in documentation order; m2lint validates its
+// -enable/-disable filters against it.
+func FindingCodes() []string { return check.FindingCodes() }
+
 // SeqResult is a sequential compilation's outcome.
 type SeqResult = seq.Result
 

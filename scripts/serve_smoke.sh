@@ -82,6 +82,23 @@ p = json.load(open(sys.argv[1]))
 assert "total_blocked_ms" in p and "events" in p, "profile missing blame fields"
 EOF
 
+#    A lint request against the concurrency fixture must report its
+#    per-family finding counts in the X-M2cd-Findings header and move
+#    the m2cd_lint_findings_total counter (checked in step 4).
+python3 - examples/modules > "$TMP/lintreq.json" <<'EOF' || fail "could not build lint request"
+import json, pathlib, sys
+d = pathlib.Path(sys.argv[1])
+srcs = [{"name": "ConcFindings", "kind": "mod",
+         "text": (d / "ConcFindings.mod").read_text()}]
+json.dump({"module": "ConcFindings", "sources": srcs, "client": "smoke"}, sys.stdout)
+EOF
+curl -fsS -D "$TMP/lint_headers.txt" -X POST -H 'Content-Type: application/json' \
+    --data @"$TMP/lintreq.json" "http://$ADDR/lint" -o "$TMP/lint.json" \
+    || fail "lint request failed"
+grep -qi '^X-M2cd-Findings: conc-deadlock=1,conc-double-lock=1,conc-guard=2' \
+    "$TMP/lint_headers.txt" \
+    || fail "lint response missing per-family X-M2cd-Findings header: $(grep -i findings "$TMP/lint_headers.txt" || true)"
+
 # 3. Saturating burst: 8 workers against capacity 4 (2 in flight + 2
 #    queued).  Byte-identity of every 200 body is enforced by m2load.
 "$TMP/m2load" -addr "$ADDR" -n 60 -c 8 -clients 3 -expect-identical \
@@ -112,6 +129,10 @@ text = open(sys.argv[1]).read()
 assert re.search(r'^m2cd_admitted_total [1-9]', text, re.M), "admitted_total never moved"
 assert re.search(r'^m2cd_responses_total\{code="200"\} [1-9]', text, re.M), "no 200s counted"
 assert re.search(r'^m2cd_trace_admitted_total [1-9]', text, re.M), "no traces admitted"
+assert re.search(r'^m2cd_lint_findings_total\{family="conc-guard"\} [1-9]', text, re.M), \
+    "lint findings counter never moved"
+assert re.search(r'^m2cd_lint_findings_total\{family="conc-deadlock"\} [1-9]', text, re.M), \
+    "deadlock findings counter never moved"
 fams = re.findall(r'^# TYPE (\S+) histogram$', text, re.M)
 assert "m2cd_request_duration_ms" in fams, "latency histogram family missing"
 for fam in fams:
